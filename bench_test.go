@@ -1,0 +1,297 @@
+// Package pcltm's root benchmark harness regenerates every figure of the
+// paper and the added experiments of EXPERIMENTS.md:
+//
+//	F1/F2  — the critical-step searches (Figures 1–2)
+//	F3/F5  — assembling and value-checking β (Figures 3 and 5)
+//	F4/F6  — assembling and value-checking β′ (Figures 4 and 6)
+//	T4.1   — the full verdict matrix over the protocol portfolio
+//	E1     — production engine throughput across contention patterns
+//	E2     — decision-procedure cost of the consistency conditions
+//
+// Run with: go test -bench=. -benchmem .
+package pcltm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+	"pcltm/internal/history"
+	"pcltm/internal/pcl"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// mustProto resolves a portfolio protocol or fails the benchmark.
+func mustProto(b *testing.B, name string) stms.Protocol {
+	b.Helper()
+	p, err := portfolio.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchAdversary runs the construction to the given depth against the
+// naive protocol — the only portfolio member that walks the whole
+// construction, so the figure benchmarks measure the full search work.
+func benchAdversary(b *testing.B, depth pcl.Depth, needS1, needS2, needBeta, needBetaPrime bool) {
+	proto := mustProto(b, "naive")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := pcl.NewAdversary(proto).RunTo(depth)
+		if needS1 && o.S1 == nil {
+			b.Fatal("s1 not located")
+		}
+		if needS2 && o.S2 == nil {
+			b.Fatal("s2 not located")
+		}
+		if needBeta && o.Beta == nil {
+			b.Fatal("β not assembled")
+		}
+		if needBetaPrime && o.BetaPrime == nil {
+			b.Fatal("β′ not assembled")
+		}
+	}
+}
+
+// BenchmarkFigure1CriticalStepS1 regenerates Figure 1: T1's solo run,
+// prefix probes by T3, and the location of s1 with Claims 1–2 checked.
+func BenchmarkFigure1CriticalStepS1(b *testing.B) {
+	benchAdversary(b, pcl.DepthS1, true, false, false, false)
+}
+
+// BenchmarkFigure2CriticalStepS2 regenerates Figure 2: the s2 search from
+// configuration C1⁻.
+func BenchmarkFigure2CriticalStepS2(b *testing.B) {
+	benchAdversary(b, pcl.DepthS2, true, true, false, false)
+}
+
+// BenchmarkFigure3ExecutionBeta regenerates Figure 3: assembling
+// β = α1·α2·s1·α3·α4·s2·α7 (with the Claim 3 and δ2 probes).
+func BenchmarkFigure3ExecutionBeta(b *testing.B) {
+	benchAdversary(b, pcl.DepthBeta, true, true, true, false)
+}
+
+// BenchmarkFigure4ExecutionBetaPrime regenerates Figure 4: assembling
+// β′ = α1·α2·s2·α5·α6·s1·α′7 and the p7 indistinguishability comparison.
+func BenchmarkFigure4ExecutionBetaPrime(b *testing.B) {
+	benchAdversary(b, pcl.DepthFull, true, true, true, true)
+}
+
+// BenchmarkFigure5ValuesBeta measures the Figure 5 work in isolation: the
+// exhaustive weak-adaptive-consistency certification of the assembled β.
+func BenchmarkFigure5ValuesBeta(b *testing.B) {
+	proto := mustProto(b, "naive")
+	o := pcl.NewAdversary(proto).RunTo(pcl.DepthBeta)
+	if o.Beta == nil {
+		b.Fatal("β not assembled")
+	}
+	v := history.FromExecution(o.Beta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := consistency.WeakAdaptiveConsistent(v)
+		if res.Satisfied {
+			b.Fatal("β unexpectedly WAC-consistent")
+		}
+	}
+}
+
+// BenchmarkFigure6ValuesBetaPrime certifies β′ (Figure 6).
+func BenchmarkFigure6ValuesBetaPrime(b *testing.B) {
+	proto := mustProto(b, "naive")
+	o := pcl.NewAdversary(proto).RunTo(pcl.DepthFull)
+	if o.BetaPrime == nil {
+		b.Fatal("β′ not assembled")
+	}
+	v := history.FromExecution(o.BetaPrime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := consistency.WeakAdaptiveConsistent(v)
+		if res.Satisfied {
+			b.Fatal("β′ unexpectedly WAC-consistent")
+		}
+	}
+}
+
+// BenchmarkTheoremVerdictMatrix regenerates the Theorem 4.1 matrix: the
+// whole portfolio through the whole construction.
+func BenchmarkTheoremVerdictMatrix(b *testing.B) {
+	protos := portfolio.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range protos {
+			o := pcl.NewAdversary(p).Run()
+			if o.Verdict == nil {
+				b.Fatalf("%s survived the construction", p.Name())
+			}
+		}
+	}
+}
+
+// BenchmarkAdversaryPerProtocol times one matrix row per sub-benchmark,
+// showing how far each protocol gets before failing (early liveness
+// failures are cheap; walking the whole construction plus the WAC
+// certification is the expensive case).
+func BenchmarkAdversaryPerProtocol(b *testing.B) {
+	for _, p := range portfolio.All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := pcl.NewAdversary(p).Run()
+				if o.Verdict == nil {
+					b.Fatalf("%s survived the construction", p.Name())
+				}
+			}
+		})
+	}
+}
+
+// ---- E1: production engines under real parallelism ----
+
+func benchEngine(b *testing.B, kind stm.EngineKind, pattern workload.Pattern) {
+	const vars = 256
+	eng := stm.NewEngine(kind)
+	tvs := make([]*stm.TVar[int64], vars)
+	for i := range tvs {
+		tvs[i] = stm.NewTVar[int64](0)
+	}
+	var workerIDs atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		worker := int(workerIDs.Add(1)) - 1
+		span := vars / 8
+		base := (worker * span) % vars
+		n := 0
+		for pb.Next() {
+			n++
+			_ = eng.Atomically(func(tx *stm.Tx) error {
+				pick := func(i int) *stm.TVar[int64] {
+					switch pattern {
+					case workload.Disjoint:
+						return tvs[base+(n*7+i*13)%span]
+					case workload.Zipf:
+						return tvs[(n*7+i*13)%16] // 16 hot variables
+					default:
+						return tvs[(n*7+i*13)%vars]
+					}
+				}
+				acc := stm.Get(tx, pick(0)) + stm.Get(tx, pick(1))
+				tv := pick(2)
+				stm.Set(tx, tv, stm.Get(tx, tv)+acc+1)
+				return nil
+			})
+		}
+	})
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Commits > 0 {
+		b.ReportMetric(float64(st.Retries)/float64(st.Commits), "retries/commit")
+	}
+}
+
+// BenchmarkEngines sweeps engine × contention pattern (experiment E1).
+func BenchmarkEngines(b *testing.B) {
+	for _, kind := range stm.EngineKinds() {
+		for _, pat := range workload.Patterns() {
+			b.Run(fmt.Sprintf("%s/%s", kind, pat), func(b *testing.B) {
+				benchEngine(b, kind, pat)
+			})
+		}
+	}
+}
+
+// BenchmarkLongReadOnlyScans measures the workload snapshot isolation was
+// invented for (paper §2): a long read-only scan racing concurrent
+// writers; the reported retries/scan metric is the price each
+// concurrency control charges long readers.
+func BenchmarkLongReadOnlyScans(b *testing.B) {
+	for _, kind := range stm.EngineKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			res := workload.RunScan(kind, workload.ScanConfig{
+				Vars: 512, Writers: 2, Scans: b.N, Seed: 1,
+			})
+			if !res.Consistent {
+				b.Fatal("torn scan observed")
+			}
+			b.ReportMetric(float64(res.ScanRetries)/float64(b.N), "retries/scan")
+		})
+	}
+}
+
+// ---- E2: decision-procedure cost of the consistency conditions ----
+
+// sequentialExecution builds a legal m-transaction sequential execution
+// (worst case for the checkers: a witness exists, so the search must find
+// it rather than fail fast).
+func sequentialExecution(m int) *core.Execution {
+	bld := exectest.New()
+	last := map[core.Item]core.Value{}
+	items := []core.Item{"x", "y", "z"}
+	for i := 0; i < m; i++ {
+		tx := core.TxID(i + 1)
+		p := core.ProcID(i % 4)
+		rd := items[i%len(items)]
+		wr := items[(i+1)%len(items)]
+		bld.SeqTxn(p, tx,
+			exectest.RV(rd, last[rd]),
+			exectest.WV(wr, core.Value(i+1)),
+		)
+		last[wr] = core.Value(i + 1)
+	}
+	return bld.Exec()
+}
+
+func benchChecker(b *testing.B, m int, name string, check func(*history.View) consistency.Result) {
+	v := history.FromExecution(sequentialExecution(m))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := check(v)
+		if !res.Satisfied {
+			b.Fatalf("%s rejected a legal sequential execution", name)
+		}
+	}
+}
+
+// BenchmarkCheckers sweeps checker × history size (experiment E2): the
+// weaker the condition, the more it admits and the more the exhaustive
+// search costs.
+func BenchmarkCheckers(b *testing.B) {
+	for _, m := range []int{2, 4, 6} {
+		for _, c := range consistency.Checkers() {
+			c := c
+			b.Run(fmt.Sprintf("%s/txns=%d", c.Name, m), func(b *testing.B) {
+				benchChecker(b, m, c.Name, c.Check)
+			})
+		}
+	}
+}
+
+// ---- machine substrate ----
+
+// BenchmarkMachineSteps measures the raw cost of the deterministic
+// machine's scheduler handshake (steps per second of a solo run).
+func BenchmarkMachineSteps(b *testing.B) {
+	proto := mustProto(b, "naive")
+	specs := workload.DisjointSpecs(1, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bundle := &stms.Bundle{Protocol: proto, Specs: specs}
+		m := bundle.Build()
+		if _, err := m.RunUntilDone(0, 1<<16); err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}

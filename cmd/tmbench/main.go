@@ -1,0 +1,165 @@
+// Command tmbench measures the P/C/L tradeoff empirically.
+//
+// Real mode (-mode real, default) drives the production stm/ engines with
+// goroutine workloads and prints throughput, aborts and retries across
+// contention patterns and worker counts — the E1 experiment of
+// EXPERIMENTS.md: disjoint workloads reward parallelism-friendly designs,
+// contended workloads surface the consistency price.
+//
+// Sim mode (-mode sim) runs the simulated protocol portfolio on static
+// transaction sets over the deterministic machine and reports step
+// counts, base-object contentions and strict-DAP violations — the
+// machine-level view of the same tradeoff.
+//
+// Usage:
+//
+//	tmbench [-mode real|sim] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
+//	        [-pattern disjoint,uniform,zipf] [-txns 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+func main() {
+	mode := flag.String("mode", "real", "real (stm/ engines) or sim (machine protocols)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (real mode)")
+	ops := flag.Int("ops", 2000, "transactions per worker (real mode)")
+	vars := flag.Int("vars", 256, "number of transactional variables (real mode)")
+	patternsFlag := flag.String("pattern", "disjoint,uniform,zipf", "contention patterns (real mode)")
+	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	switch *mode {
+	case "real":
+		realMode(parseInts(*workersFlag), *ops, *vars, parsePatterns(*patternsFlag), *seed)
+	case "sim":
+		simMode(*txns, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tmbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "tmbench: bad worker count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func parsePatterns(s string) []workload.Pattern {
+	var out []workload.Pattern
+	for _, part := range strings.Split(s, ",") {
+		p, ok := workload.PatternByName(strings.TrimSpace(part))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tmbench: unknown pattern %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func realMode(workers []int, ops, vars int, patterns []workload.Pattern, seed int64) {
+	fmt.Println("E1 — production engines under real parallelism")
+	fmt.Printf("%-8s %-9s %-8s %12s %10s %10s %10s\n",
+		"engine", "pattern", "workers", "tx/s", "commits", "aborts", "retries")
+	for _, pat := range patterns {
+		for _, w := range workers {
+			for _, kind := range stm.EngineKinds() {
+				cfg := workload.Config{
+					Vars: vars, Workers: w, OpsPerWorker: ops,
+					Pattern: pat, Seed: seed,
+				}
+				res := workload.Run(kind, cfg)
+				if res.Sum != cfg.ExpectedSum() {
+					fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d\n",
+						kind, pat, res.Sum, cfg.ExpectedSum())
+					os.Exit(1)
+				}
+				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d\n",
+					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// simWorkloads names the static transaction sets of sim mode.
+func simWorkloads(txns int, seed int64) map[string][]core.TxSpec {
+	return map[string][]core.TxSpec{
+		"disjoint": workload.DisjointSpecs(txns, 2),
+		"chain":    workload.ChainSpecs(txns),
+		"star":     workload.StarSpecs(txns),
+		"random":   workload.RandomSpecs(txns, txns*2, 4, seed),
+	}
+}
+
+func simMode(txns int, seed int64) {
+	fmt.Println("machine-level accounting — simulated protocols on static workloads")
+	fmt.Printf("%-10s %-9s %8s %10s %12s %12s %9s\n",
+		"protocol", "workload", "steps", "commits", "contentions", "strict-DAP", "blocked")
+	for _, name := range []string{"disjoint", "chain", "star", "random"} {
+		specs := simWorkloads(txns, seed)[name]
+		for _, proto := range portfolio.All() {
+			b := &stms.Bundle{Protocol: proto, Specs: specs}
+			exec, blocked := fairRun(b, len(specs), seed)
+			commits := 0
+			for _, s := range specs {
+				if exec.StatusOf(s.ID) == core.TxCommitted {
+					commits++
+				}
+			}
+			fmt.Printf("%-10s %-9s %8d %10d %12d %12d %9v\n",
+				proto.Name(), name, len(exec.Steps), commits,
+				len(dap.Contentions(exec)), len(dap.CheckStrict(exec)), blocked)
+		}
+		fmt.Println()
+	}
+}
+
+// fairRun interleaves all processes with a seeded random fair scheduler.
+func fairRun(b *stms.Bundle, nprocs int, seed int64) (*core.Execution, bool) {
+	m := b.Build()
+	defer m.Close()
+	r := rand.New(rand.NewSource(seed))
+	const budget = 1 << 18
+	for steps := 0; steps < budget; steps++ {
+		var live []core.ProcID
+		for p := 0; p < nprocs; p++ {
+			if !m.Done(core.ProcID(p)) {
+				live = append(live, core.ProcID(p))
+			}
+		}
+		if len(live) == 0 {
+			return m.Execution(), false
+		}
+		if _, err := m.Step(live[r.Intn(len(live))]); err != nil {
+			break
+		}
+	}
+	return m.Execution(), true
+}
+
+var _ = machine.Schedule{}

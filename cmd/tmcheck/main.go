@@ -1,0 +1,127 @@
+// Command tmcheck runs the consistency and disjoint-access-parallelism
+// analyses on a recorded execution trace (the JSON format of
+// internal/trace).
+//
+// Usage:
+//
+//	tmcheck [-check all|<name>] [-dap] trace.json
+//	tmcheck -demo [protocol]     # generate a demo trace on stdout
+//
+// Checkers: strict-serializability, serializability, snapshot-isolation,
+// processor-consistency, pram, weak-adaptive-consistency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+	"pcltm/internal/history"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+	"pcltm/internal/trace"
+)
+
+func main() {
+	check := flag.String("check", "all", "checker name or 'all'")
+	dapFlag := flag.Bool("dap", true, "also run the disjoint-access-parallelism analysis")
+	demo := flag.Bool("demo", false, "emit a demo trace (optionally: protocol name as arg) and exit")
+	flag.Parse()
+
+	if *demo {
+		emitDemo(flag.Arg(0))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tmcheck [-check name] [-dap] trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
+		os.Exit(1)
+	}
+	exec, err := trace.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	if werr := history.CheckWellFormed(exec); werr != nil {
+		fmt.Printf("history: NOT well-formed: %v\n", werr)
+	} else {
+		fmt.Println("history: well-formed")
+	}
+
+	v := history.FromExecution(exec)
+	fmt.Printf("transactions: %d (%d committed, %d commit-pending)\n",
+		len(v.Txns), len(v.Committed()), len(v.CommitPending()))
+
+	ran := false
+	for _, c := range consistency.Checkers() {
+		if *check != "all" && c.Name != *check {
+			continue
+		}
+		ran = true
+		res := c.Check(v)
+		verdict := "SATISFIED"
+		if !res.Satisfied {
+			verdict = "VIOLATED"
+			if res.Exhausted {
+				verdict = "INCONCLUSIVE (search budget exhausted)"
+			}
+		}
+		fmt.Printf("%-26s %-10s (%d configs, %d nodes)\n", c.Name, verdict, res.Configs, res.Nodes)
+		if res.Satisfied && res.Witness != nil {
+			fmt.Printf("    witness: %s\n", res.Witness)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tmcheck: unknown checker %q\n", *check)
+		os.Exit(2)
+	}
+
+	if *dapFlag {
+		strict := dap.CheckStrict(exec)
+		chain := dap.CheckChain(exec)
+		fmt.Printf("strict disjoint-access-parallelism: %d violation(s)\n", len(strict))
+		for _, viol := range strict {
+			fmt.Printf("    %s\n", viol)
+		}
+		fmt.Printf("chain disjoint-access-parallelism:  %d violation(s)\n", len(chain))
+	}
+}
+
+// emitDemo records a small two-transaction run under the named protocol
+// (default naive) and writes the JSON trace to stdout.
+func emitDemo(protoName string) {
+	if protoName == "" {
+		protoName = "naive"
+	}
+	proto, err := portfolio.ByName(protoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: %v (known: %v)\n", err, portfolio.Names())
+		os.Exit(2)
+	}
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.R("y"), core.W("z", 2)}},
+	}
+	b := &stms.Bundle{Protocol: proto, Specs: specs}
+	exec, err := b.Run(machine.Schedule{machine.Solo(0), machine.Solo(1)})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: demo run: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := trace.Encode(exec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,40 @@
+// Quickstart: transactional variables and atomic blocks with the stm
+// package.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcltm/stm"
+)
+
+func main() {
+	// Pick an engine: TL2 (speculative), TwoPL (locking) or GlobalLock.
+	eng := stm.NewEngine(stm.EngineTL2)
+
+	// Transactional variables hold any Go value.
+	balance := stm.NewTVar[int](100)
+	history := stm.NewTVar[[]string](nil)
+
+	// Atomically runs the function as a transaction: all-or-nothing,
+	// automatically retried on conflicts.
+	err := eng.Atomically(func(tx *stm.Tx) error {
+		b := stm.Get(tx, balance)
+		if b < 30 {
+			return fmt.Errorf("insufficient funds: %d", b)
+		}
+		stm.Set(tx, balance, b-30)
+		stm.Set(tx, history, append(stm.Get(tx, history), "withdraw 30"))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("balance: %d\n", balance.Peek())
+	fmt.Printf("history: %v\n", history.Peek())
+	fmt.Printf("engine:  %s, stats: %+v\n", eng.Kind(), eng.Stats())
+}

@@ -1,0 +1,37 @@
+package consistency
+
+import "pcltm/internal/history"
+
+// Checker is a named consistency decision procedure.
+type Checker struct {
+	// Name is the condition's short name.
+	Name string
+	// Check decides the condition on a view.
+	Check func(*history.View) Result
+}
+
+// Checkers lists every implemented condition, strongest first. The order
+// documents the paper's hierarchy: strict serializability ⇒ serializability
+// ⇒ processor consistency ⇒ weak adaptive consistency, and snapshot
+// isolation ⇒ weak adaptive consistency; PRAM is weaker than processor
+// consistency but incomparable to the rest.
+func Checkers() []Checker {
+	return []Checker{
+		{"opacity", Opaque},
+		{"strict-serializability", StrictlySerializable},
+		{"serializability", Serializable},
+		{"snapshot-isolation", SnapshotIsolation},
+		{"processor-consistency", ProcessorConsistent},
+		{"pram", PRAMConsistent},
+		{"weak-adaptive-consistency", WeakAdaptiveConsistent},
+	}
+}
+
+// CheckAll runs every checker on the view.
+func CheckAll(v *history.View) map[string]Result {
+	out := make(map[string]Result)
+	for _, c := range Checkers() {
+		out[c.Name] = c.Check(v)
+	}
+	return out
+}

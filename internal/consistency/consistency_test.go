@@ -1,0 +1,358 @@
+package consistency
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+	"pcltm/internal/history"
+)
+
+func view(e *core.Execution) *history.View { return history.FromExecution(e) }
+
+// sequentialExec: T1 then T2 run solo, fully committed, values consistent.
+func sequentialExec() *core.Execution {
+	return exectest.New().
+		SeqTxn(0, 1, exectest.RV("x", 0), exectest.WV("x", 1), exectest.WV("y", 1)).
+		SeqTxn(1, 2, exectest.RV("x", 1), exectest.RV("y", 1), exectest.WV("z", 2)).
+		Exec()
+}
+
+func TestSequentialSatisfiesEverything(t *testing.T) {
+	v := view(sequentialExec())
+	for _, c := range Checkers() {
+		res := c.Check(v)
+		if !res.Satisfied {
+			t.Errorf("%s rejects a legal sequential execution", c.Name)
+		}
+		if res.Witness == nil {
+			t.Errorf("%s returned no witness", c.Name)
+		}
+		if res.Exhausted {
+			t.Errorf("%s exhausted its budget on a 2-txn execution", c.Name)
+		}
+	}
+}
+
+func TestEmptyExecutionSatisfiesEverything(t *testing.T) {
+	v := view(exectest.New().Exec())
+	for _, c := range Checkers() {
+		if !c.Check(v).Satisfied {
+			t.Errorf("%s rejects the empty execution", c.Name)
+		}
+	}
+}
+
+// staleSequentialExec: T1 commits x:=1; T2 begins strictly afterwards and
+// reads the stale x=0.
+func staleSequentialExec() *core.Execution {
+	return exectest.New().
+		SeqTxn(0, 1, exectest.WV("x", 1)).
+		SeqTxn(1, 2, exectest.RV("x", 0)).
+		Exec()
+}
+
+func TestStaleReadSeparatesStrictFromPlain(t *testing.T) {
+	v := view(staleSequentialExec())
+	if StrictlySerializable(v).Satisfied {
+		t.Errorf("strict serializability accepted a stale read after real-time commit")
+	}
+	if !Serializable(v).Satisfied {
+		t.Errorf("plain serializability must accept (T2 serialized before T1)")
+	}
+	// The paper's SI anchors points inside active execution intervals, so
+	// real time is respected: T2's gr point cannot precede T1's w point.
+	if SnapshotIsolation(v).Satisfied {
+		t.Errorf("snapshot isolation accepted a stale read across disjoint intervals")
+	}
+}
+
+// writeSkewExec interleaves T1 and T2 so their intervals overlap:
+// T1 reads x=0 writes y:=1, T2 reads y=0 writes x:=1.
+func writeSkewExec() *core.Execution {
+	b := exectest.New()
+	b.Begin(0, 1).Begin(1, 2)
+	b.Read(0, 1, "x", 0).Read(1, 2, "y", 0)
+	b.Write(0, 1, "y", 1).Write(1, 2, "x", 1)
+	b.Commit(0, 1).Commit(1, 2)
+	return b.Exec()
+}
+
+func TestWriteSkew(t *testing.T) {
+	v := view(writeSkewExec())
+	if Serializable(v).Satisfied {
+		t.Errorf("write skew is not serializable")
+	}
+	res := SnapshotIsolation(v)
+	if !res.Satisfied {
+		t.Errorf("write skew is the canonical snapshot-isolation-legal anomaly")
+	}
+	if !WeakAdaptiveConsistent(v).Satisfied {
+		t.Errorf("snapshot isolation implies weak adaptive consistency")
+	}
+}
+
+// delta1Exec reproduces the proof's δ1 shape as produced by a TM with no
+// inter-process visibility (the PRAM-TM): T1 commits writes including b1
+// and the shared item e1,3; T3 then runs solo but still reads b1=0.
+func delta1Exec() *core.Execution {
+	return exectest.New().
+		SeqTxn(0, 1,
+			exectest.RV("b3", 0), exectest.RV("b7", 0),
+			exectest.WV("a", 1), exectest.WV("b1", 1), exectest.WV("c1", 1),
+			exectest.WV("d1", 1), exectest.WV("e1,3", 1)).
+		SeqTxn(2, 3,
+			exectest.RV("b1", 0), exectest.RV("b4", 0),
+			exectest.WV("b3", 1), exectest.WV("c3", 1),
+			exectest.WV("e1,3", 1), exectest.WV("e3,4", 1)).
+		Exec()
+}
+
+// TestDelta1ForcesB1Read mechanizes the first case analysis of the proof:
+// after T1 commits solo, weak adaptive consistency forces T3's solo run to
+// read 1 for b1 — so the δ1 execution where it reads 0 has no witness, in
+// any partition, labelling, or com choice.
+func TestDelta1ForcesB1Read(t *testing.T) {
+	v := view(delta1Exec())
+	if SnapshotIsolation(v).Satisfied {
+		t.Errorf("SI accepted δ1 with a stale b1")
+	}
+	if ProcessorConsistent(v).Satisfied {
+		t.Errorf("PC accepted δ1 with a stale b1")
+	}
+	res := WeakAdaptiveConsistent(v)
+	if res.Satisfied {
+		t.Errorf("WAC accepted δ1 with a stale b1: witness %v", res.Witness)
+	}
+	if res.Exhausted {
+		t.Errorf("WAC search exhausted on δ1")
+	}
+	// PRAM, lacking the shared write order on e1,3, accepts it: this is
+	// exactly why PRAM-consistent TMs escape the PCL theorem (Section 5).
+	if !PRAMConsistent(v).Satisfied {
+		t.Errorf("PRAM must accept δ1 (views may disagree on e1,3's writers)")
+	}
+}
+
+// TestDelta1WithoutSharedItem drops the shared written item e1,3: the
+// processor-consistency escape hatch opens and WAC accepts the stale read.
+func TestDelta1WithoutSharedItem(t *testing.T) {
+	e := exectest.New().
+		SeqTxn(0, 1,
+			exectest.RV("b3", 0),
+			exectest.WV("a", 1), exectest.WV("b1", 1)).
+		SeqTxn(2, 3,
+			exectest.RV("b1", 0),
+			exectest.WV("b3", 1), exectest.WV("c3", 1)).
+		Exec()
+	v := view(e)
+	res := WeakAdaptiveConsistent(v)
+	if !res.Satisfied {
+		t.Fatalf("WAC must accept once no written item is shared")
+	}
+	// The witness must use a PC group: SI groups anchor points in the
+	// transactions' disjoint intervals, forcing T3 to see b1=1.
+	foundPC := false
+	for _, l := range res.Witness.Labels {
+		if l == LabelPC {
+			foundPC = true
+		}
+	}
+	if !foundPC {
+		t.Errorf("witness used no PC group: %v", res.Witness)
+	}
+	if SnapshotIsolation(v).Satisfied {
+		t.Errorf("SI cannot accept: intervals are disjoint")
+	}
+}
+
+// pcOrderExec: two writers to x commit; two reader processes each run two
+// sequential transactions observing the writes in the SAME order.
+func pcOrderExec(p3FirstVal, p3SecondVal, p4FirstVal, p4SecondVal core.Value) *core.Execution {
+	b := exectest.New()
+	b.Begin(0, 1).Begin(1, 2)
+	b.Write(0, 1, "x", 1).Write(1, 2, "x", 2)
+	b.Commit(0, 1).Commit(1, 2)
+	b.SeqTxn(2, 3, exectest.RV("x", p3FirstVal))
+	b.SeqTxn(2, 4, exectest.RV("x", p3SecondVal))
+	b.SeqTxn(3, 5, exectest.RV("x", p4FirstVal))
+	b.SeqTxn(3, 6, exectest.RV("x", p4SecondVal))
+	return b.Exec()
+}
+
+func TestProcessorConsistencySharedWriteOrder(t *testing.T) {
+	// Both reader processes see 1 then 2: PC-consistent.
+	agree := view(pcOrderExec(1, 2, 1, 2))
+	if !ProcessorConsistent(agree).Satisfied {
+		t.Errorf("PC rejected agreeing views")
+	}
+	// p3 sees 1→2 but p4 sees 2→1: PRAM fine, PC violated.
+	disagree := view(pcOrderExec(1, 2, 2, 1))
+	if ProcessorConsistent(disagree).Satisfied {
+		t.Errorf("PC accepted diverging write orders")
+	}
+	if !PRAMConsistent(disagree).Satisfied {
+		t.Errorf("PRAM rejected diverging write orders")
+	}
+}
+
+func TestPCRespectsProcessOrder(t *testing.T) {
+	// One process runs T1 then T2; T2 reads its own process's earlier
+	// write via memory. A view reordering T2 before T1 would be illegal
+	// for the owner, but other processes may order them freely.
+	b := exectest.New()
+	b.SeqTxn(0, 1, exectest.WV("x", 1))
+	b.SeqTxn(0, 2, exectest.RV("x", 1))
+	v := view(b.Exec())
+	if !ProcessorConsistent(v).Satisfied {
+		t.Errorf("PC rejected program-order-respecting run")
+	}
+	// Same process, but the second transaction reads a stale 0: 1a forces
+	// T1 before T2 in the owner's view, so the read is illegal.
+	b2 := exectest.New()
+	b2.SeqTxn(0, 1, exectest.WV("x", 1))
+	b2.SeqTxn(0, 2, exectest.RV("x", 0))
+	v2 := view(b2.Exec())
+	if ProcessorConsistent(v2).Satisfied {
+		t.Errorf("PC accepted a same-process stale read")
+	}
+	// On different processes the same stale read is PC-legal.
+	b3 := exectest.New()
+	b3.SeqTxn(0, 1, exectest.WV("x", 1))
+	b3.SeqTxn(1, 2, exectest.RV("x", 0))
+	v3 := view(b3.Exec())
+	if !ProcessorConsistent(v3).Satisfied {
+		t.Errorf("PC rejected a cross-process stale read")
+	}
+}
+
+func TestCommitPendingSelection(t *testing.T) {
+	// T1 is commit-pending with a write of x=1; T2 committed reading 1:
+	// satisfiable only by including T1 in com(α).
+	b := exectest.New()
+	b.Begin(0, 1).Write(0, 1, "x", 1).CommitInv(0, 1)
+	b.SeqTxn(1, 2, exectest.RV("x", 1))
+	v := view(b.Exec())
+	res := Serializable(v)
+	if !res.Satisfied {
+		t.Fatalf("serializability rejected commit-pending inclusion")
+	}
+	if len(res.Witness.Com) != 2 {
+		t.Errorf("witness com = %v, want both transactions", res.Witness.Com)
+	}
+
+	// Reading 0 instead: satisfiable only by excluding T1.
+	b2 := exectest.New()
+	b2.Begin(0, 1).Write(0, 1, "x", 1).CommitInv(0, 1)
+	b2.SeqTxn(1, 2, exectest.RV("x", 0))
+	v2 := view(b2.Exec())
+	res2 := Serializable(v2)
+	if !res2.Satisfied {
+		t.Fatalf("serializability rejected commit-pending exclusion")
+	}
+	if len(res2.Witness.Com) != 1 || res2.Witness.Com[0] != 2 {
+		t.Errorf("witness com = %v, want only T2", res2.Witness.Com)
+	}
+}
+
+func TestAbortedTransactionsInvisible(t *testing.T) {
+	// T1 aborts after writing x=1 (the write must not be visible); T2
+	// reads 0 and commits.
+	b := exectest.New()
+	b.Begin(0, 1).Write(0, 1, "x", 1).Abort(0, 1)
+	b.SeqTxn(1, 2, exectest.RV("x", 0))
+	v := view(b.Exec())
+	for _, c := range Checkers() {
+		if !c.Check(v).Satisfied {
+			t.Errorf("%s rejected an execution with an invisible aborted write", c.Name)
+		}
+	}
+	// If T2 claims to have seen the aborted write, nothing can justify it.
+	b2 := exectest.New()
+	b2.Begin(0, 1).Write(0, 1, "x", 1).Abort(0, 1)
+	b2.SeqTxn(1, 2, exectest.RV("x", 1))
+	v2 := view(b2.Exec())
+	for _, c := range Checkers() {
+		if c.Check(v2).Satisfied {
+			t.Errorf("%s accepted a read of an aborted write", c.Name)
+		}
+	}
+}
+
+func TestLocalReadsUnconstrainedUnderSI(t *testing.T) {
+	// T1 writes x=5 then reads x=77 (nonsense locally, but the paper's
+	// weak SI does not constrain local reads); the global read of y is
+	// still validated.
+	b := exectest.New()
+	b.Begin(0, 1).
+		Write(0, 1, "x", 5).
+		Read(0, 1, "x", 77).
+		Read(0, 1, "y", 0).
+		Commit(0, 1)
+	v := view(b.Exec())
+	if !SnapshotIsolation(v).Satisfied {
+		t.Errorf("weak SI must ignore local reads")
+	}
+	if !WeakAdaptiveConsistent(v).Satisfied {
+		t.Errorf("WAC must ignore local reads")
+	}
+	// Serializability validates local reads and must reject.
+	if Serializable(v).Satisfied {
+		t.Errorf("serializability must validate local reads")
+	}
+}
+
+func TestSIImpliesWACOnConstructedCases(t *testing.T) {
+	cases := []*core.Execution{
+		sequentialExec(),
+		writeSkewExec(),
+		staleSequentialExec(),
+		delta1Exec(),
+	}
+	for i, e := range cases {
+		v := view(e)
+		si := SnapshotIsolation(v)
+		wac := WeakAdaptiveConsistent(v)
+		if si.Satisfied && !wac.Satisfied {
+			t.Errorf("case %d: SI satisfied but WAC not — WAC must be weaker", i)
+		}
+		pc := ProcessorConsistent(v)
+		if pc.Satisfied && !wac.Satisfied {
+			t.Errorf("case %d: PC satisfied but WAC not — WAC must be weaker", i)
+		}
+		ser := Serializable(v)
+		if ser.Satisfied && !pc.Satisfied {
+			t.Errorf("case %d: serializable but not PC", i)
+		}
+		strict := StrictlySerializable(v)
+		if strict.Satisfied && !ser.Satisfied {
+			t.Errorf("case %d: strictly serializable but not serializable", i)
+		}
+		if pc.Satisfied && !PRAMConsistent(v).Satisfied {
+			t.Errorf("case %d: PC but not PRAM", i)
+		}
+	}
+}
+
+func TestWitnessString(t *testing.T) {
+	v := view(sequentialExec())
+	res := WeakAdaptiveConsistent(v)
+	if !res.Satisfied || res.Witness.String() == "" {
+		t.Errorf("witness unprintable: %+v", res)
+	}
+	res2 := SnapshotIsolation(v)
+	if !res2.Satisfied || res2.Witness.String() == "" {
+		t.Errorf("SI witness unprintable")
+	}
+}
+
+func TestConfigsCounted(t *testing.T) {
+	v := view(delta1Exec())
+	res := WeakAdaptiveConsistent(v)
+	if res.Configs < 2 {
+		t.Errorf("WAC examined only %d configurations on an unsatisfiable input", res.Configs)
+	}
+	if res.Nodes == 0 {
+		t.Errorf("no search nodes counted")
+	}
+}

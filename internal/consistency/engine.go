@@ -1,0 +1,249 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// point is one serialization point to place in a candidate view: its
+// content blocks (emitted in order when the point is placed), its window
+// in gap coordinates, and its precedence predecessors.
+//
+// Gap coordinates: gap g denotes the position between execution steps g-1
+// and g. A point constrained to the active execution interval [lo,hi] (in
+// step indices) may occupy gaps lo+1..hi — after the interval's first step
+// and before its last. Several points may share a gap; their relative
+// order is the order the search places them in.
+type point struct {
+	txn    core.TxID
+	kind   PointKind
+	blocks []history.Block
+	lo, hi int   // allowed gap window, inclusive
+	preds  []int // point indices that must be placed earlier
+}
+
+// unbounded marks points that may be placed anywhere in the execution.
+const unboundedHi = int(^uint(0) >> 1)
+
+// viewSolver performs the backtracking placement of one view's points.
+type viewSolver struct {
+	points []point
+	succs  [][]int
+	nodes  *int // shared node counter (budget accounting)
+}
+
+// solve searches for a placement of all points that respects windows,
+// precedence, and incremental legality. It returns the placement as a
+// sequence of point indices with their gaps, or ok=false.
+func (vs *viewSolver) solve() (placed []PlacedPoint, ok bool) {
+	n := len(vs.points)
+	vs.succs = make([][]int, n)
+	remPreds := make([]int, n)
+	for i, p := range vs.points {
+		for _, pr := range p.preds {
+			vs.succs[pr] = append(vs.succs[pr], i)
+			remPreds[i]++
+		}
+	}
+	done := make([]bool, n)
+	order := make([]PlacedPoint, 0, n)
+
+	var dfs func(gap int, st *history.LegalPrefix) bool
+	dfs = func(gap int, st *history.LegalPrefix) bool {
+		*vs.nodes++
+		if *vs.nodes > searchBudget {
+			return false
+		}
+		if len(order) == n {
+			return true
+		}
+		// A point whose window already closed can never be placed.
+		for i := range vs.points {
+			if !done[i] && vs.points[i].hi < gap {
+				return false
+			}
+		}
+		for i := range vs.points {
+			if done[i] || remPreds[i] > 0 {
+				continue
+			}
+			p := &vs.points[i]
+			pos := max(gap, p.lo)
+			if pos > p.hi {
+				continue
+			}
+			st2 := st.Clone()
+			legal := true
+			for _, b := range p.blocks {
+				if !st2.Append(b) {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			done[i] = true
+			order = append(order, PlacedPoint{Txn: p.txn, Kind: p.kind, Gap: pos})
+			for _, s := range vs.succs[i] {
+				remPreds[s]--
+			}
+			if dfs(pos, st2) {
+				return true
+			}
+			for _, s := range vs.succs[i] {
+				remPreds[s]++
+			}
+			order = order[:len(order)-1]
+			done[i] = false
+		}
+		return false
+	}
+
+	if dfs(0, history.NewLegalPrefix()) {
+		return order, true
+	}
+	return nil, false
+}
+
+// comChoices enumerates the admissible com(α) sets: all committed
+// transactions plus each subset of the commit-pending ones. Choices with
+// fewer pending members come first, so witnesses prefer minimal commit
+// sets.
+func comChoices(v *history.View) [][]*history.Txn {
+	committed := v.Committed()
+	pending := v.CommitPending()
+	var choices [][]*history.Txn
+	n := len(pending)
+	subsets := make([][]*history.Txn, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []*history.Txn
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, pending[i])
+			}
+		}
+		subsets = append(subsets, sub)
+	}
+	// Order subsets by size.
+	for size := 0; size <= n; size++ {
+		for _, sub := range subsets {
+			if len(sub) != size {
+				continue
+			}
+			com := make([]*history.Txn, 0, len(committed)+size)
+			com = append(com, committed...)
+			com = append(com, sub...)
+			choices = append(choices, com)
+		}
+	}
+	return choices
+}
+
+// itemOrderChoices enumerates, for every item written by at least two
+// transactions of com, a total order of its writers; the cartesian product
+// over items is returned as a list of constraint maps item → ordered
+// writers. Views must agree on these orders (Def 3.2 condition 1b,
+// Def 3.3 condition 2).
+func itemOrderChoices(com []*history.Txn) []map[core.Item][]core.TxID {
+	writers := make(map[core.Item][]core.TxID)
+	var items []core.Item
+	for _, t := range com {
+		seen := make(map[core.Item]bool)
+		for _, op := range t.Ops {
+			if op.Kind == core.OpWrite && !seen[op.Item] {
+				seen[op.Item] = true
+				writers[op.Item] = append(writers[op.Item], t.ID)
+			}
+		}
+	}
+	for x, ws := range writers {
+		if len(ws) >= 2 {
+			items = append(items, x)
+		}
+	}
+	// Deterministic order of items.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	choices := []map[core.Item][]core.TxID{{}}
+	for _, x := range items {
+		var next []map[core.Item][]core.TxID
+		for _, perm := range permutations(writers[x]) {
+			for _, base := range choices {
+				m := make(map[core.Item][]core.TxID, len(base)+1)
+				for k, v := range base {
+					m[k] = v
+				}
+				m[x] = perm
+				next = append(next, m)
+			}
+		}
+		choices = next
+	}
+	return choices
+}
+
+// permutations returns all orderings of ids (n ≤ 6 in practice).
+func permutations(ids []core.TxID) [][]core.TxID {
+	if len(ids) <= 1 {
+		out := make([]core.TxID, len(ids))
+		copy(out, ids)
+		return [][]core.TxID{out}
+	}
+	var res [][]core.TxID
+	for i := range ids {
+		rest := make([]core.TxID, 0, len(ids)-1)
+		rest = append(rest, ids[:i]...)
+		rest = append(rest, ids[i+1:]...)
+		for _, p := range permutations(rest) {
+			res = append(res, append([]core.TxID{ids[i]}, p...))
+		}
+	}
+	return res
+}
+
+// viewProcs returns the processes that executed at least one com
+// transaction; only their views carry legality obligations.
+func viewProcs(com []*history.Txn) []core.ProcID {
+	seen := make(map[core.ProcID]bool)
+	var procs []core.ProcID
+	for _, t := range com {
+		if !seen[t.Proc] {
+			seen[t.Proc] = true
+			procs = append(procs, t.Proc)
+		}
+	}
+	for i := 1; i < len(procs); i++ {
+		for j := i; j > 0 && procs[j] < procs[j-1]; j-- {
+			procs[j], procs[j-1] = procs[j-1], procs[j]
+		}
+	}
+	return procs
+}
+
+// orderEdges converts per-item write orders into precedence edges over the
+// points of a view. pointOf maps a transaction to the index of the point
+// that carries its writes (the w point, or the fused/tx point).
+func orderEdges(points []point, pointOf map[core.TxID]int, orders map[core.Item][]core.TxID) {
+	for _, seq := range orders {
+		for i := 0; i+1 < len(seq); i++ {
+			a, aok := pointOf[seq[i]]
+			b, bok := pointOf[seq[i+1]]
+			if aok && bok {
+				points[b].preds = append(points[b].preds, a)
+			}
+		}
+	}
+}
+
+// comIDs extracts the transaction ids of a com choice.
+func comIDs(com []*history.Txn) []core.TxID {
+	ids := make([]core.TxID, len(com))
+	for i, t := range com {
+		ids[i] = t.ID
+	}
+	return ids
+}

@@ -1,0 +1,205 @@
+package consistency
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// solve is a test harness around viewSolver.
+func solve(points []point) ([]PlacedPoint, bool) {
+	nodes := 0
+	vs := &viewSolver{points: points, nodes: &nodes}
+	return vs.solve()
+}
+
+func wblock(tx core.TxID, item core.Item, v core.Value) []history.Block {
+	return []history.Block{{Txn: tx, Ops: []history.Op{{Kind: core.OpWrite, Item: item, Value: v}}}}
+}
+
+func rblock(tx core.TxID, item core.Item, v core.Value) []history.Block {
+	return []history.Block{{Txn: tx, Ops: []history.Op{{Kind: core.OpRead, Item: item, Value: v, Global: true}}, CheckReads: true}}
+}
+
+func TestSolverRespectsWindows(t *testing.T) {
+	// Two points with disjoint windows must be placed in window order.
+	pts := []point{
+		{txn: 2, kind: PointTx, lo: 10, hi: 12},
+		{txn: 1, kind: PointTx, lo: 1, hi: 3},
+	}
+	placed, ok := solve(pts)
+	if !ok {
+		t.Fatalf("feasible windows rejected")
+	}
+	if placed[0].Txn != 1 || placed[1].Txn != 2 {
+		t.Errorf("placement order %v, want T1 before T2", placed)
+	}
+	if placed[0].Gap < 1 || placed[0].Gap > 3 || placed[1].Gap < 10 || placed[1].Gap > 12 {
+		t.Errorf("gaps out of windows: %v", placed)
+	}
+}
+
+func TestSolverDetectsDeadWindow(t *testing.T) {
+	// A precedence edge forcing the later point before an earlier window
+	// is infeasible.
+	pts := []point{
+		{txn: 1, kind: PointTx, lo: 10, hi: 12},
+		{txn: 2, kind: PointTx, lo: 1, hi: 3, preds: []int{0}},
+	}
+	if _, ok := solve(pts); ok {
+		t.Errorf("infeasible precedence accepted")
+	}
+}
+
+func TestSolverLegalityPruning(t *testing.T) {
+	// Reader of x=1 must come after the writer of x=1.
+	pts := []point{
+		{txn: 1, kind: PointTx, lo: 0, hi: unboundedHi, blocks: rblock(1, "x", 1)},
+		{txn: 2, kind: PointTx, lo: 0, hi: unboundedHi, blocks: wblock(2, "x", 1)},
+	}
+	placed, ok := solve(pts)
+	if !ok {
+		t.Fatalf("satisfiable legality rejected")
+	}
+	if placed[0].Txn != 2 {
+		t.Errorf("writer not placed first: %v", placed)
+	}
+	// Unsatisfiable: reader of x=2, writer writes 1.
+	pts2 := []point{
+		{txn: 1, kind: PointTx, lo: 0, hi: unboundedHi, blocks: rblock(1, "x", 2)},
+		{txn: 2, kind: PointTx, lo: 0, hi: unboundedHi, blocks: wblock(2, "x", 1)},
+	}
+	if _, ok := solve(pts2); ok {
+		t.Errorf("unsatisfiable read accepted")
+	}
+}
+
+func TestSolverSharedGaps(t *testing.T) {
+	// Multiple points may share one gap when windows force it.
+	pts := []point{
+		{txn: 1, kind: PointGR, lo: 5, hi: 5},
+		{txn: 1, kind: PointW, lo: 5, hi: 5, preds: []int{0}},
+	}
+	placed, ok := solve(pts)
+	if !ok {
+		t.Fatalf("shared gap rejected")
+	}
+	if placed[0].Gap != 5 || placed[1].Gap != 5 {
+		t.Errorf("gaps = %v, want both 5", placed)
+	}
+	if placed[0].Kind != PointGR {
+		t.Errorf("gr/w order violated")
+	}
+}
+
+func TestComChoicesOrderedBySize(t *testing.T) {
+	v := &history.View{Txns: []*history.Txn{
+		{ID: 1, Status: core.TxCommitted},
+		{ID: 2, Status: core.TxCommitPending},
+		{ID: 3, Status: core.TxCommitPending},
+	}}
+	choices := comChoices(v)
+	if len(choices) != 4 {
+		t.Fatalf("choices = %d, want 4 (2^2 pending subsets)", len(choices))
+	}
+	for i := 1; i < len(choices); i++ {
+		if len(choices[i]) < len(choices[i-1]) {
+			t.Errorf("choices not ordered by size: %d then %d", len(choices[i-1]), len(choices[i]))
+		}
+	}
+	if len(choices[0]) != 1 || choices[0][0].ID != 1 {
+		t.Errorf("first choice must be the committed core: %v", choices[0])
+	}
+}
+
+func TestItemOrderChoices(t *testing.T) {
+	w := func(id core.TxID, items ...core.Item) *history.Txn {
+		t := &history.Txn{ID: id, Status: core.TxCommitted}
+		for _, x := range items {
+			t.Ops = append(t.Ops, history.Op{Kind: core.OpWrite, Item: x, Value: 1})
+		}
+		return t
+	}
+	// Two items with two writers each: 2×2 = 4 order combinations.
+	com := []*history.Txn{w(1, "x", "y"), w(2, "x", "y"), w(3, "z")}
+	choices := itemOrderChoices(com)
+	if len(choices) != 4 {
+		t.Fatalf("choices = %d, want 4", len(choices))
+	}
+	for _, c := range choices {
+		if len(c["x"]) != 2 || len(c["y"]) != 2 {
+			t.Errorf("missing orders: %v", c)
+		}
+		if _, ok := c["z"]; ok {
+			t.Errorf("single-writer item z got an order")
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	perms := permutations([]core.TxID{1, 2, 3})
+	if len(perms) != 6 {
+		t.Fatalf("permutations = %d, want 6", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		key := ""
+		for _, id := range p {
+			key += id.String()
+		}
+		if seen[key] {
+			t.Errorf("duplicate permutation %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestViewProcsSortedUnique(t *testing.T) {
+	com := []*history.Txn{
+		{ID: 1, Proc: 3}, {ID: 2, Proc: 0}, {ID: 3, Proc: 3},
+	}
+	procs := viewProcs(com)
+	if len(procs) != 2 || procs[0] != 0 || procs[1] != 3 {
+		t.Errorf("viewProcs = %v", procs)
+	}
+}
+
+func TestPartitionsEnumeration(t *testing.T) {
+	txns := []*history.Txn{{ID: 1}, {ID: 2}, {ID: 3}}
+	parts := partitions(txns)
+	if len(parts) != 4 {
+		t.Fatalf("partitions of 3 = %d, want 4 (compositions)", len(parts))
+	}
+	// Each partition covers all transactions contiguously.
+	for _, p := range parts {
+		count := 0
+		var last core.TxID
+		for _, g := range p {
+			for _, txn := range g {
+				count++
+				if txn.ID <= last {
+					t.Errorf("partition not order-preserving: %v", p)
+				}
+				last = txn.ID
+			}
+		}
+		if count != 3 {
+			t.Errorf("partition loses transactions: %v", p)
+		}
+	}
+}
+
+func TestGroupIntervals(t *testing.T) {
+	part := [][]*history.Txn{
+		{{ID: 1, IntervalLo: 0, IntervalHi: 10}, {ID: 2, IntervalLo: 5, IntervalHi: 30}},
+		{{ID: 3, IntervalLo: 40, IntervalHi: 50}},
+	}
+	gis := groupIntervals(part)
+	if gis[0].lo != 0 || gis[0].hi != 30 {
+		t.Errorf("group 0 interval = %+v, want [0,30]", gis[0])
+	}
+	if gis[1].lo != 40 || gis[1].hi != 50 {
+		t.Errorf("group 1 interval = %+v", gis[1])
+	}
+}

@@ -1,0 +1,89 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// Opaque decides (final-state) opacity in the sense of Guerraoui &
+// Kapałka, the strongest condition the paper's hierarchy mentions: there
+// is a single sequential order of ALL transactions — committed,
+// commit-pending (optionally completed as committed) and aborted — that
+// preserves real-time precedence and in which every transaction,
+// including the aborted ones, observes a legal memory snapshot; writes of
+// aborted and excluded commit-pending transactions are invisible.
+//
+// On recorded executions this strengthens strict serializability by
+// additionally validating the reads of aborted transactions (a live
+// transaction that observed an inconsistent snapshot — a "zombie" — is an
+// opacity violation even if it later aborts).
+func Opaque(v *history.View) Result {
+	res := Result{}
+	for _, com := range comChoices(v) {
+		res.Configs++
+		inCom := make(map[core.TxID]bool, len(com))
+		for _, t := range com {
+			inCom[t.ID] = true
+		}
+		points := make([]point, 0, len(v.Txns))
+		idx := make(map[core.TxID]int, len(v.Txns))
+		for _, t := range v.Txns {
+			block := history.FullBlock(t)
+			if !inCom[t.ID] {
+				// Aborted / excluded commit-pending / live: reads must
+				// still be legal, writes are invisible.
+				block = strippedWrites(t)
+			}
+			idx[t.ID] = len(points)
+			points = append(points, point{
+				txn:    t.ID,
+				kind:   PointTx,
+				blocks: []history.Block{block},
+				lo:     0,
+				hi:     unboundedHi,
+			})
+		}
+		// Real-time precedence over all transactions.
+		for _, a := range v.Txns {
+			for _, b := range v.Txns {
+				if a != b && completedBefore(a, b) {
+					points[idx[b.ID]].preds = append(points[idx[b.ID]].preds, idx[a.ID])
+				}
+			}
+		}
+		vs := &viewSolver{points: points, nodes: &res.Nodes}
+		if placed, ok := vs.solve(); ok {
+			res.Satisfied = true
+			res.Witness = &Witness{
+				Com:   comIDs(com),
+				Views: map[core.ProcID][]PlacedPoint{0: placed},
+			}
+			return res
+		}
+		if res.Nodes > searchBudget {
+			res.Exhausted = true
+			return res
+		}
+	}
+	return res
+}
+
+// strippedWrites keeps a transaction's reads (validated) but drops its
+// writes from visibility.
+func strippedWrites(t *history.Txn) history.Block {
+	var ops []history.Op
+	for _, op := range t.Ops {
+		if op.Kind == core.OpRead {
+			ops = append(ops, op)
+		}
+	}
+	return history.Block{Txn: t.ID, Ops: ops, CheckReads: true}
+}
+
+// completedBefore is real-time precedence over all transactions: a
+// finished (committed or aborted) transaction precedes one that begins
+// after its last step.
+func completedBefore(a, b *history.Txn) bool {
+	done := a.Status == core.TxCommitted || a.Status == core.TxAborted
+	return done && a.IntervalHi < b.BeginIndex
+}

@@ -1,0 +1,112 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// ProcessorConsistent decides the paper's processor consistency
+// (Definition 3.2): every process p_i has its own serialization ∗T of the
+// com(α) transactions such that
+//
+//	1a. same-process transactions keep their <α order in every view,
+//	1b. transactions writing the same data item are ordered the same way
+//	    in all views,
+//	 2. every transaction executed by p_i is legal in p_i's view.
+//
+// Views place whole-transaction points anywhere in the execution; only
+// the view owner's reads are validated.
+func ProcessorConsistent(v *history.View) Result {
+	return processorLike(v, true)
+}
+
+// PRAMConsistent decides PRAM consistency (Lipton–Sandberg): processor
+// consistency without condition 1b — views need not agree on the order of
+// writes to the same item. The paper's Section 5 uses PRAM as the "weaken
+// C" corner: it is trivially compatible with strict
+// disjoint-access-parallelism and wait-freedom.
+func PRAMConsistent(v *history.View) Result {
+	return processorLike(v, false)
+}
+
+func processorLike(v *history.View, sharedWriteOrder bool) Result {
+	res := Result{}
+	for _, com := range comChoices(v) {
+		orderChoices := []map[core.Item][]core.TxID{{}}
+		if sharedWriteOrder {
+			orderChoices = itemOrderChoices(com)
+		}
+		for _, orders := range orderChoices {
+			res.Configs++
+			views := make(map[core.ProcID][]PlacedPoint)
+			allOK := true
+			for _, p := range viewProcs(com) {
+				placed, ok := solvePCView(com, p, orders, &res.Nodes)
+				if !ok {
+					allOK = false
+					break
+				}
+				views[p] = placed
+			}
+			if allOK {
+				res.Satisfied = true
+				w := &Witness{Com: comIDs(com), Views: views}
+				if sharedWriteOrder {
+					w.ItemOrders = prunedOrders(orders)
+				}
+				res.Witness = w
+				return res
+			}
+			if res.Nodes > searchBudget {
+				res.Exhausted = true
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// solvePCView builds and solves the view of process p: one point per com
+// transaction carrying its full history block, reads validated only for
+// p's own transactions.
+func solvePCView(com []*history.Txn, p core.ProcID, orders map[core.Item][]core.TxID, nodes *int) ([]PlacedPoint, bool) {
+	points := make([]point, 0, len(com))
+	idx := make(map[core.TxID]int, len(com))
+	writerPoint := make(map[core.TxID]int, len(com))
+	for _, t := range com {
+		b := history.FullBlock(t)
+		b.CheckReads = t.Proc == p
+		idx[t.ID] = len(points)
+		if len(t.Writes()) > 0 {
+			writerPoint[t.ID] = len(points)
+		}
+		points = append(points, point{
+			txn: t.ID, kind: PointTx,
+			blocks: []history.Block{b},
+			lo:     0, hi: unboundedHi,
+		})
+	}
+	// Condition 1a: same-process <α order.
+	for _, a := range com {
+		for _, b := range com {
+			if a != b && a.Proc == b.Proc && precedes(a, b) {
+				points[idx[b.ID]].preds = append(points[idx[b.ID]].preds, idx[a.ID])
+			}
+		}
+	}
+	// Condition 1b: the shared per-item write order.
+	orderEdges(points, writerPoint, orders)
+	vs := &viewSolver{points: points, nodes: nodes}
+	return vs.solve()
+}
+
+// prunedOrders drops single-writer items from a witness's order map.
+func prunedOrders(orders map[core.Item][]core.TxID) map[core.Item][]core.TxID {
+	out := make(map[core.Item][]core.TxID)
+	for x, seq := range orders {
+		if len(seq) >= 2 {
+			out[x] = seq
+		}
+	}
+	return out
+}

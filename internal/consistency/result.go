@@ -1,0 +1,151 @@
+// Package consistency turns the paper's consistency conditions into exact
+// decision procedures over recorded executions:
+//
+//   - Serializable / StrictlySerializable (Papadimitriou),
+//   - SnapshotIsolation — the paper's weak variant (Definition 3.1): split
+//     global-read/write serialization points inside active execution
+//     intervals, no "first committer wins", local reads unconstrained,
+//   - ProcessorConsistent (Definition 3.2): per-process views, shared
+//     per-item write order,
+//   - PRAMConsistent: per-process views without the shared write order,
+//   - WeakAdaptiveConsistent (Definition 3.3): consistency partitions into
+//     snapshot-isolation and processor-consistency groups.
+//
+// Each checker either produces a Witness — the serialization points,
+// partition, labelling and per-item write orders that demonstrate the
+// condition — or reports that the exhaustive search found none. The
+// searches are exact for the execution sizes the PCL construction
+// produces (≤ 8 transactions); a node budget guards against pathological
+// inputs.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pcltm/internal/core"
+)
+
+// PointKind labels a placed serialization point.
+type PointKind string
+
+const (
+	// PointGR is a global-read serialization point ∗T,gr.
+	PointGR PointKind = "gr"
+	// PointW is a write serialization point ∗T,w.
+	PointW PointKind = "w"
+	// PointTx is a whole-transaction point ∗T (serializability, Def 3.2).
+	PointTx PointKind = "tx"
+	// PointGRW is a fused adjacent ⟨∗T,gr ∗T,w⟩ pair (PC groups in WAC).
+	PointGRW PointKind = "gr+w"
+)
+
+// PlacedPoint is one serialization point of a witness view: the
+// transaction, the point kind, and the gap (between execution steps
+// Gap-1 and Gap) where the search placed it.
+type PlacedPoint struct {
+	Txn  core.TxID
+	Kind PointKind
+	Gap  int
+}
+
+func (p PlacedPoint) String() string {
+	return fmt.Sprintf("*%s,%s@%d", p.Txn, p.Kind, p.Gap)
+}
+
+// GroupLabel says whether a consistency group was satisfied as a snapshot
+// isolation group or a processor consistency group.
+type GroupLabel int
+
+const (
+	// LabelSI marks a snapshot isolation group.
+	LabelSI GroupLabel = iota
+	// LabelPC marks a processor consistency group.
+	LabelPC
+)
+
+func (l GroupLabel) String() string {
+	if l == LabelSI {
+		return "SI"
+	}
+	return "PC"
+}
+
+// Witness is the evidence that an execution satisfies a condition: the
+// commit-set choice, the per-process serialization sequences and — for
+// weak adaptive consistency — the consistency partition, group labels and
+// per-item write orders.
+type Witness struct {
+	// Com is com(α): the committed transactions plus the chosen
+	// commit-pending ones.
+	Com []core.TxID
+	// Views maps each process with transactions to its serialization
+	// sequence. Single-view conditions use process 0 as the sole key.
+	Views map[core.ProcID][]PlacedPoint
+	// Partition lists the consistency groups (WAC only).
+	Partition [][]core.TxID
+	// Labels parallels Partition (WAC only).
+	Labels []GroupLabel
+	// ItemOrders records the per-item write order the views agreed on
+	// (WAC and PC only; items with fewer than two writers omitted).
+	ItemOrders map[core.Item][]core.TxID
+}
+
+// String renders a compact human-readable witness.
+func (w *Witness) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "com(α)={%s}", joinTx(w.Com))
+	if len(w.Partition) > 0 {
+		b.WriteString(" partition=")
+		for i, g := range w.Partition {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s{%s}", w.Labels[i], joinTx(g))
+		}
+	}
+	procs := make([]int, 0, len(w.Views))
+	for p := range w.Views {
+		procs = append(procs, int(p))
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		fmt.Fprintf(&b, " σ_%s=[", core.ProcID(p))
+		for i, pt := range w.Views[core.ProcID(p)] {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(pt.String())
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+func joinTx(ids []core.TxID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Result is a checker verdict.
+type Result struct {
+	// Satisfied reports whether a witness exists.
+	Satisfied bool
+	// Witness demonstrates satisfaction (nil when unsatisfied).
+	Witness *Witness
+	// Configs counts the (com, partition, labelling, item-order)
+	// configurations the search examined.
+	Configs int
+	// Nodes counts search-tree nodes across all configurations.
+	Nodes int
+	// Exhausted is set when the node budget was hit before the search
+	// completed; Satisfied=false is then inconclusive.
+	Exhausted bool
+}
+
+// searchBudget bounds the total number of search nodes per checker call.
+const searchBudget = 50_000_000

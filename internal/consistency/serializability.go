@@ -1,0 +1,69 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// precedes reports T1 <α T2 on the view: T1 committed (commit-pending and
+// live transactions are live in H_α and precede nothing) and T1's last
+// step precedes T2's begin invocation.
+func precedes(a, b *history.Txn) bool {
+	return a.Status == core.TxCommitted && a.IntervalHi < b.BeginIndex
+}
+
+// Serializable decides the paper's serializability: all committed
+// transactions (and some commit-pending ones) execute as in a legal
+// sequential execution.
+func Serializable(v *history.View) Result {
+	return serializable(v, false)
+}
+
+// StrictlySerializable decides strict serializability: serializability
+// where the sequential order additionally respects the real-time
+// precedence T1 <α T2.
+func StrictlySerializable(v *history.View) Result {
+	return serializable(v, true)
+}
+
+func serializable(v *history.View, strict bool) Result {
+	res := Result{}
+	for _, com := range comChoices(v) {
+		res.Configs++
+		points := make([]point, 0, len(com))
+		idx := make(map[core.TxID]int, len(com))
+		for _, t := range com {
+			idx[t.ID] = len(points)
+			points = append(points, point{
+				txn:    t.ID,
+				kind:   PointTx,
+				blocks: []history.Block{history.FullBlock(t)},
+				lo:     0,
+				hi:     unboundedHi,
+			})
+		}
+		if strict {
+			for _, a := range com {
+				for _, b := range com {
+					if a != b && precedes(a, b) {
+						points[idx[b.ID]].preds = append(points[idx[b.ID]].preds, idx[a.ID])
+					}
+				}
+			}
+		}
+		vs := &viewSolver{points: points, nodes: &res.Nodes}
+		if placed, ok := vs.solve(); ok {
+			res.Satisfied = true
+			res.Witness = &Witness{
+				Com:   comIDs(com),
+				Views: map[core.ProcID][]PlacedPoint{0: placed},
+			}
+			return res
+		}
+		if res.Nodes > searchBudget {
+			res.Exhausted = true
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,65 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// SnapshotIsolation decides the paper's weak snapshot isolation
+// (Definition 3.1): there is a single sequence of serialization points,
+// one global-read point ∗T,gr and one write point ∗T,w per transaction of
+// com(α), such that
+//
+//  1. ∗T,gr precedes ∗T,w,
+//  2. both points lie within T's active execution interval,
+//  3. replacing ∗T,gr with Tgr and ∗T,w with Tw yields a legal history.
+//
+// The definition deliberately omits the classic "first committer wins"
+// rule and places no constraint on local reads — both weakenings the paper
+// introduces to strengthen the impossibility result.
+func SnapshotIsolation(v *history.View) Result {
+	res := Result{}
+	for _, com := range comChoices(v) {
+		res.Configs++
+		points := make([]point, 0, 2*len(com))
+		for _, t := range com {
+			grBlocks, wBlocks := siBlocks(t, true)
+			gi := len(points)
+			points = append(points, point{
+				txn: t.ID, kind: PointGR, blocks: grBlocks,
+				lo: t.IntervalLo + 1, hi: t.IntervalHi,
+			})
+			points = append(points, point{
+				txn: t.ID, kind: PointW, blocks: wBlocks,
+				lo: t.IntervalLo + 1, hi: t.IntervalHi,
+				preds: []int{gi},
+			})
+		}
+		vs := &viewSolver{points: points, nodes: &res.Nodes}
+		if placed, ok := vs.solve(); ok {
+			res.Satisfied = true
+			res.Witness = &Witness{
+				Com:   comIDs(com),
+				Views: map[core.ProcID][]PlacedPoint{0: placed},
+			}
+			return res
+		}
+		if res.Nodes > searchBudget {
+			res.Exhausted = true
+			return res
+		}
+	}
+	return res
+}
+
+// siBlocks derives the Tgr and Tw fragments of a transaction as point
+// contents; empty fragments (Tgr = λ or Tw = λ) contribute inert points.
+func siBlocks(t *history.Txn, checkReads bool) (gr, w []history.Block) {
+	if b, ok := history.GRBlock(t, checkReads); ok {
+		gr = []history.Block{b}
+	}
+	if b, ok := history.WBlock(t); ok {
+		w = []history.Block{b}
+	}
+	return gr, w
+}

@@ -1,0 +1,227 @@
+package consistency
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// ValidateWACWitness independently re-checks a witness returned by
+// WeakAdaptiveConsistent against Definition 3.3: com(α) shape, partition
+// well-formedness (contiguous in begin order, covering all transactions),
+// point windows (condition 3 for SI groups, condition 4 for PC groups),
+// gr-before-w (condition 1), adjacency for PC groups, cross-view same-item
+// write order (condition 2), and per-view legality of the view owner's
+// transactions (condition 5). The checkers' searches and this validator
+// share only the block-derivation helpers, so agreement is meaningful
+// evidence of correctness; the property tests run it on every witness.
+func ValidateWACWitness(v *history.View, w *Witness) error {
+	byID := make(map[core.TxID]*history.Txn, len(v.Txns))
+	for _, t := range v.Txns {
+		byID[t.ID] = t
+	}
+
+	// com(α): all committed transactions, plus only commit-pending ones.
+	inCom := make(map[core.TxID]bool, len(w.Com))
+	for _, id := range w.Com {
+		t := byID[id]
+		if t == nil {
+			return fmt.Errorf("witness com contains unknown %v", id)
+		}
+		if t.Status != core.TxCommitted && t.Status != core.TxCommitPending {
+			return fmt.Errorf("witness com contains %v with status %v", id, t.Status)
+		}
+		inCom[id] = true
+	}
+	for _, t := range v.Txns {
+		if t.Status == core.TxCommitted && !inCom[t.ID] {
+			return fmt.Errorf("committed %v missing from com", t.ID)
+		}
+	}
+
+	// Partition: contiguous cover of the begin order.
+	var flat []core.TxID
+	groupOf := make(map[core.TxID]int)
+	for g, group := range w.Partition {
+		for _, id := range group {
+			flat = append(flat, id)
+			groupOf[id] = g
+		}
+	}
+	if len(flat) != len(v.Txns) {
+		return fmt.Errorf("partition covers %d transactions, view has %d", len(flat), len(v.Txns))
+	}
+	for i, t := range v.Txns {
+		if flat[i] != t.ID {
+			return fmt.Errorf("partition not contiguous in begin order at position %d: %v vs %v", i, flat[i], t.ID)
+		}
+	}
+	if len(w.Labels) != len(w.Partition) {
+		return fmt.Errorf("labels/partition length mismatch")
+	}
+	groups := make([]groupInterval, len(w.Partition))
+	for g, group := range w.Partition {
+		gi := groupInterval{lo: byID[group[0]].IntervalLo, hi: byID[group[0]].IntervalHi}
+		for _, id := range group[1:] {
+			if byID[id].IntervalHi > gi.hi {
+				gi.hi = byID[id].IntervalHi
+			}
+		}
+		groups[g] = gi
+	}
+
+	// Per view: structural constraints and legality.
+	for proc, placed := range w.Views {
+		if err := validateWACView(byID, inCom, groupOf, groups, w, proc, placed); err != nil {
+			return fmt.Errorf("view of %v: %w", proc, err)
+		}
+	}
+
+	// Condition 2: same-item writers ordered identically in all views.
+	if err := validateSharedWriteOrder(byID, w); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validateWACView(byID map[core.TxID]*history.Txn, inCom map[core.TxID]bool,
+	groupOf map[core.TxID]int, groups []groupInterval, w *Witness,
+	proc core.ProcID, placed []PlacedPoint) error {
+
+	// Every com transaction must contribute its points exactly once.
+	type seenPoints struct{ gr, wr bool }
+	seen := make(map[core.TxID]*seenPoints)
+	for id := range inCom {
+		seen[id] = &seenPoints{}
+	}
+
+	prevGap := 0
+	st := history.NewLegalPrefix()
+	for i, pt := range placed {
+		t := byID[pt.Txn]
+		if t == nil || !inCom[pt.Txn] {
+			return fmt.Errorf("point %v for transaction outside com", pt)
+		}
+		if pt.Gap < prevGap {
+			return fmt.Errorf("gaps not monotone at %v", pt)
+		}
+		prevGap = pt.Gap
+		g := groupOf[pt.Txn]
+		grBlocks, wBlocks := siBlocks(t, t.Proc == proc)
+
+		switch pt.Kind {
+		case PointGR:
+			if w.Labels[g] != LabelSI {
+				return fmt.Errorf("split point %v in a PC group", pt)
+			}
+			if pt.Gap < t.IntervalLo+1 || pt.Gap > t.IntervalHi {
+				return fmt.Errorf("gr point %v outside active interval [%d,%d]", pt, t.IntervalLo+1, t.IntervalHi)
+			}
+			if seen[pt.Txn].gr {
+				return fmt.Errorf("duplicate gr point for %v", pt.Txn)
+			}
+			seen[pt.Txn].gr = true
+			for _, blk := range grBlocks {
+				if !st.Append(blk) {
+					return fmt.Errorf("illegal read at %v", pt)
+				}
+			}
+		case PointW:
+			if w.Labels[g] != LabelSI {
+				return fmt.Errorf("split point %v in a PC group", pt)
+			}
+			if pt.Gap < t.IntervalLo+1 || pt.Gap > t.IntervalHi {
+				return fmt.Errorf("w point %v outside active interval", pt)
+			}
+			if !seen[pt.Txn].gr {
+				return fmt.Errorf("w point of %v before its gr point (condition 1)", pt.Txn)
+			}
+			if seen[pt.Txn].wr {
+				return fmt.Errorf("duplicate w point for %v", pt.Txn)
+			}
+			seen[pt.Txn].wr = true
+			for _, blk := range wBlocks {
+				if !st.Append(blk) {
+					return fmt.Errorf("illegal block at %v", pt)
+				}
+			}
+		case PointGRW:
+			if w.Labels[g] != LabelPC {
+				return fmt.Errorf("fused point %v in an SI group", pt)
+			}
+			if pt.Gap < groups[g].lo+1 || pt.Gap > groups[g].hi {
+				return fmt.Errorf("fused point %v outside group interval [%d,%d]", pt, groups[g].lo+1, groups[g].hi)
+			}
+			if seen[pt.Txn].gr || seen[pt.Txn].wr {
+				return fmt.Errorf("duplicate fused point for %v", pt.Txn)
+			}
+			seen[pt.Txn].gr, seen[pt.Txn].wr = true, true
+			for _, blk := range append(append([]history.Block{}, grBlocks...), wBlocks...) {
+				if !st.Append(blk) {
+					return fmt.Errorf("illegal block at %v", pt)
+				}
+			}
+		default:
+			return fmt.Errorf("unexpected point kind %v at %d", pt.Kind, i)
+		}
+	}
+	for id, s := range seen {
+		if !s.gr || !s.wr {
+			return fmt.Errorf("missing serialization points for %v", id)
+		}
+	}
+	return nil
+}
+
+// validateSharedWriteOrder checks condition 2 across all views by
+// extracting, per view, the order of write-carrying points of each item's
+// writers and comparing.
+func validateSharedWriteOrder(byID map[core.TxID]*history.Txn, w *Witness) error {
+	writers := make(map[core.Item][]core.TxID)
+	for _, id := range w.Com {
+		t := byID[id]
+		seen := make(map[core.Item]bool)
+		for _, op := range t.Ops {
+			if op.Kind == core.OpWrite && !seen[op.Item] {
+				seen[op.Item] = true
+				writers[op.Item] = append(writers[op.Item], id)
+			}
+		}
+	}
+	var ref map[core.Item][]core.TxID
+	for proc, placed := range w.Views {
+		pos := make(map[core.TxID]int)
+		for i, pt := range placed {
+			if pt.Kind == PointW || pt.Kind == PointGRW {
+				pos[pt.Txn] = i
+			}
+		}
+		cur := make(map[core.Item][]core.TxID)
+		for item, ws := range writers {
+			if len(ws) < 2 {
+				continue
+			}
+			order := append([]core.TxID(nil), ws...)
+			for i := 1; i < len(order); i++ {
+				for j := i; j > 0 && pos[order[j]] < pos[order[j-1]]; j-- {
+					order[j], order[j-1] = order[j-1], order[j]
+				}
+			}
+			cur[item] = order
+		}
+		if ref == nil {
+			ref = cur
+			continue
+		}
+		for item, order := range cur {
+			for i := range order {
+				if ref[item][i] != order[i] {
+					return fmt.Errorf("views disagree on %s write order (%v vs %v in view of %v)",
+						item, ref[item], order, proc)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+	"pcltm/internal/history"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+)
+
+// TestWACWitnessesValidate: every witness the WAC checker returns on the
+// fixture executions passes the independent validator.
+func TestWACWitnessesValidate(t *testing.T) {
+	fixtures := []*core.Execution{
+		sequentialExec(),
+		writeSkewExec(),
+		staleSequentialExec(), // not SI, but WAC-satisfiable via PC group
+	}
+	for i, e := range fixtures {
+		v := view(e)
+		res := WeakAdaptiveConsistent(v)
+		if !res.Satisfied {
+			continue
+		}
+		if err := ValidateWACWitness(v, res.Witness); err != nil {
+			t.Errorf("fixture %d: witness failed validation: %v\nwitness: %v", i, err, res.Witness)
+		}
+	}
+}
+
+// TestWACWitnessesValidateOnProtocolRuns: witnesses from real recorded
+// protocol executions under random schedules validate too.
+func TestWACWitnessesValidateOnProtocolRuns(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("y"), core.W("x", 2)}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("x"), core.R("y"), core.W("z", 3)}},
+	}
+	for _, name := range []string{"dstm", "sidstm", "gclock", "pramtm"} {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &stms.Bundle{Protocol: proto, Specs: specs}
+		r := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 10; trial++ {
+			m := b.Build()
+			for steps := 0; steps < 100000; steps++ {
+				var live []core.ProcID
+				for p := 0; p < 3; p++ {
+					if !m.Done(core.ProcID(p)) {
+						live = append(live, core.ProcID(p))
+					}
+				}
+				if len(live) == 0 {
+					break
+				}
+				if _, err := m.Step(live[r.Intn(len(live))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			exec := m.Execution()
+			m.Close()
+			v := history.FromExecution(exec)
+			res := WeakAdaptiveConsistent(v)
+			if !res.Satisfied {
+				continue // pramtm may genuinely violate; that's fine here
+			}
+			if err := ValidateWACWitness(v, res.Witness); err != nil {
+				t.Errorf("%s trial %d: witness failed validation: %v", name, trial, err)
+			}
+		}
+	}
+}
+
+// TestValidatorRejectsDoctoredWitnesses: sanity that the validator is not
+// vacuously accepting.
+func TestValidatorRejectsDoctoredWitnesses(t *testing.T) {
+	v := view(sequentialExec())
+	res := WeakAdaptiveConsistent(v)
+	if !res.Satisfied {
+		t.Fatal("fixture unexpectedly unsatisfiable")
+	}
+
+	// Drop a committed transaction from com.
+	w1 := *res.Witness
+	w1.Com = w1.Com[:1]
+	if err := ValidateWACWitness(v, &w1); err == nil {
+		t.Errorf("validator accepted a com missing a committed transaction")
+	}
+
+	// Scramble a view's point order (w before gr).
+	w2 := *res.Witness
+	views := make(map[core.ProcID][]PlacedPoint)
+	for p, placed := range w2.Views {
+		cp := append([]PlacedPoint(nil), placed...)
+		// Reverse: any gr-before-w pair breaks.
+		for i, j := 0, len(cp)-1; i < j; i, j = i+1, j-1 {
+			cp[i], cp[j] = cp[j], cp[i]
+		}
+		views[p] = cp
+	}
+	w2.Views = views
+	if err := ValidateWACWitness(v, &w2); err == nil {
+		t.Errorf("validator accepted a reversed view")
+	}
+
+	// Move a point outside its window.
+	w3 := *res.Witness
+	views3 := make(map[core.ProcID][]PlacedPoint)
+	for p, placed := range w3.Views {
+		cp := append([]PlacedPoint(nil), placed...)
+		if len(cp) > 0 {
+			cp[0].Gap = 1 << 30
+		}
+		views3[p] = cp
+	}
+	w3.Views = views3
+	if err := ValidateWACWitness(v, &w3); err == nil {
+		t.Errorf("validator accepted an out-of-window point")
+	}
+
+	// Mislabel a group (fused points in an SI group).
+	w4 := *res.Witness
+	labels := append([]GroupLabel(nil), w4.Labels...)
+	for g := range labels {
+		if labels[g] == LabelSI {
+			labels[g] = LabelPC
+		} else {
+			labels[g] = LabelSI
+		}
+	}
+	w4.Labels = labels
+	if err := ValidateWACWitness(v, &w4); err == nil {
+		t.Errorf("validator accepted mislabeled groups")
+	}
+}
+
+// TestValidatorOnDelta1WithoutSharedItem validates the PC-group witness
+// of the partition-mechanics fixture.
+func TestValidatorOnDelta1WithoutSharedItem(t *testing.T) {
+	e := exectest.New().
+		SeqTxn(0, 1, exectest.RV("b3", 0), exectest.WV("a", 1), exectest.WV("b1", 1)).
+		SeqTxn(2, 3, exectest.RV("b1", 0), exectest.WV("b3", 1), exectest.WV("c3", 1)).
+		Exec()
+	v := view(e)
+	res := WeakAdaptiveConsistent(v)
+	if !res.Satisfied {
+		t.Fatal("fixture unexpectedly unsatisfiable")
+	}
+	if err := ValidateWACWitness(v, res.Witness); err != nil {
+		t.Errorf("PC-group witness failed validation: %v\n%v", err, res.Witness)
+	}
+}

@@ -1,0 +1,185 @@
+package consistency
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+)
+
+// WeakAdaptiveConsistent decides the paper's weak adaptive consistency
+// (Definition 3.3), the weakest condition in the PCL theorem. An execution
+// satisfies it if one can
+//
+//	(i)   choose a consistency partition P(α) — a division of the
+//	      transactions, in begin order, into contiguous consistency
+//	      groups,
+//	(ii)  label every group as a snapshot-isolation group or a
+//	      processor-consistency group,
+//	(iii) choose com(α) ⊇ committed transactions,
+//	(iv)  give every process p_i its own placement of the points ∗T,gr
+//	      and ∗T,w such that per view: gr precedes w (cond. 1); SI-group
+//	      members keep both points inside their own active execution
+//	      interval (cond. 3); PC-group members keep their two points
+//	      adjacent and inside the group's active execution interval
+//	      (cond. 4); all views order same-item writers identically
+//	      (cond. 2); and replacing points by Tgr/Tw fragments leaves every
+//	      transaction of p_i legal in p_i's view (cond. 5).
+//
+// The search is exhaustive over partitions, labellings, com choices and
+// per-item write orders; it returns the first witness found.
+func WeakAdaptiveConsistent(v *history.View) Result {
+	res := Result{}
+	n := len(v.Txns)
+	if n == 0 {
+		res.Satisfied = true
+		res.Witness = &Witness{Views: map[core.ProcID][]PlacedPoint{}}
+		res.Configs = 1
+		return res
+	}
+	for _, com := range comChoices(v) {
+		inCom := make(map[core.TxID]bool, len(com))
+		for _, t := range com {
+			inCom[t.ID] = true
+		}
+		for _, part := range partitions(v.Txns) {
+			groups := groupIntervals(part)
+			for label := 0; label < 1<<len(part); label++ {
+				labels := make([]GroupLabel, len(part))
+				for g := range part {
+					if label&(1<<g) != 0 {
+						labels[g] = LabelPC
+					}
+				}
+				for _, orders := range itemOrderChoices(com) {
+					res.Configs++
+					views := make(map[core.ProcID][]PlacedPoint)
+					allOK := true
+					for _, p := range viewProcs(com) {
+						placed, ok := solveWACView(com, part, groups, labels, p, orders, &res.Nodes)
+						if !ok {
+							allOK = false
+							break
+						}
+						views[p] = placed
+					}
+					if allOK {
+						res.Satisfied = true
+						res.Witness = &Witness{
+							Com:        comIDs(com),
+							Views:      views,
+							Partition:  partitionIDs(part),
+							Labels:     labels,
+							ItemOrders: prunedOrders(orders),
+						}
+						return res
+					}
+					if res.Nodes > searchBudget {
+						res.Exhausted = true
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// partitions enumerates the consistency partitions: every composition of
+// the begin-ordered transaction sequence into contiguous groups.
+func partitions(txns []*history.Txn) [][][]*history.Txn {
+	n := len(txns)
+	var out [][][]*history.Txn
+	// Bit i of mask set ⇔ a group boundary after position i.
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var part [][]*history.Txn
+		start := 0
+		for i := 0; i < n; i++ {
+			if i == n-1 || mask&(1<<i) != 0 {
+				part = append(part, txns[start:i+1])
+				start = i + 1
+			}
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+// groupInterval is a group's active execution interval: from the first
+// step of its first (begin-order) member to the last step of any member.
+type groupInterval struct{ lo, hi int }
+
+func groupIntervals(part [][]*history.Txn) []groupInterval {
+	out := make([]groupInterval, len(part))
+	for g, members := range part {
+		gi := groupInterval{lo: members[0].IntervalLo, hi: members[0].IntervalHi}
+		for _, t := range members[1:] {
+			if t.IntervalHi > gi.hi {
+				gi.hi = t.IntervalHi
+			}
+		}
+		out[g] = gi
+	}
+	return out
+}
+
+func partitionIDs(part [][]*history.Txn) [][]core.TxID {
+	out := make([][]core.TxID, len(part))
+	for g, members := range part {
+		for _, t := range members {
+			out[g] = append(out[g], t.ID)
+		}
+	}
+	return out
+}
+
+// solveWACView builds and solves process p's view for one WAC
+// configuration.
+func solveWACView(com []*history.Txn, part [][]*history.Txn, groups []groupInterval,
+	labels []GroupLabel, p core.ProcID, orders map[core.Item][]core.TxID, nodes *int) ([]PlacedPoint, bool) {
+
+	groupOf := make(map[core.TxID]int)
+	for g, members := range part {
+		for _, t := range members {
+			groupOf[t.ID] = g
+		}
+	}
+
+	points := make([]point, 0, 2*len(com))
+	writerPoint := make(map[core.TxID]int, len(com))
+	for _, t := range com {
+		g, ok := groupOf[t.ID]
+		if !ok {
+			// A com transaction outside the partition cannot happen:
+			// partitions cover all transactions.
+			return nil, false
+		}
+		grBlocks, wBlocks := siBlocks(t, t.Proc == p)
+		switch labels[g] {
+		case LabelSI:
+			// Cond. 3: both points inside T's own active interval.
+			gi := len(points)
+			points = append(points, point{
+				txn: t.ID, kind: PointGR, blocks: grBlocks,
+				lo: t.IntervalLo + 1, hi: t.IntervalHi,
+			})
+			writerPoint[t.ID] = len(points)
+			points = append(points, point{
+				txn: t.ID, kind: PointW, blocks: wBlocks,
+				lo: t.IntervalLo + 1, hi: t.IntervalHi,
+				preds: []int{gi},
+			})
+		case LabelPC:
+			// Cond. 4: adjacent points inside the group's interval —
+			// modelled as one fused point emitting Tgr then Tw.
+			writerPoint[t.ID] = len(points)
+			points = append(points, point{
+				txn: t.ID, kind: PointGRW,
+				blocks: append(append([]history.Block{}, grBlocks...), wBlocks...),
+				lo:     groups[g].lo + 1, hi: groups[g].hi,
+			})
+		}
+	}
+	// Cond. 2: shared per-item write order across views.
+	orderEdges(points, writerPoint, orders)
+	vs := &viewSolver{points: points, nodes: nodes}
+	return vs.solve()
+}

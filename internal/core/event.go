@@ -1,0 +1,102 @@
+package core
+
+import "fmt"
+
+// OpKind enumerates the TM-interface operations a transaction invokes.
+type OpKind int
+
+const (
+	// OpBegin is the begin_T routine.
+	OpBegin OpKind = iota
+	// OpRead is x.read().
+	OpRead
+	// OpWrite is x.write(v).
+	OpWrite
+	// OpTryCommit is commit_T.
+	OpTryCommit
+	// OpAbortReq is abort_T (an explicit abort request by the program).
+	OpAbortReq
+)
+
+var opNames = [...]string{"begin", "read", "write", "commit", "abort"}
+
+// String returns the lowercase operation mnemonic.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+	return opNames[k]
+}
+
+// Status is the status component of a TM-interface response.
+type Status int
+
+const (
+	// StatusNone marks invocations (no status yet).
+	StatusNone Status = iota
+	// StatusOK is the ok response of begin and successful writes, and
+	// the implicit status of a successful read.
+	StatusOK
+	// StatusCommitted is C_T, the successful commit response.
+	StatusCommitted
+	// StatusAborted is A_T, returned by any routine when the transaction
+	// aborts.
+	StatusAborted
+)
+
+var statusNames = [...]string{"", "ok", "C", "A"}
+
+// String renders the paper's response notation (ok, C, A).
+func (s Status) String() string {
+	if s < 0 || int(s) >= len(statusNames) {
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+	return statusNames[s]
+}
+
+// Event is a TM-interface invocation or response. The sequence of events of
+// an execution α is its history H_α.
+type Event struct {
+	// StepIndex is the index of the step that recorded this event.
+	StepIndex int
+	// Proc is the process executing the transaction.
+	Proc ProcID
+	// Txn is the transaction performing the operation.
+	Txn TxID
+	// Op is the operation invoked or responded to.
+	Op OpKind
+	// Inv is true for invocations, false for responses.
+	Inv bool
+	// Item is the data item for reads and writes.
+	Item Item
+	// Value is the argument of a write invocation, or the value returned
+	// by a successful read response.
+	Value Value
+	// Status qualifies responses: StatusOK / StatusCommitted /
+	// StatusAborted. StatusNone for invocations.
+	Status Status
+}
+
+// String renders the event in the paper's notation.
+func (e *Event) String() string {
+	if e.Inv {
+		switch e.Op {
+		case OpRead:
+			return fmt.Sprintf("%s.read()?", e.Item)
+		case OpWrite:
+			return fmt.Sprintf("%s.write(%d)?", e.Item, e.Value)
+		default:
+			return fmt.Sprintf("%s_%s?", e.Op, e.Txn)
+		}
+	}
+	switch {
+	case e.Status == StatusAborted:
+		return fmt.Sprintf("A_%s", e.Txn)
+	case e.Status == StatusCommitted:
+		return fmt.Sprintf("C_%s", e.Txn)
+	case e.Op == OpRead:
+		return fmt.Sprintf("%s:%d", e.Item, e.Value)
+	default:
+		return "ok"
+	}
+}

@@ -1,0 +1,56 @@
+// Package core defines the shared vocabulary of the PCL reproduction: the
+// identifiers, values, step and event records that every other layer — the
+// deterministic machine, the history projections, the consistency checkers,
+// the DAP analyzers and the Section-4 adversary — exchanges.
+//
+// The types here mirror Section 3 of Bushkov, Dziuma, Fatourou, Guerraoui,
+// "The PCL Theorem" (SPAA 2014): processes take atomic steps on base
+// objects, transactions invoke begin/read/write/commit/abort operations on
+// data items, and an execution is the interleaved record of both.
+package core
+
+import "fmt"
+
+// ProcID identifies a process p_i. Processes are numbered from 0; the
+// paper's p1..p7 map to ProcID 0..6.
+type ProcID int
+
+// String renders the process in the paper's p_i notation (1-based).
+func (p ProcID) String() string { return fmt.Sprintf("p%d", int(p)+1) }
+
+// TxID identifies a transaction. The zero value NoTx tags steps taken
+// outside any transaction (e.g. machine bookkeeping).
+type TxID int
+
+// NoTx tags steps that do not belong to a transaction.
+const NoTx TxID = 0
+
+// String renders the transaction in the paper's T_k notation.
+func (t TxID) String() string {
+	if t == NoTx {
+		return "T?"
+	}
+	return fmt.Sprintf("T%d", int(t))
+}
+
+// ObjID identifies a base object allocated on a Machine. Base objects are
+// the low-level shared-memory cells providing atomic primitives; they are
+// distinct from data items, which are the application-level locations a TM
+// implements on top of base objects.
+type ObjID int
+
+// NoObj tags steps that touch no base object (TM-interface events).
+const NoObj ObjID = -1
+
+// Item names a data item ("application object"). The paper uses symbolic
+// names such as "b3" or "e1,3"; keeping items as strings keeps recorded
+// executions and checker witnesses human-readable.
+type Item string
+
+// Value is the domain of data-item values. Every data item starts at 0,
+// matching the paper's convention ("the initial value of every data item is
+// considered to be 0").
+type Value int64
+
+// InitialValue is the value every data item holds before any write.
+const InitialValue Value = 0

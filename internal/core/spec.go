@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxOp is one operation of a static transaction's code: a read of an item
+// or a write of a fixed value to an item.
+type TxOp struct {
+	// Kind is OpRead or OpWrite.
+	Kind OpKind
+	// Item is the data item accessed.
+	Item Item
+	// Value is the value written (writes only).
+	Value Value
+}
+
+// R constructs a read operation on item x.
+func R(x Item) TxOp { return TxOp{Kind: OpRead, Item: x} }
+
+// W constructs a write of v to item x.
+func W(x Item, v Value) TxOp { return TxOp{Kind: OpWrite, Item: x, Value: v} }
+
+// String renders the operation in the paper's notation.
+func (op TxOp) String() string {
+	if op.Kind == OpRead {
+		return fmt.Sprintf("%s.read()", op.Item)
+	}
+	return fmt.Sprintf("%s.write(%d)", op.Item, op.Value)
+}
+
+// TxSpec is a static, predefined transaction: its data set can be derived
+// by inspecting its code, as the paper assumes for the Section-4
+// construction ("we assume that transactions are static and predefined").
+type TxSpec struct {
+	// ID is the transaction's identity (T1..T7 in the construction).
+	ID TxID
+	// Proc is the process that executes the transaction.
+	Proc ProcID
+	// Ops is the transaction's code in program order. A run performs
+	// begin, then Ops in order, then commit.
+	Ops []TxOp
+}
+
+// DataSet returns D(T): the set of items the transaction's code reads or
+// writes, sorted for determinism.
+func (t TxSpec) DataSet() []Item {
+	seen := make(map[Item]bool, len(t.Ops))
+	var items []Item
+	for _, op := range t.Ops {
+		if !seen[op.Item] {
+			seen[op.Item] = true
+			items = append(items, op.Item)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// ReadSet returns the items the transaction reads, in first-access order.
+func (t TxSpec) ReadSet() []Item { return t.itemsOf(OpRead) }
+
+// WriteSet returns the items the transaction writes, in first-access order.
+func (t TxSpec) WriteSet() []Item { return t.itemsOf(OpWrite) }
+
+func (t TxSpec) itemsOf(kind OpKind) []Item {
+	seen := make(map[Item]bool, len(t.Ops))
+	var items []Item
+	for _, op := range t.Ops {
+		if op.Kind == kind && !seen[op.Item] {
+			seen[op.Item] = true
+			items = append(items, op.Item)
+		}
+	}
+	return items
+}
+
+// Writes reports whether the transaction's code writes item x.
+func (t TxSpec) Writes(x Item) bool {
+	for _, op := range t.Ops {
+		if op.Kind == OpWrite && op.Item == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicts reports whether two static transactions conflict, i.e. whether
+// their data sets intersect (D(T1) ∩ D(T2) ≠ ∅). Note the paper's
+// definition is about data sets, not about the items actually accessed in
+// a particular execution.
+func Conflicts(a, b TxSpec) bool {
+	in := make(map[Item]bool)
+	for _, op := range a.Ops {
+		in[op.Item] = true
+	}
+	for _, op := range b.Ops {
+		if in[op.Item] {
+			return true
+		}
+	}
+	return false
+}
+
+// ItemUniverse returns the sorted union of the data sets of the given
+// specs: the items a TM instance must provide shared representations for.
+func ItemUniverse(specs []TxSpec) []Item {
+	seen := make(map[Item]bool)
+	var items []Item
+	for _, s := range specs {
+		for _, x := range s.DataSet() {
+			if !seen[x] {
+				seen[x] = true
+				items = append(items, x)
+			}
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// String renders the spec as "Tk@pi: x.read() y.write(1) ...".
+func (t TxSpec) String() string {
+	s := fmt.Sprintf("%s@%s:", t.ID, t.Proc)
+	for _, op := range t.Ops {
+		s += " " + op.String()
+	}
+	return s
+}

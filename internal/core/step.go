@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// Prim enumerates the atomic primitives a base object supports, plus the
+// pseudo-primitive PrimEvent used to record TM-interface invocations and
+// responses as steps ("Invocations and responses performed by transactions
+// are considered as steps", Section 3).
+type Prim int
+
+const (
+	// PrimEvent marks a TM-interface invocation or response step. It
+	// touches no base object and is always trivial.
+	PrimEvent Prim = iota
+	// PrimRead returns the object's state without changing it (trivial).
+	PrimRead
+	// PrimWrite replaces the object's state (non-trivial unless the new
+	// state equals the old one).
+	PrimWrite
+	// PrimCAS compares the state to an expected value and, on match,
+	// replaces it; responds with the success boolean.
+	PrimCAS
+	// PrimTAS sets the state to true and responds with the prior state.
+	PrimTAS
+	// PrimFAA adds a delta to an integer state and responds with the
+	// prior value.
+	PrimFAA
+	// PrimLL performs a load-linked read; PrimSC the paired
+	// store-conditional.
+	PrimLL
+	// PrimSC stores if no write intervened since the process's last LL on
+	// the object; responds with the success boolean.
+	PrimSC
+)
+
+var primNames = [...]string{"event", "read", "write", "cas", "tas", "faa", "ll", "sc"}
+
+// String returns the lowercase primitive mnemonic.
+func (p Prim) String() string {
+	if p < 0 || int(p) >= len(primNames) {
+		return fmt.Sprintf("prim(%d)", int(p))
+	}
+	return primNames[p]
+}
+
+// Step is one atomic unit of an execution: a single primitive applied to a
+// single base object by one process (plus the local computation that
+// follows, which the machine serializes into the same step), or a
+// TM-interface event. Steps are totally ordered by Index.
+type Step struct {
+	// Index is the step's position in the execution, from 0.
+	Index int
+	// Proc is the process that took the step.
+	Proc ProcID
+	// Txn is the transaction on whose behalf the step was taken.
+	Txn TxID
+	// Obj is the base object accessed, or NoObj for event steps.
+	Obj ObjID
+	// ObjName is the allocator-supplied name of Obj ("" for events).
+	ObjName string
+	// Prim is the primitive applied.
+	Prim Prim
+	// Args are the primitive's arguments (e.g. value written, CAS
+	// expected/new pair).
+	Args []any
+	// Resp is the primitive's response (value read, CAS success, ...).
+	Resp any
+	// Changed reports whether the primitive updated the object's state;
+	// it is the paper's non-triviality test for contention.
+	Changed bool
+	// Event holds the TM-interface event for PrimEvent steps, nil
+	// otherwise.
+	Event *Event
+}
+
+// NonTrivial reports whether the step performed a non-trivial operation,
+// i.e. one that updated the state of its base object.
+func (s Step) NonTrivial() bool { return s.Changed }
+
+// String renders a compact, human-readable form of the step.
+func (s Step) String() string {
+	if s.Prim == PrimEvent {
+		return fmt.Sprintf("#%d %s/%s %v", s.Index, s.Proc, s.Txn, s.Event)
+	}
+	return fmt.Sprintf("#%d %s/%s %s(%s%v)=%v", s.Index, s.Proc, s.Txn, s.Prim, s.ObjName, s.Args, s.Resp)
+}

@@ -1,0 +1,223 @@
+// Package dap analyzes disjoint-access-parallelism on recorded executions.
+//
+// Two transactions conflict when their static data sets intersect
+// (D(T1) ∩ D(T2) ≠ ∅). Two executions contend on a base object when both
+// contain a primitive operation on it and at least one of those operations
+// is non-trivial (updates the object's state). A TM implementation is
+// strictly disjoint-access-parallel when, in every execution, α|T1 and
+// α|T2 contend only if T1 and T2 conflict.
+//
+// Besides the strict check the package implements the weaker chain variant
+// used by the paper's companion DSTM design (contention permitted whenever
+// a conflict-graph path connects the two transactions), which is what the
+// non-strictly-DAP protocols in the portfolio satisfy.
+package dap
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+)
+
+// Contention records that two transactions contend on a base object.
+type Contention struct {
+	// T1, T2 are the contending transactions (T1 < T2 numerically).
+	T1, T2 core.TxID
+	// Obj is the contended base object.
+	Obj core.ObjID
+	// ObjName is its display name.
+	ObjName string
+	// Step1, Step2 are representative step indices of each side's access
+	// (a non-trivial one when available).
+	Step1, Step2 int
+	// NonTrivial1, NonTrivial2 report which sides performed a
+	// non-trivial operation on the object.
+	NonTrivial1, NonTrivial2 bool
+}
+
+func (c Contention) String() string {
+	return fmt.Sprintf("%s and %s contend on %s (steps #%d/#%d)", c.T1, c.T2, c.ObjName, c.Step1, c.Step2)
+}
+
+// access summarizes one transaction's use of one object.
+type access struct {
+	firstStep      int
+	firstNonTriv   int
+	hasNonTrivial  bool
+	representative int
+}
+
+// Contentions lists every pair of transactions that contend on some base
+// object in the execution, one record per (pair, object).
+func Contentions(e *core.Execution) []Contention {
+	// perObj[obj][txn] = access summary.
+	perObj := make(map[core.ObjID]map[core.TxID]*access)
+	var objOrder []core.ObjID
+	objNames := make(map[core.ObjID]string)
+	for _, s := range e.Steps {
+		if s.Prim == core.PrimEvent || s.Txn == core.NoTx {
+			continue
+		}
+		m, ok := perObj[s.Obj]
+		if !ok {
+			m = make(map[core.TxID]*access)
+			perObj[s.Obj] = m
+			objOrder = append(objOrder, s.Obj)
+			objNames[s.Obj] = s.ObjName
+		}
+		a, ok := m[s.Txn]
+		if !ok {
+			a = &access{firstStep: s.Index, firstNonTriv: -1, representative: s.Index}
+			m[s.Txn] = a
+		}
+		if s.NonTrivial() && !a.hasNonTrivial {
+			a.hasNonTrivial = true
+			a.firstNonTriv = s.Index
+			a.representative = s.Index
+		}
+	}
+
+	var out []Contention
+	for _, obj := range objOrder {
+		m := perObj[obj]
+		ids := make([]core.TxID, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sortTxIDs(ids)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a1, a2 := m[ids[i]], m[ids[j]]
+				if !a1.hasNonTrivial && !a2.hasNonTrivial {
+					continue
+				}
+				out = append(out, Contention{
+					T1: ids[i], T2: ids[j],
+					Obj: obj, ObjName: objNames[obj],
+					Step1: a1.representative, Step2: a2.representative,
+					NonTrivial1: a1.hasNonTrivial, NonTrivial2: a2.hasNonTrivial,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortTxIDs(ids []core.TxID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Conflicts reports whether the execution's specs declare the two
+// transactions conflicting. Transactions without a registered spec are
+// conservatively treated as conflicting with everything (no false
+// violations).
+func Conflicts(e *core.Execution, t1, t2 core.TxID) bool {
+	s1, ok1 := e.Specs[t1]
+	s2, ok2 := e.Specs[t2]
+	if !ok1 || !ok2 {
+		return true
+	}
+	return core.Conflicts(s1, s2)
+}
+
+// Violation is a strict-DAP violation: a contention between transactions
+// whose data sets are disjoint.
+type Violation struct {
+	Contention
+	// DataSet1, DataSet2 document the disjoint data sets.
+	DataSet1, DataSet2 []core.Item
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("strict DAP violated: %s, yet D(%s)=%v and D(%s)=%v are disjoint",
+		v.Contention, v.T1, v.DataSet1, v.T2, v.DataSet2)
+}
+
+// CheckStrict returns every strict-DAP violation in the execution.
+func CheckStrict(e *core.Execution) []Violation {
+	var out []Violation
+	for _, c := range Contentions(e) {
+		if Conflicts(e, c.T1, c.T2) {
+			continue
+		}
+		out = append(out, Violation{
+			Contention: c,
+			DataSet1:   e.Specs[c.T1].DataSet(),
+			DataSet2:   e.Specs[c.T2].DataSet(),
+		})
+	}
+	return out
+}
+
+// ConflictGraph builds the execution's conflict graph: vertices are the
+// transactions with specs, edges join conflicting pairs.
+func ConflictGraph(e *core.Execution) map[core.TxID][]core.TxID {
+	ids := e.TxIDs()
+	g := make(map[core.TxID][]core.TxID, len(ids))
+	for _, id := range ids {
+		g[id] = nil
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := ids[i], ids[j]
+			sa, oka := e.Specs[a]
+			sb, okb := e.Specs[b]
+			if oka && okb && core.Conflicts(sa, sb) {
+				g[a] = append(g[a], b)
+				g[b] = append(g[b], a)
+			}
+		}
+	}
+	return g
+}
+
+// connected reports whether a path joins t1 and t2 in the conflict graph.
+func connected(g map[core.TxID][]core.TxID, t1, t2 core.TxID) bool {
+	if t1 == t2 {
+		return true
+	}
+	seen := map[core.TxID]bool{t1: true}
+	stack := []core.TxID{t1}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range g[cur] {
+			if nxt == t2 {
+				return true
+			}
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return false
+}
+
+// CheckChain returns the contentions not justified even by the weaker
+// chain variant of disjoint-access-parallelism: the two transactions are
+// not connected in the execution's conflict graph. Every strictly-DAP
+// execution is chain-DAP; the DSTM-style protocols violate strict DAP but
+// satisfy the chain variant, matching the paper's companion design [11].
+func CheckChain(e *core.Execution) []Violation {
+	g := ConflictGraph(e)
+	var out []Violation
+	for _, c := range Contentions(e) {
+		if connected(g, c.T1, c.T2) {
+			continue
+		}
+		v := Violation{Contention: c}
+		if s, ok := e.Specs[c.T1]; ok {
+			v.DataSet1 = s.DataSet()
+		}
+		if s, ok := e.Specs[c.T2]; ok {
+			v.DataSet2 = s.DataSet()
+		}
+		out = append(out, v)
+	}
+	return out
+}

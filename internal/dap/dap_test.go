@@ -1,0 +1,161 @@
+package dap
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+)
+
+func specs() (core.TxSpec, core.TxSpec, core.TxSpec) {
+	t1 := core.TxSpec{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1)}}
+	t2 := core.TxSpec{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("y", 1)}}              // disjoint from t1
+	t3 := core.TxSpec{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("x"), core.W("y", 2)}} // conflicts with both
+	return t1, t2, t3
+}
+
+func TestNoContentionOnTrivialAccesses(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimRead, false).
+		Obj(1, 2, "o", core.PrimRead, false).
+		Exec()
+	if cs := Contentions(e); len(cs) != 0 {
+		t.Errorf("two trivial accesses contend: %v", cs)
+	}
+	if vs := CheckStrict(e); len(vs) != 0 {
+		t.Errorf("strict violations on trivial accesses: %v", vs)
+	}
+}
+
+func TestContentionNeedsOneNonTrivial(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimRead, false).
+		Exec()
+	cs := Contentions(e)
+	if len(cs) != 1 {
+		t.Fatalf("contentions = %v, want exactly one", cs)
+	}
+	c := cs[0]
+	if c.T1 != 1 || c.T2 != 2 || c.ObjName != "o" {
+		t.Errorf("contention record wrong: %+v", c)
+	}
+	if !c.NonTrivial1 || c.NonTrivial2 {
+		t.Errorf("non-trivial sides wrong: %+v", c)
+	}
+}
+
+func TestStrictViolationOnlyForDisjointPairs(t *testing.T) {
+	t1, t2, t3 := specs()
+	// T1 and T3 conflict (share x): contention allowed.
+	e := exectest.New().Spec(t1).Spec(t3).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(2, 3, "o", core.PrimRead, false).
+		Exec()
+	if vs := CheckStrict(e); len(vs) != 0 {
+		t.Errorf("conflicting pair flagged: %v", vs)
+	}
+	// T1 and T2 are disjoint: same contention is a violation.
+	e2 := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimRead, false).
+		Exec()
+	vs := CheckStrict(e2)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want one", vs)
+	}
+	if vs[0].String() == "" {
+		t.Errorf("violation unprintable")
+	}
+}
+
+func TestMissingSpecsAreConservative(t *testing.T) {
+	e := exectest.New().
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimWrite, true).
+		Exec()
+	if vs := CheckStrict(e); len(vs) != 0 {
+		t.Errorf("spec-less transactions flagged: %v", vs)
+	}
+}
+
+func TestConflictGraphAndChainDAP(t *testing.T) {
+	t1, t2, t3 := specs()
+	// Chain: T1–T3–T2 (T3 conflicts with both; T1,T2 disjoint).
+	e := exectest.New().Spec(t1).Spec(t2).Spec(t3).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimRead, false).
+		Obj(2, 3, "p", core.PrimRead, false).
+		Exec()
+	g := ConflictGraph(e)
+	if len(g[3]) != 2 {
+		t.Errorf("T3 must neighbor both: %v", g)
+	}
+	if len(g[1]) != 1 || g[1][0] != 3 {
+		t.Errorf("T1 neighbors = %v", g[1])
+	}
+	// Strict DAP violated (T1,T2 contend, disjoint) ...
+	if vs := CheckStrict(e); len(vs) != 1 {
+		t.Errorf("strict violations = %v", vs)
+	}
+	// ... but the chain through T3 justifies it under chain-DAP.
+	if vs := CheckChain(e); len(vs) != 0 {
+		t.Errorf("chain violations = %v, want none", vs)
+	}
+}
+
+func TestChainDAPViolatedWithoutPath(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimWrite, true).
+		Exec()
+	if vs := CheckChain(e); len(vs) != 1 {
+		t.Errorf("chain violations = %v, want one", vs)
+	}
+}
+
+func TestEventStepsIgnored(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Begin(0, 1).Begin(1, 2).
+		Exec()
+	if cs := Contentions(e); len(cs) != 0 {
+		t.Errorf("event steps produced contention: %v", cs)
+	}
+}
+
+func TestMultipleObjectsReported(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimWrite, true).
+		Obj(1, 2, "o", core.PrimRead, false).
+		Obj(0, 1, "p", core.PrimWrite, true).
+		Obj(1, 2, "p", core.PrimWrite, true).
+		Exec()
+	cs := Contentions(e)
+	if len(cs) != 2 {
+		t.Fatalf("contentions = %v, want two (one per object)", cs)
+	}
+	if vs := CheckStrict(e); len(vs) != 2 {
+		t.Errorf("strict violations = %d, want 2", len(vs))
+	}
+}
+
+func TestRepresentativeStepPrefersNonTrivial(t *testing.T) {
+	t1, t2, _ := specs()
+	e := exectest.New().Spec(t1).Spec(t2).
+		Obj(0, 1, "o", core.PrimRead, false). // step 0: trivial
+		Obj(0, 1, "o", core.PrimWrite, true). // step 1: non-trivial
+		Obj(1, 2, "o", core.PrimRead, false). // step 2
+		Exec()
+	cs := Contentions(e)
+	if len(cs) != 1 {
+		t.Fatalf("contentions = %v", cs)
+	}
+	if cs[0].Step1 != 1 {
+		t.Errorf("representative step = %d, want the non-trivial step 1", cs[0].Step1)
+	}
+}

@@ -1,0 +1,119 @@
+// Package exectest builds hand-crafted executions for tests: a fluent
+// builder that assembles step sequences with TM-interface events and
+// anonymous base-object accesses, so checker and analyzer tests can state
+// scenarios directly instead of driving a protocol.
+package exectest
+
+import "pcltm/internal/core"
+
+// Builder accumulates steps for a synthetic execution.
+type Builder struct {
+	steps []core.Step
+	specs map[core.TxID]core.TxSpec
+	objs  map[string]core.ObjID
+}
+
+// New returns an empty builder.
+func New() *Builder {
+	return &Builder{
+		specs: make(map[core.TxID]core.TxSpec),
+		objs:  make(map[string]core.ObjID),
+	}
+}
+
+// Spec registers a transaction spec on the resulting execution.
+func (b *Builder) Spec(s core.TxSpec) *Builder {
+	b.specs[s.ID] = s
+	return b
+}
+
+// Ev appends a raw TM-interface event step.
+func (b *Builder) Ev(p core.ProcID, t core.TxID, ev core.Event) *Builder {
+	e := ev
+	e.Proc = p
+	e.Txn = t
+	e.StepIndex = len(b.steps)
+	b.steps = append(b.steps, core.Step{
+		Index: e.StepIndex, Proc: p, Txn: t, Obj: core.NoObj,
+		Prim: core.PrimEvent, Event: &e,
+	})
+	return b
+}
+
+// Obj appends a base-object access step on the named object; changed marks
+// it non-trivial.
+func (b *Builder) Obj(p core.ProcID, t core.TxID, name string, prim core.Prim, changed bool) *Builder {
+	id, ok := b.objs[name]
+	if !ok {
+		id = core.ObjID(len(b.objs))
+		b.objs[name] = id
+	}
+	b.steps = append(b.steps, core.Step{
+		Index: len(b.steps), Proc: p, Txn: t, Obj: id, ObjName: name,
+		Prim: prim, Changed: changed,
+	})
+	return b
+}
+
+// Begin appends begin invocation and ok response.
+func (b *Builder) Begin(p core.ProcID, t core.TxID) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpBegin, Inv: true}).
+		Ev(p, t, core.Event{Op: core.OpBegin, Status: core.StatusOK})
+}
+
+// Read appends a successful read of x returning v.
+func (b *Builder) Read(p core.ProcID, t core.TxID, x core.Item, v core.Value) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpRead, Inv: true, Item: x}).
+		Ev(p, t, core.Event{Op: core.OpRead, Item: x, Value: v, Status: core.StatusOK})
+}
+
+// Write appends a successful write of v to x.
+func (b *Builder) Write(p core.ProcID, t core.TxID, x core.Item, v core.Value) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpWrite, Inv: true, Item: x, Value: v}).
+		Ev(p, t, core.Event{Op: core.OpWrite, Item: x, Value: v, Status: core.StatusOK})
+}
+
+// Commit appends commit invocation and C_T.
+func (b *Builder) Commit(p core.ProcID, t core.TxID) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpTryCommit, Inv: true}).
+		Ev(p, t, core.Event{Op: core.OpTryCommit, Status: core.StatusCommitted})
+}
+
+// CommitInv appends only the commit invocation, leaving the transaction
+// commit-pending.
+func (b *Builder) CommitInv(p core.ProcID, t core.TxID) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpTryCommit, Inv: true})
+}
+
+// Abort appends abort invocation and A_T.
+func (b *Builder) Abort(p core.ProcID, t core.TxID) *Builder {
+	return b.Ev(p, t, core.Event{Op: core.OpAbortReq, Inv: true}).
+		Ev(p, t, core.Event{Op: core.OpAbortReq, Status: core.StatusAborted})
+}
+
+// SeqTxn appends a whole committed transaction executed solo: begin, the
+// given ops (reads carry the provided values), commit.
+func (b *Builder) SeqTxn(p core.ProcID, t core.TxID, ops ...core.TxOp) *Builder {
+	b.Begin(p, t)
+	for _, op := range ops {
+		if op.Kind == core.OpRead {
+			b.Read(p, t, op.Item, op.Value)
+		} else {
+			b.Write(p, t, op.Item, op.Value)
+		}
+	}
+	return b.Commit(p, t)
+}
+
+// Exec finalizes the execution.
+func (b *Builder) Exec() *core.Execution {
+	return &core.Execution{Steps: b.steps, Specs: b.specs, NProcs: 8}
+}
+
+// RV builds a read op that returned value v, for use with SeqTxn.
+func RV(x core.Item, v core.Value) core.TxOp {
+	return core.TxOp{Kind: core.OpRead, Item: x, Value: v}
+}
+
+// WV builds a write op of v to x, for use with SeqTxn.
+func WV(x core.Item, v core.Value) core.TxOp { return core.W(x, v) }

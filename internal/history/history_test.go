@@ -1,0 +1,372 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pcltm/internal/core"
+)
+
+// execBuilder assembles executions event by event for tests.
+type execBuilder struct {
+	steps []core.Step
+}
+
+func (b *execBuilder) ev(proc core.ProcID, txn core.TxID, ev core.Event) *execBuilder {
+	e := ev
+	e.Proc = proc
+	e.Txn = txn
+	e.StepIndex = len(b.steps)
+	b.steps = append(b.steps, core.Step{
+		Index: e.StepIndex, Proc: proc, Txn: txn, Obj: core.NoObj,
+		Prim: core.PrimEvent, Event: &e,
+	})
+	return b
+}
+
+func (b *execBuilder) obj(proc core.ProcID, txn core.TxID, name string, changed bool) *execBuilder {
+	b.steps = append(b.steps, core.Step{
+		Index: len(b.steps), Proc: proc, Txn: txn, Obj: 0, ObjName: name,
+		Prim: core.PrimWrite, Changed: changed,
+	})
+	return b
+}
+
+func (b *execBuilder) begin(p core.ProcID, t core.TxID) *execBuilder {
+	return b.ev(p, t, core.Event{Op: core.OpBegin, Inv: true}).
+		ev(p, t, core.Event{Op: core.OpBegin, Status: core.StatusOK})
+}
+
+func (b *execBuilder) read(p core.ProcID, t core.TxID, x core.Item, v core.Value) *execBuilder {
+	return b.ev(p, t, core.Event{Op: core.OpRead, Inv: true, Item: x}).
+		ev(p, t, core.Event{Op: core.OpRead, Item: x, Value: v, Status: core.StatusOK})
+}
+
+func (b *execBuilder) write(p core.ProcID, t core.TxID, x core.Item, v core.Value) *execBuilder {
+	return b.ev(p, t, core.Event{Op: core.OpWrite, Inv: true, Item: x, Value: v}).
+		ev(p, t, core.Event{Op: core.OpWrite, Item: x, Value: v, Status: core.StatusOK})
+}
+
+func (b *execBuilder) commit(p core.ProcID, t core.TxID) *execBuilder {
+	return b.ev(p, t, core.Event{Op: core.OpTryCommit, Inv: true}).
+		ev(p, t, core.Event{Op: core.OpTryCommit, Status: core.StatusCommitted})
+}
+
+func (b *execBuilder) commitInv(p core.ProcID, t core.TxID) *execBuilder {
+	return b.ev(p, t, core.Event{Op: core.OpTryCommit, Inv: true})
+}
+
+func (b *execBuilder) exec() *core.Execution {
+	return &core.Execution{Steps: b.steps, Specs: map[core.TxID]core.TxSpec{}, NProcs: 8}
+}
+
+func TestFromExecutionBasics(t *testing.T) {
+	b := &execBuilder{}
+	b.begin(0, 1).
+		read(0, 1, "x", 0).
+		write(0, 1, "x", 5).
+		read(0, 1, "x", 5). // local read: preceded by own write
+		write(0, 1, "y", 1).
+		commit(0, 1).
+		begin(1, 2).
+		read(1, 2, "y", 1).
+		commitInv(1, 2)
+	v := FromExecution(b.exec())
+	if len(v.Txns) != 2 {
+		t.Fatalf("txns = %d", len(v.Txns))
+	}
+	t1 := v.ByID(1)
+	if t1 == nil || t1.Status != core.TxCommitted {
+		t.Fatalf("T1 = %+v", t1)
+	}
+	if len(t1.Ops) != 4 {
+		t.Fatalf("T1 ops = %v", t1.Ops)
+	}
+	if !t1.Ops[0].Global {
+		t.Errorf("first read of x must be global")
+	}
+	if t1.Ops[2].Global {
+		t.Errorf("read of x after own write must be local")
+	}
+	gr := t1.GlobalReads()
+	if len(gr) != 1 || gr[0].Item != "x" || gr[0].Value != 0 {
+		t.Errorf("T1 global reads = %v", gr)
+	}
+	w := t1.Writes()
+	if len(w) != 2 || w[0].Item != "x" || w[1].Item != "y" {
+		t.Errorf("T1 writes = %v", w)
+	}
+	if !t1.WritesItem("y") || t1.WritesItem("z") {
+		t.Errorf("WritesItem misclassifies")
+	}
+	t2 := v.ByID(2)
+	if t2.Status != core.TxCommitPending {
+		t.Errorf("T2 status = %v", t2.Status)
+	}
+	if len(v.Committed()) != 1 || len(v.CommitPending()) != 1 {
+		t.Errorf("committed/pending split wrong")
+	}
+	if v.Txns[0].ID != 1 || v.Txns[1].ID != 2 {
+		t.Errorf("begin order not respected: %v %v", v.Txns[0].ID, v.Txns[1].ID)
+	}
+}
+
+func TestFromExecutionIntervals(t *testing.T) {
+	b := &execBuilder{}
+	b.begin(0, 1)           // steps 0..1
+	b.obj(0, 1, "o1", true) // step 2
+	b.begin(1, 2)           // steps 3..4
+	b.obj(0, 1, "o2", true) // step 5
+	b.commit(0, 1)          // steps 6..7
+	b.commit(1, 2)          // steps 8..9
+	v := FromExecution(b.exec())
+	t1 := v.ByID(1)
+	if t1.IntervalLo != 0 || t1.IntervalHi != 7 {
+		t.Errorf("T1 interval = [%d,%d], want [0,7]", t1.IntervalLo, t1.IntervalHi)
+	}
+	t2 := v.ByID(2)
+	if t2.IntervalLo != 3 || t2.IntervalHi != 9 {
+		t.Errorf("T2 interval = [%d,%d], want [3,9]", t2.IntervalLo, t2.IntervalHi)
+	}
+	if t1.BeginIndex != 0 || t2.BeginIndex != 3 {
+		t.Errorf("begin indices = %d, %d", t1.BeginIndex, t2.BeginIndex)
+	}
+}
+
+func TestCheckLegalRules(t *testing.T) {
+	// Rule (iii): read before any write sees the initial value.
+	ok := []Block{{Txn: 1, Ops: []Op{{Kind: core.OpRead, Item: "x", Value: 0, Global: true}}, CheckReads: true}}
+	if err := CheckLegal(ok); err != nil {
+		t.Errorf("initial read of 0 flagged: %v", err)
+	}
+	bad := []Block{{Txn: 1, Ops: []Op{{Kind: core.OpRead, Item: "x", Value: 3, Global: true}}, CheckReads: true}}
+	if err := CheckLegal(bad); err == nil {
+		t.Errorf("read of unwritten value not flagged")
+	}
+
+	// Rule (ii): read sees the last preceding committed write.
+	seq := []Block{
+		{Txn: 1, Ops: []Op{{Kind: core.OpWrite, Item: "x", Value: 1}}},
+		{Txn: 2, Ops: []Op{{Kind: core.OpWrite, Item: "x", Value: 2}}},
+		{Txn: 3, Ops: []Op{{Kind: core.OpRead, Item: "x", Value: 2, Global: true}}, CheckReads: true},
+	}
+	if err := CheckLegal(seq); err != nil {
+		t.Errorf("read of last write flagged: %v", err)
+	}
+	seq[2].Ops[0].Value = 1
+	if err := CheckLegal(seq); err == nil {
+		t.Errorf("read of overwritten value not flagged")
+	} else if err.Want != 2 || err.Got != 1 || err.Item != "x" || err.BlockIndex != 2 {
+		t.Errorf("violation details wrong: %+v", err)
+	}
+
+	// Rule (i): own write wins over preceding blocks.
+	own := []Block{
+		{Txn: 1, Ops: []Op{{Kind: core.OpWrite, Item: "x", Value: 1}}},
+		{Txn: 2, Ops: []Op{
+			{Kind: core.OpWrite, Item: "x", Value: 9},
+			{Kind: core.OpRead, Item: "x", Value: 9},
+		}, CheckReads: true},
+	}
+	if err := CheckLegal(own); err != nil {
+		t.Errorf("own-write read flagged: %v", err)
+	}
+
+	// CheckReads=false blocks are unconstrained.
+	skip := []Block{
+		{Txn: 1, Ops: []Op{{Kind: core.OpRead, Item: "x", Value: 77, Global: true}}, CheckReads: false},
+	}
+	if err := CheckLegal(skip); err != nil {
+		t.Errorf("unchecked block flagged: %v", err)
+	}
+}
+
+func TestIllegalReadError(t *testing.T) {
+	e := &IllegalRead{Txn: 3, Item: "b1", Got: 0, Want: 1, BlockIndex: 2}
+	if e.Error() == "" {
+		t.Errorf("empty error text")
+	}
+}
+
+// Property: incremental legality (AppendBlocks) agrees with CheckLegal on
+// random block sequences.
+func TestIncrementalLegalityAgreesWithBatch(t *testing.T) {
+	items := []core.Item{"x", "y", "z"}
+	gen := func(r *rand.Rand) []Block {
+		nb := 1 + r.Intn(5)
+		blocks := make([]Block, nb)
+		for i := range blocks {
+			nops := r.Intn(4)
+			ops := make([]Op, nops)
+			for j := range ops {
+				it := items[r.Intn(len(items))]
+				if r.Intn(2) == 0 {
+					ops[j] = Op{Kind: core.OpWrite, Item: it, Value: core.Value(r.Intn(3))}
+				} else {
+					ops[j] = Op{Kind: core.OpRead, Item: it, Value: core.Value(r.Intn(3)), Global: true}
+				}
+			}
+			blocks[i] = Block{Txn: core.TxID(i + 1), Ops: ops, CheckReads: r.Intn(2) == 0}
+		}
+		return blocks
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		blocks := gen(r)
+		batch := CheckLegal(blocks) == nil
+		incr := AppendBlocks(blocks)
+		if batch != incr {
+			t.Fatalf("disagreement on %v: batch=%v incr=%v", blocks, batch, incr)
+		}
+	}
+}
+
+func TestGRWBlocks(t *testing.T) {
+	txn := &Txn{ID: 5, Ops: []Op{
+		{Kind: core.OpRead, Item: "a", Value: 0, Global: true},
+		{Kind: core.OpWrite, Item: "b", Value: 1},
+		{Kind: core.OpRead, Item: "b", Value: 1, Global: false},
+	}}
+	gr, ok := GRBlock(txn, true)
+	if !ok || len(gr.Ops) != 1 || gr.Ops[0].Item != "a" {
+		t.Errorf("GRBlock = %v ok=%v", gr, ok)
+	}
+	w, ok := WBlock(txn)
+	if !ok || len(w.Ops) != 1 || w.Ops[0].Item != "b" {
+		t.Errorf("WBlock = %v ok=%v", w, ok)
+	}
+	readOnly := &Txn{ID: 6, Ops: []Op{{Kind: core.OpRead, Item: "a", Value: 0, Global: true}}}
+	if _, ok := WBlock(readOnly); ok {
+		t.Errorf("WBlock of read-only txn must be empty")
+	}
+	writer := &Txn{ID: 7, Ops: []Op{{Kind: core.OpWrite, Item: "a", Value: 1}}}
+	if _, ok := GRBlock(writer, true); ok {
+		t.Errorf("GRBlock of write-only txn must be empty")
+	}
+	full := FullBlock(txn)
+	if len(full.Ops) != 3 || !full.CheckReads {
+		t.Errorf("FullBlock = %v", full)
+	}
+}
+
+func TestWellFormedAccepts(t *testing.T) {
+	b := &execBuilder{}
+	b.begin(0, 1).read(0, 1, "x", 0).write(0, 1, "y", 2).commit(0, 1)
+	b.begin(1, 2).read(1, 2, "y", 2).commitInv(1, 2)
+	if err := CheckWellFormed(b.exec()); err != nil {
+		t.Errorf("well-formed history rejected: %v", err)
+	}
+}
+
+func TestWellFormedAbortResponse(t *testing.T) {
+	b := &execBuilder{}
+	b.begin(0, 1).
+		ev(0, 1, core.Event{Op: core.OpRead, Inv: true, Item: "x"}).
+		ev(0, 1, core.Event{Op: core.OpRead, Item: "x", Status: core.StatusAborted})
+	if err := CheckWellFormed(b.exec()); err != nil {
+		t.Errorf("aborting read rejected: %v", err)
+	}
+}
+
+func TestWellFormedViolations(t *testing.T) {
+	// Missing begin.
+	b := &execBuilder{}
+	b.ev(0, 1, core.Event{Op: core.OpRead, Inv: true, Item: "x"})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("read before begin accepted")
+	}
+
+	// Event after commit.
+	b = &execBuilder{}
+	b.begin(0, 1).commit(0, 1).read(0, 1, "x", 0)
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("event after C_T accepted")
+	}
+
+	// Response without invocation.
+	b = &execBuilder{}
+	b.begin(0, 1).ev(0, 1, core.Event{Op: core.OpRead, Item: "x", Status: core.StatusOK})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("response without invocation accepted")
+	}
+
+	// Two pending invocations.
+	b = &execBuilder{}
+	b.begin(0, 1).
+		ev(0, 1, core.Event{Op: core.OpRead, Inv: true, Item: "x"}).
+		ev(0, 1, core.Event{Op: core.OpRead, Inv: true, Item: "y"})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("overlapping invocations accepted")
+	}
+
+	// Duplicate begin.
+	b = &execBuilder{}
+	b.begin(0, 1).ev(0, 1, core.Event{Op: core.OpBegin, Inv: true})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("duplicate begin accepted")
+	}
+
+	// Commit answered with ok.
+	b = &execBuilder{}
+	b.begin(0, 1).
+		ev(0, 1, core.Event{Op: core.OpTryCommit, Inv: true}).
+		ev(0, 1, core.Event{Op: core.OpTryCommit, Status: core.StatusOK})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("commit answered ok accepted")
+	}
+
+	// Mismatched response op.
+	b = &execBuilder{}
+	b.begin(0, 1).
+		ev(0, 1, core.Event{Op: core.OpRead, Inv: true, Item: "x"}).
+		ev(0, 1, core.Event{Op: core.OpWrite, Status: core.StatusOK})
+	if err := CheckWellFormed(b.exec()); err == nil {
+		t.Errorf("mismatched response accepted")
+	}
+}
+
+func TestWellFormedErrorString(t *testing.T) {
+	err := &WellFormedError{Txn: 2, Reason: "x", Event: &core.Event{Op: core.OpBegin, Inv: true, Txn: 2}}
+	if err.Error() == "" {
+		t.Errorf("empty error")
+	}
+}
+
+// Property: FromExecution never classifies the first read of an item as
+// local, regardless of op order.
+func TestGlobalReadClassificationProperty(t *testing.T) {
+	f := func(opsRaw []uint8) bool {
+		b := &execBuilder{}
+		b.begin(0, 1)
+		written := map[core.Item]bool{}
+		wantGlobal := []bool{}
+		for _, o := range opsRaw {
+			it := core.Item(rune('a' + o%3))
+			if o%2 == 0 {
+				b.write(0, 1, it, core.Value(o))
+				written[it] = true
+			} else {
+				b.read(0, 1, it, 0)
+				wantGlobal = append(wantGlobal, !written[it])
+			}
+		}
+		b.commit(0, 1)
+		v := FromExecution(b.exec())
+		txn := v.ByID(1)
+		gi := 0
+		for _, op := range txn.Ops {
+			if op.Kind != core.OpRead {
+				continue
+			}
+			if op.Global != wantGlobal[gi] {
+				return false
+			}
+			gi++
+		}
+		return gi == len(wantGlobal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

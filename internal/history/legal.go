@@ -1,0 +1,169 @@
+package history
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+)
+
+// Block is one transaction's contribution to a candidate sequential
+// history: either a full transaction H|T, or one of the derived fragments
+// Tgr (global reads only) / Tw (writes only) used by snapshot isolation and
+// weak adaptive consistency. All blocks in a candidate history are treated
+// as committed (the definitions append commit events to the fragments).
+type Block struct {
+	// Txn identifies the contributing transaction.
+	Txn core.TxID
+	// Ops is the fragment's operation sequence.
+	Ops []Op
+	// CheckReads says whether this block's reads must be validated.
+	// Processor consistency and weak adaptive consistency only require
+	// legality for the transactions of the view-owning process; blocks of
+	// other processes still contribute their writes but their reads are
+	// unconstrained.
+	CheckReads bool
+}
+
+// IllegalRead pinpoints the first legality violation in a candidate
+// sequential history.
+type IllegalRead struct {
+	// Txn is the reading transaction.
+	Txn core.TxID
+	// Item is the item read.
+	Item core.Item
+	// Got is the value the read returned in the execution.
+	Got core.Value
+	// Want is the value legality forces at that position.
+	Want core.Value
+	// BlockIndex is the offending block's position in the candidate.
+	BlockIndex int
+}
+
+func (e *IllegalRead) Error() string {
+	return fmt.Sprintf("illegal read in block %d: %s read %s and got %d, legality forces %d",
+		e.BlockIndex, e.Txn, e.Item, e.Got, e.Want)
+}
+
+// CheckLegal validates a candidate sequential history block by block,
+// following the paper's legality definition: a read of x returns (i) the
+// last value the same block wrote to x, if any; otherwise (ii) the last
+// value written to x by a preceding (committed) block; otherwise (iii) the
+// initial value 0. It returns nil if the candidate is legal.
+func CheckLegal(blocks []Block) *IllegalRead {
+	last := make(map[core.Item]core.Value) // last committed write per item
+	for bi, b := range blocks {
+		local := make(map[core.Item]core.Value)
+		for _, op := range b.Ops {
+			switch op.Kind {
+			case core.OpWrite:
+				local[op.Item] = op.Value
+			case core.OpRead:
+				if !b.CheckReads {
+					continue
+				}
+				want, ok := local[op.Item]
+				if !ok {
+					want, ok = last[op.Item]
+					if !ok {
+						want = core.InitialValue
+					}
+				}
+				if op.Value != want {
+					return &IllegalRead{
+						Txn: b.Txn, Item: op.Item,
+						Got: op.Value, Want: want, BlockIndex: bi,
+					}
+				}
+			}
+		}
+		for x, v := range local {
+			last[x] = v
+		}
+	}
+	return nil
+}
+
+// LegalPrefix carries the incremental legality state of a growing
+// sequential-history prefix: the last committed write per item so far. The
+// checker searches extend candidates block by block and backtrack, so
+// incremental validation with cloning is their inner loop.
+type LegalPrefix struct {
+	last map[core.Item]core.Value
+}
+
+// NewLegalPrefix returns the state of the empty prefix.
+func NewLegalPrefix() *LegalPrefix {
+	return &LegalPrefix{last: make(map[core.Item]core.Value)}
+}
+
+// Clone copies the state for backtracking.
+func (s *LegalPrefix) Clone() *LegalPrefix {
+	c := NewLegalPrefix()
+	for x, v := range s.last {
+		c.last[x] = v
+	}
+	return c
+}
+
+// Append extends the prefix with b, validating its reads when requested;
+// it reports whether the extended prefix is still legal. On failure the
+// state is unspecified and must be discarded.
+func (s *LegalPrefix) Append(b Block) bool {
+	local := make(map[core.Item]core.Value)
+	for _, op := range b.Ops {
+		switch op.Kind {
+		case core.OpWrite:
+			local[op.Item] = op.Value
+		case core.OpRead:
+			if !b.CheckReads {
+				continue
+			}
+			want, ok := local[op.Item]
+			if !ok {
+				want, ok = s.last[op.Item]
+				if !ok {
+					want = core.InitialValue
+				}
+			}
+			if op.Value != want {
+				return false
+			}
+		}
+	}
+	for x, v := range local {
+		s.last[x] = v
+	}
+	return true
+}
+
+// AppendBlocks validates a whole block sequence incrementally; it must
+// agree with CheckLegal.
+func AppendBlocks(blocks []Block) bool {
+	s := NewLegalPrefix()
+	for _, b := range blocks {
+		if !s.Append(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// FullBlock builds the H|T block of a transaction (all its reads and
+// writes, reads validated).
+func FullBlock(t *Txn) Block {
+	return Block{Txn: t.ID, Ops: t.Ops, CheckReads: true}
+}
+
+// GRBlock builds T_gr: the global-read fragment. The second return is
+// false when the fragment is empty (T performed no global read), in which
+// case the definitions set Tgr = λ and no block is inserted.
+func GRBlock(t *Txn, checkReads bool) (Block, bool) {
+	ops := t.GlobalReads()
+	return Block{Txn: t.ID, Ops: ops, CheckReads: checkReads}, len(ops) > 0
+}
+
+// WBlock builds T_w: the write fragment; false when T wrote nothing.
+func WBlock(t *Txn) (Block, bool) {
+	ops := t.Writes()
+	return Block{Txn: t.ID, Ops: ops}, len(ops) > 0
+}

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+)
+
+// WellFormedError reports the first well-formedness violation of a
+// history, with the offending event.
+type WellFormedError struct {
+	Txn    core.TxID
+	Reason string
+	Event  *core.Event
+}
+
+func (e *WellFormedError) Error() string {
+	return fmt.Sprintf("history of %s not well-formed: %s (at %v)", e.Txn, e.Reason, e.Event)
+}
+
+// CheckWellFormed validates H|T for every transaction of the execution
+// against the paper's conditions: (i) alternating invocations and
+// responses starting with begin·ok, (ii) reads answered by a value or A_T,
+// (iii) writes answered by ok or A_T, (iv) commit answered by C_T or A_T,
+// (v) abort answered by A_T, (vi) nothing follows C_T or A_T. A trailing
+// unanswered invocation is permitted (the transaction is live or
+// commit-pending).
+func CheckWellFormed(e *core.Execution) *WellFormedError {
+	type state struct {
+		begun      bool
+		pending    *core.Event
+		terminated bool
+	}
+	states := make(map[core.TxID]*state)
+	for i := range e.Steps {
+		ev := e.Steps[i].Event
+		if ev == nil {
+			continue
+		}
+		st := states[ev.Txn]
+		if st == nil {
+			st = &state{}
+			states[ev.Txn] = st
+		}
+		if st.terminated {
+			return &WellFormedError{ev.Txn, "event after C_T/A_T", ev}
+		}
+		if ev.Inv {
+			if st.pending != nil {
+				return &WellFormedError{ev.Txn, "invocation while another operation is pending", ev}
+			}
+			if !st.begun && ev.Op != core.OpBegin {
+				return &WellFormedError{ev.Txn, "first invocation is not begin_T", ev}
+			}
+			if st.begun && ev.Op == core.OpBegin {
+				return &WellFormedError{ev.Txn, "duplicate begin_T", ev}
+			}
+			st.pending = ev
+			continue
+		}
+		// Response.
+		if st.pending == nil {
+			return &WellFormedError{ev.Txn, "response without pending invocation", ev}
+		}
+		if ev.Op != st.pending.Op {
+			return &WellFormedError{ev.Txn, fmt.Sprintf("response op %v does not match pending %v", ev.Op, st.pending.Op), ev}
+		}
+		switch ev.Op {
+		case core.OpBegin:
+			if ev.Status != core.StatusOK {
+				return &WellFormedError{ev.Txn, "begin_T response is not ok", ev}
+			}
+			st.begun = true
+		case core.OpRead:
+			if ev.Status != core.StatusOK && ev.Status != core.StatusAborted {
+				return &WellFormedError{ev.Txn, "read response is neither a value nor A_T", ev}
+			}
+			if ev.Item != st.pending.Item {
+				return &WellFormedError{ev.Txn, "read response item mismatch", ev}
+			}
+		case core.OpWrite:
+			if ev.Status != core.StatusOK && ev.Status != core.StatusAborted {
+				return &WellFormedError{ev.Txn, "write response is neither ok nor A_T", ev}
+			}
+		case core.OpTryCommit:
+			if ev.Status != core.StatusCommitted && ev.Status != core.StatusAborted {
+				return &WellFormedError{ev.Txn, "commit response is neither C_T nor A_T", ev}
+			}
+		case core.OpAbortReq:
+			if ev.Status != core.StatusAborted {
+				return &WellFormedError{ev.Txn, "abort response is not A_T", ev}
+			}
+		}
+		if ev.Status == core.StatusCommitted || ev.Status == core.StatusAborted {
+			st.terminated = true
+		}
+		st.pending = nil
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package liveness probes TM protocols for obstruction-freedom, the
+// paper's Liveness corner: "a TM algorithm is obstruction-free if a
+// transaction T can be aborted only when other processes take steps during
+// the execution interval of T".
+//
+// The probe schedule family mirrors the proof's solo runs: every process
+// is run solo to completion from the initial configuration, and from every
+// configuration reachable by a partial solo run of one other process. In
+// all those runs no step by another process falls inside the probed
+// transactions' execution intervals, so every probed transaction must
+// commit; an abort or an exhausted step budget (spinning on a lock left
+// behind by the stopped process) is an obstruction-freedom violation.
+package liveness
+
+import (
+	"errors"
+	"fmt"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// SoloOutcome classifies one solo probe.
+type SoloOutcome int
+
+const (
+	// SoloCommitted: every transaction of the probed process committed.
+	SoloCommitted SoloOutcome = iota
+	// SoloAborted: some transaction aborted despite running solo.
+	SoloAborted
+	// SoloBlocked: the probe exhausted its step budget (blocking).
+	SoloBlocked
+)
+
+var soloNames = [...]string{"committed", "aborted", "blocked"}
+
+func (o SoloOutcome) String() string {
+	if o < 0 || int(o) >= len(soloNames) {
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+	return soloNames[o]
+}
+
+// Probe is one solo-run observation.
+type Probe struct {
+	// Proc is the process run solo.
+	Proc core.ProcID
+	// PrefixProc is the process whose partial solo run preceded the
+	// probe; -1 when probing from the initial configuration.
+	PrefixProc core.ProcID
+	// PrefixSteps is the length of that partial run.
+	PrefixSteps int
+	// Outcome classifies the probe.
+	Outcome SoloOutcome
+	// Steps is the number of steps the probed process took.
+	Steps int
+	// AbortedTxn identifies the aborting transaction for SoloAborted.
+	AbortedTxn core.TxID
+}
+
+func (p Probe) String() string {
+	from := "the initial configuration"
+	if p.PrefixProc >= 0 {
+		from = fmt.Sprintf("after %d solo steps of %s", p.PrefixSteps, p.PrefixProc)
+	}
+	return fmt.Sprintf("%s run solo %s: %s after %d steps", p.Proc, from, p.Outcome, p.Steps)
+}
+
+// Report aggregates the probes of one protocol.
+type Report struct {
+	// Protocol names the probed TM.
+	Protocol string
+	// Probes lists every observation.
+	Probes []Probe
+	// Violations lists the non-committed probes.
+	Violations []Probe
+}
+
+// ObstructionFree reports whether no probe violated obstruction-freedom.
+func (r *Report) ObstructionFree() bool { return len(r.Violations) == 0 }
+
+// Options configure the probe harness.
+type Options struct {
+	// Budget caps each run-until-done phase (0 means a conservative
+	// default well above any honest solo run).
+	Budget int
+	// PrefixStride probes every stride-th prefix length (1 = all).
+	PrefixStride int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Budget: 4096, PrefixStride: 1}
+	if o != nil {
+		if o.Budget > 0 {
+			out.Budget = o.Budget
+		}
+		if o.PrefixStride > 0 {
+			out.PrefixStride = o.PrefixStride
+		}
+	}
+	return out
+}
+
+// CheckObstructionFreedom runs the probe family against the bundle.
+func CheckObstructionFreedom(b *stms.Bundle, opts *Options) Report {
+	o := opts.withDefaults()
+	rep := Report{Protocol: b.Protocol.Name()}
+	procs := bundleProcs(b)
+
+	// Solo from the initial configuration; also learn each process's solo
+	// step count for the prefix probes.
+	soloSteps := make(map[core.ProcID]int)
+	for _, p := range procs {
+		probe := runProbe(b, machine.Schedule{}, p, -1, 0, o.Budget)
+		soloSteps[p] = probe.Steps
+		rep.record(probe)
+	}
+
+	// Solo after every partial solo run of one other process.
+	for _, a := range procs {
+		for _, p := range procs {
+			if a == p {
+				continue
+			}
+			for k := 1; k < soloSteps[a]; k += o.PrefixStride {
+				prefix := machine.Schedule{machine.Steps(a, k)}
+				rep.record(runProbe(b, prefix, p, a, k, o.Budget))
+			}
+		}
+	}
+	return rep
+}
+
+func (r *Report) record(p Probe) {
+	r.Probes = append(r.Probes, p)
+	if p.Outcome != SoloCommitted {
+		r.Violations = append(r.Violations, p)
+	}
+}
+
+// runProbe replays the prefix, then runs process p solo until done or
+// budget, classifying the outcome.
+func runProbe(b *stms.Bundle, prefix machine.Schedule, p core.ProcID, prefixProc core.ProcID, prefixSteps, budget int) Probe {
+	m := b.Build()
+	defer m.Close()
+	probe := Probe{Proc: p, PrefixProc: prefixProc, PrefixSteps: prefixSteps}
+	if err := machine.RunSchedule(m, prefix); err != nil {
+		// The prefix itself misbehaved; classify as blocked for safety.
+		probe.Outcome = SoloBlocked
+		return probe
+	}
+	before := m.StepCount()
+	_, err := m.RunUntilDone(p, budget)
+	probe.Steps = m.StepCount() - before
+	var be *machine.BudgetError
+	if errors.As(err, &be) {
+		probe.Outcome = SoloBlocked
+		return probe
+	}
+	exec := m.Execution()
+	for _, s := range b.Specs {
+		if s.Proc != p {
+			continue
+		}
+		if st := exec.StatusOf(s.ID); st != core.TxCommitted {
+			probe.Outcome = SoloAborted
+			probe.AbortedTxn = s.ID
+			return probe
+		}
+	}
+	probe.Outcome = SoloCommitted
+	return probe
+}
+
+// bundleProcs lists the bundle's processes in ascending order.
+func bundleProcs(b *stms.Bundle) []core.ProcID {
+	seen := make(map[core.ProcID]bool)
+	var procs []core.ProcID
+	for _, s := range b.Specs {
+		if !seen[s.Proc] {
+			seen[s.Proc] = true
+			procs = append(procs, s.Proc)
+		}
+	}
+	for i := 1; i < len(procs); i++ {
+		for j := i; j > 0 && procs[j] < procs[j-1]; j-- {
+			procs[j], procs[j-1] = procs[j-1], procs[j]
+		}
+	}
+	return procs
+}

@@ -1,0 +1,98 @@
+package liveness
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+)
+
+func conflictingSpecs() []core.TxSpec {
+	return []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("y"), core.W("x", 1), core.W("s", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.W("y", 2), core.W("s", 2)}},
+	}
+}
+
+func TestObstructionFreedomVerdicts(t *testing.T) {
+	// Expected verdicts per protocol: TL and the polite-contention-manager
+	// DSTM ablation are blocking, the rest are obstruction-free.
+	expect := map[string]bool{
+		"naive":       true,
+		"tl":          false,
+		"dstm":        true,
+		"dstm-polite": false,
+		"sidstm":      true,
+		"gclock":      true,
+		"pramtm":      true,
+	}
+	for name, wantOF := range expect {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &stms.Bundle{Protocol: proto, Specs: conflictingSpecs()}
+		rep := CheckObstructionFreedom(b, &Options{Budget: 1500})
+		if got := rep.ObstructionFree(); got != wantOF {
+			t.Errorf("%s: obstruction-free = %v, want %v (violations: %v)",
+				name, got, wantOF, firstN(rep.Violations, 3))
+		}
+		if len(rep.Probes) == 0 {
+			t.Errorf("%s: no probes recorded", name)
+		}
+	}
+}
+
+func firstN(ps []Probe, n int) []Probe {
+	if len(ps) <= n {
+		return ps
+	}
+	return ps[:n]
+}
+
+func TestTLViolationIsBlocking(t *testing.T) {
+	proto, err := portfolio.ByName("tl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stms.Bundle{Protocol: proto, Specs: conflictingSpecs()}
+	rep := CheckObstructionFreedom(b, &Options{Budget: 1500})
+	if rep.ObstructionFree() {
+		t.Fatalf("tl reported obstruction-free")
+	}
+	for _, v := range rep.Violations {
+		if v.Outcome != SoloBlocked {
+			t.Errorf("tl violation is %v, want blocked: %v", v.Outcome, v)
+		}
+		if v.PrefixProc < 0 {
+			t.Errorf("tl blocked from the initial configuration: %v", v)
+		}
+		if v.String() == "" {
+			t.Errorf("probe unprintable")
+		}
+	}
+}
+
+func TestPrefixStrideReducesProbes(t *testing.T) {
+	proto, err := portfolio.ByName("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &stms.Bundle{Protocol: proto, Specs: conflictingSpecs()}
+	all := CheckObstructionFreedom(b, &Options{Budget: 1500, PrefixStride: 1})
+	strided := CheckObstructionFreedom(b, &Options{Budget: 1500, PrefixStride: 4})
+	if len(strided.Probes) >= len(all.Probes) {
+		t.Errorf("stride did not reduce probes: %d vs %d", len(strided.Probes), len(all.Probes))
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if SoloCommitted.String() != "committed" || SoloBlocked.String() != "blocked" || SoloAborted.String() != "aborted" {
+		t.Errorf("outcome strings wrong")
+	}
+	p := Probe{Proc: 0, PrefixProc: -1, Outcome: SoloCommitted, Steps: 10}
+	if p.String() == "" {
+		t.Errorf("probe unprintable")
+	}
+}

@@ -1,0 +1,116 @@
+package machine
+
+import "pcltm/internal/core"
+
+// Ctx is the process-side handle to the machine: the only way protocol
+// code touches shared memory or emits TM-interface events. Every method
+// that takes a step parks the calling goroutine until the scheduler grants
+// it.
+type Ctx struct {
+	m   *Machine
+	p   *proc
+	txn core.TxID
+}
+
+// Proc returns the id of the process this context belongs to.
+func (c *Ctx) Proc() core.ProcID { return c.p.id }
+
+// SetTxn tags subsequent steps with the given transaction. Protocol
+// drivers call it when a transaction begins.
+func (c *Ctx) SetTxn(t core.TxID) { c.txn = t }
+
+// Txn returns the current transaction tag.
+func (c *Ctx) Txn() core.TxID { return c.txn }
+
+// step performs the scheduler handshake for one step.
+func (c *Ctx) step(r *request) any {
+	r.resp = make(chan any, 1)
+	select {
+	case c.p.req <- r:
+	case <-c.m.closed:
+		panic(poison{})
+	}
+	select {
+	case v := <-r.resp:
+		return v
+	case <-c.m.closed:
+		panic(poison{})
+	}
+}
+
+func (c *Ctx) access(prim core.Prim, obj core.ObjID, args ...any) any {
+	return c.step(&request{prim: prim, obj: obj, args: args, txn: c.txn})
+}
+
+// Read atomically reads the base object's state.
+func (c *Ctx) Read(o core.ObjID) any { return c.access(core.PrimRead, o) }
+
+// Write atomically replaces the base object's state.
+func (c *Ctx) Write(o core.ObjID, v any) { c.access(core.PrimWrite, o, v) }
+
+// CAS atomically compares-and-swaps the base object's state.
+func (c *Ctx) CAS(o core.ObjID, old, new any) bool {
+	return c.access(core.PrimCAS, o, old, new).(bool)
+}
+
+// TAS atomically test-and-sets a boolean base object, returning the prior
+// state.
+func (c *Ctx) TAS(o core.ObjID) bool { return c.access(core.PrimTAS, o).(bool) }
+
+// FAA atomically fetch-and-adds delta to an int64 base object, returning
+// the prior value.
+func (c *Ctx) FAA(o core.ObjID, delta int64) int64 {
+	return c.access(core.PrimFAA, o, delta).(int64)
+}
+
+// LL load-links the base object.
+func (c *Ctx) LL(o core.ObjID) any { return c.access(core.PrimLL, o) }
+
+// SC store-conditionally writes v; it succeeds only if no state change
+// intervened since this process's last LL on the object.
+func (c *Ctx) SC(o core.ObjID, v any) bool {
+	return c.access(core.PrimSC, o, v).(bool)
+}
+
+// event records a TM-interface event as a step.
+func (c *Ctx) event(ev *core.Event) {
+	ev.Txn = c.txn
+	c.step(&request{prim: core.PrimEvent, txn: c.txn, ev: ev})
+}
+
+// InvBegin records the invocation of begin_T.
+func (c *Ctx) InvBegin() { c.event(&core.Event{Op: core.OpBegin, Inv: true}) }
+
+// RespBegin records begin_T's ok response.
+func (c *Ctx) RespBegin() { c.event(&core.Event{Op: core.OpBegin, Status: core.StatusOK}) }
+
+// InvRead records the invocation of x.read().
+func (c *Ctx) InvRead(x core.Item) { c.event(&core.Event{Op: core.OpRead, Inv: true, Item: x}) }
+
+// RespRead records a successful read response returning v.
+func (c *Ctx) RespRead(x core.Item, v core.Value) {
+	c.event(&core.Event{Op: core.OpRead, Item: x, Value: v, Status: core.StatusOK})
+}
+
+// InvWrite records the invocation of x.write(v).
+func (c *Ctx) InvWrite(x core.Item, v core.Value) {
+	c.event(&core.Event{Op: core.OpWrite, Inv: true, Item: x, Value: v})
+}
+
+// RespWrite records a successful write's ok response.
+func (c *Ctx) RespWrite(x core.Item, v core.Value) {
+	c.event(&core.Event{Op: core.OpWrite, Item: x, Value: v, Status: core.StatusOK})
+}
+
+// InvCommit records the invocation of commit_T.
+func (c *Ctx) InvCommit() { c.event(&core.Event{Op: core.OpTryCommit, Inv: true}) }
+
+// RespCommitted records C_T.
+func (c *Ctx) RespCommitted() {
+	c.event(&core.Event{Op: core.OpTryCommit, Status: core.StatusCommitted})
+}
+
+// RespAborted records A_T as the response of the given operation.
+func (c *Ctx) RespAborted(op core.OpKind, x core.Item) {
+	c.event(&core.Event{Op: op, Item: x, Status: core.StatusAborted})
+}

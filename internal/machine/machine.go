@@ -1,0 +1,276 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"pcltm/internal/core"
+)
+
+// ErrProcDone is returned when a step is requested from a process whose
+// program has already finished.
+var ErrProcDone = errors.New("machine: process program has finished")
+
+// ErrNotSpawned is returned when a step is requested from a process that
+// has no program.
+var ErrNotSpawned = errors.New("machine: process has no spawned program")
+
+// BudgetError reports that a run exhausted its step budget without the
+// process finishing — the machine-level observation of blocking (a spinning
+// lock acquisition, a livelock, or a diverging protocol).
+type BudgetError struct {
+	Proc  core.ProcID
+	Steps int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("machine: %s exhausted budget of %d steps without completing", e.Proc, e.Steps)
+}
+
+// poison is panicked into parked process goroutines when the machine is
+// closed, unwinding them cleanly.
+type poison struct{}
+
+// request is the process→scheduler handshake message: one step to perform.
+type request struct {
+	prim core.Prim
+	obj  core.ObjID
+	args []any
+	txn  core.TxID
+	ev   *core.Event
+	resp chan any
+}
+
+// proc is the scheduler-side view of a process.
+type proc struct {
+	id       core.ProcID
+	req      chan *request
+	finished chan struct{}
+	pending  *request
+	done     bool
+	spawned  bool
+	panicMsg any
+}
+
+// Machine is a deterministic shared-memory multiprocessor with full
+// step-level scheduling control. It is not safe for concurrent use: a
+// single harness goroutine drives it.
+type Machine struct {
+	objs   []*object
+	procs  []*proc
+	steps  []core.Step
+	specs  map[core.TxID]core.TxSpec
+	closed chan struct{}
+}
+
+// New creates a machine with nprocs processes (no programs yet).
+func New(nprocs int) *Machine {
+	m := &Machine{
+		specs:  make(map[core.TxID]core.TxSpec),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < nprocs; i++ {
+		m.procs = append(m.procs, &proc{
+			id:       core.ProcID(i),
+			req:      make(chan *request),
+			finished: make(chan struct{}),
+		})
+	}
+	return m
+}
+
+// NProcs returns the number of processes.
+func (m *Machine) NProcs() int { return len(m.procs) }
+
+// NewObject allocates a base object with the given display name and
+// initial state, returning its id.
+func (m *Machine) NewObject(name string, initial any) core.ObjID {
+	id := core.ObjID(len(m.objs))
+	m.objs = append(m.objs, &object{
+		id:     id,
+		name:   name,
+		state:  initial,
+		linked: make(map[core.ProcID]bool),
+	})
+	return id
+}
+
+// ObjectName returns the display name of a base object.
+func (m *Machine) ObjectName(id core.ObjID) string {
+	if id == core.NoObj {
+		return ""
+	}
+	return m.objs[id].name
+}
+
+// ObjectState returns the current state of a base object (harness-side
+// inspection; does not count as a step).
+func (m *Machine) ObjectState(id core.ObjID) any { return m.objs[id].state }
+
+// RegisterSpec records the static code of a transaction so that recorded
+// executions carry the specs the DAP and consistency analyses need.
+func (m *Machine) RegisterSpec(spec core.TxSpec) { m.specs[spec.ID] = spec }
+
+// Spawn installs program as the code of process p and runs it until it
+// parks at its first step (or finishes without taking any step). Programs
+// interact with shared memory exclusively through the provided Ctx.
+func (m *Machine) Spawn(p core.ProcID, program func(*Ctx)) {
+	pr := m.procs[p]
+	if pr.spawned {
+		panic(fmt.Sprintf("machine: process %s spawned twice", p))
+	}
+	pr.spawned = true
+	ctx := &Ctx{m: m, p: pr}
+	go func() {
+		defer close(pr.finished)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(poison); ok {
+					return // machine closed; unwind silently
+				}
+				pr.panicMsg = r
+			}
+		}()
+		program(ctx)
+	}()
+	m.waitPark(pr)
+}
+
+// waitPark blocks until the process is parked at its next step or has
+// finished.
+func (m *Machine) waitPark(pr *proc) {
+	select {
+	case r := <-pr.req:
+		pr.pending = r
+	case <-pr.finished:
+		pr.done = true
+		if pr.panicMsg != nil {
+			panic(fmt.Sprintf("machine: process %s panicked: %v", pr.id, pr.panicMsg))
+		}
+	}
+}
+
+// Done reports whether process p's program has finished.
+func (m *Machine) Done(p core.ProcID) bool { return m.procs[p].done }
+
+// Poised returns the primitive and object of the step process p will take
+// next, mirroring the proof's "the step p is poised to perform". The third
+// return is false if p is done or not spawned.
+func (m *Machine) Poised(p core.ProcID) (core.Prim, core.ObjID, bool) {
+	pr := m.procs[p]
+	if pr.pending == nil {
+		return 0, core.NoObj, false
+	}
+	return pr.pending.prim, pr.pending.obj, true
+}
+
+// Step lets process p take exactly one step: its parked primitive is
+// applied atomically, recorded, and the process runs on (local computation
+// included in the same step) until it parks again or finishes.
+func (m *Machine) Step(p core.ProcID) (core.Step, error) {
+	pr := m.procs[p]
+	if !pr.spawned {
+		return core.Step{}, ErrNotSpawned
+	}
+	if pr.done {
+		return core.Step{}, ErrProcDone
+	}
+	r := pr.pending
+	pr.pending = nil
+
+	step := core.Step{
+		Index: len(m.steps),
+		Proc:  pr.id,
+		Prim:  r.prim,
+		Obj:   r.obj,
+		Args:  r.args,
+	}
+	var resp any
+	if r.prim == core.PrimEvent {
+		ev := r.ev
+		ev.StepIndex = step.Index
+		ev.Proc = pr.id
+		step.Event = ev
+		step.Txn = ev.Txn
+	} else {
+		obj := m.objs[r.obj]
+		step.ObjName = obj.name
+		var changed bool
+		resp, changed = obj.apply(pr.id, r.prim, r.args)
+		step.Resp = resp
+		step.Changed = changed
+		step.Txn = r.txn
+	}
+	m.steps = append(m.steps, step)
+
+	r.resp <- resp
+	m.waitPark(pr)
+	return step, nil
+}
+
+// RunUntilDone grants steps to p until its program finishes, up to budget
+// steps. It returns the number of steps taken; if the budget is exhausted
+// first it returns a *BudgetError, making blocking observable.
+func (m *Machine) RunUntilDone(p core.ProcID, budget int) (int, error) {
+	n := 0
+	for !m.Done(p) {
+		if n >= budget {
+			return n, &BudgetError{Proc: p, Steps: n}
+		}
+		if _, err := m.Step(p); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// StepN grants exactly n steps to p; it is an error for the program to
+// finish early.
+func (m *Machine) StepN(p core.ProcID, n int) error {
+	for i := 0; i < n; i++ {
+		if m.Done(p) {
+			return fmt.Errorf("machine: %s finished after %d of %d requested steps", p, i, n)
+		}
+		if _, err := m.Step(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StepCount returns the number of steps recorded so far.
+func (m *Machine) StepCount() int { return len(m.steps) }
+
+// Steps returns the recorded steps (shared slice; callers must not
+// modify).
+func (m *Machine) Steps() []core.Step { return m.steps }
+
+// Execution snapshots the recorded run.
+func (m *Machine) Execution() *core.Execution {
+	steps := make([]core.Step, len(m.steps))
+	copy(steps, m.steps)
+	specs := make(map[core.TxID]core.TxSpec, len(m.specs))
+	for id, s := range m.specs {
+		specs[id] = s
+	}
+	return &core.Execution{Steps: steps, Specs: specs, NProcs: len(m.procs)}
+}
+
+// Close unwinds all parked process goroutines. The machine must not be
+// used afterwards.
+func (m *Machine) Close() {
+	select {
+	case <-m.closed:
+		return
+	default:
+	}
+	close(m.closed)
+	// Drain processes parked with a pending request: answer them with
+	// poison via the closed channel (their next select observes it).
+	for _, pr := range m.procs {
+		if pr.spawned && !pr.done {
+			<-pr.finished
+		}
+	}
+}

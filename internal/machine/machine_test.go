@@ -1,0 +1,313 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"pcltm/internal/core"
+)
+
+func TestObjectPrimitives(t *testing.T) {
+	m := New(2)
+	defer m.Close()
+	reg := m.NewObject("r", core.Value(0))
+	cnt := m.NewObject("c", int64(0))
+	flag := m.NewObject("f", false)
+
+	done := make(chan struct{})
+	m.Spawn(0, func(c *Ctx) {
+		defer close(done)
+		if v := c.Read(reg); v != core.Value(0) {
+			t.Errorf("initial read = %v", v)
+		}
+		c.Write(reg, core.Value(7))
+		if v := c.Read(reg); v != core.Value(7) {
+			t.Errorf("read after write = %v", v)
+		}
+		if !c.CAS(reg, core.Value(7), core.Value(9)) {
+			t.Errorf("cas with correct expected failed")
+		}
+		if c.CAS(reg, core.Value(7), core.Value(11)) {
+			t.Errorf("cas with stale expected succeeded")
+		}
+		if prev := c.FAA(cnt, 5); prev != 0 {
+			t.Errorf("faa prev = %d", prev)
+		}
+		if prev := c.FAA(cnt, 3); prev != 5 {
+			t.Errorf("faa prev = %d", prev)
+		}
+		if was := c.TAS(flag); was {
+			t.Errorf("tas on clear flag returned true")
+		}
+		if was := c.TAS(flag); !was {
+			t.Errorf("tas on set flag returned false")
+		}
+	})
+	if _, err := m.RunUntilDone(0, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	<-done
+	if got := m.ObjectState(reg); got != core.Value(9) {
+		t.Errorf("final register state = %v", got)
+	}
+	if got := m.ObjectState(cnt); got != int64(8) {
+		t.Errorf("final counter state = %v", got)
+	}
+}
+
+func TestLLSC(t *testing.T) {
+	m := New(2)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+
+	// p0 LLs, p1 writes (breaking the link), p0's SC must fail; then a
+	// clean LL/SC by p0 must succeed.
+	m.Spawn(0, func(c *Ctx) {
+		c.LL(obj)
+		if c.SC(obj, core.Value(1)) {
+			t.Errorf("sc after intervening write succeeded")
+		}
+		c.LL(obj)
+		if !c.SC(obj, core.Value(2)) {
+			t.Errorf("clean sc failed")
+		}
+	})
+	m.Spawn(1, func(c *Ctx) {
+		c.Write(obj, core.Value(42))
+	})
+
+	if err := m.StepN(0, 1); err != nil { // p0: LL
+		t.Fatal(err)
+	}
+	if err := m.StepN(1, 1); err != nil { // p1: write, breaks link
+		t.Fatal(err)
+	}
+	if _, err := m.RunUntilDone(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ObjectState(obj); got != core.Value(2) {
+		t.Errorf("final state = %v", got)
+	}
+}
+
+func TestStepRecordingAndNonTriviality(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) {
+		c.SetTxn(4)
+		c.Read(obj)                              // trivial
+		c.Write(obj, core.Value(1))              // non-trivial
+		c.Write(obj, core.Value(1))              // same value: trivial
+		c.CAS(obj, core.Value(0), core.Value(2)) // fails: trivial
+		c.CAS(obj, core.Value(1), core.Value(2)) // succeeds: non-trivial
+	})
+	if _, err := m.RunUntilDone(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Steps()
+	if len(steps) != 5 {
+		t.Fatalf("recorded %d steps, want 5", len(steps))
+	}
+	wantChanged := []bool{false, true, false, false, true}
+	for i, s := range steps {
+		if s.Changed != wantChanged[i] {
+			t.Errorf("step %d (%v) changed=%v, want %v", i, s, s.Changed, wantChanged[i])
+		}
+		if s.Txn != 4 {
+			t.Errorf("step %d txn = %v, want T4", i, s.Txn)
+		}
+		if s.Index != i {
+			t.Errorf("step %d index = %d", i, s.Index)
+		}
+	}
+}
+
+func TestEventSteps(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	m.Spawn(0, func(c *Ctx) {
+		c.SetTxn(1)
+		c.InvBegin()
+		c.RespBegin()
+		c.InvRead("x")
+		c.RespRead("x", 0)
+		c.InvCommit()
+		c.RespCommitted()
+	})
+	if _, err := m.RunUntilDone(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	exec := m.Execution()
+	evs := exec.Events()
+	if len(evs) != 6 {
+		t.Fatalf("recorded %d events, want 6", len(evs))
+	}
+	if exec.StatusOf(1) != core.TxCommitted {
+		t.Errorf("T1 status = %v", exec.StatusOf(1))
+	}
+	if v := exec.ReadValues(1)["x"]; v != 0 {
+		t.Errorf("read value = %v", v)
+	}
+	for i, ev := range evs {
+		if ev.StepIndex != i {
+			t.Errorf("event %d step index = %d", i, ev.StepIndex)
+		}
+		if ev.Proc != 0 || ev.Txn != 1 {
+			t.Errorf("event %d tagged %v/%v", i, ev.Proc, ev.Txn)
+		}
+	}
+}
+
+func TestInterleavingControl(t *testing.T) {
+	m := New(2)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	var p0Saw core.Value
+	m.Spawn(0, func(c *Ctx) {
+		c.Write(obj, core.Value(1))
+		p0Saw = c.Read(obj).(core.Value)
+	})
+	m.Spawn(1, func(c *Ctx) {
+		c.Write(obj, core.Value(2))
+	})
+	// p0 writes 1, p1 overwrites with 2, p0 reads 2.
+	if err := m.StepN(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StepN(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunUntilDone(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if p0Saw != 2 {
+		t.Errorf("p0 read %v, want 2 (interleaving not honored)", p0Saw)
+	}
+}
+
+func TestBudgetDetectsSpin(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	lock := m.NewObject("lock", true) // held forever
+	m.Spawn(0, func(c *Ctx) {
+		for c.Read(lock).(bool) { // spins: lock never released
+		}
+	})
+	n, err := m.RunUntilDone(0, 50)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if n != 50 || be.Steps != 50 {
+		t.Errorf("steps = %d / %d, want 50", n, be.Steps)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Machine {
+		m := New(2)
+		x := m.NewObject("x", core.Value(0))
+		y := m.NewObject("y", core.Value(0))
+		m.Spawn(0, func(c *Ctx) {
+			c.SetTxn(1)
+			c.Write(x, core.Value(1))
+			v := c.Read(y).(core.Value)
+			c.Write(x, v+10)
+		})
+		m.Spawn(1, func(c *Ctx) {
+			c.SetTxn(2)
+			c.Write(y, core.Value(5))
+			c.Read(x)
+		})
+		return m
+	}
+	run := func(sched Schedule) []core.Step {
+		m := build()
+		defer m.Close()
+		if err := RunSchedule(m, sched); err != nil {
+			t.Fatal(err)
+		}
+		return m.Execution().Steps
+	}
+	sched := Schedule{Steps(0, 1), Steps(1, 2), Solo(0), Solo(1)}
+	a := run(sched)
+	b := run(sched)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("replay diverges at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPoised(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) {
+		c.CAS(obj, core.Value(0), core.Value(1))
+	})
+	prim, o, ok := m.Poised(0)
+	if !ok || prim != core.PrimCAS || o != obj {
+		t.Errorf("poised = %v %v %v", prim, o, ok)
+	}
+	if _, err := m.RunUntilDone(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := m.Poised(0); ok {
+		t.Errorf("done process reports poised step")
+	}
+}
+
+func TestCloseUnwindsParkedProcesses(t *testing.T) {
+	m := New(2)
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) {
+		for {
+			c.Read(obj) // parks forever
+		}
+	})
+	m.Spawn(1, func(c *Ctx) {
+		c.Read(obj)
+	})
+	if err := m.StepN(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // must not hang
+	m.Close() // idempotent
+}
+
+func TestStepAfterDone(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) {})
+	if !m.Done(0) {
+		t.Fatalf("empty program not done after spawn")
+	}
+	if _, err := m.Step(0); !errors.Is(err, ErrProcDone) {
+		t.Errorf("step on done proc: err = %v", err)
+	}
+}
+
+func TestStepOnUnspawned(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	if _, err := m.Step(0); !errors.Is(err, ErrNotSpawned) {
+		t.Errorf("err = %v, want ErrNotSpawned", err)
+	}
+}
+
+func TestScheduleStepsErrorWhenProgramEndsEarly(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) { c.Read(obj) })
+	err := RunSchedule(m, Schedule{Steps(0, 5)})
+	if err == nil {
+		t.Errorf("expected error when requesting more steps than the program has")
+	}
+}

@@ -1,0 +1,124 @@
+// Package machine implements the asynchronous shared-memory system of the
+// paper's Section 3 as a deterministic, step-granular simulator.
+//
+// A Machine owns a set of base objects (atomic registers with read, write,
+// CAS, TAS, FAA and LL/SC primitives) and a set of processes. Protocol code
+// runs in one goroutine per process; every base-object access and every
+// TM-interface event crosses a scheduler handshake, so exactly one process
+// advances at a time and each primitive — together with the local
+// computation that follows it — is one atomic step, exactly as the model
+// prescribes. The machine records every step, which gives downstream
+// analyses (histories, consistency checkers, contention/DAP analysis,
+// indistinguishability comparisons) a complete, replayable view of the
+// execution.
+//
+// Configurations are reproduced by deterministic replay: "resume from the
+// configuration after prefix π" is implemented as "build a fresh machine
+// and re-run π". This preserves the proof-relevant semantics because every
+// protocol is deterministic by construction (the machine offers no
+// randomness, time, or map-iteration nondeterminism).
+package machine
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+)
+
+// object is one base object: named state plus LL/SC link flags. The link
+// flags are part of the object's state: an operation that invalidates a
+// link is a state update and therefore non-trivial.
+type object struct {
+	id    core.ObjID
+	name  string
+	state any
+	// linked tracks which processes hold a valid load-link on the
+	// object; any state change invalidates all links.
+	linked map[core.ProcID]bool
+}
+
+// apply executes one atomic primitive and reports the response and whether
+// the object's state changed (the paper's non-triviality test).
+func (o *object) apply(p core.ProcID, prim core.Prim, args []any) (resp any, changed bool) {
+	switch prim {
+	case core.PrimRead:
+		return o.state, false
+
+	case core.PrimWrite:
+		if len(args) != 1 {
+			panic(fmt.Sprintf("machine: write on %s needs 1 arg, got %d", o.name, len(args)))
+		}
+		changed = o.state != args[0]
+		changed = o.store(args[0]) || changed
+		return nil, changed
+
+	case core.PrimCAS:
+		if len(args) != 2 {
+			panic(fmt.Sprintf("machine: cas on %s needs 2 args, got %d", o.name, len(args)))
+		}
+		if o.state == args[0] {
+			changed = o.state != args[1]
+			changed = o.store(args[1]) || changed
+			return true, changed
+		}
+		return false, false
+
+	case core.PrimTAS:
+		prev, ok := o.state.(bool)
+		if !ok {
+			panic(fmt.Sprintf("machine: tas on non-boolean object %s", o.name))
+		}
+		changed = !prev
+		if changed {
+			changed = o.store(true) || changed
+		}
+		return prev, changed
+
+	case core.PrimFAA:
+		if len(args) != 1 {
+			panic(fmt.Sprintf("machine: faa on %s needs 1 arg, got %d", o.name, len(args)))
+		}
+		prev, ok := o.state.(int64)
+		if !ok {
+			panic(fmt.Sprintf("machine: faa on non-int64 object %s", o.name))
+		}
+		delta, ok := args[0].(int64)
+		if !ok {
+			panic(fmt.Sprintf("machine: faa delta on %s must be int64", o.name))
+		}
+		changed = delta != 0
+		if changed {
+			changed = o.store(prev+delta) || changed
+		}
+		return prev, changed
+
+	case core.PrimLL:
+		o.linked[p] = true
+		return o.state, false
+
+	case core.PrimSC:
+		if len(args) != 1 {
+			panic(fmt.Sprintf("machine: sc on %s needs 1 arg, got %d", o.name, len(args)))
+		}
+		if !o.linked[p] {
+			return false, false
+		}
+		changed = o.state != args[0]
+		changed = o.store(args[0]) || changed // SC success always breaks links
+		return true, changed
+
+	default:
+		panic(fmt.Sprintf("machine: unknown primitive %v on %s", prim, o.name))
+	}
+}
+
+// store installs a new state, invalidating all load-links; it reports
+// whether any link was invalidated (itself an observable state change).
+func (o *object) store(v any) (linksBroken bool) {
+	o.state = v
+	linksBroken = len(o.linked) > 0
+	for p := range o.linked {
+		delete(o.linked, p)
+	}
+	return linksBroken
+}

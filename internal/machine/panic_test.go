@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+)
+
+// TestProcessPanicSurfaces: a panic inside protocol code must surface
+// through the machine (with the process identified), not hang the
+// scheduler.
+func TestProcessPanicSurfaces(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("process panic swallowed")
+		}
+	}()
+	m.Spawn(0, func(c *Ctx) {
+		c.Read(obj)
+		panic("protocol bug")
+	})
+	// The panic happens after the first step's local computation; the
+	// machine re-raises it at the next park.
+	_, _ = m.Step(0)
+	t.Fatalf("panic did not surface")
+}
+
+// TestSpawnTwicePanics guards against double-spawning a process.
+func TestSpawnTwicePanics(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) { c.Read(obj) })
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double spawn accepted")
+		}
+	}()
+	m.Spawn(0, func(c *Ctx) {})
+}
+
+// TestObjectNameLookup covers the display-name helpers.
+func TestObjectNameLookup(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	id := m.NewObject("counter", int64(5))
+	if m.ObjectName(id) != "counter" {
+		t.Errorf("name = %q", m.ObjectName(id))
+	}
+	if m.ObjectName(core.NoObj) != "" {
+		t.Errorf("NoObj has a name")
+	}
+	if m.ObjectState(id) != int64(5) {
+		t.Errorf("state = %v", m.ObjectState(id))
+	}
+	if m.NProcs() != 1 {
+		t.Errorf("nprocs = %d", m.NProcs())
+	}
+}
+
+// TestExecutionSnapshotIsolation: mutating the machine after Execution()
+// must not affect the snapshot.
+func TestExecutionSnapshotIsolation(t *testing.T) {
+	m := New(1)
+	defer m.Close()
+	obj := m.NewObject("x", core.Value(0))
+	m.Spawn(0, func(c *Ctx) {
+		c.Write(obj, core.Value(1))
+		c.Write(obj, core.Value(2))
+	})
+	if err := m.StepN(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Execution()
+	if _, err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Steps) != 1 {
+		t.Errorf("snapshot grew after later steps: %d", len(snap.Steps))
+	}
+	if m.StepCount() != 2 {
+		t.Errorf("machine steps = %d", m.StepCount())
+	}
+}

@@ -1,0 +1,64 @@
+package machine
+
+import "pcltm/internal/core"
+
+// DefaultBudget bounds run-until-done phases; exhausting it is the
+// machine's observation of blocking.
+const DefaultBudget = 1 << 16
+
+// StopKind says when a schedule phase ends.
+type StopKind int
+
+const (
+	// UntilDone grants steps until the process's program finishes.
+	UntilDone StopKind = iota
+	// UntilCount grants exactly N steps.
+	UntilCount
+)
+
+// Phase grants steps to one process until its stop condition.
+type Phase struct {
+	// Proc is the process granted steps.
+	Proc core.ProcID
+	// Stop is the phase's stop condition.
+	Stop StopKind
+	// N is the step count for UntilCount phases.
+	N int
+	// Budget caps UntilDone phases (0 means DefaultBudget).
+	Budget int
+}
+
+// Solo builds an UntilDone phase: p runs solo until its program finishes.
+func Solo(p core.ProcID) Phase { return Phase{Proc: p, Stop: UntilDone} }
+
+// Steps builds an UntilCount phase: p takes exactly n steps.
+func Steps(p core.ProcID, n int) Phase { return Phase{Proc: p, Stop: UntilCount, N: n} }
+
+// Schedule is a sequence of phases, executed in order. Because exactly one
+// process is granted steps at a time, a schedule denotes a unique execution
+// of a deterministic protocol — this is how the harness names the proof's
+// compositions (α1 · α2 · s1 · α3 · ...).
+type Schedule []Phase
+
+// RunSchedule executes the schedule on a (typically fresh) machine. It
+// stops at the first failing phase and returns the error; the machine keeps
+// the steps recorded so far, so callers can inspect the partial execution.
+func RunSchedule(m *Machine, sched Schedule) error {
+	for _, ph := range sched {
+		switch ph.Stop {
+		case UntilDone:
+			budget := ph.Budget
+			if budget == 0 {
+				budget = DefaultBudget
+			}
+			if _, err := m.RunUntilDone(ph.Proc, budget); err != nil {
+				return err
+			}
+		case UntilCount:
+			if err := m.StepN(ph.Proc, ph.N); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

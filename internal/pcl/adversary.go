@@ -1,0 +1,285 @@
+package pcl
+
+import (
+	"errors"
+	"fmt"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+	"pcltm/internal/history"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// SoloBudget bounds every run-until-done phase of the construction; honest
+// solo runs of the seven transactions take well under a hundred steps, so
+// exhausting it is a liveness observation, not noise.
+const SoloBudget = 8192
+
+// CriticalStep records the outcome of a Figure-1/Figure-2 search: the
+// first step of a writer's solo run whose execution flips the value a
+// later solo reader observes.
+type CriticalStep struct {
+	// Writer is the transaction whose solo run contains the step (T1 for
+	// s1, T2 for s2); Seeker is the probing reader (T3 resp. T5).
+	Writer, Seeker core.TxID
+	// Item is the probed data item (b1 resp. b2).
+	Item core.Item
+	// K is the 1-based position of the critical step within the writer's
+	// run: probing from after K-1 steps reads ValBefore, from after K
+	// steps reads ValAfter.
+	K int
+	// Step is the recorded critical step.
+	Step core.Step
+	// ValBefore, ValAfter are the flip values (0→1 for s1, 0→2 for s2).
+	ValBefore, ValAfter core.Value
+	// WriterSoloSteps is the length of the writer's full solo run.
+	WriterSoloSteps int
+	// CommitInvoked reports Claim 1: the writer invoked commit before the
+	// critical step.
+	CommitInvoked bool
+	// NonTrivial reports Claim 2's first half: the critical step updates
+	// its base object.
+	NonTrivial bool
+	// SeekerReadsObjAfter / SeekerReadsObjBefore report Claim 2's second
+	// half: the seeker accesses the critical object in both probe runs.
+	SeekerReadsObjAfter, SeekerReadsObjBefore bool
+	// Probes holds the seeker's observed value for every prefix length
+	// (index k = value observed when probing after k writer steps); used
+	// by the figure renderer.
+	Probes []core.Value
+}
+
+func (c *CriticalStep) String() string {
+	return fmt.Sprintf("s(%s/%s on %s): step %d/%d = %v (flip %d→%d)",
+		c.Writer, c.Seeker, c.Item, c.K, c.WriterSoloSteps, c.Step, c.ValBefore, c.ValAfter)
+}
+
+// IndistReport is the p7 indistinguishability comparison between α7 (in β)
+// and α′7 (in β′).
+type IndistReport struct {
+	// Indistinguishable reports whether p7 performed the same step
+	// sequence with the same responses in both executions.
+	Indistinguishable bool
+	// Steps is the number of p7 steps compared.
+	Steps int
+	// FirstDiff describes the first divergence ("" when none).
+	FirstDiff string
+}
+
+// Outcome is everything the adversary learned about one protocol.
+type Outcome struct {
+	// Protocol names the TM.
+	Protocol string
+	// Verdict is the classification by the first anomaly (nil only if
+	// the protocol survived — which Theorem 4.1 rules out).
+	Verdict *Verdict
+	// Anomalies lists every violation observed, in detection order.
+	Anomalies []*Anomaly
+	// S1, S2 are the located critical steps (nil when the pipeline
+	// stopped before finding them).
+	S1, S2 *CriticalStep
+	// Beta, BetaPrime are the assembled executions (Figures 3/4), as far
+	// as construction succeeded.
+	Beta, BetaPrime *core.Execution
+	// S2RespMatches / S1RespMatches report the s′′2 = s2 and s′′1 = s1
+	// response checks inside β and β′.
+	S2RespMatches, S1RespMatches bool
+	// Indist is the α7/α′7 comparison (nil if β or β′ was not built).
+	Indist *IndistReport
+	// Log records the phases the pipeline went through.
+	Log []string
+}
+
+// Adversary drives one protocol through the Section-4 construction.
+type Adversary struct {
+	bundle  *stms.Bundle
+	budget  int
+	seen    map[string]bool // de-duplicated DAP violations
+	outcome *Outcome
+}
+
+// NewAdversary builds the adversary for a protocol.
+func NewAdversary(p stms.Protocol) *Adversary {
+	return &Adversary{
+		bundle: &stms.Bundle{Protocol: p, Specs: Transactions(), NProcs: 7},
+		budget: SoloBudget,
+		seen:   make(map[string]bool),
+	}
+}
+
+// Run executes the full pipeline.
+func (a *Adversary) Run() *Outcome { return a.RunTo(DepthFull) }
+
+// RunTo executes the pipeline up to the given depth; benchmarks use it to
+// time individual figures. Adversaries are single-use: build a fresh one
+// per run.
+func (a *Adversary) RunTo(depth Depth) *Outcome {
+	a.outcome = &Outcome{Protocol: a.bundle.Protocol.Name()}
+	a.pipeline(depth)
+	if len(a.outcome.Anomalies) > 0 {
+		first := a.outcome.Anomalies[0]
+		a.outcome.Verdict = &Verdict{
+			Protocol: a.outcome.Protocol,
+			Violated: first.Property,
+			Anomaly:  first,
+		}
+	}
+	return a.outcome
+}
+
+// run executes a schedule on a fresh machine and applies the standing
+// checks (well-formedness, strict DAP) to the recorded execution.
+func (a *Adversary) run(phase string, sched machine.Schedule) (*core.Execution, error) {
+	exec, err := a.bundle.Run(a.withBudgets(sched))
+	if werr := history.CheckWellFormed(exec); werr != nil {
+		a.anomaly(&Anomaly{
+			Property: Consistency, Phase: phase,
+			Detail: fmt.Sprintf("recorded history is not well-formed: %v", werr),
+		})
+	}
+	a.checkDAP(phase, exec)
+	return exec, err
+}
+
+func (a *Adversary) withBudgets(sched machine.Schedule) machine.Schedule {
+	out := make(machine.Schedule, len(sched))
+	for i, ph := range sched {
+		if ph.Stop == machine.UntilDone && ph.Budget == 0 {
+			ph.Budget = a.budget
+		}
+		out[i] = ph
+	}
+	return out
+}
+
+// checkDAP records strict-DAP violations, de-duplicated by pair+object.
+func (a *Adversary) checkDAP(phase string, exec *core.Execution) {
+	for _, v := range dap.CheckStrict(exec) {
+		key := fmt.Sprintf("%v/%v/%s", v.T1, v.T2, v.ObjName)
+		if a.seen[key] {
+			continue
+		}
+		a.seen[key] = true
+		vv := v
+		a.anomaly(&Anomaly{
+			Property: Parallelism, Phase: phase,
+			Detail: fmt.Sprintf("disjoint transactions %v and %v contend on %s", v.T1, v.T2, v.ObjName),
+			DAP:    &vv,
+		})
+	}
+}
+
+func (a *Adversary) anomaly(an *Anomaly) {
+	a.outcome.Anomalies = append(a.outcome.Anomalies, an)
+}
+
+func (a *Adversary) logf(format string, args ...any) {
+	a.outcome.Log = append(a.outcome.Log, fmt.Sprintf(format, args...))
+}
+
+// blockAnomaly classifies a schedule error as a liveness violation.
+func (a *Adversary) blockAnomaly(phase string, err error, proc core.ProcID, txn core.TxID, prefixDesc string) {
+	ev := &BlockEvidence{Proc: proc, Txn: txn, PrefixDesc: prefixDesc, Blocked: true, Steps: a.budget}
+	var be *machine.BudgetError
+	if errors.As(err, &be) {
+		ev.Proc = be.Proc
+		ev.Steps = be.Steps
+	}
+	a.anomaly(&Anomaly{
+		Property: Liveness, Phase: phase,
+		Detail: fmt.Sprintf("solo run of %v did not complete: %v", txn, err),
+		Block:  ev,
+	})
+}
+
+// abortAnomaly classifies a solo abort as a liveness violation.
+func (a *Adversary) abortAnomaly(phase string, txn core.TxID, prefixDesc string, steps int) {
+	a.anomaly(&Anomaly{
+		Property: Liveness, Phase: phase,
+		Detail: fmt.Sprintf("solo run of %v aborted", txn),
+		Block:  &BlockEvidence{Txn: txn, PrefixDesc: prefixDesc, Blocked: false, Steps: steps},
+	})
+}
+
+// deviation records a consistency anomaly certified by the WAC checker;
+// if the checker finds a witness the deviation is benign fallout of an
+// earlier property violation and only the log records it.
+func (a *Adversary) deviation(phase, execName string, exec *core.Execution, txn core.TxID, item core.Item, got, want core.Value) {
+	res := consistency.WeakAdaptiveConsistent(history.FromExecution(exec))
+	if res.Satisfied {
+		a.logf("%s: %v read %s=%d (forced %d), but a WAC witness exists — benign", execName, txn, item, got, want)
+		return
+	}
+	dev := &ValueDeviation{
+		Execution: execName, Txn: txn, Item: item, Got: got, Want: want, WAC: res,
+	}
+	a.anomaly(&Anomaly{
+		Property: Consistency, Phase: phase,
+		Detail:    fmt.Sprintf("%v read %s=%d in %s; the proof forces %d", txn, item, got, execName, want),
+		Deviation: dev,
+	})
+}
+
+// checkValues compares an execution's reads to forced values, recording
+// deviations; it returns true when everything matched. Only one WAC
+// certificate is computed per execution.
+func (a *Adversary) checkValues(phase, execName string, exec *core.Execution, expected ExpectedReads) bool {
+	type dev struct {
+		txn  core.TxID
+		item core.Item
+		got  core.Value
+		want core.Value
+	}
+	var devs []dev
+	for txn, items := range expected {
+		got := exec.ReadValues(txn)
+		for item, want := range items {
+			g, ok := got[item]
+			if !ok {
+				continue // the transaction did not reach this read
+			}
+			if g != want {
+				devs = append(devs, dev{txn, item, g, want})
+			}
+		}
+	}
+	if len(devs) == 0 {
+		return true
+	}
+	// One exhaustive WAC run decides whether the deviations are real
+	// consistency violations or benign fallout of an earlier property
+	// violation (e.g. a DSTM enemy abort discarding T1's writes — then
+	// reading the old values is perfectly consistent and a witness
+	// exists).
+	hv := history.FromExecution(exec)
+	res := consistency.WeakAdaptiveConsistent(hv)
+	if res.Satisfied {
+		if err := consistency.ValidateWACWitness(hv, res.Witness); err != nil {
+			a.anomaly(&Anomaly{
+				Property: Consistency, Phase: phase,
+				Detail: fmt.Sprintf("WAC witness for %s failed independent validation: %v", execName, err),
+			})
+			return false
+		}
+		a.logf("%s deviates from the forced values in %d place(s), but the WAC checker "+
+			"found a (validated) witness — benign fallout, not a consistency violation", execName, len(devs))
+		return false
+	}
+	for i, d := range devs {
+		an := &Anomaly{
+			Property: Consistency, Phase: phase,
+			Detail: fmt.Sprintf("%v read %s=%d in %s; the proof forces %d",
+				d.txn, d.item, d.got, execName, d.want),
+		}
+		if i == 0 {
+			an.Deviation = &ValueDeviation{
+				Execution: execName, Txn: d.txn, Item: d.item,
+				Got: d.got, Want: d.want, WAC: res,
+			}
+		}
+		a.anomaly(an)
+	}
+	return false
+}

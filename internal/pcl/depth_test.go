@@ -1,0 +1,133 @@
+package pcl
+
+import (
+	"strings"
+	"testing"
+
+	"pcltm/internal/stms/portfolio"
+)
+
+func TestRunToDepths(t *testing.T) {
+	proto, err := portfolio.ByName("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewAdversary(proto).RunTo(DepthS1)
+	if s1.S1 == nil {
+		t.Fatalf("DepthS1 did not locate s1")
+	}
+	if s1.S2 != nil || s1.Beta != nil {
+		t.Errorf("DepthS1 went too far: s2=%v beta=%v", s1.S2, s1.Beta)
+	}
+
+	s2 := NewAdversary(proto).RunTo(DepthS2)
+	if s2.S2 == nil {
+		t.Fatalf("DepthS2 did not locate s2")
+	}
+	if s2.Beta != nil {
+		t.Errorf("DepthS2 assembled β")
+	}
+
+	beta := NewAdversary(proto).RunTo(DepthBeta)
+	if beta.Beta == nil {
+		t.Fatalf("DepthBeta did not assemble β")
+	}
+	if beta.BetaPrime != nil {
+		t.Errorf("DepthBeta assembled β′")
+	}
+
+	full := NewAdversary(proto).RunTo(DepthFull)
+	if full.BetaPrime == nil || full.Indist == nil {
+		t.Fatalf("DepthFull incomplete")
+	}
+}
+
+func TestRenderersHandleMissingData(t *testing.T) {
+	o := &Outcome{Protocol: "x"}
+	if !strings.Contains(RenderCriticalStep("t", nil), "not located") {
+		t.Errorf("nil critical step not handled")
+	}
+	if !strings.Contains(RenderValueTable("t", nil, nil), "not assembled") {
+		t.Errorf("nil execution not handled")
+	}
+	if !strings.Contains(RenderComposition("t", o, false), "impossible") {
+		t.Errorf("missing critical steps not handled")
+	}
+	if rep := o.Report(); !strings.Contains(rep, "survived") {
+		t.Errorf("no-verdict report wrong:\n%s", rep)
+	}
+}
+
+func TestVerdictAndAnomalyStrings(t *testing.T) {
+	proto, err := portfolio.ByName("tl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.Verdict.String() == "" || o.Verdict.Anomaly.String() == "" {
+		t.Errorf("verdict unprintable")
+	}
+	if Parallelism.Short() != "P" || Consistency.Short() != "C" || Liveness.Short() != "L" {
+		t.Errorf("short tags wrong")
+	}
+	if Parallelism.String() == "" || Liveness.String() == "" {
+		t.Errorf("property names wrong")
+	}
+}
+
+// TestAdversaryDeterminism: two runs of the same protocol produce the same
+// verdict at the same phase with the same critical steps.
+func TestAdversaryDeterminism(t *testing.T) {
+	for _, name := range []string{"naive", "dstm", "pramtm"} {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAdversary(proto).Run()
+		b := NewAdversary(proto).Run()
+		if (a.Verdict == nil) != (b.Verdict == nil) {
+			t.Fatalf("%s: verdict presence diverged", name)
+		}
+		if a.Verdict.Violated != b.Verdict.Violated || a.Verdict.Anomaly.Phase != b.Verdict.Anomaly.Phase {
+			t.Errorf("%s: verdicts diverged: %v vs %v", name, a.Verdict, b.Verdict)
+		}
+		if (a.S1 == nil) != (b.S1 == nil) {
+			t.Fatalf("%s: s1 presence diverged", name)
+		}
+		if a.S1 != nil && (a.S1.K != b.S1.K || a.S1.Step.ObjName != b.S1.Step.ObjName) {
+			t.Errorf("%s: s1 diverged: %v vs %v", name, a.S1, b.S1)
+		}
+	}
+}
+
+// TestGClockCriticalStepIsWriteBack documents where s1 lands for the
+// global-clock design: b1's stamped write-back.
+func TestGClockCriticalStepIsWriteBack(t *testing.T) {
+	proto, err := portfolio.ByName("gclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.S1 == nil {
+		t.Fatalf("s1 not located for gclock")
+	}
+	if o.S1.Step.ObjName != "item(b1)" {
+		t.Errorf("gclock s1 on %s, want item(b1)", o.S1.Step.ObjName)
+	}
+}
+
+// TestDSTMCriticalStepIsCommitCAS documents where s1 lands for DSTM: the
+// commit status CAS.
+func TestDSTMCriticalStepIsCommitCAS(t *testing.T) {
+	proto, err := portfolio.ByName("dstm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.S1 == nil {
+		t.Fatalf("s1 not located for dstm")
+	}
+	if o.S1.Step.ObjName != "status(T1)" {
+		t.Errorf("dstm s1 on %s, want status(T1)", o.S1.Step.ObjName)
+	}
+}

@@ -1,0 +1,166 @@
+package pcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pcltm/internal/core"
+)
+
+// RenderVerdictMatrix renders the Theorem 4.1 table: one row per protocol,
+// one column per property, exactly one ✗ per row at the corner the design
+// gives up.
+func RenderVerdictMatrix(outcomes []*Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %-14s %s\n", "protocol", "P(strict DAP)", "C(weak adpt.)", "L(obstr-free)", "first violation")
+	for _, o := range outcomes {
+		marks := map[Property]string{Parallelism: "ok", Consistency: "ok", Liveness: "ok"}
+		first := "survived (impossible per Theorem 4.1!)"
+		seen := map[Property]bool{}
+		for _, an := range o.Anomalies {
+			if !seen[an.Property] {
+				marks[an.Property] = "VIOLATED"
+				seen[an.Property] = true
+			}
+		}
+		if o.Verdict != nil {
+			first = fmt.Sprintf("%s @ %s", o.Verdict.Violated.Short(), o.Verdict.Anomaly.Phase)
+		}
+		fmt.Fprintf(&b, "%-12s %-14s %-14s %-14s %s\n",
+			o.Protocol, marks[Parallelism], marks[Consistency], marks[Liveness], first)
+	}
+	return b.String()
+}
+
+// RenderCriticalStep renders a Figure 1 / Figure 2 panel: the probe curve
+// (the seeker's observed value per writer prefix length) and the located
+// step.
+func RenderCriticalStep(title string, cs *CriticalStep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if cs == nil {
+		b.WriteString("  (not located — the pipeline stopped earlier)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  writer %v runs solo (%d steps); %v probes %s after every prefix:\n",
+		cs.Writer, cs.WriterSoloSteps, cs.Seeker, cs.Item)
+	b.WriteString("  k:      ")
+	for k := range cs.Probes {
+		if k%5 == 0 {
+			fmt.Fprintf(&b, "%-5d", k)
+		}
+	}
+	b.WriteString("\n  value:  ")
+	for _, v := range cs.Probes {
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  s located at step %d/%d: %v\n", cs.K, cs.WriterSoloSteps, cs.Step)
+	fmt.Fprintf(&b, "  Claim 1 (commit invoked in α): %v\n", cs.CommitInvoked)
+	fmt.Fprintf(&b, "  Claim 2 (non-trivial on %s, read by %v after/before): %v/%v/%v\n",
+		cs.Step.ObjName, cs.Seeker, cs.NonTrivial, cs.SeekerReadsObjAfter, cs.SeekerReadsObjBefore)
+	return b.String()
+}
+
+// RenderValueTable renders a Figure 5 / Figure 6 panel: per-process lanes
+// with the values each transaction read and wrote, annotated with the
+// proof-forced expectations.
+func RenderValueTable(title string, exec *core.Execution, expected ExpectedReads) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if exec == nil {
+		b.WriteString("  (execution not assembled)\n")
+		return b.String()
+	}
+	ids := exec.TxIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		spec, ok := exec.Specs[id]
+		if !ok {
+			continue
+		}
+		reads := exec.ReadValues(id)
+		var cells []string
+		for _, op := range spec.Ops {
+			if op.Kind == core.OpRead {
+				got, read := reads[op.Item]
+				if !read {
+					continue
+				}
+				cell := fmt.Sprintf("%s:%d", op.Item, got)
+				if want, has := expected[id][op.Item]; has {
+					if got == want {
+						cell += "=ok"
+					} else {
+						cell += fmt.Sprintf("≠%d!", want)
+					}
+				}
+				cells = append(cells, cell)
+			}
+		}
+		var writes []string
+		for _, op := range spec.Ops {
+			if op.Kind == core.OpWrite {
+				writes = append(writes, fmt.Sprintf("%s(%d)", op.Item, op.Value))
+			}
+		}
+		fmt.Fprintf(&b, "  %-3s %-3s [%-14s] reads: %-40s writes: %s\n",
+			spec.Proc, id, exec.StatusOf(id), strings.Join(cells, " "), strings.Join(writes, " "))
+	}
+	return b.String()
+}
+
+// RenderComposition renders a Figure 3 / Figure 4 panel: the named
+// segments of the assembled schedule.
+func RenderComposition(title string, o *Outcome, prime bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if o.S1 == nil || o.S2 == nil {
+		b.WriteString("  (critical steps not located — composition impossible)\n")
+		return b.String()
+	}
+	a1, a2 := o.S1.K-1, o.S2.K-1
+	if prime {
+		fmt.Fprintf(&b, "  β′ = α1(%d steps of T1) · α2(%d steps of T2) · s2(%s) · α5(T5 solo) · α6(T6 solo) · s1(%s) · α′7(T7 solo)\n",
+			a1, a2, o.S2.Step.ObjName, o.S1.Step.ObjName)
+		fmt.Fprintf(&b, "  s′′1 response matches s1: %v\n", o.S1RespMatches)
+	} else {
+		fmt.Fprintf(&b, "  β  = α1(%d steps of T1) · α2(%d steps of T2) · s1(%s) · α3(T3 solo) · α4(T4 solo) · s2(%s) · α7(T7 solo)\n",
+			a1, a2, o.S1.Step.ObjName, o.S2.Step.ObjName)
+		fmt.Fprintf(&b, "  s′′2 response matches s2: %v\n", o.S2RespMatches)
+	}
+	return b.String()
+}
+
+// Report renders the full per-protocol report: figures, anomalies,
+// verdict.
+func (o *Outcome) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s ====\n", o.Protocol)
+	b.WriteString(RenderCriticalStep("Figure 1 — critical step s1 (T1 probed by T3 on b1):", o.S1))
+	b.WriteString(RenderCriticalStep("Figure 2 — critical step s2 (T2 probed by T5 on b2):", o.S2))
+	b.WriteString(RenderComposition("Figure 3 — execution β:", o, false))
+	b.WriteString(RenderValueTable("Figure 5 — values read in β (measured vs forced):", o.Beta, Figure5Expected()))
+	b.WriteString(RenderComposition("Figure 4 — execution β′:", o, true))
+	b.WriteString(RenderValueTable("Figure 6 — values read in β′ (measured vs forced):", o.BetaPrime, Figure6Expected()))
+	if o.Indist != nil {
+		fmt.Fprintf(&b, "α7 vs α′7 indistinguishable to p7: %v", o.Indist.Indistinguishable)
+		if !o.Indist.Indistinguishable {
+			fmt.Fprintf(&b, " (first difference: %s)", o.Indist.FirstDiff)
+		}
+		b.WriteString("\n")
+	}
+	if len(o.Anomalies) > 0 {
+		fmt.Fprintf(&b, "anomalies (%d):\n", len(o.Anomalies))
+		for _, an := range o.Anomalies {
+			fmt.Fprintf(&b, "  %s\n", an)
+		}
+	}
+	if o.Verdict != nil {
+		fmt.Fprintf(&b, "VERDICT: %s\n", o.Verdict)
+	} else {
+		b.WriteString("VERDICT: survived the construction — impossible per Theorem 4.1; check the model\n")
+	}
+	return b.String()
+}

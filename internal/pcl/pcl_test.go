@@ -1,0 +1,252 @@
+package pcl
+
+import (
+	"strings"
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/stms/portfolio"
+)
+
+func TestTransactionsMatchPaper(t *testing.T) {
+	specs := Transactions()
+	if len(specs) != 7 {
+		t.Fatalf("transactions = %d, want 7", len(specs))
+	}
+	// Conflicts exactly as the proof needs them.
+	byID := make(map[core.TxID]core.TxSpec)
+	for _, s := range specs {
+		byID[s.ID] = s
+		if int(s.Proc) != int(s.ID)-1 {
+			t.Errorf("%v runs on %v, want p%d", s.ID, s.Proc, s.ID)
+		}
+	}
+	mustConflict := [][2]core.TxID{
+		{1, 2}, // a
+		{1, 3}, // b1, b3, e1,3
+		{3, 4}, // b4, c3, e3,4
+		{2, 5}, // b2, b5, e2,5
+		{5, 6}, // b6, c5, e5,6
+		{2, 7}, // c2, e2,7
+		{1, 7}, // a, b7, c1
+		{1, 6}, // d1
+		{2, 4}, // d2
+	}
+	for _, p := range mustConflict {
+		if !core.Conflicts(byID[p[0]], byID[p[1]]) {
+			t.Errorf("T%d and T%d must conflict", p[0], p[1])
+		}
+	}
+	mustBeDisjoint := [][2]core.TxID{
+		{2, 3}, {3, 5}, {3, 6}, {3, 7}, {4, 5}, {4, 6}, {4, 7}, {5, 7}, {6, 7}, {1, 5}, {1, 4}, {2, 6}, {4, 6},
+	}
+	for _, p := range mustBeDisjoint {
+		if core.Conflicts(byID[p[0]], byID[p[1]]) {
+			t.Errorf("T%d and T%d must be disjoint", p[0], p[1])
+		}
+	}
+}
+
+// TestTheoremVerdictMatrix is the headline reproduction: every protocol in
+// the portfolio fails the construction, and each fails exactly the
+// property its design gives up — TL is blocking (L), the DSTM family and
+// the global-clock STM contend across disjoint transactions (P), and the
+// no-synchronization designs return stale values no weak-adaptive-
+// consistency witness can explain (C).
+func TestTheoremVerdictMatrix(t *testing.T) {
+	expected := map[string]Property{
+		"tl":          Liveness,
+		"dstm":        Parallelism,
+		"dstm-polite": Liveness, // the contention-manager ablation flips the corner
+		"sidstm":      Parallelism,
+		"gclock":      Parallelism,
+		"pramtm":      Consistency,
+		"naive":       Consistency,
+	}
+	for name, want := range expected {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewAdversary(proto).Run()
+		if o.Verdict == nil {
+			t.Errorf("%s survived the construction — impossible per Theorem 4.1", name)
+			continue
+		}
+		if o.Verdict.Violated != want {
+			t.Errorf("%s verdict = %v, want %v\nreport:\n%s", name, o.Verdict.Violated, want, o.Report())
+		}
+	}
+}
+
+func TestTLBlocksAtFigure1(t *testing.T) {
+	proto, err := portfolio.ByName("tl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.Verdict == nil || o.Verdict.Violated != Liveness {
+		t.Fatalf("tl verdict: %v", o.Verdict)
+	}
+	an := o.Verdict.Anomaly
+	if an.Block == nil || !an.Block.Blocked {
+		t.Errorf("tl evidence is not a blocked solo run: %v", an)
+	}
+	if !strings.Contains(an.Phase, "figure-1") {
+		t.Errorf("tl blocked in phase %q, want figure-1 (T3 spinning on T1's lock)", an.Phase)
+	}
+}
+
+func TestPramFailsConsistencyWithWACCertificate(t *testing.T) {
+	proto, err := portfolio.ByName("pramtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.Verdict == nil || o.Verdict.Violated != Consistency {
+		t.Fatalf("pramtm verdict: %v", o.Verdict)
+	}
+	dev := o.Verdict.Anomaly.Deviation
+	if dev == nil {
+		t.Fatalf("no value deviation recorded: %v", o.Verdict.Anomaly)
+	}
+	if dev.Item != "b1" || dev.Got != 0 || dev.Want != 1 {
+		t.Errorf("deviation = %v, want T3 reading b1=0 instead of 1", dev)
+	}
+	if dev.WAC.Satisfied {
+		t.Errorf("WAC checker found a witness for δ1 — the certificate is broken")
+	}
+	if dev.WAC.Exhausted {
+		t.Errorf("WAC search exhausted, certificate inconclusive")
+	}
+}
+
+func TestNaiveWalksFullConstruction(t *testing.T) {
+	proto, err := portfolio.ByName("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.S1 == nil || o.S2 == nil {
+		t.Fatalf("critical steps not located: s1=%v s2=%v", o.S1, o.S2)
+	}
+	// For the naive write-back TM the critical steps are the flushes of
+	// b1 and b2.
+	if o.S1.Step.ObjName != "val(b1)" {
+		t.Errorf("s1 on %s, want val(b1)", o.S1.Step.ObjName)
+	}
+	if o.S2.Step.ObjName != "val(b2)" {
+		t.Errorf("s2 on %s, want val(b2)", o.S2.Step.ObjName)
+	}
+	if !o.S1.CommitInvoked || !o.S2.CommitInvoked {
+		t.Errorf("Claim 1 failed: commit not invoked before the critical steps")
+	}
+	if !o.S1.NonTrivial || !o.S1.SeekerReadsObjAfter || !o.S1.SeekerReadsObjBefore {
+		t.Errorf("Claim 2 failed for s1: %+v", o.S1)
+	}
+	if o.S1.Step.Obj == o.S2.Step.Obj {
+		t.Errorf("Claim 3 failed: o1 = o2")
+	}
+	if o.Beta == nil || o.BetaPrime == nil {
+		t.Fatalf("β/β′ not assembled")
+	}
+	if !o.S2RespMatches || !o.S1RespMatches {
+		t.Errorf("s′′ responses diverged for a strictly-DAP protocol")
+	}
+	if o.Indist == nil || !o.Indist.Indistinguishable {
+		t.Errorf("α7 and α′7 must be indistinguishable to p7 for a strictly-DAP protocol: %+v", o.Indist)
+	}
+	if o.Verdict == nil || o.Verdict.Violated != Consistency {
+		t.Fatalf("naive verdict: %v", o.Verdict)
+	}
+	// The verdict's certificate must be exhaustive and negative.
+	var sawCertificate bool
+	for _, an := range o.Anomalies {
+		if an.Deviation != nil {
+			if an.Deviation.WAC.Satisfied {
+				t.Errorf("WAC witness found for %s — deviation would be benign: %v", an.Deviation.Execution, an)
+			}
+			sawCertificate = true
+		}
+	}
+	if !sawCertificate {
+		t.Errorf("no WAC certificate recorded")
+	}
+}
+
+func TestDSTMFailsParallelismAtClaim3(t *testing.T) {
+	for _, name := range []string{"dstm", "sidstm"} {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewAdversary(proto).Run()
+		if o.Verdict == nil || o.Verdict.Violated != Parallelism {
+			t.Fatalf("%s verdict: %v", name, o.Verdict)
+		}
+		v := o.Verdict.Anomaly.DAP
+		if v == nil {
+			t.Fatalf("%s: no DAP evidence: %v", name, o.Verdict.Anomaly)
+		}
+		// The contended object must be transaction metadata (a status
+		// word), not an item representation: the disjoint pair meets on a
+		// common neighbor's status.
+		if !strings.HasPrefix(v.ObjName, "status(") {
+			t.Errorf("%s: contention on %s, want a status word", name, v.ObjName)
+		}
+		pair := [2]core.TxID{v.T1, v.T2}
+		if pair != [2]core.TxID{2, 3} {
+			t.Errorf("%s: contending pair %v, want T2/T3 (the Claim 3 pair)", name, pair)
+		}
+	}
+}
+
+func TestGClockFailsParallelismOnClock(t *testing.T) {
+	proto, err := portfolio.ByName("gclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewAdversary(proto).Run()
+	if o.Verdict == nil || o.Verdict.Violated != Parallelism {
+		t.Fatalf("gclock verdict: %v", o.Verdict)
+	}
+	v := o.Verdict.Anomaly.DAP
+	if v == nil || v.ObjName != "clock" {
+		t.Errorf("gclock evidence = %v, want contention on the clock", o.Verdict.Anomaly)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	var outcomes []*Outcome
+	for _, name := range []string{"naive", "tl", "pramtm"} {
+		proto, err := portfolio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewAdversary(proto).Run()
+		if rep := o.Report(); rep == "" || !strings.Contains(rep, "VERDICT") {
+			t.Errorf("%s report incomplete", name)
+		}
+		outcomes = append(outcomes, o)
+	}
+	matrix := RenderVerdictMatrix(outcomes)
+	if !strings.Contains(matrix, "naive") || !strings.Contains(matrix, "VIOLATED") {
+		t.Errorf("matrix incomplete:\n%s", matrix)
+	}
+}
+
+func TestExpectedReadTablesMatchPaper(t *testing.T) {
+	f5 := Figure5Expected()
+	if f5[7]["a"] != 2 || f5[3]["b1"] != 1 || f5[4]["d2"] != 0 {
+		t.Errorf("Figure 5 table wrong: %v", f5)
+	}
+	f6 := Figure6Expected()
+	if f6[7]["a"] != 1 || f6[5]["b2"] != 2 || f6[6]["d1"] != 0 {
+		t.Errorf("Figure 6 table wrong: %v", f6)
+	}
+	// The contradiction: T7 reads a=2 in β but a=1 in β′ while p7 cannot
+	// distinguish them.
+	if f5[7]["a"] == f6[7]["a"] {
+		t.Errorf("the two figures must force different values for a")
+	}
+}

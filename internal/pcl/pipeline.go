@@ -1,0 +1,480 @@
+package pcl
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+)
+
+// Depth selects how far the pipeline runs; benchmarks use it to time
+// individual figures.
+type Depth int
+
+const (
+	// DepthS1 stops after the Figure 1 critical-step search.
+	DepthS1 Depth = iota
+	// DepthS2 stops after the Figure 2 search.
+	DepthS2
+	// DepthBeta stops after β is assembled and checked (Figures 3/5).
+	DepthBeta
+	// DepthFull runs everything (Figures 4/6 and indistinguishability).
+	DepthFull
+)
+
+// pipeline walks the Section-4 construction phase by phase. Phases that
+// depend on earlier results are skipped when those results are missing
+// (e.g. no critical step exists because the protocol never propagates
+// writes); everything that can be constructed is, so the figure renderers
+// get the richest possible data even for protocols that fail early.
+func (a *Adversary) pipeline(depth Depth) {
+	if !a.phaseSoloT1() {
+		return
+	}
+	if !a.phaseFigure1() || depth < DepthS2 {
+		return
+	}
+	if !a.phaseFigure2() || depth < DepthBeta {
+		return
+	}
+	a.phaseClaim3()
+	a.phaseDelta2()
+	a.phaseBeta()
+	if depth < DepthFull {
+		return
+	}
+	a.phaseBetaPrime()
+	a.phaseIndistinguishability()
+}
+
+// alpha1Len returns |α1| = K1-1 writer steps.
+func (a *Adversary) alpha1Len() int { return a.outcome.S1.K - 1 }
+
+// alpha2Len returns |α2| = K2-1 writer steps.
+func (a *Adversary) alpha2Len() int { return a.outcome.S2.K - 1 }
+
+// phaseSoloT1 runs T1 solo from the initial configuration: it must commit
+// (obstruction-freedom) reading 0 for b3 and b7 (no writer exists).
+func (a *Adversary) phaseSoloT1() bool {
+	const phase = "solo-T1"
+	exec, err := a.run(phase, machine.Schedule{machine.Solo(P1)})
+	if err != nil {
+		a.blockAnomaly(phase, err, P1, 1, "from the initial configuration")
+		return false
+	}
+	if exec.StatusOf(1) != core.TxCommitted {
+		a.abortAnomaly(phase, 1, "from the initial configuration", len(exec.Steps))
+		return false
+	}
+	ok := a.checkValues(phase, "T1's solo run", exec, ExpectedReads{1: {"b3": 0, "b7": 0}})
+	a.logf("T1 commits solo in %d steps", len(exec.Steps))
+	return ok
+}
+
+// criticalSearch locates a critical step: prefix runs of the writer's
+// process, each followed by a solo run of the seeker, scanning for the
+// first prefix length at which the seeker's read of item flips from
+// before to after. prefixSched(k) must schedule everything up to and
+// including k steps of the writer's process.
+func (a *Adversary) criticalSearch(phase string, writer, seeker core.TxID,
+	writerProc, seekerProc core.ProcID, item core.Item, before, after core.Value,
+	prefixSched func(k int) machine.Schedule, writerSoloSteps int, prefixDesc string) (*CriticalStep, bool) {
+
+	cs := &CriticalStep{
+		Writer: writer, Seeker: seeker, Item: item,
+		ValBefore: before, ValAfter: after,
+		WriterSoloSteps: writerSoloSteps,
+	}
+	probeExecs := make([]*core.Execution, writerSoloSteps+1)
+	for k := 0; k <= writerSoloSteps; k++ {
+		sched := append(prefixSched(k), machine.Solo(seekerProc))
+		exec, err := a.run(phase, sched)
+		if err != nil {
+			a.blockAnomaly(phase, err, seekerProc, seeker,
+				fmt.Sprintf("after %d solo steps of %v %s", k, writer, prefixDesc))
+			return nil, false
+		}
+		if exec.StatusOf(seeker) != core.TxCommitted {
+			a.abortAnomaly(phase, seeker,
+				fmt.Sprintf("after %d solo steps of %v %s", k, writer, prefixDesc), len(exec.Steps))
+			return nil, false
+		}
+		cs.Probes = append(cs.Probes, exec.ReadValues(seeker)[item])
+		probeExecs[k] = exec
+	}
+
+	if cs.Probes[0] != before {
+		a.deviation(phase, fmt.Sprintf("%v's solo run from %s", seeker, prefixDesc),
+			probeExecs[0], seeker, item, cs.Probes[0], before)
+		return nil, false
+	}
+	if cs.Probes[writerSoloSteps] != after {
+		// The full writer run did not become visible: the proof's case
+		// analysis shows this violates weak adaptive consistency (this is
+		// execution δ1 for the s1 search).
+		a.deviation(phase, fmt.Sprintf("δ(%v·%v)", writer, seeker),
+			probeExecs[writerSoloSteps], seeker, item, cs.Probes[writerSoloSteps], after)
+		return nil, false
+	}
+	k := -1
+	for i := 1; i <= writerSoloSteps; i++ {
+		if cs.Probes[i-1] == before && cs.Probes[i] == after {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		a.anomaly(&Anomaly{
+			Property: Consistency, Phase: phase,
+			Detail: fmt.Sprintf("no clean %d→%d flip of %s found in %v's probe sequence %v",
+				before, after, item, seeker, cs.Probes),
+		})
+		return nil, false
+	}
+	cs.K = k
+
+	// The critical step is the k-th step of the writer's process in the
+	// probe run.
+	var writerSteps []core.Step
+	for _, s := range probeExecs[k].Steps {
+		if s.Proc == writerProc {
+			writerSteps = append(writerSteps, s)
+		}
+	}
+	cs.Step = writerSteps[len(writerSteps)-1]
+	cs.NonTrivial = cs.Step.NonTrivial()
+
+	// Claim 1: the writer invoked commit within the prefix before the
+	// critical step.
+	cs.CommitInvoked = false
+	for _, s := range writerSteps[:len(writerSteps)-1] {
+		if ev := s.Event; ev != nil && ev.Txn == writer && ev.Inv && ev.Op == core.OpTryCommit {
+			cs.CommitInvoked = true
+		}
+	}
+	if !cs.CommitInvoked {
+		a.anomaly(&Anomaly{
+			Property: Consistency, Phase: phase,
+			Detail: fmt.Sprintf("Claim 1 fails: %v had not invoked commit before the critical step — "+
+				"no write serialization point can exist for it, violating weak adaptive consistency", writer),
+		})
+	}
+
+	// Claim 2: the step is non-trivial and the seeker accesses its object
+	// in both probe runs.
+	cs.SeekerReadsObjAfter = seekerTouches(probeExecs[k], seekerProc, cs.Step.Obj)
+	cs.SeekerReadsObjBefore = seekerTouches(probeExecs[k-1], seekerProc, cs.Step.Obj)
+	if !cs.NonTrivial || !cs.SeekerReadsObjAfter || !cs.SeekerReadsObjBefore {
+		a.anomaly(&Anomaly{
+			Property: Consistency, Phase: phase,
+			Detail: fmt.Sprintf("Claim 2 fails: critical step %v (non-trivial=%v, read after=%v, read before=%v) "+
+				"cannot explain the flip — the two probe runs would be indistinguishable to the seeker",
+				cs.Step, cs.NonTrivial, cs.SeekerReadsObjAfter, cs.SeekerReadsObjBefore),
+		})
+	}
+	return cs, true
+}
+
+func seekerTouches(exec *core.Execution, proc core.ProcID, obj core.ObjID) bool {
+	for _, s := range exec.Steps {
+		if s.Proc == proc && s.Prim != core.PrimEvent && s.Obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// phaseFigure1 locates s1: the first step of T1's solo run after which
+// T3's solo run reads 1 for b1 (Figure 1).
+func (a *Adversary) phaseFigure1() bool {
+	const phase = "figure-1(s1)"
+	full, err := a.run(phase, machine.Schedule{machine.Solo(P1)})
+	if err != nil {
+		a.blockAnomaly(phase, err, P1, 1, "from the initial configuration")
+		return false
+	}
+	n1 := len(full.Steps)
+	cs, ok := a.criticalSearch(phase, 1, 3, P1, P3, "b1", 0, 1,
+		func(k int) machine.Schedule { return machine.Schedule{machine.Steps(P1, k)} },
+		n1, "from the initial configuration")
+	if !ok {
+		return false
+	}
+	a.outcome.S1 = cs
+	a.logf("s1 located: %v", cs)
+
+	// T3 must also read 0 for b4 in α3 (no writer of b4 ran).
+	exec, err := a.run(phase, machine.Schedule{machine.Steps(P1, cs.K), machine.Solo(P3)})
+	if err == nil {
+		a.checkValues(phase, "α1·s1·α3", exec, ExpectedReads{3: {"b4": 0}})
+	}
+	return true
+}
+
+// phaseFigure2 locates s2 inside T2's solo run from C1⁻, probed by T5 on
+// b2 (Figure 2).
+func (a *Adversary) phaseFigure2() bool {
+	const phase = "figure-2(s2)"
+	a1 := a.alpha1Len()
+	full, err := a.run(phase, machine.Schedule{machine.Steps(P1, a1), machine.Solo(P2)})
+	if err != nil {
+		a.blockAnomaly(phase, err, P2, 2, "from C1⁻")
+		return false
+	}
+	if full.StatusOf(2) != core.TxCommitted {
+		a.abortAnomaly(phase, 2, "from C1⁻", len(full.Steps))
+		return false
+	}
+	if !a.checkValues(phase, "T2's solo run from C1⁻", full, ExpectedReads{2: {"b5": 0, "b7": 0}}) {
+		return false
+	}
+	var n2 int
+	for _, s := range full.Steps {
+		if s.Proc == P2 {
+			n2++
+		}
+	}
+	cs, ok := a.criticalSearch(phase, 2, 5, P2, P5, "b2", 0, 2,
+		func(k int) machine.Schedule {
+			return machine.Schedule{machine.Steps(P1, a1), machine.Steps(P2, k)}
+		},
+		n2, "from C1⁻")
+	if !ok {
+		return false
+	}
+	a.outcome.S2 = cs
+	a.logf("s2 located: %v", cs)
+
+	// T5 must read 0 for b6 in α5 (no writer of b6 ran).
+	exec, err := a.run(phase, machine.Schedule{
+		machine.Steps(P1, a1), machine.Steps(P2, cs.K), machine.Solo(P5),
+	})
+	if err == nil {
+		a.checkValues(phase, "α1·α2·s2·α5", exec, ExpectedReads{5: {"b6": 0}})
+	}
+	return true
+}
+
+// phaseClaim3 checks o1 ≠ o2 and probes the execution α1·α2·s′1·γ3 the
+// proof uses to derive it: this is where non-strictly-DAP protocols
+// exhibit the disjoint contention (T2 and T3 meeting on a common
+// neighbor's metadata).
+func (a *Adversary) phaseClaim3() {
+	const phase = "claim-3(o1≠o2)"
+	s1, s2 := a.outcome.S1, a.outcome.S2
+	if s1.Step.Obj == s2.Step.Obj {
+		a.anomaly(&Anomaly{
+			Property: Parallelism, Phase: phase,
+			Detail: fmt.Sprintf("o1 = o2 = %s: the proof shows s′2 after α1·α2·s1·α3 then violates strict DAP",
+				s1.Step.ObjName),
+		})
+	}
+	exec, err := a.run(phase, machine.Schedule{
+		machine.Steps(P1, a.alpha1Len()),
+		machine.Steps(P2, a.alpha2Len()),
+		machine.Steps(P1, 1), // s′1
+		machine.Solo(P3),     // γ3
+	})
+	if err != nil {
+		a.blockAnomaly(phase, err, P3, 3, "in α1·α2·s′1·γ3")
+		return
+	}
+	// s′1 must equal s1 (same primitive, object, response) when strict
+	// DAP holds; a mismatch is itself parallelism evidence.
+	sp1 := stepOfProcAt(exec, P1, a.alpha1Len()+1)
+	if !sameStep(sp1, s1.Step) {
+		a.anomaly(&Anomaly{
+			Property: Parallelism, Phase: phase,
+			Detail: fmt.Sprintf("s′1 = %v differs from s1 = %v: α2 changed state s1 depends on, "+
+				"which strict DAP forbids for the disjoint pair T2/T3", sp1, s1.Step),
+		})
+	}
+	a.logf("claim-3 probe ran: o1=%s o2=%s", s1.Step.ObjName, s2.Step.ObjName)
+}
+
+// phaseDelta2 builds δ2 = α1·α2·s1·α3·α4·α′5 and applies the proof's
+// value checks: T4 reads 0 for d2 (T2 ∉ com) and 1 for c3, T5 reads 0 for
+// b2 and T3 reads 1 for b1 (Claim 4's groundwork).
+func (a *Adversary) phaseDelta2() {
+	const phase = "delta-2(T4)"
+	exec, err := a.run(phase, machine.Schedule{
+		machine.Steps(P1, a.alpha1Len()),
+		machine.Steps(P2, a.alpha2Len()),
+		machine.Steps(P1, 1), // s1
+		machine.Solo(P3),     // α3
+		machine.Solo(P4),     // α4
+		machine.Solo(P5),     // α′5
+	})
+	if err != nil {
+		a.blockAnomaly(phase, err, P5, 5, "in δ2 = α1·α2·s1·α3·α4·α′5")
+		return
+	}
+	a.checkValues(phase, "δ2", exec, ExpectedReads{
+		3: {"b1": 1, "b4": 0},
+		4: {"d2": 0, "c3": 1},
+		5: {"b2": 0},
+	})
+}
+
+// betaSchedule is β = α1·α2·s1·α3·α4·s2·α7 (Figure 3).
+func (a *Adversary) betaSchedule() machine.Schedule {
+	return machine.Schedule{
+		machine.Steps(P1, a.alpha1Len()),
+		machine.Steps(P2, a.alpha2Len()),
+		machine.Steps(P1, 1), // s1
+		machine.Solo(P3),     // α3
+		machine.Solo(P4),     // α4
+		machine.Steps(P2, 1), // s′′2
+		machine.Solo(P7),     // α7
+	}
+}
+
+// betaPrimeSchedule is β′ = α1·α2·s2·α5·α6·s1·α′7 (Figure 4).
+func (a *Adversary) betaPrimeSchedule() machine.Schedule {
+	return machine.Schedule{
+		machine.Steps(P1, a.alpha1Len()),
+		machine.Steps(P2, a.alpha2Len()),
+		machine.Steps(P2, 1), // s2
+		machine.Solo(P5),     // α5
+		machine.Solo(P6),     // α6
+		machine.Steps(P1, 1), // s′′1
+		machine.Solo(P7),     // α′7
+	}
+}
+
+// phaseBeta assembles β and applies the Figure 5 value table.
+func (a *Adversary) phaseBeta() {
+	const phase = "beta(F3/F5)"
+	exec, err := a.run(phase, a.betaSchedule())
+	a.outcome.Beta = exec
+	if err != nil {
+		a.blockAnomaly(phase, err, P7, 7, "in β")
+		return
+	}
+	// s′′2 = s2: same primitive, object and response (the proof derives
+	// this from strict DAP via δ2).
+	sp2 := stepOfProcAt(exec, P2, a.alpha2Len()+1)
+	a.outcome.S2RespMatches = sameStep(sp2, a.outcome.S2.Step)
+	if !a.outcome.S2RespMatches {
+		a.anomaly(&Anomaly{
+			Property: Parallelism, Phase: phase,
+			Detail: fmt.Sprintf("s′′2 = %v differs from s2 = %v: α3·α4 changed state s2 depends on, "+
+				"which strict DAP forbids (T5 is disjoint from T3 and T4)", sp2, a.outcome.S2.Step),
+		})
+	}
+	a.checkValues(phase, "β", exec, Figure5Expected())
+	a.logf("β assembled: %d steps", len(exec.Steps))
+}
+
+// phaseBetaPrime assembles β′ and applies the Figure 6 value table.
+func (a *Adversary) phaseBetaPrime() {
+	const phase = "beta'(F4/F6)"
+	exec, err := a.run(phase, a.betaPrimeSchedule())
+	a.outcome.BetaPrime = exec
+	if err != nil {
+		a.blockAnomaly(phase, err, P7, 7, "in β′")
+		return
+	}
+	sp1 := stepOfProcAt(exec, P1, a.alpha1Len()+1)
+	a.outcome.S1RespMatches = sameStep(sp1, a.outcome.S1.Step)
+	if !a.outcome.S1RespMatches {
+		a.anomaly(&Anomaly{
+			Property: Parallelism, Phase: phase,
+			Detail: fmt.Sprintf("s′′1 = %v differs from s1 = %v: α5·α6 changed state s1 depends on, "+
+				"which strict DAP forbids (T3 is disjoint from T5 and T6)", sp1, a.outcome.S1.Step),
+		})
+	}
+	a.checkValues(phase, "β′", exec, Figure6Expected())
+	a.logf("β′ assembled: %d steps", len(exec.Steps))
+}
+
+// phaseIndistinguishability compares p7's step sequences in β and β′.
+func (a *Adversary) phaseIndistinguishability() {
+	const phase = "indistinguishability(α7/α′7)"
+	if a.outcome.Beta == nil || a.outcome.BetaPrime == nil {
+		return
+	}
+	rep := compareProcSteps(a.outcome.Beta, a.outcome.BetaPrime, P7)
+	a.outcome.Indist = rep
+	a.logf("α7 vs α′7: indistinguishable=%v over %d steps", rep.Indistinguishable, rep.Steps)
+	// When the steps are indistinguishable, T7 reads the same value for
+	// data item a in both — so at most one of the Figure 5 / Figure 6
+	// tables can hold, which is the theorem's contradiction. The value
+	// checks above have already recorded it as a deviation; nothing to
+	// add here. A distinguishable pair, by the proof's argument, means s1
+	// and s2 interacted through shared state, which the DAP checks have
+	// already flagged.
+}
+
+// stepOfProcAt returns the n-th step (1-based) taken by proc in exec.
+func stepOfProcAt(exec *core.Execution, proc core.ProcID, n int) core.Step {
+	count := 0
+	for _, s := range exec.Steps {
+		if s.Proc == proc {
+			count++
+			if count == n {
+				return s
+			}
+		}
+	}
+	return core.Step{Index: -1}
+}
+
+// sameStep compares two steps up to position: primitive, object,
+// arguments and response.
+func sameStep(a, b core.Step) bool {
+	if a.Prim != b.Prim || a.Obj != b.Obj || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return a.Resp == b.Resp
+}
+
+// compareProcSteps checks indistinguishability of two executions to one
+// process: the same steps with the same responses, in the same order.
+func compareProcSteps(e1, e2 *core.Execution, proc core.ProcID) *IndistReport {
+	s1 := procSteps(e1, proc)
+	s2 := procSteps(e2, proc)
+	rep := &IndistReport{Indistinguishable: true, Steps: len(s1)}
+	n := len(s1)
+	if len(s2) < n {
+		n = len(s2)
+	}
+	for i := 0; i < n; i++ {
+		if !sameStep(s1[i], s2[i]) || !sameEvent(s1[i].Event, s2[i].Event) {
+			rep.Indistinguishable = false
+			rep.FirstDiff = fmt.Sprintf("step %d: %v vs %v", i, s1[i], s2[i])
+			return rep
+		}
+	}
+	if len(s1) != len(s2) {
+		rep.Indistinguishable = false
+		rep.FirstDiff = fmt.Sprintf("step counts differ: %d vs %d", len(s1), len(s2))
+	}
+	return rep
+}
+
+func sameEvent(a, b *core.Event) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Op == b.Op && a.Inv == b.Inv && a.Item == b.Item &&
+		a.Value == b.Value && a.Status == b.Status
+}
+
+func procSteps(e *core.Execution, proc core.ProcID) []core.Step {
+	var out []core.Step
+	for _, s := range e.Steps {
+		if s.Proc == proc {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package pcl mechanizes Section 4 of the paper: the adversarial
+// construction behind Theorem 4.1 (the PCL theorem). Given any TM protocol
+// plugged into the deterministic machine, the adversary
+//
+//   - runs the paper's seven static transactions T1..T7,
+//   - locates the critical steps s1 and s2 by replaying solo-run prefixes
+//     (Figures 1 and 2),
+//   - assembles the executions β = α1·α2·s1·α3·α4·s2·α7 and
+//     β′ = α1·α2·s2·α5·α6·s1·α′7 (Figures 3 and 4),
+//   - checks Claims 1–5 and the read-value tables of Figures 5 and 6,
+//   - compares p7's steps in β and β′ for indistinguishability,
+//
+// and — because the theorem says no TM can survive all of it — reports
+// which of Parallelism (strict disjoint-access-parallelism), Consistency
+// (weak adaptive consistency) or Liveness (obstruction-freedom) the
+// protocol violates, with machine-checked evidence: a blocked or aborted
+// solo run, a contention between disjoint transactions, or a read-value
+// deviation certified by the exhaustive WAC checker finding no witness.
+package pcl
+
+import "pcltm/internal/core"
+
+// Process assignments: T_k runs on process p_k (0-indexed ProcID k-1).
+const (
+	P1 = core.ProcID(0)
+	P2 = core.ProcID(1)
+	P3 = core.ProcID(2)
+	P4 = core.ProcID(3)
+	P5 = core.ProcID(4)
+	P6 = core.ProcID(5)
+	P7 = core.ProcID(6)
+)
+
+// Transactions returns the seven static transactions of the proof,
+// verbatim from Section 4 (initial value of every item is 0):
+//
+//	T1@p1: reads b3, b7;  writes 1 to a, b1, c1, d1, e1,3
+//	T2@p2: reads b5, b7;  writes 2 to a, b2, c2, d2, e2,5, e2,7
+//	T3@p3: reads b1, b4;  writes 1 to b3, c3, e1,3, e3,4
+//	T4@p4: reads d2, c3;  writes 1 to b4, e3,4
+//	T5@p5: reads b2, b6;  writes 1 to b5, c5, e2,5, e5,6
+//	T6@p6: reads d1, c5;  writes 1 to b6, e5,6
+//	T7@p7: reads a, c1, c2; writes 1 to b7, e2,7
+func Transactions() []core.TxSpec {
+	return []core.TxSpec{
+		{ID: 1, Proc: P1, Ops: []core.TxOp{
+			core.R("b3"), core.R("b7"),
+			core.W("a", 1), core.W("b1", 1), core.W("c1", 1), core.W("d1", 1), core.W("e1,3", 1),
+		}},
+		{ID: 2, Proc: P2, Ops: []core.TxOp{
+			core.R("b5"), core.R("b7"),
+			core.W("a", 2), core.W("b2", 2), core.W("c2", 2), core.W("d2", 2), core.W("e2,5", 2), core.W("e2,7", 2),
+		}},
+		{ID: 3, Proc: P3, Ops: []core.TxOp{
+			core.R("b1"), core.R("b4"),
+			core.W("b3", 1), core.W("c3", 1), core.W("e1,3", 1), core.W("e3,4", 1),
+		}},
+		{ID: 4, Proc: P4, Ops: []core.TxOp{
+			core.R("d2"), core.R("c3"),
+			core.W("b4", 1), core.W("e3,4", 1),
+		}},
+		{ID: 5, Proc: P5, Ops: []core.TxOp{
+			core.R("b2"), core.R("b6"),
+			core.W("b5", 1), core.W("c5", 1), core.W("e2,5", 1), core.W("e5,6", 1),
+		}},
+		{ID: 6, Proc: P6, Ops: []core.TxOp{
+			core.R("d1"), core.R("c5"),
+			core.W("b6", 1), core.W("e5,6", 1),
+		}},
+		{ID: 7, Proc: P7, Ops: []core.TxOp{
+			core.R("a"), core.R("c1"), core.R("c2"),
+			core.W("b7", 1), core.W("e2,7", 1),
+		}},
+	}
+}
+
+// ExpectedReads holds the read values weak adaptive consistency forces in
+// an execution, keyed by transaction and item — the content of the paper's
+// Figures 5 and 6.
+type ExpectedReads map[core.TxID]map[core.Item]core.Value
+
+// Figure5Expected are the values the proof forces in β (Figure 5).
+func Figure5Expected() ExpectedReads {
+	return ExpectedReads{
+		1: {"b3": 0, "b7": 0},
+		2: {"b5": 0, "b7": 0},
+		3: {"b1": 1, "b4": 0},
+		4: {"d2": 0, "c3": 1},
+		7: {"a": 2, "c1": 1, "c2": 2},
+	}
+}
+
+// Figure6Expected are the values the proof forces in β′ (Figure 6).
+func Figure6Expected() ExpectedReads {
+	return ExpectedReads{
+		1: {"b3": 0, "b7": 0},
+		2: {"b5": 0, "b7": 0},
+		5: {"b2": 2, "b6": 0},
+		6: {"d1": 0, "c5": 1},
+		7: {"a": 1, "c1": 1, "c2": 2},
+	}
+}

@@ -1,0 +1,127 @@
+package pcl
+
+import (
+	"fmt"
+	"strings"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+)
+
+// Property names the corner of the PCL triangle an anomaly violates.
+type Property int
+
+const (
+	// Parallelism is strict disjoint-access-parallelism.
+	Parallelism Property = iota
+	// Consistency is weak adaptive consistency.
+	Consistency
+	// Liveness is obstruction-freedom.
+	Liveness
+)
+
+var propertyNames = [...]string{"Parallelism (strict DAP)", "Consistency (weak adaptive)", "Liveness (obstruction-freedom)"}
+
+func (p Property) String() string {
+	if p < 0 || int(p) >= len(propertyNames) {
+		return fmt.Sprintf("property(%d)", int(p))
+	}
+	return propertyNames[p]
+}
+
+// Short returns the one-letter tag used in the verdict matrix.
+func (p Property) Short() string { return [...]string{"P", "C", "L"}[p] }
+
+// BlockEvidence documents a Liveness violation: a solo run that aborted or
+// exhausted its step budget.
+type BlockEvidence struct {
+	// Proc is the process that ran solo.
+	Proc core.ProcID
+	// Txn is the transaction that failed to commit.
+	Txn core.TxID
+	// PrefixDesc describes the configuration the solo run started from.
+	PrefixDesc string
+	// Blocked is true for budget exhaustion, false for an abort.
+	Blocked bool
+	// Steps is the number of steps the solo run took.
+	Steps int
+}
+
+func (b *BlockEvidence) String() string {
+	what := "aborted"
+	if b.Blocked {
+		what = fmt.Sprintf("exhausted its %d-step budget", b.Steps)
+	}
+	return fmt.Sprintf("%s run solo %s %s — a solo transaction must commit under obstruction-freedom",
+		b.Txn, b.PrefixDesc, what)
+}
+
+// ValueDeviation documents a Consistency violation: a read returned a
+// value other than the one the proof forces, and the exhaustive weak
+// adaptive consistency check of the execution found no witness.
+type ValueDeviation struct {
+	// Execution names the construction execution (δ1, β, β′, ...).
+	Execution string
+	// Txn and Item locate the deviating read.
+	Txn  core.TxID
+	Item core.Item
+	// Got is the value read; Want the value the proof forces.
+	Got, Want core.Value
+	// WAC is the checker result on the execution (Satisfied=false is the
+	// certificate; Satisfied=true would mean the deviation is benign).
+	WAC consistency.Result
+}
+
+func (v *ValueDeviation) String() string {
+	cert := "WAC checker found no witness"
+	if v.WAC.Satisfied {
+		cert = "WAC checker found a witness (deviation benign)"
+	}
+	return fmt.Sprintf("in %s, %s read %s=%d where the proof forces %d; %s (%d configs, %d nodes)",
+		v.Execution, v.Txn, v.Item, v.Got, v.Want, cert, v.WAC.Configs, v.WAC.Nodes)
+}
+
+// Anomaly is one observed property violation with its evidence.
+type Anomaly struct {
+	// Property is the violated corner.
+	Property Property
+	// Phase names the construction phase that observed it.
+	Phase string
+	// Detail is a one-line human-readable description.
+	Detail string
+	// DAP is set for Parallelism anomalies.
+	DAP *dap.Violation
+	// Block is set for Liveness anomalies.
+	Block *BlockEvidence
+	// Deviation is set for Consistency anomalies.
+	Deviation *ValueDeviation
+}
+
+func (a *Anomaly) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s: %s", a.Property.Short(), a.Phase, a.Detail)
+	switch {
+	case a.DAP != nil:
+		fmt.Fprintf(&b, "\n    %s", a.DAP)
+	case a.Block != nil:
+		fmt.Fprintf(&b, "\n    %s", a.Block)
+	case a.Deviation != nil:
+		fmt.Fprintf(&b, "\n    %s", a.Deviation)
+	}
+	return b.String()
+}
+
+// Verdict is the adversary's conclusion for one protocol.
+type Verdict struct {
+	// Protocol names the TM.
+	Protocol string
+	// Violated is the property of the first anomaly.
+	Violated Property
+	// Anomaly is that first anomaly.
+	Anomaly *Anomaly
+}
+
+func (v *Verdict) String() string {
+	return fmt.Sprintf("%s violates %s\n  %s", v.Protocol, v.Violated, v.Anomaly)
+}

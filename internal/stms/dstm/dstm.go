@@ -1,0 +1,207 @@
+// Package dstm implements an obstruction-free DSTM-style TM (Herlihy,
+// Luchangco, Moir, Scherer): per-item locators naming an owner transaction
+// and old/new values, per-transaction status words, an aggressive
+// contention manager that aborts encountered owners, invisible reads with
+// commit-time validation, and a single-CAS commit on the status word.
+//
+// P/C/L position: obstruction-free (solo runs always commit; a transaction
+// aborts only after another process took steps) and consistent
+// (serializable on the recorded executions), but not strictly
+// disjoint-access-parallel: any transaction touching an item owned by T
+// reads — and, to abort T, CASes — T's status word. Two transactions that
+// are disjoint at the item level therefore contend on the status word of a
+// common neighbor, which is precisely where the PCL adversary catches it
+// (the T2/T3 contention on status(T1) in Claim 3's probe execution). The
+// contention always follows conflict-graph chains, so the weaker
+// chain-DAP of the paper's companion design [11] is satisfied.
+package dstm
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// Transaction status word values.
+const (
+	active    int64 = 0
+	committed int64 = 1
+	aborted   int64 = 2
+)
+
+// locator is the per-item ownership record: the owning transaction and the
+// item's value before/after that owner. It is a comparable value, so a
+// single CAS switches ownership atomically.
+type locator struct {
+	owner    core.TxID
+	old, new core.Value
+}
+
+// Protocol is the DSTM-style obstruction-free TM. Polite selects the
+// contention-manager ablation: instead of aborting an encountered active
+// owner (the aggressive manager obstruction-freedom requires), a polite
+// transaction waits for it — which turns the design into a blocking one
+// and flips its PCL verdict from Parallelism to Liveness. The ablation
+// demonstrates that the contention manager, not the locator machinery,
+// is what buys DSTM its liveness corner.
+type Protocol struct {
+	// Polite switches the contention manager from abort-the-enemy to
+	// wait-for-the-enemy.
+	Polite bool
+}
+
+// Name implements stms.Protocol.
+func (p Protocol) Name() string {
+	if p.Polite {
+		return "dstm-polite"
+	}
+	return "dstm"
+}
+
+// Description implements stms.Protocol.
+func (p Protocol) Description() string {
+	if p.Polite {
+		return "DSTM with a waiting contention manager: P becomes moot, fails L (blocking)"
+	}
+	return "DSTM-style locators + status CAS: C+L, fails strict DAP (status contention)"
+}
+
+type instance struct {
+	loc    map[core.Item]core.ObjID
+	status map[core.TxID]core.ObjID
+	polite bool
+}
+
+// New implements stms.Protocol.
+func (p Protocol) New(m *machine.Machine, specs []core.TxSpec) stms.Instance {
+	return &instance{
+		loc:    stms.ItemObjects(m, specs, "loc", func(core.Item) any { return locator{} }),
+		status: stms.TxObjects(m, specs, "status", active),
+		polite: p.Polite,
+	}
+}
+
+// Txn implements stms.Instance.
+func (i *instance) Txn(ctx *machine.Ctx, spec core.TxSpec) stms.TxOps {
+	return &txn{inst: i, ctx: ctx, self: spec.ID}
+}
+
+type txn struct {
+	inst *instance
+	ctx  *machine.Ctx
+	self core.TxID
+	// reads records (item, observed locator) pairs for commit validation.
+	reads []readRecord
+}
+
+type readRecord struct {
+	item core.Item
+	seen locator
+}
+
+// currentValue resolves a locator to the item's current value: the new
+// value if the owner committed (or there is no owner), the old value if it
+// aborted. ok=false means the owner is still active and must be dealt
+// with first.
+func (t *txn) currentValue(l locator) (core.Value, bool) {
+	if l.owner == core.NoTx || l.owner == t.self {
+		return l.new, true
+	}
+	switch t.ctx.Read(t.inst.status[l.owner]).(int64) {
+	case committed:
+		return l.new, true
+	case aborted:
+		return l.old, true
+	default:
+		return 0, false
+	}
+}
+
+// abortOwner resolves an encountered active owner. The aggressive manager
+// CASes it to aborted; the polite ablation just re-reads (spinning on the
+// caller's loop) until the owner decides — which blocks forever if the
+// owner is parked, surrendering obstruction-freedom.
+func (t *txn) abortOwner(owner core.TxID) {
+	if t.inst.polite {
+		return // caller's loop re-reads the status: wait, don't fight
+	}
+	t.ctx.CAS(t.inst.status[owner], active, aborted)
+}
+
+// Read resolves the item's current value invisibly and records the
+// observed locator for commit-time validation. Encountered active owners
+// are aborted first (obstruction-freedom permits this: the owner has taken
+// steps during our interval).
+func (t *txn) Read(x core.Item) (core.Value, bool) {
+	for {
+		l := t.ctx.Read(t.inst.loc[x]).(locator)
+		if l.owner == t.self {
+			return l.new, true // own write: local read, not validated
+		}
+		v, ok := t.currentValue(l)
+		if !ok {
+			t.abortOwner(l.owner)
+			continue
+		}
+		t.reads = append(t.reads, readRecord{x, l})
+		return v, true
+	}
+}
+
+// Write acquires ownership of the item's locator by CAS, aborting any
+// active owner it encounters. Read records for the item are refreshed to
+// the acquired locator: ownership now guards the earlier read, and a later
+// steal changes the locator and fails validation, exactly as before.
+func (t *txn) Write(x core.Item, v core.Value) bool {
+	for {
+		l := t.ctx.Read(t.inst.loc[x]).(locator)
+		if l.owner == t.self {
+			nl := locator{t.self, l.old, v}
+			if t.ctx.CAS(t.inst.loc[x], l, nl) {
+				t.refreshReads(x, l, nl)
+				return true
+			}
+			continue
+		}
+		cur, ok := t.currentValue(l)
+		if !ok {
+			t.abortOwner(l.owner)
+			continue
+		}
+		nl := locator{t.self, cur, v}
+		if t.ctx.CAS(t.inst.loc[x], l, nl) {
+			t.refreshReads(x, l, nl)
+			return true
+		}
+	}
+}
+
+// refreshReads re-anchors the validation records of an item this
+// transaction now owns — but only records whose observed locator survived
+// until the acquisition. A record whose locator had already changed stays
+// stale on purpose: commit validation will then see our own locator
+// instead of the recorded one and abort, which is exactly the
+// read-invalidation DSTM requires (the read no longer reflects the
+// current committed state).
+func (t *txn) refreshReads(x core.Item, replaced, nl locator) {
+	for i := range t.reads {
+		if t.reads[i].item == x && t.reads[i].seen == replaced {
+			t.reads[i].seen = nl
+		}
+	}
+}
+
+// Commit validates the read set (the observed locators must be unchanged)
+// and then tries the single-step status CAS. A transaction that was
+// aborted by an enemy, or whose reads were invalidated, returns false —
+// both can only happen after another process took steps.
+func (t *txn) Commit() bool {
+	for _, r := range t.reads {
+		l := t.ctx.Read(t.inst.loc[r.item]).(locator)
+		if l != r.seen {
+			t.ctx.CAS(t.inst.status[t.self], active, aborted)
+			return false
+		}
+	}
+	return t.ctx.CAS(t.inst.status[t.self], active, committed)
+}

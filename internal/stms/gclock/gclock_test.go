@@ -1,0 +1,122 @@
+package gclock
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+func bundle(specs []core.TxSpec) *stms.Bundle {
+	return &stms.Bundle{Protocol: Protocol{}, Specs: specs}
+}
+
+func TestEveryTransactionReadsClockAtBegin(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x")}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("y", 1)}},
+	}
+	b := bundle(specs)
+	exec, err := b.Run(machine.Schedule{machine.Solo(0), machine.Solo(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := map[core.TxID]bool{}
+	for _, s := range exec.Steps {
+		if s.ObjName == "clock" && s.Prim == core.PrimRead {
+			reads[s.Txn] = true
+		}
+	}
+	if !reads[1] || !reads[2] {
+		t.Errorf("clock begin-reads missing: %v", reads)
+	}
+}
+
+func TestReadOnlyCommitSkipsClockIncrement(t *testing.T) {
+	specs := []core.TxSpec{{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.R("y")}}}
+	b := bundle(specs)
+	exec, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range exec.Steps {
+		if s.Prim == core.PrimFAA {
+			t.Errorf("read-only transaction incremented the clock: %v", s)
+		}
+	}
+	if exec.StatusOf(1) != core.TxCommitted {
+		t.Errorf("read-only txn = %v", exec.StatusOf(1))
+	}
+}
+
+func TestWriterStampsNewVersion(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 5)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 7)}},
+	}
+	b := bundle(specs)
+	m := b.Build()
+	defer m.Close()
+	if err := machine.RunSchedule(m, machine.Schedule{machine.Solo(0), machine.Solo(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// The final stamped value must be {7, 2}: second committer, version 2.
+	var last vv
+	for _, s := range m.Steps() {
+		if s.ObjName == "item(x)" && s.Prim == core.PrimWrite {
+			last = s.Args[0].(vv)
+		}
+	}
+	if last.val != 7 || last.ver != 2 {
+		t.Errorf("final item(x) = %+v, want {7 2}", last)
+	}
+}
+
+func TestReaderAbortsOnNewerVersion(t *testing.T) {
+	// T1 begins (snapshot rv=0) and stalls; T2 commits x with version 1;
+	// T1 then reads x, sees ver 1 > rv 0 and must abort — an abort that
+	// required T2's concurrent steps, so obstruction-freedom is intact.
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x")}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 9)}},
+	}
+	b := bundle(specs)
+	exec, err := b.Run(machine.Schedule{
+		machine.Steps(0, 3), // begin events + clock read
+		machine.Solo(1),
+		machine.Solo(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.StatusOf(1) != core.TxAborted {
+		t.Errorf("T1 = %v, want aborted (snapshot too old)", exec.StatusOf(1))
+	}
+	if exec.StatusOf(2) != core.TxCommitted {
+		t.Errorf("T2 = %v", exec.StatusOf(2))
+	}
+}
+
+func TestSequentialReadersSeeCommittedSnapshot(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.W("y", 2)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.R("y")}},
+	}
+	b := bundle(specs)
+	exec, err := b.Run(machine.Schedule{machine.Solo(0), machine.Solo(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := exec.ReadValues(2)
+	if rv["x"] != 1 || rv["y"] != 2 {
+		t.Errorf("reader saw %v, want x=1 y=2", rv)
+	}
+}
+
+func TestDescription(t *testing.T) {
+	p := Protocol{}
+	if p.Name() != "gclock" || p.Description() == "" {
+		t.Errorf("metadata wrong")
+	}
+}

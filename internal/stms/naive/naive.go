@@ -1,0 +1,77 @@
+// Package naive implements the simplest deferred-update TM: writes are
+// buffered locally and flushed to per-item registers at commit, reads take
+// the current register value, and commit always succeeds.
+//
+// P/C/L position: strictly disjoint-access-parallel (only the
+// transaction's own items' registers are ever touched) and trivially
+// obstruction-free (no waiting, no aborts) — so by the PCL theorem its
+// consistency must fail, and it does: half-flushed commits are visible,
+// which the adversary's Figure-5/6 value checks expose as a weak adaptive
+// consistency violation.
+package naive
+
+import (
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// Protocol is the naive deferred-update TM.
+type Protocol struct{}
+
+// Name implements stms.Protocol.
+func (Protocol) Name() string { return "naive" }
+
+// Description implements stms.Protocol.
+func (Protocol) Description() string {
+	return "deferred update, unguarded commit write-back: P+L, fails C"
+}
+
+type instance struct {
+	val map[core.Item]core.ObjID
+}
+
+// New implements stms.Protocol.
+func (Protocol) New(m *machine.Machine, specs []core.TxSpec) stms.Instance {
+	return &instance{
+		val: stms.ItemObjects(m, specs, "val", func(core.Item) any { return core.InitialValue }),
+	}
+}
+
+// Txn implements stms.Instance.
+func (i *instance) Txn(ctx *machine.Ctx, spec core.TxSpec) stms.TxOps {
+	return &txn{inst: i, ctx: ctx, buf: make(map[core.Item]core.Value)}
+}
+
+type txn struct {
+	inst  *instance
+	ctx   *machine.Ctx
+	buf   map[core.Item]core.Value
+	order []core.Item // first-write order, the commit flush order
+}
+
+// Read returns the buffered value for items this transaction wrote, and
+// the shared register's current value otherwise.
+func (t *txn) Read(x core.Item) (core.Value, bool) {
+	if v, ok := t.buf[x]; ok {
+		return v, true
+	}
+	return t.ctx.Read(t.inst.val[x]).(core.Value), true
+}
+
+// Write buffers the value locally; no shared step is taken.
+func (t *txn) Write(x core.Item, v core.Value) bool {
+	if _, ok := t.buf[x]; !ok {
+		t.order = append(t.order, x)
+	}
+	t.buf[x] = v
+	return true
+}
+
+// Commit flushes the write buffer in first-write order. It cannot fail.
+func (t *txn) Commit() bool {
+	for _, x := range t.order {
+		t.ctx.Write(t.inst.val[x], t.buf[x])
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+// Package portfolio registers the simulated TM protocols spanning the
+// corners of the PCL triangle, for use by the adversary harness, the CLI
+// tools and the benchmarks.
+package portfolio
+
+import (
+	"fmt"
+
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/dstm"
+	"pcltm/internal/stms/gclock"
+	"pcltm/internal/stms/naive"
+	"pcltm/internal/stms/pramtm"
+	"pcltm/internal/stms/sidstm"
+	"pcltm/internal/stms/tl"
+)
+
+// All returns every protocol in the portfolio, in presentation order.
+// dstm appears twice: with the aggressive contention manager
+// obstruction-freedom requires, and with the "polite" waiting manager —
+// the ablation that flips its PCL verdict from Parallelism to Liveness.
+func All() []stms.Protocol {
+	return []stms.Protocol{
+		tl.Protocol{},
+		dstm.Protocol{},
+		dstm.Protocol{Polite: true},
+		sidstm.Protocol{},
+		gclock.Protocol{},
+		pramtm.Protocol{},
+		naive.Protocol{},
+	}
+}
+
+// ByName looks a protocol up by its Name.
+func ByName(name string) (stms.Protocol, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("portfolio: unknown protocol %q", name)
+}
+
+// Names lists the protocol names in presentation order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name()
+	}
+	return names
+}

@@ -1,0 +1,400 @@
+package portfolio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+	"pcltm/internal/history"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/dstm"
+	"pcltm/internal/stms/gclock"
+	"pcltm/internal/stms/pramtm"
+	"pcltm/internal/stms/tl"
+)
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 7 {
+		t.Fatalf("portfolio size = %d, want 7", len(All()))
+	}
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+		if p.Description() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Errorf("ByName accepted an unknown protocol")
+	}
+}
+
+// soloSpec is a small read-modify-write transaction.
+func soloSpec(id core.TxID, p core.ProcID) core.TxSpec {
+	return core.TxSpec{ID: id, Proc: p, Ops: []core.TxOp{
+		core.R("x"), core.W("x", core.Value(id)*10), core.W("y", core.Value(id)),
+	}}
+}
+
+func TestSoloRunsCommitEverywhere(t *testing.T) {
+	for _, p := range All() {
+		b := &stms.Bundle{Protocol: p, Specs: []core.TxSpec{soloSpec(1, 0)}}
+		exec, err := b.Run(machine.Schedule{machine.Solo(0)})
+		if err != nil {
+			t.Errorf("%s: solo run failed: %v", p.Name(), err)
+			continue
+		}
+		if got := exec.StatusOf(1); got != core.TxCommitted {
+			t.Errorf("%s: solo txn status = %v, want committed (obstruction-freedom)", p.Name(), got)
+		}
+		if v := exec.ReadValues(1)["x"]; v != 0 {
+			t.Errorf("%s: solo read of fresh item = %d, want 0", p.Name(), v)
+		}
+		if werr := history.CheckWellFormed(exec); werr != nil {
+			t.Errorf("%s: history not well-formed: %v", p.Name(), werr)
+		}
+		v := history.FromExecution(exec)
+		if !consistency.StrictlySerializable(v).Satisfied {
+			t.Errorf("%s: solo execution not strictly serializable", p.Name())
+		}
+	}
+}
+
+// sequentialSpecs: T1 then T2 on different processes, conflicting on x.
+func sequentialSpecs() []core.TxSpec {
+	return []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 7)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.W("y", 1)}},
+	}
+}
+
+func TestSequentialVisibility(t *testing.T) {
+	sched := machine.Schedule{machine.Solo(0), machine.Solo(1)}
+	for _, p := range All() {
+		b := &stms.Bundle{Protocol: p, Specs: sequentialSpecs()}
+		exec, err := b.Run(sched)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+			continue
+		}
+		got := exec.ReadValues(2)["x"]
+		want := core.Value(7)
+		if p.Name() == "pramtm" {
+			want = 0 // replicas never propagate across processes
+		}
+		if got != want {
+			t.Errorf("%s: T2 read x=%d, want %d", p.Name(), got, want)
+		}
+	}
+}
+
+func TestPramSameProcessVisibility(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 7)}},
+		{ID: 2, Proc: 0, Ops: []core.TxOp{core.R("x")}},
+	}
+	b := &stms.Bundle{Protocol: pramtm.Protocol{}, Specs: specs}
+	exec, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.ReadValues(2)["x"]; got != 7 {
+		t.Errorf("same-process read x=%d, want 7 (reads own replica)", got)
+	}
+	v := history.FromExecution(exec)
+	if !consistency.PRAMConsistent(v).Satisfied {
+		t.Errorf("pramtm execution not PRAM-consistent")
+	}
+}
+
+// TestTLBlocksMidCommit reproduces the TL liveness failure: T1 stops while
+// holding its commit locks; a conflicting T2 solo run spins into its
+// budget.
+func TestTLBlocksMidCommit(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x")}},
+	}
+	b := &stms.Bundle{Protocol: tl.Protocol{}, Specs: specs}
+
+	// Find T1's total solo step count, then replay prefixes until one
+	// blocks T2.
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(full.Steps)
+	blocked := false
+	for k := 1; k < n1; k++ {
+		_, err := b.Run(machine.Schedule{
+			machine.Steps(0, k),
+			{Proc: 1, Stop: machine.UntilDone, Budget: 2000},
+		})
+		var be *machine.BudgetError
+		if errors.As(err, &be) {
+			blocked = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error at prefix %d: %v", k, err)
+		}
+	}
+	if !blocked {
+		t.Errorf("no prefix of T1 blocked T2: TL should be blocking mid-commit")
+	}
+}
+
+// TestDSTMEnemyAbort: T1 opens x and stops; T2 writes x solo (aborting T1)
+// and commits; T1 resumes and must abort — legal under obstruction-freedom
+// because T2 took steps during T1's interval.
+func TestDSTMEnemyAbort(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.W("z", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 2)}},
+	}
+	b := &stms.Bundle{Protocol: dstm.Protocol{}, Specs: specs}
+	// T1 takes enough steps to acquire x's locator but not commit, then
+	// T2 runs solo, then T1 finishes.
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(full.Steps)
+	sawAbort := false
+	for k := 5; k < n1; k++ {
+		exec, err := b.Run(machine.Schedule{
+			machine.Steps(0, k),
+			machine.Solo(1),
+			machine.Solo(0),
+		})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		if exec.StatusOf(2) != core.TxCommitted {
+			t.Fatalf("prefix %d: T2 did not commit solo: %v", k, exec.StatusOf(2))
+		}
+		if exec.StatusOf(1) == core.TxAborted {
+			sawAbort = true
+			// The execution must still be serializable: T1's writes are
+			// invisible.
+			v := history.FromExecution(exec)
+			if !consistency.Serializable(v).Satisfied {
+				t.Errorf("prefix %d: aborted-T1 execution not serializable", k)
+			}
+			break
+		}
+	}
+	if !sawAbort {
+		t.Errorf("no prefix of T1 led to an enemy abort")
+	}
+}
+
+// TestDSTMStatusContentionViolatesStrictDAP reproduces the Claim-3 shape:
+// T1 owns x and y; T2 (conflicting with T1 on x) aborts it; T3
+// (conflicting with T1 on y, disjoint from T2) reads T1's status. T2 and
+// T3 contend on status(T1) although their data sets are disjoint.
+func TestDSTMStatusContentionViolatesStrictDAP(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 2)}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("y")}},
+	}
+	b := &stms.Bundle{Protocol: dstm.Protocol{}, Specs: specs}
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(full.Steps)
+	found := false
+	for k := 1; k < n1; k++ {
+		exec, err := b.Run(machine.Schedule{
+			machine.Steps(0, k),
+			machine.Solo(1),
+			machine.Solo(2),
+		})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		for _, v := range dap.CheckStrict(exec) {
+			if (v.T1 == 2 && v.T2 == 3) || (v.T1 == 3 && v.T2 == 2) {
+				found = true
+				// The chain T2–T1–T3 must justify it under chain-DAP.
+				if chain := dap.CheckChain(exec); len(chain) != 0 {
+					t.Errorf("prefix %d: chain-DAP also violated: %v", k, chain)
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no prefix exhibited the T2/T3 status-word contention")
+	}
+}
+
+// TestGClockDisjointContention: two fully disjoint write transactions
+// contend on the global clock even when run strictly one after the other.
+func TestGClockDisjointContention(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("y", 2)}},
+	}
+	b := &stms.Bundle{Protocol: gclock.Protocol{}, Specs: specs}
+	exec, err := b.Run(machine.Schedule{machine.Solo(0), machine.Solo(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := dap.CheckStrict(exec)
+	if len(vs) == 0 {
+		t.Fatalf("no strict-DAP violation on the global clock")
+	}
+	if vs[0].ObjName != "clock" {
+		t.Errorf("violation on %s, want clock", vs[0].ObjName)
+	}
+}
+
+// TestPramZeroContention: no pair of transactions ever contends under
+// pramtm, in any schedule.
+func TestPramZeroContention(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.R("y")}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 2), core.R("x")}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.W("y", 3), core.R("x")}},
+	}
+	b := &stms.Bundle{Protocol: pramtm.Protocol{}, Specs: specs}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		exec := randomRun(t, b, r, 3)
+		if cs := dap.Contentions(exec); len(cs) != 0 {
+			t.Fatalf("pramtm produced contention: %v", cs)
+		}
+	}
+}
+
+// randomRun drives all processes with a random but fair interleaving until
+// every program finishes.
+func randomRun(t *testing.T, b *stms.Bundle, r *rand.Rand, nprocs int) *core.Execution {
+	t.Helper()
+	m := b.Build()
+	defer m.Close()
+	for steps := 0; ; steps++ {
+		if steps > 100000 {
+			t.Fatalf("random run did not terminate")
+		}
+		var live []core.ProcID
+		for p := 0; p < nprocs; p++ {
+			if !m.Done(core.ProcID(p)) {
+				live = append(live, core.ProcID(p))
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		p := live[r.Intn(len(live))]
+		if _, err := m.Step(p); err != nil {
+			t.Fatalf("step %v: %v", p, err)
+		}
+	}
+	return m.Execution()
+}
+
+// TestRandomSchedulesMeetDeclaredConsistency cross-validates every
+// protocol against the checker of the consistency level its design claims.
+func TestRandomSchedulesMeetDeclaredConsistency(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("y"), core.W("x", 2)}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("x"), core.R("y"), core.W("z", 3)}},
+	}
+	claims := map[string]func(*history.View) consistency.Result{
+		"tl":     consistency.StrictlySerializable,
+		"dstm":   consistency.Serializable,
+		"sidstm": consistency.SnapshotIsolation,
+		"gclock": consistency.SnapshotIsolation,
+		"pramtm": consistency.PRAMConsistent,
+	}
+	for name, check := range claims {
+		proto, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &stms.Bundle{Protocol: proto, Specs: specs}
+		r := rand.New(rand.NewSource(int64(len(name))))
+		for trial := 0; trial < 25; trial++ {
+			exec := randomRun(t, b, r, 3)
+			if werr := history.CheckWellFormed(exec); werr != nil {
+				t.Fatalf("%s trial %d: ill-formed history: %v", name, trial, werr)
+			}
+			v := history.FromExecution(exec)
+			res := check(v)
+			if !res.Satisfied {
+				t.Errorf("%s trial %d: declared consistency violated", name, trial)
+			}
+		}
+	}
+}
+
+// TestDeterministicProtocols: identical schedules yield identical step
+// traces for every protocol — the property the replay-based configuration
+// machinery depends on.
+func TestDeterministicProtocols(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.W("x", 2)}},
+	}
+	for _, p := range All() {
+		b := &stms.Bundle{Protocol: p, Specs: specs}
+		full, err := b.Run(machine.Schedule{machine.Solo(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(full.Steps) / 2
+		sched := machine.Schedule{machine.Steps(0, k), machine.Solo(1), machine.Solo(0)}
+		e1, err1 := b.Run(sched)
+		e2, err2 := b.Run(sched)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: replay error divergence: %v vs %v", p.Name(), err1, err2)
+		}
+		if len(e1.Steps) != len(e2.Steps) {
+			t.Fatalf("%s: replay length divergence", p.Name())
+		}
+		for i := range e1.Steps {
+			if e1.Steps[i].String() != e2.Steps[i].String() {
+				t.Fatalf("%s: replay diverges at step %d:\n  %v\n  %v",
+					p.Name(), i, e1.Steps[i], e2.Steps[i])
+			}
+		}
+	}
+}
+
+// TestStrictDAPHonoredBySoloCompositions: the strictly-DAP protocols show
+// no violation on purely sequential compositions.
+func TestStrictDAPHonoredBySoloCompositions(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("y", 2)}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("x"), core.R("y")}},
+	}
+	sched := machine.Schedule{machine.Solo(0), machine.Solo(1), machine.Solo(2)}
+	for _, name := range []string{"naive", "tl", "pramtm"} {
+		proto, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &stms.Bundle{Protocol: proto, Specs: specs}
+		exec, err := b.Run(sched)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if vs := dap.CheckStrict(exec); len(vs) != 0 {
+			t.Errorf("%s: unexpected strict-DAP violations: %v", name, vs)
+		}
+	}
+}

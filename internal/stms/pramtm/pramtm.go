@@ -1,0 +1,102 @@
+// Package pramtm implements the "weaken Consistency" corner of the PCL
+// triangle, following the paper's Section 5 remark that PRAM consistency
+// "makes it possible to trivially ensure strict disjoint-access-parallelism
+// and wait-freedom, without any synchronization between processes": every
+// process keeps its own private replica of each item in process-local base
+// objects, reads its own replica, and flushes writes only to it.
+//
+// P/C/L position: strictly disjoint-access-parallel in the strongest
+// possible sense (no base object is ever shared between processes, so no
+// two transactions contend on anything) and wait-free (every operation is
+// a bounded number of uncontended steps). Consistency collapses: writes
+// never propagate, which is PRAM-consistent — every process may order
+// other processes' transactions at the end of its own view — but violates
+// weak adaptive consistency as soon as two conflicting transactions on
+// different processes share a written item, which is exactly what the
+// adversary's δ1 check catches.
+package pramtm
+
+import (
+	"fmt"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// Protocol is the no-synchronization PRAM TM.
+type Protocol struct{}
+
+// Name implements stms.Protocol.
+func (Protocol) Name() string { return "pramtm" }
+
+// Description implements stms.Protocol.
+func (Protocol) Description() string {
+	return "per-process private replicas, zero synchronization: P+L (wait-free), fails C (PRAM only)"
+}
+
+type instance struct {
+	// replica[p][x] is process p's private register for item x.
+	replica []map[core.Item]core.ObjID
+}
+
+// New implements stms.Protocol; it allocates one replica set per process
+// in deterministic (process, item) order.
+func (Protocol) New(m *machine.Machine, specs []core.TxSpec) stms.Instance {
+	nprocs := 0
+	for _, s := range specs {
+		if int(s.Proc)+1 > nprocs {
+			nprocs = int(s.Proc) + 1
+		}
+	}
+	if n := m.NProcs(); n > nprocs {
+		nprocs = n
+	}
+	inst := &instance{replica: make([]map[core.Item]core.ObjID, nprocs)}
+	items := core.ItemUniverse(specs)
+	for p := 0; p < nprocs; p++ {
+		inst.replica[p] = make(map[core.Item]core.ObjID, len(items))
+		for _, x := range items {
+			inst.replica[p][x] = m.NewObject(fmt.Sprintf("rep%d(%s)", p+1, x), core.InitialValue)
+		}
+	}
+	return inst
+}
+
+// Txn implements stms.Instance.
+func (i *instance) Txn(ctx *machine.Ctx, spec core.TxSpec) stms.TxOps {
+	return &txn{inst: i, ctx: ctx, buf: make(map[core.Item]core.Value)}
+}
+
+type txn struct {
+	inst  *instance
+	ctx   *machine.Ctx
+	buf   map[core.Item]core.Value
+	order []core.Item
+}
+
+// Read returns the buffered value or the process's own replica.
+func (t *txn) Read(x core.Item) (core.Value, bool) {
+	if v, ok := t.buf[x]; ok {
+		return v, true
+	}
+	return t.ctx.Read(t.inst.replica[t.ctx.Proc()][x]).(core.Value), true
+}
+
+// Write buffers locally.
+func (t *txn) Write(x core.Item, v core.Value) bool {
+	if _, ok := t.buf[x]; !ok {
+		t.order = append(t.order, x)
+	}
+	t.buf[x] = v
+	return true
+}
+
+// Commit flushes to the process's own replicas only; it cannot fail and
+// never touches another process's objects.
+func (t *txn) Commit() bool {
+	for _, x := range t.order {
+		t.ctx.Write(t.inst.replica[t.ctx.Proc()][x], t.buf[x])
+	}
+	return true
+}

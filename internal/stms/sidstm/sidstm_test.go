@@ -1,0 +1,147 @@
+package sidstm
+
+import (
+	"testing"
+
+	"pcltm/internal/consistency"
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+func bundle(specs []core.TxSpec) *stms.Bundle {
+	return &stms.Bundle{Protocol: Protocol{}, Specs: specs}
+}
+
+func TestReadsNeverWriteBaseObjects(t *testing.T) {
+	// A read-only transaction's steps must all be trivial: readers never
+	// abort writers nor publish anything.
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.R("y")}},
+	}
+	b := bundle(specs)
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= len(full.Steps); k++ {
+		exec, err := b.Run(machine.Schedule{machine.Steps(0, k), machine.Solo(1)})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		for _, s := range exec.Steps {
+			if s.Txn == 2 && s.Prim != core.PrimEvent && s.NonTrivial() && s.ObjName != "status(T2)" {
+				// The only non-trivial step of a read-only transaction
+				// is the commit CAS on its OWN status word; items and
+				// other transactions' metadata are untouched.
+				t.Fatalf("prefix %d: reader took non-trivial step %v", k, s)
+			}
+		}
+		if exec.StatusOf(2) != core.TxCommitted {
+			t.Fatalf("prefix %d: read-only txn = %v", k, exec.StatusOf(2))
+		}
+	}
+}
+
+func TestSnapshotIsAtomic(t *testing.T) {
+	// T1 commits x=1 and y=1 atomically (status CAS). Whatever prefix of
+	// T1 ran, a reader must see x and y TOGETHER: (0,0) or (1,1), never
+	// torn — the begin snapshot is atomic thanks to the double collect.
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1), core.W("y", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("x"), core.R("y")}},
+	}
+	b := bundle(specs)
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= len(full.Steps); k++ {
+		exec, err := b.Run(machine.Schedule{machine.Steps(0, k), machine.Solo(1)})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		rv := exec.ReadValues(2)
+		if rv["x"] != rv["y"] {
+			t.Fatalf("prefix %d: torn snapshot x=%d y=%d", k, rv["x"], rv["y"])
+		}
+	}
+}
+
+func TestWriterAbortsActiveOwner(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.W("x", 2)}},
+	}
+	b := bundle(specs)
+	full, err := b.Run(machine.Schedule{machine.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEnemyAbort := false
+	for k := 1; k < len(full.Steps)-1; k++ {
+		exec, err := b.Run(machine.Schedule{
+			machine.Steps(0, k), machine.Solo(1), machine.Solo(0),
+		})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		if exec.StatusOf(2) != core.TxCommitted {
+			t.Fatalf("prefix %d: solo T2 = %v", k, exec.StatusOf(2))
+		}
+		if exec.StatusOf(1) == core.TxAborted {
+			sawEnemyAbort = true
+		}
+	}
+	if !sawEnemyAbort {
+		t.Errorf("no prefix led to an enemy abort")
+	}
+}
+
+// TestRandomSchedulesSatisfySI cross-validates the SI claim on adversarial
+// interleavings of three transactions.
+func TestRandomSchedulesSatisfySI(t *testing.T) {
+	specs := []core.TxSpec{
+		{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("y", 1), core.W("x", 1)}},
+		{ID: 2, Proc: 1, Ops: []core.TxOp{core.R("y"), core.W("x", 2)}},
+		{ID: 3, Proc: 2, Ops: []core.TxOp{core.R("x"), core.R("y"), core.W("z", 1)}},
+	}
+	b := bundle(specs)
+	// Deterministic round-robin-ish interleavings with different strides
+	// exercise many overlap shapes without randomness.
+	for stride := 1; stride <= 5; stride++ {
+		m := b.Build()
+		turn := 0
+		for steps := 0; steps < 4096; steps++ {
+			p := core.ProcID(turn % 3)
+			turn++
+			if m.Done(p) {
+				if m.Done(0) && m.Done(1) && m.Done(2) {
+					break
+				}
+				continue
+			}
+			for i := 0; i < stride && !m.Done(p); i++ {
+				if _, err := m.Step(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		exec := m.Execution()
+		m.Close()
+		v := history.FromExecution(exec)
+		res := consistency.SnapshotIsolation(v)
+		if !res.Satisfied {
+			t.Errorf("stride %d: SI violated", stride)
+		}
+	}
+}
+
+func TestDescription(t *testing.T) {
+	p := Protocol{}
+	if p.Name() != "sidstm" || p.Description() == "" {
+		t.Errorf("metadata wrong")
+	}
+}

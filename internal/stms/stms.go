@@ -1,0 +1,170 @@
+// Package stms defines the plug-in interface for simulated TM protocols
+// running on the deterministic machine, plus the generic transaction
+// driver and the Bundle helper the harnesses use to build fresh, replayable
+// machines.
+//
+// Every protocol in the portfolio occupies a known corner of the paper's
+// P/C/L triangle; the PCL adversary (internal/pcl) demonstrates that each
+// one fails exactly the property its design gives up.
+package stms
+
+import (
+	"sort"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+)
+
+// Protocol is a simulated TM algorithm.
+type Protocol interface {
+	// Name is the protocol's short identifier (e.g. "tl", "dstm").
+	Name() string
+	// Description summarizes the design and its P/C/L position.
+	Description() string
+	// New binds a fresh instance to machine m, pre-allocating every base
+	// object the given transactions may touch (shared item
+	// representations, per-transaction metadata). Pre-allocation keeps
+	// object identities schedule-independent, which the
+	// indistinguishability comparisons rely on.
+	New(m *machine.Machine, specs []core.TxSpec) Instance
+}
+
+// Instance is a protocol bound to one machine.
+type Instance interface {
+	// Txn starts the protocol-side state of one transaction and returns
+	// the operation callbacks the driver invokes. It is called between
+	// the begin invocation and its response.
+	Txn(ctx *machine.Ctx, spec core.TxSpec) TxOps
+}
+
+// TxOps are one live transaction's operation implementations. Each method
+// performs the protocol's base-object accesses through the transaction's
+// Ctx; returning ok=false means the transaction must abort (the driver
+// emits A_T and stops issuing operations).
+type TxOps interface {
+	// Read implements x.read().
+	Read(x core.Item) (v core.Value, ok bool)
+	// Write implements x.write(v).
+	Write(x core.Item, v core.Value) (ok bool)
+	// Commit implements commit_T; true means C_T.
+	Commit() (ok bool)
+}
+
+// RunTx drives one static transaction through a protocol instance,
+// emitting the TM-interface events around the protocol's base-object
+// steps. This is the shared "transaction runner" all protocols use, so
+// every recorded history is well-formed by construction.
+func RunTx(ctx *machine.Ctx, inst Instance, spec core.TxSpec) {
+	ctx.SetTxn(spec.ID)
+	ctx.InvBegin()
+	ops := inst.Txn(ctx, spec)
+	ctx.RespBegin()
+	for _, op := range spec.Ops {
+		switch op.Kind {
+		case core.OpRead:
+			ctx.InvRead(op.Item)
+			v, ok := ops.Read(op.Item)
+			if !ok {
+				ctx.RespAborted(core.OpRead, op.Item)
+				return
+			}
+			ctx.RespRead(op.Item, v)
+		case core.OpWrite:
+			ctx.InvWrite(op.Item, op.Value)
+			if !ops.Write(op.Item, op.Value) {
+				ctx.RespAborted(core.OpWrite, op.Item)
+				return
+			}
+			ctx.RespWrite(op.Item, op.Value)
+		}
+	}
+	ctx.InvCommit()
+	if ops.Commit() {
+		ctx.RespCommitted()
+	} else {
+		ctx.RespAborted(core.OpTryCommit, "")
+	}
+}
+
+// Bundle wires a protocol to a transaction set: Build returns a fresh
+// machine with every process's program spawned (each process runs its
+// transactions in spec order). Building anew for every schedule is how the
+// harness implements "resume from configuration C" — deterministic replay.
+type Bundle struct {
+	// Protocol is the TM under test.
+	Protocol Protocol
+	// Specs are the static transactions, each bound to its process.
+	Specs []core.TxSpec
+	// NProcs is the machine width; zero means "max process index + 1".
+	NProcs int
+}
+
+// Build constructs a fresh machine, pre-allocates the protocol's objects,
+// registers the specs, and spawns one program per process.
+func (b *Bundle) Build() *machine.Machine {
+	n := b.NProcs
+	for _, s := range b.Specs {
+		if int(s.Proc)+1 > n {
+			n = int(s.Proc) + 1
+		}
+	}
+	m := machine.New(n)
+	inst := b.Protocol.New(m, b.Specs)
+	for _, s := range b.Specs {
+		m.RegisterSpec(s)
+	}
+	byProc := make(map[core.ProcID][]core.TxSpec)
+	var procs []core.ProcID
+	for _, s := range b.Specs {
+		if _, ok := byProc[s.Proc]; !ok {
+			procs = append(procs, s.Proc)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, p := range procs {
+		specs := byProc[p]
+		m.Spawn(p, func(ctx *machine.Ctx) {
+			for _, spec := range specs {
+				RunTx(ctx, inst, spec)
+			}
+		})
+	}
+	return m
+}
+
+// Run builds a fresh machine, runs the schedule, and returns the recorded
+// execution together with any schedule error (budget exhaustion marks
+// blocking). The machine is closed before returning.
+func (b *Bundle) Run(sched machine.Schedule) (*core.Execution, error) {
+	m := b.Build()
+	defer m.Close()
+	err := machine.RunSchedule(m, sched)
+	return m.Execution(), err
+}
+
+// ItemObjects is a helper for protocols that allocate per-item base
+// objects: it allocates one object per item of the specs' universe with
+// the given name prefix and initial state.
+func ItemObjects(m *machine.Machine, specs []core.TxSpec, prefix string, initial func(core.Item) any) map[core.Item]core.ObjID {
+	out := make(map[core.Item]core.ObjID)
+	for _, x := range core.ItemUniverse(specs) {
+		out[x] = m.NewObject(prefix+"("+string(x)+")", initial(x))
+	}
+	return out
+}
+
+// TxObjects allocates one object per transaction (protocol metadata such
+// as DSTM status words).
+func TxObjects(m *machine.Machine, specs []core.TxSpec, prefix string, initial any) map[core.TxID]core.ObjID {
+	ids := make([]core.TxID, 0, len(specs))
+	for _, s := range specs {
+		ids = append(ids, s.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make(map[core.TxID]core.ObjID, len(ids))
+	for _, id := range ids {
+		out[id] = m.NewObject(prefix+"("+id.String()+")", initial)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package tl implements a TL-style lock-based TM (Dice & Shavit): per-item
+// versioned write locks, invisible versioned reads, commit-time lock
+// acquisition with read-set validation and version bump.
+//
+// P/C/L position: strictly disjoint-access-parallel (every base object —
+// one version/lock word and one value register per item — belongs to a
+// single item) and strictly serializable, but blocking: readers and
+// committers spin while an item is write-locked, so a transaction that
+// stops mid-commit blocks every later conflicting solo run. The PCL
+// adversary observes exactly that: T3's solo run from C1⁻ exhausts its
+// step budget on b1's lock — the Liveness corner fails.
+package tl
+
+import (
+	"sort"
+
+	"pcltm/internal/core"
+	"pcltm/internal/machine"
+	"pcltm/internal/stms"
+)
+
+// meta is the per-item version/lock word.
+type meta struct {
+	locked bool
+	owner  core.TxID
+	ver    int64
+}
+
+// Protocol is the TL-style locking TM.
+type Protocol struct{}
+
+// Name implements stms.Protocol.
+func (Protocol) Name() string { return "tl" }
+
+// Description implements stms.Protocol.
+func (Protocol) Description() string {
+	return "TL-style versioned locks, commit-time locking: P+C, fails L (blocking)"
+}
+
+type instance struct {
+	meta map[core.Item]core.ObjID
+	val  map[core.Item]core.ObjID
+}
+
+// New implements stms.Protocol.
+func (Protocol) New(m *machine.Machine, specs []core.TxSpec) stms.Instance {
+	return &instance{
+		meta: stms.ItemObjects(m, specs, "meta", func(core.Item) any { return meta{} }),
+		val:  stms.ItemObjects(m, specs, "val", func(core.Item) any { return core.InitialValue }),
+	}
+}
+
+// Txn implements stms.Instance.
+func (i *instance) Txn(ctx *machine.Ctx, spec core.TxSpec) stms.TxOps {
+	return &txn{
+		inst: i, ctx: ctx, self: spec.ID,
+		buf:     make(map[core.Item]core.Value),
+		readVer: make(map[core.Item]int64),
+	}
+}
+
+type txn struct {
+	inst      *instance
+	ctx       *machine.Ctx
+	self      core.TxID
+	buf       map[core.Item]core.Value
+	order     []core.Item
+	readVer   map[core.Item]int64
+	readOrder []core.Item
+}
+
+// Read spins while the item is write-locked, then takes a consistent
+// (version-stable) snapshot of the value and records the version for
+// commit-time validation. Local reads are served from the write buffer.
+func (t *txn) Read(x core.Item) (core.Value, bool) {
+	if v, ok := t.buf[x]; ok {
+		return v, true
+	}
+	for {
+		m1 := t.ctx.Read(t.inst.meta[x]).(meta)
+		if m1.locked {
+			continue // blocking: wait for the writer
+		}
+		v := t.ctx.Read(t.inst.val[x]).(core.Value)
+		m2 := t.ctx.Read(t.inst.meta[x]).(meta)
+		if m2 == m1 {
+			if _, seen := t.readVer[x]; !seen {
+				t.readVer[x] = m1.ver
+				t.readOrder = append(t.readOrder, x)
+			}
+			return v, true
+		}
+	}
+}
+
+// Write buffers the value; locks are acquired at commit.
+func (t *txn) Write(x core.Item, v core.Value) bool {
+	if _, ok := t.buf[x]; !ok {
+		t.order = append(t.order, x)
+	}
+	t.buf[x] = v
+	return true
+}
+
+// Commit acquires the write-set locks in item order (spinning on held
+// locks), validates the read set's versions, flushes values and releases
+// with bumped versions. Validation failure — only possible under
+// contention — aborts.
+func (t *txn) Commit() bool {
+	writeSet := make([]core.Item, len(t.order))
+	copy(writeSet, t.order)
+	sort.Slice(writeSet, func(i, j int) bool { return writeSet[i] < writeSet[j] })
+
+	type held struct {
+		item core.Item
+		prev meta
+	}
+	var locks []held
+	for _, x := range writeSet {
+		for {
+			m := t.ctx.Read(t.inst.meta[x]).(meta)
+			if m.locked {
+				continue // blocking: wait for the other committer
+			}
+			if t.ctx.CAS(t.inst.meta[x], m, meta{locked: true, owner: t.self, ver: m.ver}) {
+				locks = append(locks, held{x, m})
+				break
+			}
+		}
+	}
+
+	release := func() {
+		for _, h := range locks {
+			t.ctx.Write(t.inst.meta[h.item], h.prev)
+		}
+	}
+
+	for _, x := range t.readOrder {
+		m := t.ctx.Read(t.inst.meta[x]).(meta)
+		if m.ver != t.readVer[x] || (m.locked && m.owner != t.self) {
+			release()
+			return false
+		}
+	}
+
+	for _, h := range locks {
+		t.ctx.Write(t.inst.val[h.item], t.buf[h.item])
+		t.ctx.Write(t.inst.meta[h.item], meta{ver: h.prev.ver + 1})
+	}
+	return true
+}

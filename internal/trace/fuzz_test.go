@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/dap"
+	"pcltm/internal/exectest"
+	"pcltm/internal/history"
+)
+
+// FuzzDecode hardens the trace codec and the downstream analyses against
+// arbitrary input: whatever bytes arrive, Decode either errors or yields
+// an execution every cheap analysis can process without panicking.
+func FuzzDecode(f *testing.F) {
+	seed := exectest.New().
+		Spec(core.TxSpec{ID: 1, Proc: 0, Ops: []core.TxOp{core.R("x"), core.W("y", 1)}}).
+		Begin(0, 1).
+		Read(0, 1, "x", 0).
+		Obj(0, 1, "val(x)", core.PrimRead, false).
+		Write(0, 1, "y", 1).
+		Obj(0, 1, "val(y)", core.PrimWrite, true).
+		Commit(0, 1).
+		Exec()
+	real, err := Encode(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nprocs":3,"steps":[{"proc":0,"prim":"read","obj":"x"}]}`))
+	f.Add([]byte(`{"steps":[{"prim":"event","event":{"op":"begin","inv":true}}]}`))
+	f.Add([]byte(`{"specs":[{"id":1,"proc":0,"ops":[{"kind":"read","item":"x"}]}]}`))
+	f.Add([]byte(`{"steps":[{"prim":"cas","obj":"o","changed":true,"txn":-1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Analyses must be total on decoded executions.
+		_ = history.CheckWellFormed(e)
+		_ = history.FromExecution(e)
+		_ = dap.Contentions(e)
+		_ = dap.CheckStrict(e)
+		for _, id := range e.TxIDs() {
+			_ = e.StatusOf(id)
+			_ = e.ReadValues(id)
+		}
+		// Re-encoding must succeed.
+		if _, err := Encode(e); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcltm/stm"
+)
+
+// ScanConfig describes the long-read-only-transaction workload that
+// motivated snapshot isolation in the first place (the paper's Section 2:
+// SI was "originally introduced … to increase throughput for long
+// read-only transactions"): one scanner repeatedly sums the whole
+// variable array inside a single transaction while writers keep
+// committing increments.
+type ScanConfig struct {
+	// Vars is the array size (the scan length).
+	Vars int
+	// Writers is the number of concurrent increment goroutines.
+	Writers int
+	// Scans is the number of full-array scan transactions to run.
+	Scans int
+	// Seed drives the writers' variable choice.
+	Seed int64
+}
+
+func (c ScanConfig) withDefaults() ScanConfig {
+	if c.Vars == 0 {
+		c.Vars = 512
+	}
+	if c.Writers == 0 {
+		c.Writers = 2
+	}
+	if c.Scans == 0 {
+		c.Scans = 50
+	}
+	return c
+}
+
+// ScanResult summarizes a scan run.
+type ScanResult struct {
+	// Engine is the engine measured.
+	Engine stm.EngineKind
+	// Elapsed is the scanners' wall-clock time.
+	Elapsed time.Duration
+	// ScanRetries counts scan transactions that had to restart —
+	// the cost long readers pay under each concurrency control.
+	ScanRetries uint64
+	// WriterCommits counts writer transactions committed while the
+	// scans ran.
+	WriterCommits uint64
+	// Consistent reports that every scan observed an exact multiple of
+	// one increment (the sum can never be torn).
+	Consistent bool
+}
+
+// RunScan executes the scan workload on a fresh engine of the given kind.
+func RunScan(kind stm.EngineKind, cfg ScanConfig) ScanResult {
+	cfg = cfg.withDefaults()
+	eng := stm.NewEngine(kind)
+	vars := make([]*stm.TVar[int64], cfg.Vars)
+	for i := range vars {
+		vars[i] = stm.NewTVar[int64](0)
+	}
+
+	var stop atomic.Bool
+	var writerCommits atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				// Each writer transaction increments two variables by 1
+				// each, keeping the array total even: a torn scan shows
+				// up as an odd sum.
+				i, j := r.Intn(cfg.Vars), r.Intn(cfg.Vars)
+				_ = eng.Atomically(func(tx *stm.Tx) error {
+					stm.Set(tx, vars[i], stm.Get(tx, vars[i])+1)
+					stm.Set(tx, vars[j], stm.Get(tx, vars[j])+1)
+					return nil
+				})
+				writerCommits.Add(1)
+			}
+		}(cfg.Seed + int64(w))
+	}
+
+	// Wait for the writers to be in full swing so every scan really races
+	// them (and the retry metric measures contention, not startup).
+	for writerCommits.Load() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	before := eng.Stats()
+	consistent := true
+	start := time.Now()
+	for s := 0; s < cfg.Scans; s++ {
+		var sum int64
+		_ = eng.Atomically(func(tx *stm.Tx) error {
+			sum = 0
+			for _, v := range vars {
+				sum += stm.Get(tx, v)
+			}
+			return nil
+		})
+		if sum%2 != 0 {
+			consistent = false
+		}
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	after := eng.Stats()
+
+	return ScanResult{
+		Engine:        kind,
+		Elapsed:       elapsed,
+		ScanRetries:   after.Retries - before.Retries,
+		WriterCommits: writerCommits.Load(),
+		Consistent:    consistent,
+	}
+}

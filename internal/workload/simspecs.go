@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcltm/internal/core"
+)
+
+// DisjointSpecs builds n static transactions on n disjoint item sets —
+// the workload strict disjoint-access-parallelism is about: no pair
+// conflicts, so no pair may contend on any base object.
+func DisjointSpecs(n, itemsPerTx int) []core.TxSpec {
+	specs := make([]core.TxSpec, n)
+	for i := 0; i < n; i++ {
+		var ops []core.TxOp
+		for j := 0; j < itemsPerTx; j++ {
+			item := core.Item(fmt.Sprintf("x%d_%d", i, j))
+			ops = append(ops, core.R(item), core.W(item, core.Value(i+1)))
+		}
+		specs[i] = core.TxSpec{ID: core.TxID(i + 1), Proc: core.ProcID(i), Ops: ops}
+	}
+	return specs
+}
+
+// ChainSpecs builds n transactions where consecutive pairs share one item
+// (T_i and T_{i+1} conflict on link_i) but non-adjacent pairs are
+// disjoint — the conflict-graph chain shape behind the weaker chain-DAP
+// variant.
+func ChainSpecs(n int) []core.TxSpec {
+	specs := make([]core.TxSpec, n)
+	for i := 0; i < n; i++ {
+		var ops []core.TxOp
+		own := core.Item(fmt.Sprintf("own%d", i))
+		ops = append(ops, core.R(own), core.W(own, 1))
+		if i > 0 {
+			ops = append(ops, core.W(core.Item(fmt.Sprintf("link%d", i-1)), core.Value(i)))
+		}
+		if i < n-1 {
+			ops = append(ops, core.W(core.Item(fmt.Sprintf("link%d", i)), core.Value(i)))
+		}
+		specs[i] = core.TxSpec{ID: core.TxID(i + 1), Proc: core.ProcID(i), Ops: ops}
+	}
+	return specs
+}
+
+// StarSpecs builds n transactions all conflicting with a central hub item
+// written by every transaction — maximal conflict, where even strictly
+// DAP designs may contend freely.
+func StarSpecs(n int) []core.TxSpec {
+	specs := make([]core.TxSpec, n)
+	for i := 0; i < n; i++ {
+		own := core.Item(fmt.Sprintf("own%d", i))
+		specs[i] = core.TxSpec{ID: core.TxID(i + 1), Proc: core.ProcID(i), Ops: []core.TxOp{
+			core.R("hub"), core.R(own), core.W(own, 1), core.W("hub", core.Value(i+1)),
+		}}
+	}
+	return specs
+}
+
+// RandomSpecs builds n transactions over a shared item pool with the
+// given ops per transaction, reproducibly from seed. Reads and writes mix
+// roughly evenly.
+func RandomSpecs(n, items, opsPerTx int, seed int64) []core.TxSpec {
+	r := rand.New(rand.NewSource(seed))
+	specs := make([]core.TxSpec, n)
+	for i := 0; i < n; i++ {
+		var ops []core.TxOp
+		for j := 0; j < opsPerTx; j++ {
+			item := core.Item(fmt.Sprintf("v%d", r.Intn(items)))
+			if r.Intn(2) == 0 {
+				ops = append(ops, core.R(item))
+			} else {
+				ops = append(ops, core.W(item, core.Value(r.Intn(5)+1)))
+			}
+		}
+		specs[i] = core.TxSpec{ID: core.TxID(i + 1), Proc: core.ProcID(i), Ops: ops}
+	}
+	return specs
+}

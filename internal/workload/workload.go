@@ -1,0 +1,194 @@
+// Package workload generates transactional workloads for the two
+// experiment families of EXPERIMENTS.md:
+//
+//   - real-parallelism load on the production stm/ engines (E1): worker
+//     goroutines running read-modify-write transactions over variable
+//     sets with configurable contention patterns;
+//   - static transaction sets for the simulated protocols (machine-level
+//     step and contention accounting).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pcltm/stm"
+)
+
+// Pattern selects how workers pick variables.
+type Pattern int
+
+const (
+	// Disjoint partitions the variables among workers: zero conflicts,
+	// the parallelism-friendly extreme the PCL theorem's P property is
+	// about.
+	Disjoint Pattern = iota
+	// Uniform picks variables uniformly at random: moderate conflicts.
+	Uniform
+	// Zipf skews accesses toward a few hot variables: high contention.
+	Zipf
+)
+
+var patternNames = [...]string{"disjoint", "uniform", "zipf"}
+
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// Patterns lists all patterns.
+func Patterns() []Pattern { return []Pattern{Disjoint, Uniform, Zipf} }
+
+// PatternByName resolves a pattern name.
+func PatternByName(s string) (Pattern, bool) {
+	for _, p := range Patterns() {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Config describes a real-engine load run.
+type Config struct {
+	// Vars is the number of transactional variables.
+	Vars int
+	// ReadsPerTx and WritesPerTx size each transaction.
+	ReadsPerTx, WritesPerTx int
+	// Pattern selects the contention shape.
+	Pattern Pattern
+	// ZipfS is the Zipf skew (>1; used by the Zipf pattern).
+	ZipfS float64
+	// Workers is the number of goroutines.
+	Workers int
+	// OpsPerWorker is the number of transactions per goroutine.
+	OpsPerWorker int
+	// Seed makes variable choices reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vars == 0 {
+		c.Vars = 256
+	}
+	if c.ReadsPerTx == 0 {
+		c.ReadsPerTx = 3
+	}
+	if c.WritesPerTx == 0 {
+		c.WritesPerTx = 2
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 1000
+	}
+	return c
+}
+
+// Result summarizes one load run.
+type Result struct {
+	// Engine is the engine measured.
+	Engine stm.EngineKind
+	// Config echoes the workload.
+	Config Config
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Commits, Aborts, Retries are the engine counters accumulated by
+	// the run.
+	Commits, Aborts, Retries uint64
+	// Throughput is committed transactions per second.
+	Throughput float64
+	// Sum is the total of all variables after the run (workload
+	// invariant: equals the number of increments performed).
+	Sum int64
+}
+
+// Run executes the workload on a fresh engine of the given kind.
+func Run(kind stm.EngineKind, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	eng := stm.NewEngine(kind)
+	vars := make([]*stm.TVar[int64], cfg.Vars)
+	for i := range vars {
+		vars[i] = stm.NewTVar[int64](0)
+	}
+
+	pick := func(r *rand.Rand, z *rand.Zipf, worker int) int {
+		switch cfg.Pattern {
+		case Disjoint:
+			span := cfg.Vars / cfg.Workers
+			if span == 0 {
+				span = 1
+			}
+			base := (worker * span) % cfg.Vars
+			return base + r.Intn(span)
+		case Zipf:
+			return int(z.Uint64())
+		default:
+			return r.Intn(cfg.Vars)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			var z *rand.Zipf
+			if cfg.Pattern == Zipf {
+				z = rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Vars-1))
+			}
+			for op := 0; op < cfg.OpsPerWorker; op++ {
+				_ = eng.Atomically(func(tx *stm.Tx) error {
+					var acc int64
+					for i := 0; i < cfg.ReadsPerTx; i++ {
+						acc += stm.Get(tx, vars[pick(r, z, worker)])
+					}
+					for i := 0; i < cfg.WritesPerTx; i++ {
+						tv := vars[pick(r, z, worker)]
+						stm.Set(tx, tv, stm.Get(tx, tv)+1)
+					}
+					_ = acc
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sum int64
+	_ = eng.Atomically(func(tx *stm.Tx) error {
+		sum = 0
+		for _, v := range vars {
+			sum += stm.Get(tx, v)
+		}
+		return nil
+	})
+
+	st := eng.Stats()
+	res := Result{
+		Engine: kind, Config: cfg, Elapsed: elapsed,
+		Commits: st.Commits, Aborts: st.Aborts, Retries: st.Retries,
+		Sum: sum,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(st.Commits) / elapsed.Seconds()
+	}
+	return res
+}
+
+// ExpectedSum returns the invariant total the run must produce.
+func (c Config) ExpectedSum() int64 {
+	c = c.withDefaults()
+	return int64(c.Workers) * int64(c.OpsPerWorker) * int64(c.WritesPerTx)
+}

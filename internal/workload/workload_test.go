@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/stm"
+)
+
+func TestRunPreservesSumInvariant(t *testing.T) {
+	cfg := Config{Vars: 64, Workers: 4, OpsPerWorker: 200, ReadsPerTx: 2, WritesPerTx: 2, Seed: 1}
+	for _, kind := range stm.EngineKinds() {
+		for _, pat := range Patterns() {
+			c := cfg
+			c.Pattern = pat
+			res := Run(kind, c)
+			if res.Sum != c.ExpectedSum() {
+				t.Errorf("%v/%v: sum = %d, want %d (serializability broken under load)",
+					kind, pat, res.Sum, c.ExpectedSum())
+			}
+			if res.Commits < uint64(c.Workers*c.OpsPerWorker) {
+				t.Errorf("%v/%v: commits = %d, want ≥ %d", kind, pat, res.Commits, c.Workers*c.OpsPerWorker)
+			}
+			if res.Throughput <= 0 {
+				t.Errorf("%v/%v: throughput = %v", kind, pat, res.Throughput)
+			}
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	for _, p := range Patterns() {
+		got, ok := PatternByName(p.String())
+		if !ok || got != p {
+			t.Errorf("PatternByName(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := PatternByName("bogus"); ok {
+		t.Errorf("accepted bogus pattern")
+	}
+}
+
+func TestDisjointSpecsAreDisjoint(t *testing.T) {
+	specs := DisjointSpecs(5, 3)
+	if len(specs) != 5 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for i := range specs {
+		for j := i + 1; j < len(specs); j++ {
+			if core.Conflicts(specs[i], specs[j]) {
+				t.Errorf("specs %d and %d conflict", i, j)
+			}
+		}
+	}
+}
+
+func TestChainSpecsShape(t *testing.T) {
+	specs := ChainSpecs(4)
+	for i := 0; i+1 < len(specs); i++ {
+		if !core.Conflicts(specs[i], specs[i+1]) {
+			t.Errorf("adjacent specs %d,%d must conflict", i, i+1)
+		}
+	}
+	for i := 0; i+2 < len(specs); i++ {
+		if core.Conflicts(specs[i], specs[i+2]) {
+			t.Errorf("non-adjacent specs %d,%d must be disjoint", i, i+2)
+		}
+	}
+}
+
+func TestStarSpecsShareHub(t *testing.T) {
+	specs := StarSpecs(4)
+	for i := range specs {
+		for j := i + 1; j < len(specs); j++ {
+			if !core.Conflicts(specs[i], specs[j]) {
+				t.Errorf("star specs %d,%d must conflict via hub", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomSpecsReproducible(t *testing.T) {
+	a := RandomSpecs(3, 8, 5, 42)
+	b := RandomSpecs(3, 8, 5, 42)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("same seed diverged at spec %d", i)
+		}
+	}
+	c := RandomSpecs(3, 8, 5, 43)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical specs")
+	}
+}
+
+func TestScanWorkloadConsistency(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		res := RunScan(kind, ScanConfig{Vars: 64, Writers: 2, Scans: 20, Seed: 3})
+		if !res.Consistent {
+			t.Errorf("%v: a scan observed a torn writer transaction", kind)
+		}
+		if res.WriterCommits == 0 {
+			t.Errorf("%v: writers starved entirely", kind)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkReadOnly measures transactional read cost per engine.
+func BenchmarkReadOnly(b *testing.B) {
+	for _, kind := range EngineKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			e := NewEngine(kind)
+			x := NewTVar[int](1)
+			y := NewTVar[int](2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = e.Atomically(func(tx *Tx) error {
+					_ = Get(tx, x) + Get(tx, y)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkReadModifyWrite measures the classic counter transaction.
+func BenchmarkReadModifyWrite(b *testing.B) {
+	for _, kind := range EngineKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			e := NewEngine(kind)
+			x := NewTVar[int](0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = e.Atomically(func(tx *Tx) error {
+					Set(tx, x, Get(tx, x)+1)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkCommitWriteSetSize ablates commit cost against write-set size
+// (TL2 locks and validates per variable; 2PL holds per-variable locks;
+// the global lock is size-oblivious).
+func BenchmarkCommitWriteSetSize(b *testing.B) {
+	for _, kind := range EngineKinds() {
+		for _, size := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/writes=%d", kind, size), func(b *testing.B) {
+				e := NewEngine(kind)
+				vars := make([]*TVar[int], size)
+				for i := range vars {
+					vars[i] = NewTVar[int](0)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = e.Atomically(func(tx *Tx) error {
+						for _, tv := range vars {
+							Set(tx, tv, i)
+						}
+						return nil
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPeek measures the non-transactional fast path.
+func BenchmarkPeek(b *testing.B) {
+	x := NewTVar[int](7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.Peek() != 7 {
+			b.Fatal("peek broken")
+		}
+	}
+}
+
+// BenchmarkContendedCounter measures retry behavior under parallel
+// hammering of one variable.
+func BenchmarkContendedCounter(b *testing.B) {
+	for _, kind := range EngineKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			e := NewEngine(kind)
+			x := NewTVar[int64](0)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = e.Atomically(func(tx *Tx) error {
+						Set(tx, x, Get(tx, x)+1)
+						return nil
+					})
+				}
+			})
+			b.StopTimer()
+			st := e.Stats()
+			if st.Commits > 0 {
+				b.ReportMetric(float64(st.Retries)/float64(st.Commits), "retries/commit")
+			}
+		})
+	}
+}

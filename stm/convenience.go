@@ -1,0 +1,37 @@
+package stm
+
+// Update applies fn to the variable's value inside a transaction.
+func Update[T any](tx *Tx, tv *TVar[T], fn func(T) T) {
+	Set(tx, tv, fn(Get(tx, tv)))
+}
+
+// Load reads a single variable in its own transaction on the given
+// engine. For multi-variable invariants use Atomically.
+func Load[T any](e *Engine, tv *TVar[T]) T {
+	var out T
+	_ = e.Atomically(func(tx *Tx) error {
+		out = Get(tx, tv)
+		return nil
+	})
+	return out
+}
+
+// Store writes a single variable in its own transaction.
+func Store[T any](e *Engine, tv *TVar[T], v T) {
+	_ = e.Atomically(func(tx *Tx) error {
+		Set(tx, tv, v)
+		return nil
+	})
+}
+
+// Modify applies fn to a single variable in its own transaction and
+// returns the new value.
+func Modify[T any](e *Engine, tv *TVar[T], fn func(T) T) T {
+	var out T
+	_ = e.Atomically(func(tx *Tx) error {
+		out = fn(Get(tx, tv))
+		Set(tx, tv, out)
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,56 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUpdateHelper(t *testing.T) {
+	for _, e := range engines(t) {
+		x := NewTVar[int](10)
+		err := e.Atomically(func(tx *Tx) error {
+			Update(tx, x, func(v int) int { return v * 3 })
+			return nil
+		})
+		if err != nil || x.Peek() != 30 {
+			t.Errorf("%v: update = %d, err %v", e.Kind(), x.Peek(), err)
+		}
+	}
+}
+
+func TestLoadStoreModify(t *testing.T) {
+	for _, e := range engines(t) {
+		x := NewTVar[string]("a")
+		if Load(e, x) != "a" {
+			t.Errorf("%v: load wrong", e.Kind())
+		}
+		Store(e, x, "b")
+		if Load(e, x) != "b" {
+			t.Errorf("%v: store lost", e.Kind())
+		}
+		got := Modify(e, x, func(s string) string { return s + "c" })
+		if got != "bc" || Load(e, x) != "bc" {
+			t.Errorf("%v: modify = %q / %q", e.Kind(), got, Load(e, x))
+		}
+	}
+}
+
+func TestModifyConcurrent(t *testing.T) {
+	for _, e := range engines(t) {
+		ctr := NewTVar[int](0)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 250; i++ {
+					Modify(e, ctr, func(v int) int { return v + 1 })
+				}
+			}()
+		}
+		wg.Wait()
+		if v := Load(e, ctr); v != 2000 {
+			t.Errorf("%v: counter = %d, want 2000", e.Kind(), v)
+		}
+	}
+}

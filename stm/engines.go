@@ -1,0 +1,218 @@
+package stm
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// backoff sleeps progressively longer on repeated restarts of a
+// lock-based transaction, defusing livelock between symmetric retriers.
+func backoff(attempt int) {
+	switch {
+	case attempt == 0:
+	case attempt < 4:
+		runtime.Gosched()
+	default:
+		d := time.Duration(attempt)
+		if d > 64 {
+			d = 64
+		}
+		time.Sleep(d * time.Microsecond)
+	}
+}
+
+// load dispatches a transactional read to the engine.
+func (tx *Tx) load(tv *tvar) any {
+	switch tx.eng.kind {
+	case EngineTL2:
+		return tx.tl2Load(tv)
+	case EngineTwoPL:
+		tx.twoPLAcquire(tv)
+		return *tv.val.Load()
+	default: // EngineGlobalLock
+		return *tv.val.Load()
+	}
+}
+
+// store dispatches a transactional write to the engine.
+func (tx *Tx) store(tv *tvar, v any) {
+	switch tx.eng.kind {
+	case EngineTL2:
+		if _, ok := tx.writes[tv]; !ok {
+			tx.worder = append(tx.worder, tv)
+		}
+		tx.writes[tv] = v
+	case EngineTwoPL:
+		tx.twoPLAcquire(tv)
+		tx.pushUndo(tv)
+		nv := v
+		tv.val.Store(&nv)
+	default: // EngineGlobalLock
+		tx.pushUndo(tv)
+		nv := v
+		tv.val.Store(&nv)
+	}
+}
+
+// commit dispatches commit; false means conflict (retry).
+func (tx *Tx) commit() bool {
+	switch tx.eng.kind {
+	case EngineTL2:
+		return tx.tl2Commit()
+	case EngineTwoPL:
+		tx.releaseLocks()
+		return true
+	default: // EngineGlobalLock
+		tx.eng.global.Unlock()
+		return true
+	}
+}
+
+// cleanupAfterAbort rolls back a user-error abort.
+func (tx *Tx) cleanupAfterAbort() {
+	switch tx.eng.kind {
+	case EngineTL2:
+		// Writes were buffered; nothing to roll back.
+	case EngineTwoPL:
+		tx.rollbackUndo()
+		tx.releaseLocks()
+	default:
+		tx.rollbackUndo()
+		tx.eng.global.Unlock()
+	}
+}
+
+// cleanupAfterConflict unwinds an internal retry.
+func (tx *Tx) cleanupAfterConflict() {
+	switch tx.eng.kind {
+	case EngineTwoPL:
+		tx.rollbackUndo()
+		tx.releaseLocks()
+	case EngineGlobalLock:
+		// The global engine never conflicts, but keep the lock balanced
+		// if it ever does.
+		tx.rollbackUndo()
+		tx.eng.global.Unlock()
+	}
+}
+
+func (tx *Tx) pushUndo(tv *tvar) {
+	tx.undo = append(tx.undo, undoEntry{tv: tv, prev: tv.val.Load()})
+}
+
+func (tx *Tx) rollbackUndo() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].tv.val.Store(tx.undo[i].prev)
+	}
+	tx.undo = tx.undo[:0]
+}
+
+// ---- TL2 ----
+
+// tl2Load implements TL2's versioned read: a lock-stable value whose
+// version does not postdate the transaction's read snapshot.
+func (tx *Tx) tl2Load(tv *tvar) any {
+	if v, ok := tx.writes[tv]; ok {
+		return v
+	}
+	for {
+		l1 := tv.lock.Load()
+		if isLocked(l1) {
+			runtime.Gosched()
+			continue
+		}
+		v := tv.val.Load()
+		l2 := tv.lock.Load()
+		if l1 != l2 {
+			continue
+		}
+		if version(l1) > tx.rv {
+			panic(conflict{}) // snapshot too old: restart with a fresh rv
+		}
+		tx.reads = append(tx.reads, readEntry{tv, version(l1)})
+		return *v
+	}
+}
+
+// tl2Commit implements TL2's commit: lock the write set in id order,
+// bump the clock, validate the read set, publish, release.
+func (tx *Tx) tl2Commit() bool {
+	if len(tx.worder) == 0 {
+		// Read-only transactions validated every read against rv; done.
+		return true
+	}
+	ws := make([]*tvar, len(tx.worder))
+	copy(ws, tx.worder)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+
+	locked := ws[:0:0]
+	releaseAll := func() {
+		for _, tv := range locked {
+			tv.lock.Store(tv.lock.Load() &^ lockedBit)
+		}
+	}
+	for _, tv := range ws {
+		acquired := false
+		for spin := 0; spin < 64; spin++ {
+			l := tv.lock.Load()
+			if isLocked(l) {
+				runtime.Gosched()
+				continue
+			}
+			if tv.lock.CompareAndSwap(l, l|lockedBit) {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			releaseAll()
+			return false
+		}
+		locked = append(locked, tv)
+	}
+
+	wv := tx.eng.clock.Add(1)
+
+	inWrites := func(tv *tvar) bool { _, ok := tx.writes[tv]; return ok }
+	for _, r := range tx.reads {
+		l := r.tv.lock.Load()
+		if version(l) != r.ver || (isLocked(l) && !inWrites(r.tv)) {
+			releaseAll()
+			return false
+		}
+	}
+
+	for _, tv := range ws {
+		v := tx.writes[tv]
+		nv := v
+		tv.val.Store(&nv)
+		tv.lock.Store(wv) // publish new version and release
+	}
+	return true
+}
+
+// ---- TwoPL ----
+
+// twoPLAcquire try-locks the variable at first access; failure restarts
+// the whole transaction (deadlock avoidance by abort).
+func (tx *Tx) twoPLAcquire(tv *tvar) {
+	if tx.locked[tv] {
+		return
+	}
+	if !tv.mu.TryLock() {
+		panic(conflict{})
+	}
+	tx.locked[tv] = true
+	tx.lorder = append(tx.lorder, tv)
+}
+
+func (tx *Tx) releaseLocks() {
+	for i := len(tx.lorder) - 1; i >= 0; i-- {
+		tx.lorder[i].mu.Unlock()
+	}
+	tx.lorder = tx.lorder[:0]
+	for tv := range tx.locked {
+		delete(tx.locked, tv)
+	}
+}

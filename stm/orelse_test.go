@@ -1,0 +1,220 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOrElseTakesFirstWhenAvailable(t *testing.T) {
+	for _, e := range engines(t) {
+		fast := NewTVar[int](42)
+		slow := NewTVar[int](7)
+		var got int
+		err := e.Atomically(func(tx *Tx) error {
+			return OrElse(tx,
+				func(tx *Tx) error {
+					v := Get(tx, fast)
+					if v == 0 {
+						Retry(tx)
+					}
+					got = v
+					Set(tx, fast, 0)
+					return nil
+				},
+				func(tx *Tx) error {
+					got = Get(tx, slow)
+					Set(tx, slow, 0)
+					return nil
+				},
+			)
+		})
+		if err != nil || got != 42 {
+			t.Errorf("%v: got %d err %v, want 42", e.Kind(), got, err)
+		}
+		if fast.Peek() != 0 || slow.Peek() != 7 {
+			t.Errorf("%v: wrong variable consumed: fast=%d slow=%d", e.Kind(), fast.Peek(), slow.Peek())
+		}
+	}
+}
+
+func TestOrElseFallsBackAndRollsBack(t *testing.T) {
+	for _, e := range engines(t) {
+		fast := NewTVar[int](0) // empty: first alternative retries
+		slow := NewTVar[int](7)
+		scratch := NewTVar[int](0)
+		var got int
+		err := e.Atomically(func(tx *Tx) error {
+			return OrElse(tx,
+				func(tx *Tx) error {
+					Set(tx, scratch, 99) // must be rolled back
+					if Get(tx, fast) == 0 {
+						Retry(tx)
+					}
+					got = Get(tx, fast)
+					return nil
+				},
+				func(tx *Tx) error {
+					got = Get(tx, slow)
+					Set(tx, slow, 0)
+					return nil
+				},
+			)
+		})
+		if err != nil || got != 7 {
+			t.Errorf("%v: got %d err %v, want 7", e.Kind(), got, err)
+		}
+		if scratch.Peek() != 0 {
+			t.Errorf("%v: abandoned alternative's write leaked: scratch=%d", e.Kind(), scratch.Peek())
+		}
+		if slow.Peek() != 0 {
+			t.Errorf("%v: fallback write lost", e.Kind())
+		}
+	}
+}
+
+func TestOrElseBothRetryBlocksUntilChange(t *testing.T) {
+	for _, e := range engines(t) {
+		a := NewTVar[int](0)
+		b := NewTVar[int](0)
+		got := make(chan int, 1)
+		go func() {
+			var v int
+			_ = e.Atomically(func(tx *Tx) error {
+				return OrElse(tx,
+					func(tx *Tx) error {
+						if Get(tx, a) == 0 {
+							Retry(tx)
+						}
+						v = Get(tx, a)
+						return nil
+					},
+					func(tx *Tx) error {
+						if Get(tx, b) == 0 {
+							Retry(tx)
+						}
+						v = Get(tx, b) * 10
+						return nil
+					},
+				)
+			})
+			got <- v
+		}()
+		time.Sleep(5 * time.Millisecond)
+		Store(e, b, 3)
+		select {
+		case v := <-got:
+			if v != 30 {
+				t.Errorf("%v: got %d, want 30 (second alternative)", e.Kind(), v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v: OrElse never woke up", e.Kind())
+		}
+	}
+}
+
+func TestOrElseErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	for _, e := range engines(t) {
+		x := NewTVar[int](1)
+		err := e.Atomically(func(tx *Tx) error {
+			return OrElse(tx,
+				func(tx *Tx) error {
+					Set(tx, x, 5)
+					return boom
+				},
+				func(tx *Tx) error {
+					t.Errorf("%v: fallback ran after an error", e.Kind())
+					return nil
+				},
+			)
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("%v: err = %v", e.Kind(), err)
+		}
+		if x.Peek() != 1 {
+			t.Errorf("%v: aborted write leaked", e.Kind())
+		}
+	}
+}
+
+func TestOrElseNested(t *testing.T) {
+	e := NewEngine(EngineTL2)
+	q1 := NewTVar[int](0)
+	q2 := NewTVar[int](0)
+	q3 := NewTVar[int](9)
+	var got int
+	take := func(tv *TVar[int], mul int) func(*Tx) error {
+		return func(tx *Tx) error {
+			v := Get(tx, tv)
+			if v == 0 {
+				Retry(tx)
+			}
+			got = v * mul
+			return nil
+		}
+	}
+	err := e.Atomically(func(tx *Tx) error {
+		return OrElse(tx,
+			take(q1, 1),
+			func(tx *Tx) error {
+				return OrElse(tx, take(q2, 10), take(q3, 100))
+			},
+		)
+	})
+	if err != nil || got != 900 {
+		t.Errorf("nested OrElse: got %d err %v, want 900", got, err)
+	}
+}
+
+func TestOrElseUnderConcurrency(t *testing.T) {
+	// Two sources, many consumers; every produced item consumed once.
+	e := NewEngine(EngineTL2)
+	src1 := NewTVar[[]int](nil)
+	src2 := NewTVar[[]int](nil)
+	const items = 100
+
+	pop := func(tv *TVar[[]int]) func(*Tx) error {
+		return func(tx *Tx) error {
+			q := Get(tx, tv)
+			if len(q) == 0 {
+				Retry(tx)
+			}
+			Set(tx, tv, append([]int(nil), q[1:]...))
+			return nil
+		}
+	}
+
+	var consumed sync.WaitGroup
+	consumed.Add(2 * items)
+	for c := 0; c < 4; c++ {
+		go func() {
+			for {
+				err := e.Atomically(func(tx *Tx) error {
+					return OrElse(tx, pop(src1), pop(src2))
+				})
+				if err == nil {
+					consumed.Done()
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		_ = e.Atomically(func(tx *Tx) error {
+			Set(tx, src1, append(Get(tx, src1), i))
+			Set(tx, src2, append(Get(tx, src2), i))
+			return nil
+		})
+	}
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumers stalled")
+	}
+	if len(Load(e, src1)) != 0 || len(Load(e, src2)) != 0 {
+		t.Errorf("queues not drained")
+	}
+}

@@ -1,0 +1,71 @@
+package stm
+
+import "sync"
+
+// retrySignal unwinds an attempt that called Retry; the engine blocks
+// until some transaction commits writes, then re-runs the function.
+type retrySignal struct{}
+
+// notifier wakes blocked Retry-ers on every writing commit.
+type notifier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  uint64
+}
+
+func (n *notifier) init() {
+	n.cond = sync.NewCond(&n.mu)
+}
+
+// snapshot returns the current commit sequence number.
+func (n *notifier) snapshot() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cond == nil {
+		n.init()
+	}
+	return n.seq
+}
+
+// bump signals that shared state changed.
+func (n *notifier) bump() {
+	n.mu.Lock()
+	if n.cond == nil {
+		n.init()
+	}
+	n.seq++
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// waitChange blocks until the sequence number moves past since.
+func (n *notifier) waitChange(since uint64) {
+	n.mu.Lock()
+	if n.cond == nil {
+		n.init()
+	}
+	for n.seq == since {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Retry abandons the current transaction attempt and blocks the calling
+// Atomically until another transaction commits a write, then re-runs the
+// transaction function from scratch — the STM idiom for waiting on a
+// condition:
+//
+//	eng.Atomically(func(tx *stm.Tx) error {
+//	    n := stm.Get(tx, queueLen)
+//	    if n == 0 {
+//	        stm.Retry(tx) // sleep until something is enqueued
+//	    }
+//	    ...
+//	})
+//
+// Lock-based engines release everything they hold before sleeping, so
+// writers can make the condition true.
+func Retry(tx *Tx) {
+	_ = tx // the transaction's state is discarded by the unwind
+	panic(retrySignal{})
+}

@@ -1,0 +1,271 @@
+// Package stm is a software transactional memory library for Go under
+// real parallelism — the production-facing counterpart of the simulated
+// protocols this repository uses to mechanize the PCL theorem (Bushkov,
+// Dziuma, Fatourou, Guerraoui, SPAA 2014).
+//
+// The theorem proves that no TM can combine strict
+// disjoint-access-parallelism, weak adaptive consistency and
+// obstruction-freedom; every practical STM therefore picks a corner to
+// give up, and this package ships one engine per corner so the tradeoff
+// can be measured instead of argued:
+//
+//   - EngineTL2 — speculative versioned locks with a global version clock
+//     (Dice/Shalev/Shavit's TL2): consistent (strictly serializable) and
+//     non-blocking in the common path, but the shared clock makes it not
+//     disjoint-access-parallel.
+//   - EngineTwoPL — encounter-time per-variable try-locking with
+//     whole-transaction restart on lock failure: strictly serializable
+//     and disjoint-access-parallel (only the accessed variables' locks
+//     are touched), but blocking — a preempted lock holder stalls
+//     conflicting transactions.
+//   - EngineGlobalLock — one global mutex: trivially consistent and
+//     non-interfering, with zero parallelism.
+//
+// Usage:
+//
+//	eng := stm.NewEngine(stm.EngineTL2)
+//	x := stm.NewTVar[int](0)
+//	err := eng.Atomically(func(tx *stm.Tx) error {
+//	    v := stm.Get(tx, x)
+//	    stm.Set(tx, x, v+1)
+//	    return nil
+//	})
+//
+// Transactions retry automatically on conflicts; an error returned by the
+// transaction function aborts the transaction (all writes rolled back)
+// and is returned to the caller.
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EngineKind selects a concurrency-control algorithm.
+type EngineKind int
+
+const (
+	// EngineTL2 is the speculative global-version-clock engine.
+	EngineTL2 EngineKind = iota
+	// EngineTwoPL is the encounter-time locking engine.
+	EngineTwoPL
+	// EngineGlobalLock serializes all transactions on one mutex.
+	EngineGlobalLock
+)
+
+var engineNames = [...]string{"tl2", "twopl", "glock"}
+
+// String returns the engine's short name.
+func (k EngineKind) String() string {
+	if k < 0 || int(k) >= len(engineNames) {
+		return "unknown"
+	}
+	return engineNames[k]
+}
+
+// EngineKinds lists all engines.
+func EngineKinds() []EngineKind {
+	return []EngineKind{EngineTL2, EngineTwoPL, EngineGlobalLock}
+}
+
+// EngineByName resolves a short name; ok=false if unknown.
+func EngineByName(name string) (EngineKind, bool) {
+	for _, k := range EngineKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Stats counts engine activity. All fields are cumulative.
+type Stats struct {
+	// Commits is the number of committed transactions.
+	Commits uint64
+	// Aborts is the number of user-error aborts.
+	Aborts uint64
+	// Retries is the number of internal conflict retries.
+	Retries uint64
+}
+
+// Engine executes transactions under one concurrency-control algorithm.
+// Engines are safe for concurrent use; TVars may be shared between
+// engines only if every access goes through the same engine.
+type Engine struct {
+	kind    EngineKind
+	clock   atomic.Uint64 // TL2 global version clock
+	global  sync.Mutex    // EngineGlobalLock
+	notif   notifier      // wakes Retry-blocked transactions
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	retries atomic.Uint64
+}
+
+// NewEngine creates an engine of the given kind.
+func NewEngine(kind EngineKind) *Engine {
+	return &Engine{kind: kind}
+}
+
+// Kind returns the engine's algorithm.
+func (e *Engine) Kind() EngineKind { return e.kind }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Commits: e.commits.Load(),
+		Aborts:  e.aborts.Load(),
+		Retries: e.retries.Load(),
+	}
+}
+
+// tvar is the untyped transactional variable all engines share: an
+// allocation-ordered id (stable lock ordering), a TL2 versioned lock word,
+// a mutex for the lock-based engines, and the boxed current value.
+type tvar struct {
+	id   uint64
+	lock atomic.Uint64 // bit 63 = locked, low bits = version
+	mu   sync.Mutex
+	val  atomic.Pointer[any]
+}
+
+const lockedBit = uint64(1) << 63
+
+func version(word uint64) uint64 { return word &^ lockedBit }
+func isLocked(word uint64) bool  { return word&lockedBit != 0 }
+
+var tvarIDs atomic.Uint64
+
+func newTVar(initial any) *tvar {
+	tv := &tvar{id: tvarIDs.Add(1)}
+	v := initial
+	tv.val.Store(&v)
+	return tv
+}
+
+// TVar is a typed transactional variable.
+type TVar[T any] struct {
+	inner *tvar
+}
+
+// NewTVar allocates a transactional variable holding initial.
+func NewTVar[T any](initial T) *TVar[T] {
+	return &TVar[T]{inner: newTVar(initial)}
+}
+
+// Get reads the variable inside a transaction.
+func Get[T any](tx *Tx, tv *TVar[T]) T {
+	return tx.load(tv.inner).(T)
+}
+
+// Set writes the variable inside a transaction.
+func Set[T any](tx *Tx, tv *TVar[T], v T) {
+	tx.store(tv.inner, v)
+}
+
+// Peek reads the variable outside any transaction. The value is a
+// consistent single-variable snapshot; cross-variable invariants need a
+// transaction.
+func (tv *TVar[T]) Peek() T {
+	return (*tv.inner.val.Load()).(T)
+}
+
+// Tx is one transaction attempt. It is only valid inside the function
+// passed to Atomically and must not be retained or shared.
+type Tx struct {
+	eng *Engine
+
+	// TL2 state.
+	rv     uint64
+	reads  []readEntry
+	writes map[*tvar]any
+	worder []*tvar
+
+	// Lock-based engine state.
+	locked map[*tvar]bool
+	lorder []*tvar
+	undo   []undoEntry
+}
+
+type readEntry struct {
+	tv  *tvar
+	ver uint64
+}
+
+type undoEntry struct {
+	tv   *tvar
+	prev *any
+}
+
+// conflict is panicked to unwind a doomed transaction attempt; Atomically
+// recovers it and retries.
+type conflict struct{}
+
+// Atomically runs fn as a transaction, retrying on conflicts until it
+// commits or fn returns an error (which aborts and is returned).
+func (e *Engine) Atomically(fn func(*Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		err, retry := e.once(fn, attempt)
+		if retry {
+			e.retries.Add(1)
+			continue
+		}
+		if err != nil {
+			e.aborts.Add(1)
+			return err
+		}
+		e.commits.Add(1)
+		return nil
+	}
+}
+
+// once runs a single attempt; retry=true means a conflict (or an explicit
+// Retry) unwound it.
+func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
+	seq0 := e.notif.snapshot()
+	tx := &Tx{eng: e}
+	switch e.kind {
+	case EngineTL2:
+		tx.rv = e.clock.Load()
+		tx.writes = make(map[*tvar]any)
+	case EngineTwoPL:
+		tx.locked = make(map[*tvar]bool)
+		backoff(attempt)
+	case EngineGlobalLock:
+		e.global.Lock()
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case conflict:
+				tx.cleanupAfterConflict()
+				err, retry = nil, true
+			case retrySignal:
+				// Drop everything, then sleep until shared state moves.
+				tx.cleanupAfterConflict()
+				e.notif.waitChange(seq0)
+				err, retry = nil, true
+			default:
+				tx.cleanupAfterAbort()
+				panic(r)
+			}
+		}
+	}()
+
+	if ferr := fn(tx); ferr != nil {
+		tx.cleanupAfterAbort()
+		return ferr, false
+	}
+	if !tx.commit() {
+		return nil, true
+	}
+	if tx.wrote() {
+		e.notif.bump()
+	}
+	return nil, false
+}
+
+// wrote reports whether the attempt published any write.
+func (tx *Tx) wrote() bool {
+	return len(tx.worder) > 0 || len(tx.undo) > 0
+}
