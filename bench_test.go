@@ -21,16 +21,17 @@ import (
 	"pcltm/internal/exectest"
 	"pcltm/internal/history"
 	"pcltm/internal/pcl"
+	"pcltm/internal/registry"
 	"pcltm/internal/stms"
-	"pcltm/internal/stms/portfolio"
 	"pcltm/internal/workload"
 	"pcltm/stm"
 )
 
-// mustProto resolves a portfolio protocol or fails the benchmark.
+// mustProto resolves a portfolio protocol through the shared registry or
+// fails the benchmark.
 func mustProto(b *testing.B, name string) stms.Protocol {
 	b.Helper()
-	p, err := portfolio.ByName(name)
+	p, err := registry.ProtocolByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func BenchmarkFigure6ValuesBetaPrime(b *testing.B) {
 // BenchmarkTheoremVerdictMatrix regenerates the Theorem 4.1 matrix: the
 // whole portfolio through the whole construction.
 func BenchmarkTheoremVerdictMatrix(b *testing.B) {
-	protos := portfolio.All()
+	protos := registry.Protocols()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, p := range protos {
@@ -141,7 +142,7 @@ func BenchmarkTheoremVerdictMatrix(b *testing.B) {
 // failures are cheap; walking the whole construction plus the WAC
 // certification is the expensive case).
 func BenchmarkAdversaryPerProtocol(b *testing.B) {
-	for _, p := range portfolio.All() {
+	for _, p := range registry.Protocols() {
 		p := p
 		b.Run(p.Name(), func(b *testing.B) {
 			b.ReportAllocs()
@@ -199,10 +200,12 @@ func benchEngine(b *testing.B, kind stm.EngineKind, pattern workload.Pattern) {
 	}
 }
 
-// BenchmarkEngines sweeps engine × contention pattern (experiment E1).
-func BenchmarkEngines(b *testing.B) {
-	for _, kind := range stm.EngineKinds() {
-		for _, pat := range workload.Patterns() {
+// BenchmarkE1Engines sweeps engine × contention pattern (experiment E1).
+// The engine and pattern lists come from the shared registry, so a newly
+// registered engine joins the sweep automatically.
+func BenchmarkE1Engines(b *testing.B) {
+	for _, kind := range registry.Engines() {
+		for _, pat := range registry.Patterns() {
 			b.Run(fmt.Sprintf("%s/%s", kind, pat), func(b *testing.B) {
 				benchEngine(b, kind, pat)
 			})
@@ -210,12 +213,12 @@ func BenchmarkEngines(b *testing.B) {
 	}
 }
 
-// BenchmarkLongReadOnlyScans measures the workload snapshot isolation was
-// invented for (paper §2): a long read-only scan racing concurrent
+// BenchmarkE1LongReadOnlyScans measures the workload snapshot isolation
+// was invented for (paper §2): a long read-only scan racing concurrent
 // writers; the reported retries/scan metric is the price each
 // concurrency control charges long readers.
-func BenchmarkLongReadOnlyScans(b *testing.B) {
-	for _, kind := range stm.EngineKinds() {
+func BenchmarkE1LongReadOnlyScans(b *testing.B) {
+	for _, kind := range registry.Engines() {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
 			res := workload.RunScan(kind, workload.ScanConfig{
@@ -264,10 +267,10 @@ func benchChecker(b *testing.B, m int, name string, check func(*history.View) co
 	}
 }
 
-// BenchmarkCheckers sweeps checker × history size (experiment E2): the
+// BenchmarkE2Checkers sweeps checker × history size (experiment E2): the
 // weaker the condition, the more it admits and the more the exhaustive
 // search costs.
-func BenchmarkCheckers(b *testing.B) {
+func BenchmarkE2Checkers(b *testing.B) {
 	for _, m := range []int{2, 4, 6} {
 		for _, c := range consistency.Checkers() {
 			c := c

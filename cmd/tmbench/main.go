@@ -4,20 +4,28 @@
 // goroutine workloads and prints throughput, aborts and retries across
 // contention patterns and worker counts — the E1 experiment of
 // EXPERIMENTS.md: disjoint workloads reward parallelism-friendly designs,
-// contended workloads surface the consistency price.
+// contended workloads surface the consistency price. With -json FILE the
+// same results are also written as machine-readable JSON (the BENCH_*.json
+// files of the perf trajectory; "-" writes to stdout).
 //
 // Sim mode (-mode sim) runs the simulated protocol portfolio on static
 // transaction sets over the deterministic machine and reports step
 // counts, base-object contentions and strict-DAP violations — the
 // machine-level view of the same tradeoff.
 //
+// Engines, patterns and protocols are enumerated through
+// internal/registry, so a newly registered engine appears in the sweep
+// without touching this file.
+//
 // Usage:
 //
 //	tmbench [-mode real|sim] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
-//	        [-pattern disjoint,uniform,zipf] [-txns 6]
+//	        [-engine tl2,tl2s,twopl,glock] [-pattern disjoint,uniform,zipf]
+//	        [-json results.json] [-txns 6]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,9 +35,8 @@ import (
 
 	"pcltm/internal/core"
 	"pcltm/internal/dap"
-	"pcltm/internal/machine"
+	"pcltm/internal/registry"
 	"pcltm/internal/stms"
-	"pcltm/internal/stms/portfolio"
 	"pcltm/internal/workload"
 	"pcltm/stm"
 )
@@ -39,15 +46,24 @@ func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (real mode)")
 	ops := flag.Int("ops", 2000, "transactions per worker (real mode)")
 	vars := flag.Int("vars", 256, "number of transactional variables (real mode)")
-	patternsFlag := flag.String("pattern", "disjoint,uniform,zipf", "contention patterns (real mode)")
+	enginesFlag := flag.String("engine", strings.Join(registry.EngineNames(), ","),
+		"comma-separated engines to sweep (real mode)")
+	patternsFlag := flag.String("pattern", strings.Join(registry.PatternNames(), ","),
+		"contention patterns (real mode)")
+	jsonPath := flag.String("json", "", "also write real-mode results as JSON to this file (\"-\" = stdout)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
 	switch *mode {
 	case "real":
-		realMode(parseInts(*workersFlag), *ops, *vars, parsePatterns(*patternsFlag), *seed)
+		realMode(parseInts(*workersFlag), *ops, *vars,
+			parseEngines(*enginesFlag), parsePatterns(*patternsFlag), *seed, *jsonPath)
 	case "sim":
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "tmbench: -json only applies to -mode real")
+			os.Exit(2)
+		}
 		simMode(*txns, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "tmbench: unknown mode %q\n", *mode)
@@ -68,12 +84,25 @@ func parseInts(s string) []int {
 	return out
 }
 
+func parseEngines(s string) []stm.EngineKind {
+	var out []stm.EngineKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := registry.EngineByName(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 func parsePatterns(s string) []workload.Pattern {
 	var out []workload.Pattern
 	for _, part := range strings.Split(s, ",") {
-		p, ok := workload.PatternByName(strings.TrimSpace(part))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tmbench: unknown pattern %q\n", part)
+		p, err := registry.PatternByName(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
 			os.Exit(2)
 		}
 		out = append(out, p)
@@ -81,13 +110,31 @@ func parsePatterns(s string) []workload.Pattern {
 	return out
 }
 
-func realMode(workers []int, ops, vars int, patterns []workload.Pattern, seed int64) {
+// benchRecord is one real-mode measurement in the machine-readable
+// output (the BENCH_*.json schema).
+type benchRecord struct {
+	Engine     string  `json:"engine"`
+	Pattern    string  `json:"pattern"`
+	Workers    int     `json:"workers"`
+	OpsPerWkr  int     `json:"ops_per_worker"`
+	Vars       int     `json:"vars"`
+	Seed       int64   `json:"seed"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"tx_per_sec"`
+	Commits    uint64  `json:"commits"`
+	Aborts     uint64  `json:"aborts"`
+	Retries    uint64  `json:"retries"`
+}
+
+func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
+	patterns []workload.Pattern, seed int64, jsonPath string) {
+	var records []benchRecord
 	fmt.Println("E1 — production engines under real parallelism")
 	fmt.Printf("%-8s %-9s %-8s %12s %10s %10s %10s\n",
 		"engine", "pattern", "workers", "tx/s", "commits", "aborts", "retries")
 	for _, pat := range patterns {
 		for _, w := range workers {
-			for _, kind := range stm.EngineKinds() {
+			for _, kind := range engines {
 				cfg := workload.Config{
 					Vars: vars, Workers: w, OpsPerWorker: ops,
 					Pattern: pat, Seed: seed,
@@ -100,9 +147,35 @@ func realMode(workers []int, ops, vars int, patterns []workload.Pattern, seed in
 				}
 				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d\n",
 					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries)
+				records = append(records, benchRecord{
+					Engine: kind.String(), Pattern: pat.String(),
+					Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
+					ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+					Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+				})
 			}
 		}
 		fmt.Println()
+	}
+	if jsonPath != "" {
+		writeJSON(jsonPath, records)
+	}
+}
+
+func writeJSON(path string, records []benchRecord) {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmbench: encoding JSON: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -122,7 +195,7 @@ func simMode(txns int, seed int64) {
 		"protocol", "workload", "steps", "commits", "contentions", "strict-DAP", "blocked")
 	for _, name := range []string{"disjoint", "chain", "star", "random"} {
 		specs := simWorkloads(txns, seed)[name]
-		for _, proto := range portfolio.All() {
+		for _, proto := range registry.Protocols() {
 			b := &stms.Bundle{Protocol: proto, Specs: specs}
 			exec, blocked := fairRun(b, len(specs), seed)
 			commits := 0
@@ -161,5 +234,3 @@ func fairRun(b *stms.Bundle, nprocs int, seed int64) (*core.Execution, bool) {
 	}
 	return m.Execution(), true
 }
-
-var _ = machine.Schedule{}

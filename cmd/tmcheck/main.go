@@ -21,8 +21,8 @@ import (
 	"pcltm/internal/dap"
 	"pcltm/internal/history"
 	"pcltm/internal/machine"
+	"pcltm/internal/registry"
 	"pcltm/internal/stms"
-	"pcltm/internal/stms/portfolio"
 	"pcltm/internal/trace"
 )
 
@@ -97,14 +97,15 @@ func main() {
 }
 
 // emitDemo records a small two-transaction run under the named protocol
-// (default naive) and writes the JSON trace to stdout.
+// (default naive) and writes the JSON trace to stdout. Protocols resolve
+// through the shared registry.
 func emitDemo(protoName string) {
 	if protoName == "" {
 		protoName = "naive"
 	}
-	proto, err := portfolio.ByName(protoName)
+	proto, err := registry.ProtocolByName(protoName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tmcheck: %v (known: %v)\n", err, portfolio.Names())
+		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
 		os.Exit(2)
 	}
 	specs := []core.TxSpec{

@@ -1,0 +1,3 @@
+module pcltm
+
+go 1.24

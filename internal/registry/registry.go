@@ -1,0 +1,81 @@
+// Package registry is the single enumeration point for everything the
+// benchmarks and CLIs sweep: the production stm/ engines, the simulated
+// protocol portfolio, and the workload contention patterns. cmd/tmbench,
+// cmd/tmcheck and the root bench_test.go all resolve names through here,
+// so adding an engine (stm's engine table), a protocol
+// (internal/stms/portfolio) or a pattern (internal/workload) shows up in
+// every tool without touching any of them.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"pcltm/internal/stms"
+	"pcltm/internal/stms/portfolio"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// Engines lists every production engine in presentation order.
+func Engines() []stm.EngineKind { return stm.EngineKinds() }
+
+// EngineNames lists the engine short names in presentation order.
+func EngineNames() []string {
+	kinds := Engines()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// EngineByName resolves an engine short name; the error names the known
+// engines.
+func EngineByName(name string) (stm.EngineKind, error) {
+	if k, ok := stm.EngineByName(name); ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("registry: unknown engine %q (known: %s)",
+		name, strings.Join(EngineNames(), ", "))
+}
+
+// Protocols lists the simulated protocol portfolio.
+func Protocols() []stms.Protocol { return portfolio.All() }
+
+// ProtocolNames lists the protocol names in presentation order.
+func ProtocolNames() []string { return portfolio.Names() }
+
+// ProtocolByName resolves a protocol name; the error names the known
+// protocols.
+func ProtocolByName(name string) (stms.Protocol, error) {
+	p, err := portfolio.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("registry: unknown protocol %q (known: %s)",
+			name, strings.Join(ProtocolNames(), ", "))
+	}
+	return p, nil
+}
+
+// Patterns lists the workload contention patterns.
+func Patterns() []workload.Pattern { return workload.Patterns() }
+
+// PatternNames lists the pattern names in presentation order.
+func PatternNames() []string {
+	pats := Patterns()
+	names := make([]string, len(pats))
+	for i, p := range pats {
+		names[i] = p.String()
+	}
+	return names
+}
+
+// PatternByName resolves a pattern name; the error names the known
+// patterns.
+func PatternByName(name string) (workload.Pattern, error) {
+	if p, ok := workload.PatternByName(name); ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("registry: unknown pattern %q (known: %s)",
+		name, strings.Join(PatternNames(), ", "))
+}

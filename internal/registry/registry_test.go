@@ -1,0 +1,81 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"pcltm/stm"
+)
+
+func TestEnginesEnumeratesAllFour(t *testing.T) {
+	kinds := Engines()
+	if len(kinds) != 4 {
+		t.Fatalf("Engines() = %v, want 4", kinds)
+	}
+	want := map[stm.EngineKind]bool{
+		stm.EngineTL2: true, stm.EngineTL2Striped: true,
+		stm.EngineTwoPL: true, stm.EngineGlobalLock: true,
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected engine %v", k)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		t.Errorf("engine %v missing from registry", k)
+	}
+}
+
+func TestEngineRoundTrip(t *testing.T) {
+	for _, k := range Engines() {
+		got, err := EngineByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("EngineByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	_, err := EngineByName("bogus")
+	if err == nil {
+		t.Fatal("EngineByName accepted bogus")
+	}
+	for _, name := range EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name known engine %q", err, name)
+		}
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	names := ProtocolNames()
+	if len(names) == 0 {
+		t.Fatal("no protocols registered")
+	}
+	if len(names) != len(Protocols()) {
+		t.Errorf("ProtocolNames/Protocols length mismatch")
+	}
+	for _, name := range names {
+		p, err := ProtocolByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ProtocolByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ProtocolByName("bogus"); err == nil {
+		t.Error("ProtocolByName accepted bogus")
+	}
+}
+
+func TestPatternRoundTrip(t *testing.T) {
+	pats := Patterns()
+	if len(pats) == 0 {
+		t.Fatal("no patterns registered")
+	}
+	for _, p := range pats {
+		got, err := PatternByName(p.String())
+		if err != nil || got != p {
+			t.Errorf("PatternByName(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := PatternByName("bogus"); err == nil {
+		t.Error("PatternByName accepted bogus")
+	}
+}

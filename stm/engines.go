@@ -1,10 +1,87 @@
+// The engine seam: every concurrency-control algorithm in this package
+// plugs in behind the engine/txState pair below and registers itself in
+// the engine table. The public API (stm.go, orelse.go, retry.go) only
+// ever talks to these interfaces — adding an engine means adding a file,
+// not editing dispatch sites.
 package stm
 
 import (
 	"runtime"
-	"sort"
 	"time"
 )
+
+// engine is one concurrency-control algorithm behind an Engine: a factory
+// for per-attempt transaction state. An implementation owns whatever
+// engine-wide shared state its algorithm needs (version clocks, the
+// global mutex) and is constructed once per Engine by its registered
+// constructor.
+type engine interface {
+	// begin starts one transaction attempt. attempt counts restarts of
+	// the same Atomically call, so implementations can back off.
+	begin(attempt int) txState
+}
+
+// txState is the engine-specific state of one transaction attempt. The
+// public Tx handle delegates every operation here; each engine keeps only
+// the fields its algorithm needs instead of a union of all engines'
+// fields.
+type txState interface {
+	// load performs a transactional read.
+	load(tv *tvar) any
+	// store performs a transactional write.
+	store(tv *tvar, v any)
+	// commit publishes the attempt's writes; false means a conflict was
+	// detected and the attempt must restart.
+	commit() bool
+	// abortCleanup rolls back after a user error or user panic.
+	abortCleanup()
+	// conflictCleanup unwinds an internal restart (conflict or Retry),
+	// releasing anything held so other transactions can proceed.
+	conflictCleanup()
+	// wrote reports whether the committed attempt published any write
+	// (drives Retry wakeups).
+	wrote() bool
+	// mark snapshots the attempt's write state and rollbackTo undoes all
+	// writes performed after the mark — the bracket around an OrElse
+	// alternative. Locks acquired since the mark are deliberately kept
+	// (conservative and deadlock-free: they are released when the
+	// transaction finishes either way), as are read-set entries (extra
+	// validation can only make commit more conservative).
+	mark() txMark
+	rollbackTo(m txMark)
+}
+
+// txMark is an opaque engine-specific snapshot of a transaction's write
+// state; see txState.mark.
+type txMark any
+
+// engineEntry is one row of the engine registry.
+type engineEntry struct {
+	name string
+	doc  string
+	make func() engine
+}
+
+// engineTable maps EngineKind to its registration, filled in by each
+// engine file's init. EngineKinds, EngineByName and NewEngine all read
+// this table, so the engine files are the single source of truth.
+var engineTable [engineKindCount]engineEntry
+
+// registerEngine is called from each engine file's init.
+func registerEngine(kind EngineKind, name, doc string, make func() engine) {
+	if kind < 0 || kind >= engineKindCount {
+		panic("stm: registerEngine: kind out of range")
+	}
+	if engineTable[kind].make != nil {
+		panic("stm: registerEngine: duplicate registration for " + name)
+	}
+	for _, e := range engineTable {
+		if e.make != nil && e.name == name {
+			panic("stm: registerEngine: duplicate engine name " + name)
+		}
+	}
+	engineTable[kind] = engineEntry{name: name, doc: doc, make: make}
+}
 
 // backoff sleeps progressively longer on repeated restarts of a
 // lock-based transaction, defusing livelock between symmetric retriers.
@@ -22,197 +99,29 @@ func backoff(attempt int) {
 	}
 }
 
-// load dispatches a transactional read to the engine.
-func (tx *Tx) load(tv *tvar) any {
-	switch tx.eng.kind {
-	case EngineTL2:
-		return tx.tl2Load(tv)
-	case EngineTwoPL:
-		tx.twoPLAcquire(tv)
-		return *tv.val.Load()
-	default: // EngineGlobalLock
-		return *tv.val.Load()
-	}
+// undoEntry is one in-place write to roll back.
+type undoEntry struct {
+	tv   *tvar
+	prev *any
 }
 
-// store dispatches a transactional write to the engine.
-func (tx *Tx) store(tv *tvar, v any) {
-	switch tx.eng.kind {
-	case EngineTL2:
-		if _, ok := tx.writes[tv]; !ok {
-			tx.worder = append(tx.worder, tv)
-		}
-		tx.writes[tv] = v
-	case EngineTwoPL:
-		tx.twoPLAcquire(tv)
-		tx.pushUndo(tv)
-		nv := v
-		tv.val.Store(&nv)
-	default: // EngineGlobalLock
-		tx.pushUndo(tv)
-		nv := v
-		tv.val.Store(&nv)
-	}
+// undoLog records in-place writes for the lock-based engines, newest
+// last.
+type undoLog []undoEntry
+
+// push records tv's current value before it is overwritten.
+func (u *undoLog) push(tv *tvar) {
+	*u = append(*u, undoEntry{tv: tv, prev: tv.val.Load()})
 }
 
-// commit dispatches commit; false means conflict (retry).
-func (tx *Tx) commit() bool {
-	switch tx.eng.kind {
-	case EngineTL2:
-		return tx.tl2Commit()
-	case EngineTwoPL:
-		tx.releaseLocks()
-		return true
-	default: // EngineGlobalLock
-		tx.eng.global.Unlock()
-		return true
+// rollbackTo restores everything written after the log had n entries.
+func (u *undoLog) rollbackTo(n int) {
+	log := *u
+	for i := len(log) - 1; i >= n; i-- {
+		log[i].tv.val.Store(log[i].prev)
 	}
+	*u = log[:n]
 }
 
-// cleanupAfterAbort rolls back a user-error abort.
-func (tx *Tx) cleanupAfterAbort() {
-	switch tx.eng.kind {
-	case EngineTL2:
-		// Writes were buffered; nothing to roll back.
-	case EngineTwoPL:
-		tx.rollbackUndo()
-		tx.releaseLocks()
-	default:
-		tx.rollbackUndo()
-		tx.eng.global.Unlock()
-	}
-}
-
-// cleanupAfterConflict unwinds an internal retry.
-func (tx *Tx) cleanupAfterConflict() {
-	switch tx.eng.kind {
-	case EngineTwoPL:
-		tx.rollbackUndo()
-		tx.releaseLocks()
-	case EngineGlobalLock:
-		// The global engine never conflicts, but keep the lock balanced
-		// if it ever does.
-		tx.rollbackUndo()
-		tx.eng.global.Unlock()
-	}
-}
-
-func (tx *Tx) pushUndo(tv *tvar) {
-	tx.undo = append(tx.undo, undoEntry{tv: tv, prev: tv.val.Load()})
-}
-
-func (tx *Tx) rollbackUndo() {
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i].tv.val.Store(tx.undo[i].prev)
-	}
-	tx.undo = tx.undo[:0]
-}
-
-// ---- TL2 ----
-
-// tl2Load implements TL2's versioned read: a lock-stable value whose
-// version does not postdate the transaction's read snapshot.
-func (tx *Tx) tl2Load(tv *tvar) any {
-	if v, ok := tx.writes[tv]; ok {
-		return v
-	}
-	for {
-		l1 := tv.lock.Load()
-		if isLocked(l1) {
-			runtime.Gosched()
-			continue
-		}
-		v := tv.val.Load()
-		l2 := tv.lock.Load()
-		if l1 != l2 {
-			continue
-		}
-		if version(l1) > tx.rv {
-			panic(conflict{}) // snapshot too old: restart with a fresh rv
-		}
-		tx.reads = append(tx.reads, readEntry{tv, version(l1)})
-		return *v
-	}
-}
-
-// tl2Commit implements TL2's commit: lock the write set in id order,
-// bump the clock, validate the read set, publish, release.
-func (tx *Tx) tl2Commit() bool {
-	if len(tx.worder) == 0 {
-		// Read-only transactions validated every read against rv; done.
-		return true
-	}
-	ws := make([]*tvar, len(tx.worder))
-	copy(ws, tx.worder)
-	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
-
-	locked := ws[:0:0]
-	releaseAll := func() {
-		for _, tv := range locked {
-			tv.lock.Store(tv.lock.Load() &^ lockedBit)
-		}
-	}
-	for _, tv := range ws {
-		acquired := false
-		for spin := 0; spin < 64; spin++ {
-			l := tv.lock.Load()
-			if isLocked(l) {
-				runtime.Gosched()
-				continue
-			}
-			if tv.lock.CompareAndSwap(l, l|lockedBit) {
-				acquired = true
-				break
-			}
-		}
-		if !acquired {
-			releaseAll()
-			return false
-		}
-		locked = append(locked, tv)
-	}
-
-	wv := tx.eng.clock.Add(1)
-
-	inWrites := func(tv *tvar) bool { _, ok := tx.writes[tv]; return ok }
-	for _, r := range tx.reads {
-		l := r.tv.lock.Load()
-		if version(l) != r.ver || (isLocked(l) && !inWrites(r.tv)) {
-			releaseAll()
-			return false
-		}
-	}
-
-	for _, tv := range ws {
-		v := tx.writes[tv]
-		nv := v
-		tv.val.Store(&nv)
-		tv.lock.Store(wv) // publish new version and release
-	}
-	return true
-}
-
-// ---- TwoPL ----
-
-// twoPLAcquire try-locks the variable at first access; failure restarts
-// the whole transaction (deadlock avoidance by abort).
-func (tx *Tx) twoPLAcquire(tv *tvar) {
-	if tx.locked[tv] {
-		return
-	}
-	if !tv.mu.TryLock() {
-		panic(conflict{})
-	}
-	tx.locked[tv] = true
-	tx.lorder = append(tx.lorder, tv)
-}
-
-func (tx *Tx) releaseLocks() {
-	for i := len(tx.lorder) - 1; i >= 0; i-- {
-		tx.lorder[i].mu.Unlock()
-	}
-	tx.lorder = tx.lorder[:0]
-	for tv := range tx.locked {
-		delete(tx.locked, tv)
-	}
-}
+// rollback restores everything.
+func (u *undoLog) rollback() { u.rollbackTo(0) }

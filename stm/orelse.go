@@ -6,49 +6,6 @@ import "errors"
 // internal bookkeeping.
 var errRetryInternal = errors.New("stm: internal retry sentinel")
 
-// txMark snapshots a transaction's write state so an abandoned OrElse
-// alternative can be rolled back without restarting the whole
-// transaction.
-type txMark struct {
-	worderLen int
-	writes    map[*tvar]any
-	undoLen   int
-}
-
-// mark captures the current write state.
-func (tx *Tx) mark() txMark {
-	m := txMark{worderLen: len(tx.worder), undoLen: len(tx.undo)}
-	if tx.writes != nil {
-		m.writes = make(map[*tvar]any, len(tx.writes))
-		for tv, v := range tx.writes {
-			m.writes[tv] = v
-		}
-	}
-	return m
-}
-
-// rollbackTo undoes all writes performed after the mark. Locks acquired
-// since the mark are kept (conservative and deadlock-free: they are
-// released when the transaction finishes either way), as are read-set
-// entries (extra validation can only make commit more conservative).
-func (tx *Tx) rollbackTo(m txMark) {
-	if tx.writes != nil {
-		tx.worder = tx.worder[:m.worderLen]
-		for tv := range tx.writes {
-			if _, kept := m.writes[tv]; !kept {
-				delete(tx.writes, tv)
-			}
-		}
-		for tv, v := range m.writes {
-			tx.writes[tv] = v
-		}
-	}
-	for i := len(tx.undo) - 1; i >= m.undoLen; i-- {
-		tx.undo[i].tv.val.Store(tx.undo[i].prev)
-	}
-	tx.undo = tx.undo[:m.undoLen]
-}
-
 // OrElse composes two transactional alternatives: it runs f, and if f
 // calls Retry, rolls f's writes back and runs g instead. If g also
 // retries, the whole transaction blocks (as with a plain Retry) and
@@ -61,11 +18,15 @@ func (tx *Tx) rollbackTo(m txMark) {
 //	        func(tx *stm.Tx) error { return takeFrom(tx, slowQueue) },
 //	    )
 //	})
+//
+// The mark/rollback bracket is engine-specific (buffered engines restore
+// their write set, in-place engines pop their undo log); see
+// txState.mark in engines.go.
 func OrElse(tx *Tx, f, g func(*Tx) error) error {
-	m := tx.mark()
+	m := tx.st.mark()
 	err := runAlternative(tx, f)
 	if errors.Is(err, errRetryInternal) {
-		tx.rollbackTo(m)
+		tx.st.rollbackTo(m)
 		return g(tx)
 	}
 	return err

@@ -1,0 +1,110 @@
+package stm
+
+import "testing"
+
+func TestEngineTableComplete(t *testing.T) {
+	kinds := EngineKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("EngineKinds() = %v, want 4 engines", kinds)
+	}
+	want := []EngineKind{EngineTL2, EngineTL2Striped, EngineTwoPL, EngineGlobalLock}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Errorf("EngineKinds()[%d] = %v, want %v", i, kinds[i], k)
+		}
+	}
+}
+
+func TestEngineNamesUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range EngineKinds() {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("engine %d has no name", int(k))
+		}
+		if seen[name] {
+			t.Errorf("duplicate engine name %q", name)
+		}
+		seen[name] = true
+		if k.Doc() == "" {
+			t.Errorf("engine %q has no doc line", name)
+		}
+	}
+}
+
+func TestEngineNameRoundTrip(t *testing.T) {
+	for _, k := range EngineKinds() {
+		got, ok := EngineByName(k.String())
+		if !ok || got != k {
+			t.Errorf("EngineByName(%q) = %v, %v, want %v", k.String(), got, ok, k)
+		}
+	}
+	for _, bogus := range []string{"", "bogus", "TL2", "tl2 "} {
+		if _, ok := EngineByName(bogus); ok {
+			t.Errorf("EngineByName(%q) accepted", bogus)
+		}
+	}
+}
+
+func TestUnknownKindStringAndDoc(t *testing.T) {
+	if s := EngineKind(-1).String(); s != "unknown" {
+		t.Errorf("EngineKind(-1).String() = %q", s)
+	}
+	if s := engineKindCount.String(); s != "unknown" {
+		t.Errorf("engineKindCount.String() = %q", s)
+	}
+	if d := EngineKind(-1).Doc(); d != "" {
+		t.Errorf("EngineKind(-1).Doc() = %q", d)
+	}
+}
+
+func TestNewEngineUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine(engineKindCount) did not panic")
+		}
+	}()
+	NewEngine(engineKindCount)
+}
+
+// TestStripedEngineDisjointStats runs a disjoint workload on the striped
+// engine and checks that disjoint transactions essentially never retry —
+// the property the striped clock exists for.
+func TestStripedEngineDisjointStats(t *testing.T) {
+	e := NewEngine(EngineTL2Striped)
+	const workers = 8
+	const perW = 500
+	vars := make([]*TVar[int], workers)
+	for i := range vars {
+		vars[i] = NewTVar[int](0)
+	}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perW; i++ {
+				_ = e.Atomically(func(tx *Tx) error {
+					Set(tx, vars[w], Get(tx, vars[w])+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for i, v := range vars {
+		if got := v.Peek(); got != perW {
+			t.Errorf("var %d = %d, want %d", i, got, perW)
+		}
+	}
+	st := e.Stats()
+	if st.Commits != workers*perW {
+		t.Errorf("commits = %d, want %d", st.Commits, workers*perW)
+	}
+	// Disjoint write sets cannot conflict on versioned locks; with lazy
+	// extension the stale-snapshot restarts are absorbed too.
+	if st.Retries > st.Commits/10 {
+		t.Errorf("disjoint workload retried %d times over %d commits", st.Retries, st.Commits)
+	}
+}

@@ -13,6 +13,10 @@
 //     (Dice/Shalev/Shavit's TL2): consistent (strictly serializable) and
 //     non-blocking in the common path, but the shared clock makes it not
 //     disjoint-access-parallel.
+//   - EngineTL2Striped — TL2 with a cache-line-padded striped version
+//     clock and lazy snapshot extension: the same speculative algorithm
+//     with the single-counter hot spot spread over per-shard counters, so
+//     disjoint transactions no longer serialize on one cache line.
 //   - EngineTwoPL — encounter-time per-variable try-locking with
 //     whole-transaction restart on lock failure: strictly serializable
 //     and disjoint-access-parallel (only the accessed variables' locks
@@ -20,6 +24,11 @@
 //     conflicting transactions.
 //   - EngineGlobalLock — one global mutex: trivially consistent and
 //     non-interfering, with zero parallelism.
+//
+// Each engine lives in its own file (tl2.go, tl2striped.go, twopl.go,
+// glock.go) behind the engine/txState interfaces of engines.go and
+// registers itself in the engine table; nothing outside an engine's file
+// knows its algorithm.
 //
 // Usage:
 //
@@ -47,25 +56,42 @@ type EngineKind int
 const (
 	// EngineTL2 is the speculative global-version-clock engine.
 	EngineTL2 EngineKind = iota
+	// EngineTL2Striped is TL2 with a striped version clock.
+	EngineTL2Striped
 	// EngineTwoPL is the encounter-time locking engine.
 	EngineTwoPL
 	// EngineGlobalLock serializes all transactions on one mutex.
 	EngineGlobalLock
-)
 
-var engineNames = [...]string{"tl2", "twopl", "glock"}
+	engineKindCount // sentinel: keep last
+)
 
 // String returns the engine's short name.
 func (k EngineKind) String() string {
-	if k < 0 || int(k) >= len(engineNames) {
+	if k < 0 || k >= engineKindCount || engineTable[k].make == nil {
 		return "unknown"
 	}
-	return engineNames[k]
+	return engineTable[k].name
 }
 
-// EngineKinds lists all engines.
+// Doc returns a one-line description of the engine's algorithm and the
+// PCL corner it gives up.
+func (k EngineKind) Doc() string {
+	if k < 0 || k >= engineKindCount {
+		return ""
+	}
+	return engineTable[k].doc
+}
+
+// EngineKinds lists all registered engines in declaration order.
 func EngineKinds() []EngineKind {
-	return []EngineKind{EngineTL2, EngineTwoPL, EngineGlobalLock}
+	out := make([]EngineKind, 0, engineKindCount)
+	for k := EngineKind(0); k < engineKindCount; k++ {
+		if engineTable[k].make != nil {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // EngineByName resolves a short name; ok=false if unknown.
@@ -93,17 +119,20 @@ type Stats struct {
 // engines only if every access goes through the same engine.
 type Engine struct {
 	kind    EngineKind
-	clock   atomic.Uint64 // TL2 global version clock
-	global  sync.Mutex    // EngineGlobalLock
-	notif   notifier      // wakes Retry-blocked transactions
+	impl    engine   // the algorithm (owns clocks, locks, shared state)
+	notif   notifier // wakes Retry-blocked transactions
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	retries atomic.Uint64
 }
 
-// NewEngine creates an engine of the given kind.
+// NewEngine creates an engine of the given kind. It panics on a kind that
+// is not registered (i.e. not returned by EngineKinds).
 func NewEngine(kind EngineKind) *Engine {
-	return &Engine{kind: kind}
+	if kind < 0 || kind >= engineKindCount || engineTable[kind].make == nil {
+		panic("stm: NewEngine: unknown engine kind")
+	}
+	return &Engine{kind: kind, impl: engineTable[kind].make()}
 }
 
 // Kind returns the engine's algorithm.
@@ -154,12 +183,12 @@ func NewTVar[T any](initial T) *TVar[T] {
 
 // Get reads the variable inside a transaction.
 func Get[T any](tx *Tx, tv *TVar[T]) T {
-	return tx.load(tv.inner).(T)
+	return tx.st.load(tv.inner).(T)
 }
 
 // Set writes the variable inside a transaction.
 func Set[T any](tx *Tx, tv *TVar[T], v T) {
-	tx.store(tv.inner, v)
+	tx.st.store(tv.inner, v)
 }
 
 // Peek reads the variable outside any transaction. The value is a
@@ -170,30 +199,10 @@ func (tv *TVar[T]) Peek() T {
 }
 
 // Tx is one transaction attempt. It is only valid inside the function
-// passed to Atomically and must not be retained or shared.
+// passed to Atomically and must not be retained or shared. All operations
+// delegate to the engine-specific txState.
 type Tx struct {
-	eng *Engine
-
-	// TL2 state.
-	rv     uint64
-	reads  []readEntry
-	writes map[*tvar]any
-	worder []*tvar
-
-	// Lock-based engine state.
-	locked map[*tvar]bool
-	lorder []*tvar
-	undo   []undoEntry
-}
-
-type readEntry struct {
-	tv  *tvar
-	ver uint64
-}
-
-type undoEntry struct {
-	tv   *tvar
-	prev *any
+	st txState
 }
 
 // conflict is panicked to unwind a doomed transaction attempt; Atomically
@@ -222,50 +231,35 @@ func (e *Engine) Atomically(fn func(*Tx) error) error {
 // Retry) unwound it.
 func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
 	seq0 := e.notif.snapshot()
-	tx := &Tx{eng: e}
-	switch e.kind {
-	case EngineTL2:
-		tx.rv = e.clock.Load()
-		tx.writes = make(map[*tvar]any)
-	case EngineTwoPL:
-		tx.locked = make(map[*tvar]bool)
-		backoff(attempt)
-	case EngineGlobalLock:
-		e.global.Lock()
-	}
+	tx := &Tx{st: e.impl.begin(attempt)}
 
 	defer func() {
 		if r := recover(); r != nil {
 			switch r.(type) {
 			case conflict:
-				tx.cleanupAfterConflict()
+				tx.st.conflictCleanup()
 				err, retry = nil, true
 			case retrySignal:
 				// Drop everything, then sleep until shared state moves.
-				tx.cleanupAfterConflict()
+				tx.st.conflictCleanup()
 				e.notif.waitChange(seq0)
 				err, retry = nil, true
 			default:
-				tx.cleanupAfterAbort()
+				tx.st.abortCleanup()
 				panic(r)
 			}
 		}
 	}()
 
 	if ferr := fn(tx); ferr != nil {
-		tx.cleanupAfterAbort()
+		tx.st.abortCleanup()
 		return ferr, false
 	}
-	if !tx.commit() {
+	if !tx.st.commit() {
 		return nil, true
 	}
-	if tx.wrote() {
+	if tx.st.wrote() {
 		e.notif.bump()
 	}
 	return nil, false
-}
-
-// wrote reports whether the attempt published any write.
-func (tx *Tx) wrote() bool {
-	return len(tx.worder) > 0 || len(tx.undo) > 0
 }

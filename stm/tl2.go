@@ -1,0 +1,199 @@
+package stm
+
+import (
+	"runtime"
+	"sort"
+	"unsafe"
+)
+
+func init() {
+	registerEngine(EngineTL2, "tl2",
+		"speculative TL2: versioned locks, one global version clock (consistent, non-blocking, not DAP)",
+		func() engine { return &tl2Engine{clock: &globalClock{}} })
+}
+
+// tl2Engine is speculative TL2 (Dice/Shalev/Shavit): reads are validated
+// against a version clock, writes are buffered and published under
+// short-lived versioned locks at commit. The clock implementation is the
+// only difference between EngineTL2 (one global counter) and
+// EngineTL2Striped (per-shard counters with lazy snapshot extension, see
+// tl2striped.go).
+type tl2Engine struct {
+	clock versionClock
+	// extend enables lazy snapshot extension: a read that observes a
+	// version newer than rv re-snapshots the clock and revalidates the
+	// read set instead of restarting outright. Off for classic TL2,
+	// whose single clock makes stale snapshots rare; on for the striped
+	// clock, whose reused timestamps make them common.
+	extend bool
+}
+
+// tl2Tx is one TL2 transaction attempt: a read snapshot, a validated
+// read set, and a buffered write set in first-write order.
+type tl2Tx struct {
+	eng    *tl2Engine
+	rv     uint64
+	reads  []readEntry
+	writes map[*tvar]any
+	worder []*tvar
+}
+
+type readEntry struct {
+	tv  *tvar
+	ver uint64
+}
+
+func (e *tl2Engine) begin(attempt int) txState {
+	return &tl2Tx{eng: e, rv: e.clock.snapshot(), writes: make(map[*tvar]any)}
+}
+
+// load implements TL2's versioned read: a lock-stable value whose version
+// does not postdate the transaction's read snapshot.
+func (tx *tl2Tx) load(tv *tvar) any {
+	if v, ok := tx.writes[tv]; ok {
+		return v
+	}
+	for {
+		l1 := tv.lock.Load()
+		if isLocked(l1) {
+			runtime.Gosched()
+			continue
+		}
+		v := tv.val.Load()
+		l2 := tv.lock.Load()
+		if l1 != l2 {
+			continue
+		}
+		if version(l1) > tx.rv {
+			if !tx.eng.extend || !tx.extendSnapshot() {
+				panic(conflict{}) // snapshot too old: restart with a fresh rv
+			}
+			continue // rv advanced past the version; re-read
+		}
+		tx.reads = append(tx.reads, readEntry{tv, version(l1)})
+		return *v
+	}
+}
+
+// extendSnapshot advances rv to the current clock if every read so far is
+// still at its recorded version — TinySTM/LSA-style lazy extension. On
+// success the attempt keeps running with the newer snapshot; on failure
+// it is doomed and the caller restarts it.
+func (tx *tl2Tx) extendSnapshot() bool {
+	newRV := tx.eng.clock.snapshot()
+	for _, r := range tx.reads {
+		l := r.tv.lock.Load()
+		if version(l) != r.ver || isLocked(l) {
+			return false
+		}
+	}
+	tx.rv = newRV
+	return true
+}
+
+func (tx *tl2Tx) store(tv *tvar, v any) {
+	if _, ok := tx.writes[tv]; !ok {
+		tx.worder = append(tx.worder, tv)
+	}
+	tx.writes[tv] = v
+}
+
+// commit implements TL2's commit: lock the write set in id order, take a
+// commit timestamp, validate the read set, publish, release.
+func (tx *tl2Tx) commit() bool {
+	if len(tx.worder) == 0 {
+		// Read-only transactions validated every read against rv; done.
+		return true
+	}
+	ws := make([]*tvar, len(tx.worder))
+	copy(ws, tx.worder)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+
+	locked := ws[:0:0]
+	releaseAll := func() {
+		for _, tv := range locked {
+			tv.lock.Store(tv.lock.Load() &^ lockedBit)
+		}
+	}
+	for _, tv := range ws {
+		acquired := false
+		for spin := 0; spin < 64; spin++ {
+			l := tv.lock.Load()
+			if isLocked(l) {
+				runtime.Gosched()
+				continue
+			}
+			if tv.lock.CompareAndSwap(l, l|lockedBit) {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			releaseAll()
+			return false
+		}
+		locked = append(locked, tv)
+	}
+
+	wv := tx.eng.clock.tick(tx.rv, tx.shardHint())
+
+	inWrites := func(tv *tvar) bool { _, ok := tx.writes[tv]; return ok }
+	for _, r := range tx.reads {
+		l := r.tv.lock.Load()
+		if version(l) != r.ver || (isLocked(l) && !inWrites(r.tv)) {
+			releaseAll()
+			return false
+		}
+	}
+
+	for _, tv := range ws {
+		v := tx.writes[tv]
+		nv := v
+		tv.val.Store(&nv)
+		tv.lock.Store(wv) // publish new version and release
+	}
+	return true
+}
+
+// shardHint spreads concurrent committers over clock shards. The
+// attempt's own address is as good a hash as any: distinct live attempts
+// have distinct addresses, and an allocator slot tends to be reused by
+// the same goroutine, so the shard choice is stable under steady load.
+func (tx *tl2Tx) shardHint() uint64 {
+	return uint64(uintptr(unsafe.Pointer(tx)) >> 6)
+}
+
+// abortCleanup: writes were buffered; nothing to roll back.
+func (tx *tl2Tx) abortCleanup() {}
+
+// conflictCleanup: nothing held between operations.
+func (tx *tl2Tx) conflictCleanup() {}
+
+func (tx *tl2Tx) wrote() bool { return len(tx.worder) > 0 }
+
+// tl2Mark snapshots the buffered write set for OrElse.
+type tl2Mark struct {
+	worderLen int
+	writes    map[*tvar]any
+}
+
+func (tx *tl2Tx) mark() txMark {
+	m := tl2Mark{worderLen: len(tx.worder), writes: make(map[*tvar]any, len(tx.writes))}
+	for tv, v := range tx.writes {
+		m.writes[tv] = v
+	}
+	return m
+}
+
+func (tx *tl2Tx) rollbackTo(mk txMark) {
+	m := mk.(tl2Mark)
+	tx.worder = tx.worder[:m.worderLen]
+	for tv := range tx.writes {
+		if _, kept := m.writes[tv]; !kept {
+			delete(tx.writes, tv)
+		}
+	}
+	for tv, v := range m.writes {
+		tx.writes[tv] = v
+	}
+}

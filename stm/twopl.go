@@ -1,0 +1,86 @@
+package stm
+
+func init() {
+	registerEngine(EngineTwoPL, "twopl",
+		"encounter-time per-variable try-locking, restart on lock failure (consistent, DAP, blocking)",
+		func() engine { return twoPLEngine{} })
+}
+
+// twoPLEngine is encounter-time two-phase locking: every access try-locks
+// the variable's mutex, writes go in place with an undo log, and a failed
+// try-lock restarts the whole transaction (deadlock avoidance by abort).
+// Only the accessed variables' locks are ever touched, so the engine is
+// disjoint-access-parallel — the corner it gives up is liveness: a
+// preempted lock holder stalls every conflicting transaction.
+type twoPLEngine struct{}
+
+// twoPLTx is one 2PL attempt: the held locks in acquisition order and the
+// undo log of in-place writes.
+type twoPLTx struct {
+	locked map[*tvar]bool
+	lorder []*tvar
+	undo   undoLog
+}
+
+func (twoPLEngine) begin(attempt int) txState {
+	backoff(attempt)
+	return &twoPLTx{locked: make(map[*tvar]bool)}
+}
+
+// acquire try-locks the variable at first access; failure restarts the
+// whole transaction.
+func (tx *twoPLTx) acquire(tv *tvar) {
+	if tx.locked[tv] {
+		return
+	}
+	if !tv.mu.TryLock() {
+		panic(conflict{})
+	}
+	tx.locked[tv] = true
+	tx.lorder = append(tx.lorder, tv)
+}
+
+func (tx *twoPLTx) load(tv *tvar) any {
+	tx.acquire(tv)
+	return *tv.val.Load()
+}
+
+func (tx *twoPLTx) store(tv *tvar, v any) {
+	tx.acquire(tv)
+	tx.undo.push(tv)
+	nv := v
+	tv.val.Store(&nv)
+}
+
+// commit releases the locks; the in-place writes are already visible.
+// The undo log is kept so wrote() can answer after commit.
+func (tx *twoPLTx) commit() bool {
+	tx.releaseLocks()
+	return true
+}
+
+func (tx *twoPLTx) abortCleanup() {
+	tx.undo.rollback()
+	tx.releaseLocks()
+}
+
+func (tx *twoPLTx) conflictCleanup() {
+	tx.undo.rollback()
+	tx.releaseLocks()
+}
+
+func (tx *twoPLTx) releaseLocks() {
+	for i := len(tx.lorder) - 1; i >= 0; i-- {
+		tx.lorder[i].mu.Unlock()
+	}
+	tx.lorder = tx.lorder[:0]
+	for tv := range tx.locked {
+		delete(tx.locked, tv)
+	}
+}
+
+func (tx *twoPLTx) wrote() bool { return len(tx.undo) > 0 }
+
+func (tx *twoPLTx) mark() txMark { return len(tx.undo) }
+
+func (tx *twoPLTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }
