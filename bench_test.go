@@ -182,6 +182,14 @@ func benchEngine(b *testing.B, kind stm.EngineKind, pattern workload.Pattern) {
 						return tvs[base+(n*7+i*13)%span]
 					case workload.Zipf:
 						return tvs[(n*7+i*13)%16] // 16 hot variables
+					case workload.PhaseShift:
+						// Alternate 256-transaction blocks between the
+						// disjoint partition and a tiny hot set, so the
+						// contention regime keeps flipping mid-run.
+						if (n>>8)&1 == 0 {
+							return tvs[base+(n*7+i*13)%span]
+						}
+						return tvs[(n*7+i*13)%4]
 					default:
 						return tvs[(n*7+i*13)%vars]
 					}
@@ -229,6 +237,71 @@ func BenchmarkE1LongReadOnlyScans(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.ScanRetries)/float64(b.N), "retries/scan")
 		})
+	}
+}
+
+// ---- E3: contention ramp — where the adaptive engine switches ----
+
+// benchRamp drives one engine with fixed-size transactions whose write
+// share is the swept knob: opsPerTx operations over a small hot set,
+// `writes` of them read-modify-write increments, the rest plain reads.
+// As the write fraction ramps up, speculation's retries grow while
+// locking's convoying stays flat — the crossover the adaptive engine is
+// supposed to find on its own.
+func benchRamp(b *testing.B, kind stm.EngineKind, writes int) {
+	const hot = 8
+	const opsPerTx = 8
+	eng := stm.NewEngine(kind)
+	tvs := make([]*stm.TVar[int64], hot)
+	for i := range tvs {
+		tvs[i] = stm.NewTVar[int64](0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := 0
+		for pb.Next() {
+			n++
+			_ = eng.Atomically(func(tx *stm.Tx) error {
+				var acc int64
+				for i := 0; i < opsPerTx-writes; i++ {
+					acc += stm.Get(tx, tvs[(n*7+i*13)%hot])
+				}
+				for i := 0; i < writes; i++ {
+					tv := tvs[(n*11+i*17)%hot]
+					stm.Set(tx, tv, stm.Get(tx, tv)+1)
+				}
+				_ = acc
+				return nil
+			})
+		}
+	})
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Commits > 0 {
+		b.ReportMetric(float64(st.Retries)/float64(st.Commits), "retries/commit")
+	}
+	if as, ok := eng.AdaptiveStats(); ok {
+		b.ReportMetric(float64(as.Switches), "switches")
+	}
+}
+
+// BenchmarkE3ContentionRamp sweeps the write fraction of a hot-set
+// workload across the three engines on the adaptive ladder plus the
+// adaptive engine itself (experiment E3 of EXPERIMENTS.md). Read the
+// rows by column: at low write fractions tl2s should win, at high ones
+// twopl, and adaptive should track whichever wins its regime (its
+// switches metric shows the policy firing).
+func BenchmarkE3ContentionRamp(b *testing.B) {
+	engines := []stm.EngineKind{
+		stm.EngineTL2Striped, stm.EngineTwoPL, stm.EngineGlobalLock, stm.EngineAdaptive,
+	}
+	for _, writes := range []int{0, 1, 2, 4, 8} {
+		for _, kind := range engines {
+			b.Run(fmt.Sprintf("writes=%d of 8/%s", writes, kind), func(b *testing.B) {
+				benchRamp(b, kind, writes)
+			})
+		}
 	}
 }
 

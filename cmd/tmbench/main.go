@@ -20,8 +20,11 @@
 // Usage:
 //
 //	tmbench [-mode real|sim] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
-//	        [-engine tl2,tl2s,twopl,glock] [-pattern disjoint,uniform,zipf]
-//	        [-json results.json] [-txns 6]
+//	        [-engine tl2,tl2s,twopl,glock,adaptive] [-pattern disjoint,uniform,zipf,phase]
+//	        [-orec-shards N] [-json results.json] [-txns 6]
+//
+// The adaptive engine's rows carry an extra per-regime breakdown (which
+// delegate ran, how many switches) both in the table and in the JSON.
 package main
 
 import (
@@ -51,9 +54,12 @@ func main() {
 	patternsFlag := flag.String("pattern", strings.Join(registry.PatternNames(), ","),
 		"contention patterns (real mode)")
 	jsonPath := flag.String("json", "", "also write real-mode results as JSON to this file (\"-\" = stdout)")
+	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
+
+	stm.OrecShards = *orecShards
 
 	switch *mode {
 	case "real":
@@ -124,6 +130,9 @@ type benchRecord struct {
 	Commits    uint64  `json:"commits"`
 	Aborts     uint64  `json:"aborts"`
 	Retries    uint64  `json:"retries"`
+	// Adaptive is the per-regime breakdown, present only for the
+	// adaptive engine.
+	Adaptive *stm.AdaptiveStats `json:"adaptive,omitempty"`
 }
 
 func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
@@ -147,11 +156,15 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 				}
 				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d\n",
 					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries)
+				if res.Adaptive != nil {
+					printRegimes(res.Adaptive)
+				}
 				records = append(records, benchRecord{
 					Engine: kind.String(), Pattern: pat.String(),
 					Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
 					ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
 					Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+					Adaptive: res.Adaptive,
 				})
 			}
 		}
@@ -159,6 +172,20 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 	}
 	if jsonPath != "" {
 		writeJSON(jsonPath, records)
+	}
+}
+
+// printRegimes renders the adaptive engine's per-regime breakdown under
+// its result row: which delegate finished the run, how many switches it
+// took, and each delegate's share of the work.
+func printRegimes(as *stm.AdaptiveStats) {
+	fmt.Printf("%-8s   regimes: current=%s switches=%d\n", "", as.Current, as.Switches)
+	for _, r := range as.Regimes {
+		if r.Commits == 0 && r.Conflicts == 0 && r.Windows == 0 {
+			continue
+		}
+		fmt.Printf("%-8s     %-6s %10d commits %10d conflicts %10d lock-fails %6d windows\n",
+			"", r.Engine, r.Commits, r.Conflicts, r.LockFails, r.Windows)
 	}
 }
 

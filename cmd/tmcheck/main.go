@@ -7,14 +7,16 @@
 //	tmcheck [-check all|<name>] [-dap] trace.json
 //	tmcheck -demo [protocol]     # generate a demo trace on stdout
 //
-// Checkers: strict-serializability, serializability, snapshot-isolation,
-// processor-consistency, pram, weak-adaptive-consistency.
+// The known checkers, simulated protocols and production engines are
+// enumerated at runtime (run tmcheck -h); nothing here maintains a list
+// by hand.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pcltm/internal/consistency"
 	"pcltm/internal/core"
@@ -26,10 +28,33 @@ import (
 	"pcltm/internal/trace"
 )
 
+// checkerNames enumerates the consistency checkers at runtime.
+func checkerNames() []string {
+	cs := consistency.Checkers()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
 func main() {
 	check := flag.String("check", "all", "checker name or 'all'")
 	dapFlag := flag.Bool("dap", true, "also run the disjoint-access-parallelism analysis")
 	demo := flag.Bool("demo", false, "emit a demo trace (optionally: protocol name as arg) and exit")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: tmcheck [-check all|<name>] [-dap] trace.json")
+		fmt.Fprintln(o, "       tmcheck -demo [protocol]")
+		fmt.Fprintln(o)
+		flag.PrintDefaults()
+		// Everything below comes from the registries, so a newly added
+		// checker, protocol or engine shows up here without edits.
+		fmt.Fprintf(o, "\ncheckers:  %s\n", strings.Join(checkerNames(), ", "))
+		fmt.Fprintf(o, "protocols: %s\n", strings.Join(registry.ProtocolNames(), ", "))
+		fmt.Fprintf(o, "engines:   %s (production stm/ engines; traces come from the simulated protocols)\n",
+			strings.Join(registry.EngineNames(), ", "))
+	}
 	flag.Parse()
 
 	if *demo {
@@ -37,7 +62,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tmcheck [-check name] [-dap] trace.json")
+		flag.Usage()
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))

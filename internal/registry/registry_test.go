@@ -7,14 +7,15 @@ import (
 	"pcltm/stm"
 )
 
-func TestEnginesEnumeratesAllFour(t *testing.T) {
+func TestEnginesEnumeratesAll(t *testing.T) {
 	kinds := Engines()
-	if len(kinds) != 4 {
-		t.Fatalf("Engines() = %v, want 4", kinds)
+	if len(kinds) != 5 {
+		t.Fatalf("Engines() = %v, want 5", kinds)
 	}
 	want := map[stm.EngineKind]bool{
 		stm.EngineTL2: true, stm.EngineTL2Striped: true,
 		stm.EngineTwoPL: true, stm.EngineGlobalLock: true,
+		stm.EngineAdaptive: true,
 	}
 	for _, k := range kinds {
 		if !want[k] {

@@ -29,9 +29,17 @@ const (
 	Uniform
 	// Zipf skews accesses toward a few hot variables: high contention.
 	Zipf
+	// PhaseShift changes contention mid-run: each worker's first half of
+	// operations stays in its disjoint partition, the second half hammers
+	// a handful of shared hot variables — the workload the adaptive
+	// engine's regime switch exists for.
+	PhaseShift
 )
 
-var patternNames = [...]string{"disjoint", "uniform", "zipf"}
+var patternNames = [...]string{"disjoint", "uniform", "zipf", "phase"}
+
+// phaseHotVars is the hot-set size of PhaseShift's contended phase.
+const phaseHotVars = 4
 
 func (p Pattern) String() string {
 	if p < 0 || int(p) >= len(patternNames) {
@@ -41,7 +49,7 @@ func (p Pattern) String() string {
 }
 
 // Patterns lists all patterns.
-func Patterns() []Pattern { return []Pattern{Disjoint, Uniform, Zipf} }
+func Patterns() []Pattern { return []Pattern{Disjoint, Uniform, Zipf, PhaseShift} }
 
 // PatternByName resolves a pattern name.
 func PatternByName(s string) (Pattern, bool) {
@@ -109,6 +117,9 @@ type Result struct {
 	// Sum is the total of all variables after the run (workload
 	// invariant: equals the number of increments performed).
 	Sum int64
+	// Adaptive is the per-regime breakdown when the engine is
+	// stm.EngineAdaptive; nil otherwise.
+	Adaptive *stm.AdaptiveStats
 }
 
 // Run executes the workload on a fresh engine of the given kind.
@@ -120,17 +131,29 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		vars[i] = stm.NewTVar[int64](0)
 	}
 
-	pick := func(r *rand.Rand, z *rand.Zipf, worker int) int {
+	disjointPick := func(r *rand.Rand, worker int) int {
+		span := cfg.Vars / cfg.Workers
+		if span == 0 {
+			span = 1
+		}
+		base := (worker * span) % cfg.Vars
+		return base + r.Intn(span)
+	}
+	pick := func(r *rand.Rand, z *rand.Zipf, worker, op int) int {
 		switch cfg.Pattern {
 		case Disjoint:
-			span := cfg.Vars / cfg.Workers
-			if span == 0 {
-				span = 1
-			}
-			base := (worker * span) % cfg.Vars
-			return base + r.Intn(span)
+			return disjointPick(r, worker)
 		case Zipf:
 			return int(z.Uint64())
+		case PhaseShift:
+			if op*2 < cfg.OpsPerWorker {
+				return disjointPick(r, worker)
+			}
+			hot := phaseHotVars
+			if hot > cfg.Vars {
+				hot = cfg.Vars
+			}
+			return r.Intn(hot)
 		default:
 			return r.Intn(cfg.Vars)
 		}
@@ -151,10 +174,10 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 				_ = eng.Atomically(func(tx *stm.Tx) error {
 					var acc int64
 					for i := 0; i < cfg.ReadsPerTx; i++ {
-						acc += stm.Get(tx, vars[pick(r, z, worker)])
+						acc += stm.Get(tx, vars[pick(r, z, worker, op)])
 					}
 					for i := 0; i < cfg.WritesPerTx; i++ {
-						tv := vars[pick(r, z, worker)]
+						tv := vars[pick(r, z, worker, op)]
 						stm.Set(tx, tv, stm.Get(tx, tv)+1)
 					}
 					_ = acc
@@ -180,6 +203,9 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		Engine: kind, Config: cfg, Elapsed: elapsed,
 		Commits: st.Commits, Aborts: st.Aborts, Retries: st.Retries,
 		Sum: sum,
+	}
+	if as, ok := eng.AdaptiveStats(); ok {
+		res.Adaptive = &as
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(st.Commits) / elapsed.Seconds()

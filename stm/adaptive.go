@@ -1,0 +1,398 @@
+package stm
+
+import "sync"
+
+func init() {
+	registerEngine(EngineAdaptive, "adaptive",
+		"contention-sampled delegation: tl2s when conflicts are rare, twopl under write contention, glock as livelock escape",
+		func() engine { return newAdaptiveEngine() })
+}
+
+// The PCL theorem says no single engine wins every regime, so this one
+// changes engine with the regime: it runs every transaction through a
+// delegate and samples its own behavior — conflict rate, the read/write
+// operation mix, and lock-acquire failure deltas — in fixed-size
+// windows of finished attempts. A regime policy with hysteresis turns those windows
+// into a position on the delegate ladder:
+//
+//	regimeLow    EngineTL2Striped  low contention / read-dominated
+//	regimeHigh   EngineTwoPL       sustained write contention
+//	regimeSerial EngineGlobalLock  livelock escape hatch
+//
+// Delegates share the tvars but not a synchronization protocol (TL2
+// validates version words that 2PL never bumps; 2PL writes in place
+// where TL2 buffers), so two delegates must never run concurrently.
+// Switches are therefore epoch-based: a decided switch first drains —
+// in-flight attempts finish on the old delegate while new begins block —
+// and only commits (epoch++, delegate swapped) once the engine is idle.
+// Within an epoch exactly one delegate runs, and each delegate is
+// internally consistent, so the composition stays strictly serializable.
+const (
+	regimeLow = iota
+	regimeHigh
+	regimeSerial
+	regimeCount
+)
+
+// regimeKinds maps ladder positions to delegate engines.
+var regimeKinds = [regimeCount]EngineKind{EngineTL2Striped, EngineTwoPL, EngineGlobalLock}
+
+// windowMetrics summarizes one closed sampling window.
+type windowMetrics struct {
+	// attempts = commits + conflicts + user aborts.
+	attempts uint64
+	// commits and conflicts count finished attempts by outcome.
+	commits, conflicts uint64
+	// loads and stores count transactional operations, for the
+	// read/write mix.
+	loads, stores uint64
+	// lockFails is the delegate's failed-acquisition delta over the
+	// window.
+	lockFails uint64
+}
+
+// conflictRate is the fraction of attempts that died to a conflict —
+// the policy's primary signal.
+func (m windowMetrics) conflictRate() float64 {
+	if m.attempts == 0 {
+		return 0
+	}
+	return float64(m.conflicts) / float64(m.attempts)
+}
+
+// writeFraction is the share of operations that were stores.
+func (m windowMetrics) writeFraction() float64 {
+	if m.loads+m.stores == 0 {
+		return 0
+	}
+	return float64(m.stores) / float64(m.loads+m.stores)
+}
+
+// lockFailRate is failed lock acquisitions per attempt; it can exceed 1
+// when one attempt bounces off several records, which is exactly the
+// try-lock failure storm the escalation rule looks for.
+func (m windowMetrics) lockFailRate() float64 {
+	if m.attempts == 0 {
+		return 0
+	}
+	return float64(m.lockFails) / float64(m.attempts)
+}
+
+// regimePolicy turns a stream of window metrics into ladder moves. It is
+// deterministic given the window sequence, which is what the synthetic-
+// window tests rely on.
+type regimePolicy struct {
+	// window is the number of finished attempts per sampling window.
+	window uint64
+	// high and low are the conflict-rate water marks; the gap between
+	// them is the hysteresis band where streaks reset and nothing moves.
+	high, low float64
+	// minWriteFrac keeps read-dominated workloads on the speculative
+	// engine even when conflicted: stale-read conflicts are what lazy
+	// snapshot extension is for, and locking every read would serialize
+	// the readers 2PL is worst at.
+	minWriteFrac float64
+	// escalate is the contention level — conflict rate or try-lock
+	// failures per attempt, whichever is higher — at which the locking
+	// regime is judged to be livelocking (symmetric try-lock failure
+	// storms) and flees to the serial engine.
+	escalate float64
+	// needUp / needDown are the consecutive-window streaks required to
+	// move up / down the ladder — the other half of the hysteresis.
+	needUp, needDown int
+	// cooldown is the number of windows ignored after a committed
+	// switch, so the new delegate's warm-up doesn't trigger the next
+	// move.
+	cooldown int
+
+	hot, cold, fleeing, settle int
+}
+
+// defaultPolicy's constants: windows small enough to react within a few
+// hundred transactions; moving up needs two bad windows, moving down
+// four good ones (switching down is cheap to regret, thrashing is not).
+func defaultPolicy() regimePolicy {
+	return regimePolicy{
+		window:       128,
+		high:         0.35,
+		low:          0.05,
+		minWriteFrac: 0.10,
+		escalate:     0.90,
+		needUp:       2,
+		needDown:     4,
+		cooldown:     2,
+	}
+}
+
+// reset clears the streaks and starts the post-switch cooldown; the
+// engine calls it when a switch commits.
+func (p *regimePolicy) reset() {
+	p.hot, p.cold, p.fleeing = 0, 0, 0
+	p.settle = p.cooldown
+}
+
+// decide consumes one window and returns the regime to run next; a
+// return equal to cur means stay.
+func (p *regimePolicy) decide(cur int, m windowMetrics) int {
+	if p.settle > 0 {
+		p.settle--
+		return cur
+	}
+	cr := m.conflictRate()
+	switch {
+	case cr > p.high && (m.writeFraction() >= p.minWriteFrac || cur != regimeLow):
+		p.hot++
+		p.cold = 0
+	case cr < p.low:
+		p.cold++
+		p.hot, p.fleeing = 0, 0
+	default:
+		p.hot, p.cold, p.fleeing = 0, 0, 0
+	}
+	if cur == regimeHigh && (cr > p.escalate || m.lockFailRate() > p.escalate) {
+		p.fleeing++
+	} else {
+		p.fleeing = 0
+	}
+	switch cur {
+	case regimeLow:
+		if p.hot >= p.needUp {
+			return regimeHigh
+		}
+	case regimeHigh:
+		if p.fleeing >= p.needUp {
+			return regimeSerial
+		}
+		if p.cold >= p.needDown {
+			return regimeLow
+		}
+	case regimeSerial:
+		// The serial engine never conflicts, so every window is cold and
+		// the ladder probes back down after needDown windows.
+		if p.cold >= p.needDown {
+			return regimeHigh
+		}
+	}
+	return cur
+}
+
+// windowAccum is the open sampling window.
+type windowAccum struct {
+	attempts, commits, conflicts, loads, stores uint64
+}
+
+// regimeCounters is one delegate's cumulative share of the engine's work.
+type regimeCounters struct {
+	commits, conflicts, lockFails, windows uint64
+}
+
+type adaptiveEngine struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	delegates [regimeCount]engine
+	// cur is the active regime; target != cur means a switch is decided
+	// and draining. inflight counts attempts begun in the current epoch
+	// and not yet finished.
+	cur, target int
+	inflight    int
+	epoch       uint64
+	switches    uint64
+
+	policy regimePolicy
+	win    windowAccum
+	// lockFailBase is the active delegate's failed-acquisition count at
+	// the open window's start, so a window close can take the delta.
+	lockFailBase uint64
+	regimes      [regimeCount]regimeCounters
+}
+
+func newAdaptiveEngine() *adaptiveEngine {
+	a := &adaptiveEngine{policy: defaultPolicy()}
+	a.cond = sync.NewCond(&a.mu)
+	for r, kind := range regimeKinds {
+		a.delegates[r] = engineTable[kind].make()
+	}
+	return a
+}
+
+// lockFailsOf reads a delegate's cumulative failed acquisitions (0 for
+// delegates without the counter).
+func (a *adaptiveEngine) lockFailsOf(r int) uint64 {
+	if c, ok := a.delegates[r].(lockFailCounter); ok {
+		return c.lockFailCount()
+	}
+	return 0
+}
+
+// lockFailCount implements lockFailCounter by summing the delegates.
+func (a *adaptiveEngine) lockFailCount() uint64 {
+	var sum uint64
+	for r := range a.delegates {
+		sum += a.lockFailsOf(r)
+	}
+	return sum
+}
+
+// begin enters the current epoch. If a switch is draining, it blocks
+// until the last old-epoch attempt finishes; the first begin to observe
+// the drained engine commits the switch.
+func (a *adaptiveEngine) begin(attempt int) txState {
+	a.mu.Lock()
+	for a.target != a.cur && a.inflight > 0 {
+		a.cond.Wait()
+	}
+	if a.target != a.cur {
+		// Drained: commit the switch. The old delegate is idle, so the
+		// new one takes over a quiescent heap.
+		a.cur = a.target
+		a.epoch++
+		a.switches++
+		a.win = windowAccum{}
+		a.lockFailBase = a.lockFailsOf(a.cur)
+		a.policy.reset()
+	}
+	r := a.cur
+	a.inflight++
+	d := a.delegates[r]
+	a.mu.Unlock()
+	// The delegate's begin may block (glock) or sleep (2PL backoff);
+	// keep it outside the engine lock.
+	return &adaptiveTx{a: a, st: d.begin(attempt), regime: r}
+}
+
+// outcomes of one finished attempt. Only commits and conflicts move the
+// policy's signals; aborts (user errors) and waits (explicit Retry)
+// count as attempts alone, so a Retry-blocked consumer never reads as
+// contention.
+const (
+	outcomeCommit = iota
+	outcomeConflict
+	outcomeAbort
+	outcomeWait
+)
+
+// finish retires one attempt: it leaves the epoch, feeds the sampling
+// window, and wakes a draining switch when the epoch empties.
+func (a *adaptiveEngine) finish(tx *adaptiveTx, outcome int) {
+	a.mu.Lock()
+	a.inflight--
+	a.win.attempts++
+	a.win.loads += tx.loads
+	a.win.stores += tx.stores
+	rc := &a.regimes[tx.regime]
+	switch outcome {
+	case outcomeCommit:
+		a.win.commits++
+		rc.commits++
+	case outcomeConflict:
+		a.win.conflicts++
+		rc.conflicts++
+	}
+	if a.target == a.cur && a.win.attempts >= a.policy.window {
+		a.closeWindowLocked()
+	}
+	if a.target != a.cur && a.inflight == 0 {
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// closeWindowLocked seals the open window, charges it to the active
+// regime, and asks the policy for a move. Called with a.mu held and no
+// switch pending.
+func (a *adaptiveEngine) closeWindowLocked() {
+	lf := a.lockFailsOf(a.cur)
+	m := windowMetrics{
+		attempts:  a.win.attempts,
+		commits:   a.win.commits,
+		conflicts: a.win.conflicts,
+		loads:     a.win.loads,
+		stores:    a.win.stores,
+		lockFails: lf - a.lockFailBase,
+	}
+	rc := &a.regimes[a.cur]
+	rc.lockFails += m.lockFails
+	rc.windows++
+	a.lockFailBase = lf
+	a.win = windowAccum{}
+	if next := a.policy.decide(a.cur, m); next != a.cur {
+		// Decided, not committed: the switch takes effect at the first
+		// begin after the epoch drains.
+		a.target = next
+	}
+}
+
+// snapshotStats backs Engine.AdaptiveStats.
+func (a *adaptiveEngine) snapshotStats() AdaptiveStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := AdaptiveStats{
+		Current:  regimeKinds[a.cur].String(),
+		Epoch:    a.epoch + 1,
+		Switches: a.switches,
+	}
+	for r, rc := range a.regimes {
+		out.Regimes = append(out.Regimes, RegimeStats{
+			Engine:    regimeKinds[r].String(),
+			Commits:   rc.commits,
+			Conflicts: rc.conflicts,
+			LockFails: rc.lockFails,
+			Windows:   rc.windows,
+		})
+	}
+	return out
+}
+
+// adaptiveTx wraps one delegate attempt, counting its operations for the
+// sampling window and retiring it from the epoch on every terminal path.
+type adaptiveTx struct {
+	a      *adaptiveEngine
+	st     txState
+	regime int
+	loads  uint64
+	stores uint64
+}
+
+func (tx *adaptiveTx) load(tv *tvar) any {
+	tx.loads++
+	return tx.st.load(tv)
+}
+
+func (tx *adaptiveTx) store(tv *tvar, v any) {
+	tx.stores++
+	tx.st.store(tv, v)
+}
+
+func (tx *adaptiveTx) commit() bool {
+	ok := tx.st.commit()
+	if ok {
+		tx.a.finish(tx, outcomeCommit)
+	} else {
+		tx.a.finish(tx, outcomeConflict)
+	}
+	return ok
+}
+
+func (tx *adaptiveTx) abortCleanup() {
+	tx.st.abortCleanup()
+	tx.a.finish(tx, outcomeAbort)
+}
+
+func (tx *adaptiveTx) conflictCleanup() {
+	tx.st.conflictCleanup()
+	tx.a.finish(tx, outcomeConflict)
+}
+
+// retryCleanup unwinds an explicit Retry: the delegate releases exactly
+// as for a conflict, but the window records a wait, not contention.
+func (tx *adaptiveTx) retryCleanup() {
+	tx.st.conflictCleanup()
+	tx.a.finish(tx, outcomeWait)
+}
+
+func (tx *adaptiveTx) wrote() bool { return tx.st.wrote() }
+
+func (tx *adaptiveTx) mark() txMark { return tx.st.mark() }
+
+func (tx *adaptiveTx) rollbackTo(m txMark) { tx.st.rollbackTo(m) }

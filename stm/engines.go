@@ -55,6 +55,24 @@ type txState interface {
 // state; see txState.mark.
 type txMark any
 
+// lockFailCounter is the optional engine interface behind
+// Stats.LockFails: engines that can fail a lock acquisition (2PL's
+// encounter-time try-locks, TL2's commit-time versioned locks) expose a
+// cumulative count of those failures. The adaptive engine samples the
+// counter's deltas as its contention signal.
+type lockFailCounter interface {
+	lockFailCount() uint64
+}
+
+// retryCleaner is the optional txState interface distinguishing an
+// explicit Retry unwind from a conflict: engines that sample their own
+// conflict rate implement it so a blocked waiter doesn't read as
+// contention. Atomically falls back to conflictCleanup when absent —
+// the two paths must release the same resources.
+type retryCleaner interface {
+	retryCleanup()
+}
+
 // engineEntry is one row of the engine registry.
 type engineEntry struct {
 	name string

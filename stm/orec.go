@@ -1,0 +1,70 @@
+package stm
+
+import "sync"
+
+// OrecShards configures the ownership-record table size for TwoPL-based
+// engines created after it is set: 0 picks the default, other values are
+// rounded up to a power of two and clamped to [1, maxOrecShards]. More
+// shards mean fewer false conflicts (distinct variables hashing to the
+// same record), fewer shards mean coarser locking — the lock-striping
+// experiment the table exists for. Set it before NewEngine; engines
+// already built keep their table.
+var OrecShards int
+
+// defaultOrecShards trades memory (64 B per record) against false
+// conflicts: 1024 records cost 64 KiB per engine and keep the collision
+// probability of a typical few-hundred-variable working set low.
+const defaultOrecShards = 1024
+
+// maxOrecShards caps the table at a size where memory (4 MiB) would start
+// to matter.
+const maxOrecShards = 1 << 16
+
+// orec is one ownership record: a try-lockable mutex padded to a cache
+// line so neighboring records never false-share.
+type orec struct {
+	mu sync.Mutex
+	_  [56]byte // pad to 64 bytes
+}
+
+// orecTable maps transactional variables onto a fixed set of ownership
+// records. TwoPL locks the record covering a variable instead of the
+// variable itself (the classic orec indirection of word-based STMs): the
+// per-variable mutex disappears from tvar, memory per variable drops,
+// and the shard count becomes a striping knob. The cost is aliasing —
+// distinct variables can hash to the same record and conflict spuriously
+// — which is a performance effect only: locking a coarser record is
+// always at least as conservative as locking the variable.
+type orecTable struct {
+	recs  []orec
+	shift uint
+}
+
+// newOrecTable builds a table of the requested size (0 = default),
+// rounded up to a power of two so the index is a multiply-shift.
+func newOrecTable(shards int) *orecTable {
+	if shards <= 0 {
+		shards = defaultOrecShards
+	}
+	if shards > maxOrecShards {
+		shards = maxOrecShards
+	}
+	n, log := 1, uint(0)
+	for n < shards {
+		n <<= 1
+		log++
+	}
+	// For n == 1 the shift is 64, which Go defines as shifting everything
+	// out: every variable maps to record 0.
+	return &orecTable{recs: make([]orec, n), shift: 64 - log}
+}
+
+// of returns the record covering tv. Fibonacci hashing of the
+// allocation-ordered id spreads sequentially allocated variables across
+// the table.
+func (t *orecTable) of(tv *tvar) *orec {
+	return &t.recs[(tv.id*0x9E3779B97F4A7C15)>>t.shift]
+}
+
+// size returns the record count (a power of two).
+func (t *orecTable) size() int { return len(t.recs) }

@@ -4,10 +4,10 @@ import "testing"
 
 func TestEngineTableComplete(t *testing.T) {
 	kinds := EngineKinds()
-	if len(kinds) != 4 {
-		t.Fatalf("EngineKinds() = %v, want 4 engines", kinds)
+	if len(kinds) != 5 {
+		t.Fatalf("EngineKinds() = %v, want 5 engines", kinds)
 	}
-	want := []EngineKind{EngineTL2, EngineTL2Striped, EngineTwoPL, EngineGlobalLock}
+	want := []EngineKind{EngineTL2, EngineTL2Striped, EngineTwoPL, EngineGlobalLock, EngineAdaptive}
 	for i, k := range want {
 		if kinds[i] != k {
 			t.Errorf("EngineKinds()[%d] = %v, want %v", i, kinds[i], k)

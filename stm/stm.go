@@ -17,18 +17,24 @@
 //     clock and lazy snapshot extension: the same speculative algorithm
 //     with the single-counter hot spot spread over per-shard counters, so
 //     disjoint transactions no longer serialize on one cache line.
-//   - EngineTwoPL — encounter-time per-variable try-locking with
-//     whole-transaction restart on lock failure: strictly serializable
-//     and disjoint-access-parallel (only the accessed variables' locks
-//     are touched), but blocking — a preempted lock holder stalls
-//     conflicting transactions.
+//   - EngineTwoPL — encounter-time try-locking on a sharded ownership-
+//     record table (orec.go) with whole-transaction restart on lock
+//     failure: strictly serializable and disjoint-access-parallel up to
+//     orec aliasing (only the accessed variables' records are touched),
+//     but blocking — a preempted lock holder stalls conflicting
+//     transactions.
 //   - EngineGlobalLock — one global mutex: trivially consistent and
 //     non-interfering, with zero parallelism.
+//   - EngineAdaptive — the PCL theorem made operational: since no engine
+//     can win every regime, this one samples its own contention in
+//     windows and hands each epoch to the delegate whose trade-off fits
+//     (speculative when conflicts are rare, locking when writes fight,
+//     serial as the livelock escape hatch).
 //
 // Each engine lives in its own file (tl2.go, tl2striped.go, twopl.go,
-// glock.go) behind the engine/txState interfaces of engines.go and
-// registers itself in the engine table; nothing outside an engine's file
-// knows its algorithm.
+// glock.go, adaptive.go) behind the engine/txState interfaces of
+// engines.go and registers itself in the engine table; nothing outside
+// an engine's file knows its algorithm.
 //
 // Usage:
 //
@@ -46,7 +52,6 @@
 package stm
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
@@ -62,6 +67,9 @@ const (
 	EngineTwoPL
 	// EngineGlobalLock serializes all transactions on one mutex.
 	EngineGlobalLock
+	// EngineAdaptive samples its own contention and delegates each
+	// epoch to the engine whose PCL trade-off fits the current regime.
+	EngineAdaptive
 
 	engineKindCount // sentinel: keep last
 )
@@ -112,6 +120,11 @@ type Stats struct {
 	Aborts uint64
 	// Retries is the number of internal conflict retries.
 	Retries uint64
+	// LockFails is the number of failed lock acquisitions (2PL
+	// encounter-time try-locks, TL2 commit-time versioned locks) — the
+	// raw contention signal the adaptive engine switches on. Zero for
+	// engines that never fail an acquisition.
+	LockFails uint64
 }
 
 // Engine executes transactions under one concurrency-control algorithm.
@@ -140,20 +153,64 @@ func (e *Engine) Kind() EngineKind { return e.kind }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Commits: e.commits.Load(),
 		Aborts:  e.aborts.Load(),
 		Retries: e.retries.Load(),
 	}
+	if c, ok := e.impl.(lockFailCounter); ok {
+		st.LockFails = c.lockFailCount()
+	}
+	return st
+}
+
+// RegimeStats is one delegate engine's share of an adaptive engine's
+// work.
+type RegimeStats struct {
+	// Engine is the delegate's short name.
+	Engine string `json:"engine"`
+	// Commits and Conflicts count attempts finished while the delegate
+	// was active.
+	Commits   uint64 `json:"commits"`
+	Conflicts uint64 `json:"conflicts"`
+	// LockFails is the delegate's failed lock acquisitions.
+	LockFails uint64 `json:"lock_fails"`
+	// Windows is the number of sampling windows closed under the
+	// delegate.
+	Windows uint64 `json:"windows"`
+}
+
+// AdaptiveStats reports an adaptive engine's regime history.
+type AdaptiveStats struct {
+	// Current is the active delegate's short name.
+	Current string `json:"current"`
+	// Epoch counts committed regime switches plus one; Switches counts
+	// the switches alone.
+	Epoch    uint64 `json:"epoch"`
+	Switches uint64 `json:"switches"`
+	// Regimes breaks the engine's work down per delegate, in ladder
+	// order (speculative → locking → serial).
+	Regimes []RegimeStats `json:"regimes"`
+}
+
+// AdaptiveStats returns the per-regime breakdown of an EngineAdaptive
+// engine; ok is false for every other kind.
+func (e *Engine) AdaptiveStats() (AdaptiveStats, bool) {
+	a, ok := e.impl.(*adaptiveEngine)
+	if !ok {
+		return AdaptiveStats{}, false
+	}
+	return a.snapshotStats(), true
 }
 
 // tvar is the untyped transactional variable all engines share: an
-// allocation-ordered id (stable lock ordering), a TL2 versioned lock word,
-// a mutex for the lock-based engines, and the boxed current value.
+// allocation-ordered id (stable lock and orec-hash input), a TL2
+// versioned lock word, and the boxed current value. 2PL locking moved
+// off the variable into the sharded orec table (orec.go), so a tvar
+// carries no mutex.
 type tvar struct {
 	id   uint64
 	lock atomic.Uint64 // bit 63 = locked, low bits = version
-	mu   sync.Mutex
 	val  atomic.Pointer[any]
 }
 
@@ -241,7 +298,11 @@ func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
 				err, retry = nil, true
 			case retrySignal:
 				// Drop everything, then sleep until shared state moves.
-				tx.st.conflictCleanup()
+				if rc, ok := tx.st.(retryCleaner); ok {
+					rc.retryCleanup()
+				} else {
+					tx.st.conflictCleanup()
+				}
 				e.notif.waitChange(seq0)
 				err, retry = nil, true
 			default:

@@ -3,6 +3,7 @@ package stm
 import (
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -26,7 +27,12 @@ type tl2Engine struct {
 	// whose single clock makes stale snapshots rare; on for the striped
 	// clock, whose reused timestamps make them common.
 	extend bool
+	// lockFails counts commit-time versioned-lock acquisitions that
+	// exhausted their spin budget (see Stats.LockFails).
+	lockFails atomic.Uint64
 }
+
+func (e *tl2Engine) lockFailCount() uint64 { return e.lockFails.Load() }
 
 // tl2Tx is one TL2 transaction attempt: a read snapshot, a validated
 // read set, and a buffered write set in first-write order.
@@ -129,6 +135,7 @@ func (tx *tl2Tx) commit() bool {
 			}
 		}
 		if !acquired {
+			tx.eng.lockFails.Add(1)
 			releaseAll()
 			return false
 		}

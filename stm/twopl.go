@@ -1,43 +1,62 @@
 package stm
 
+import "sync/atomic"
+
 func init() {
 	registerEngine(EngineTwoPL, "twopl",
-		"encounter-time per-variable try-locking, restart on lock failure (consistent, DAP, blocking)",
-		func() engine { return twoPLEngine{} })
+		"encounter-time try-locking on a sharded orec table, restart on lock failure (consistent, DAP, blocking)",
+		func() engine { return newTwoPLEngine() })
 }
 
 // twoPLEngine is encounter-time two-phase locking: every access try-locks
-// the variable's mutex, writes go in place with an undo log, and a failed
-// try-lock restarts the whole transaction (deadlock avoidance by abort).
-// Only the accessed variables' locks are ever touched, so the engine is
-// disjoint-access-parallel — the corner it gives up is liveness: a
-// preempted lock holder stalls every conflicting transaction.
-type twoPLEngine struct{}
+// the ownership record covering the variable, writes go in place with an
+// undo log, and a failed try-lock restarts the whole transaction
+// (deadlock avoidance by abort). Locks live in a sharded orec table
+// (orec.go) rather than on the variables, so per-variable memory stays
+// flat and the shard count is a striping knob; only the accessed
+// variables' records are ever touched, so the engine remains
+// disjoint-access-parallel up to hash aliasing. The corner it gives up
+// is liveness: a preempted lock holder stalls every conflicting
+// transaction.
+type twoPLEngine struct {
+	orecs     *orecTable
+	lockFails atomic.Uint64
+}
 
-// twoPLTx is one 2PL attempt: the held locks in acquisition order and the
-// undo log of in-place writes.
+func newTwoPLEngine() *twoPLEngine {
+	return &twoPLEngine{orecs: newOrecTable(OrecShards)}
+}
+
+func (e *twoPLEngine) lockFailCount() uint64 { return e.lockFails.Load() }
+
+// twoPLTx is one 2PL attempt: the held ownership records in acquisition
+// order and the undo log of in-place writes.
 type twoPLTx struct {
-	locked map[*tvar]bool
-	lorder []*tvar
+	eng    *twoPLEngine
+	locked map[*orec]bool
+	lorder []*orec
 	undo   undoLog
 }
 
-func (twoPLEngine) begin(attempt int) txState {
+func (e *twoPLEngine) begin(attempt int) txState {
 	backoff(attempt)
-	return &twoPLTx{locked: make(map[*tvar]bool)}
+	return &twoPLTx{eng: e, locked: make(map[*orec]bool)}
 }
 
-// acquire try-locks the variable at first access; failure restarts the
-// whole transaction.
+// acquire try-locks the variable's ownership record at first access;
+// failure restarts the whole transaction. Two variables covered by the
+// same record share one acquisition.
 func (tx *twoPLTx) acquire(tv *tvar) {
-	if tx.locked[tv] {
+	o := tx.eng.orecs.of(tv)
+	if tx.locked[o] {
 		return
 	}
-	if !tv.mu.TryLock() {
+	if !o.mu.TryLock() {
+		tx.eng.lockFails.Add(1)
 		panic(conflict{})
 	}
-	tx.locked[tv] = true
-	tx.lorder = append(tx.lorder, tv)
+	tx.locked[o] = true
+	tx.lorder = append(tx.lorder, o)
 }
 
 func (tx *twoPLTx) load(tv *tvar) any {
@@ -74,8 +93,8 @@ func (tx *twoPLTx) releaseLocks() {
 		tx.lorder[i].mu.Unlock()
 	}
 	tx.lorder = tx.lorder[:0]
-	for tv := range tx.locked {
-		delete(tx.locked, tv)
+	for o := range tx.locked {
+		delete(tx.locked, o)
 	}
 }
 
