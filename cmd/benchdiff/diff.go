@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Record is one measurement of a BENCH_*.json file — the benchRecord
+// schema cmd/tmbench writes; fields this tool doesn't compare are
+// ignored on decode.
+type Record struct {
+	Engine     string  `json:"engine"`
+	Pattern    string  `json:"pattern"`
+	Workers    int     `json:"workers"`
+	Throughput float64 `json:"tx_per_sec"`
+	Commits    uint64  `json:"commits"`
+	Retries    uint64  `json:"retries"`
+}
+
+// Key identifies a measurement cell across runs.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/%s/w%d", r.Engine, r.Pattern, r.Workers)
+}
+
+// Delta compares one cell across the two files.
+type Delta struct {
+	// Key is engine/pattern/wN.
+	Key string
+	// Old and New are the throughputs (tx/s).
+	Old, New float64
+	// Change is (New-Old)/Old: -0.25 means a 25% throughput drop.
+	Change float64
+	// Regression marks drops beyond the threshold.
+	Regression bool
+}
+
+// Diff joins two record sets on their cell key and flags throughput drops
+// beyond threshold (a fraction: 0.1 = 10%). Cells present in only one
+// file are skipped — a new engine or pattern is not a regression.
+func Diff(old, new []Record, threshold float64) []Delta {
+	oldBy := make(map[string]Record, len(old))
+	for _, r := range old {
+		oldBy[r.Key()] = r
+	}
+	var deltas []Delta
+	for _, n := range new {
+		o, ok := oldBy[n.Key()]
+		if !ok || o.Throughput <= 0 {
+			continue
+		}
+		change := (n.Throughput - o.Throughput) / o.Throughput
+		deltas = append(deltas, Delta{
+			Key: n.Key(), Old: o.Throughput, New: n.Throughput,
+			Change: change, Regression: change < -threshold,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Change < deltas[j].Change })
+	return deltas
+}
+
+// Regressions filters the flagged deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Parse decodes one BENCH_*.json payload.
+func Parse(data []byte) ([]Record, error) {
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("benchdiff: decoding: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import "testing"
+
+// fixture JSON in the benchRecord schema of cmd/tmbench (extra fields
+// present to prove they are tolerated).
+const oldJSON = `[
+  {"engine":"tl2","pattern":"disjoint","workers":4,"ops_per_worker":1000,"vars":256,"seed":1,
+   "elapsed_ns":1000,"tx_per_sec":100000,"commits":4000,"aborts":0,"retries":12},
+  {"engine":"twopl","pattern":"disjoint","workers":4,"tx_per_sec":80000,"commits":4000},
+  {"engine":"glock","pattern":"zipf","workers":2,"tx_per_sec":50000,"commits":2000},
+  {"engine":"tl2","pattern":"zipf","workers":2,"tx_per_sec":0,"commits":0}
+]`
+
+const newJSON = `[
+  {"engine":"tl2","pattern":"disjoint","workers":4,"tx_per_sec":99000,"commits":4000},
+  {"engine":"twopl","pattern":"disjoint","workers":4,"tx_per_sec":60000,"commits":4000},
+  {"engine":"glock","pattern":"zipf","workers":2,"tx_per_sec":52000,"commits":2000},
+  {"engine":"tl2","pattern":"zipf","workers":2,"tx_per_sec":41000,"commits":2000},
+  {"engine":"adaptive","pattern":"disjoint","workers":4,"tx_per_sec":90000,"commits":4000}
+]`
+
+func mustParse(t *testing.T, s string) []Record {
+	t.Helper()
+	recs, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestDiffFlagsRegressions: the 25% twopl drop is flagged at a 10%
+// threshold; the 1% tl2 drift and the 4% glock gain are not; cells
+// missing from either side (adaptive is new, zero-throughput old tl2/zipf)
+// are skipped rather than compared.
+func TestDiffFlagsRegressions(t *testing.T) {
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d cells, want 3: %+v", len(deltas), deltas)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Key != "twopl/disjoint/w4" {
+		t.Fatalf("regressions = %+v, want exactly twopl/disjoint/w4", regs)
+	}
+	if got := regs[0].Change; got > -0.24 || got < -0.26 {
+		t.Errorf("twopl change = %.3f, want ≈ -0.25", got)
+	}
+	// Sorted worst-first.
+	if deltas[0].Key != "twopl/disjoint/w4" {
+		t.Errorf("deltas not sorted worst-first: %+v", deltas)
+	}
+}
+
+// TestDiffThreshold: the same data at a 30% threshold is clean.
+func TestDiffThreshold(t *testing.T) {
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30)
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("no regression expected at 30%%: %+v", regs)
+	}
+}
+
+// TestParseRejectsGarbage: a malformed file is an error, not a silent
+// empty comparison.
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte(`{"not":"an array"}`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

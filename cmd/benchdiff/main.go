@@ -1,0 +1,74 @@
+// Command benchdiff compares two BENCH_*.json files (the schema
+// cmd/tmbench -json writes and CI uploads as BENCH_ci.json) and flags
+// throughput regressions beyond a threshold — the perf-trajectory tool
+// of ROADMAP.md.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-all] OLD.json NEW.json
+//
+// Cells (engine × pattern × workers) are joined by key; a cell that lost
+// more than the threshold's fraction of throughput is a regression and
+// makes the exit status non-zero. -all prints every matched cell, not
+// just the regressions. Single-core runners are noisy — compare runs
+// from the same class of machine, and treat small deltas as weather.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative throughput drop that counts as a regression")
+	all := flag.Bool("all", false, "print every matched cell, not just regressions")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-all] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	read := func(path string) []Record {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return recs
+	}
+	oldRecs, newRecs := read(flag.Arg(0)), read(flag.Arg(1))
+
+	deltas := Diff(oldRecs, newRecs, *threshold)
+	if len(deltas) == 0 {
+		fmt.Println("benchdiff: no common cells to compare")
+		return
+	}
+	regs := Regressions(deltas)
+
+	fmt.Printf("%-24s %14s %14s %8s\n", "cell", "old tx/s", "new tx/s", "change")
+	for _, d := range deltas {
+		if !*all && !d.Regression {
+			continue
+		}
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+7.1f%%%s\n", d.Key, d.Old, d.New, d.Change*100, mark)
+	}
+	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%%\n",
+		len(deltas), len(regs), *threshold*100)
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}

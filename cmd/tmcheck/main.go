@@ -1,11 +1,19 @@
 // Command tmcheck runs the consistency and disjoint-access-parallelism
 // analyses on a recorded execution trace (the JSON format of
-// internal/trace).
+// internal/trace), or — with -live — records fresh histories from the
+// production stm/ engines and runs the same checkers on them.
 //
 // Usage:
 //
 //	tmcheck [-check all|<name>] [-dap] trace.json
 //	tmcheck -demo [protocol]     # generate a demo trace on stdout
+//	tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...]
+//
+// Live mode is the conformance harness (internal/conformance) from the
+// CLI: every selected engine runs seeded concurrent episodes across the
+// selected contention patterns, each recorded history is checked against
+// the engine's required conditions, and any violation is dumped in the
+// paper's x:v notation with a non-zero exit.
 //
 // The known checkers, simulated protocols and production engines are
 // enumerated at runtime (run tmcheck -h); nothing here maintains a list
@@ -18,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"pcltm/internal/conformance"
 	"pcltm/internal/consistency"
 	"pcltm/internal/core"
 	"pcltm/internal/dap"
@@ -42,23 +51,35 @@ func main() {
 	check := flag.String("check", "all", "checker name or 'all'")
 	dapFlag := flag.Bool("dap", true, "also run the disjoint-access-parallelism analysis")
 	demo := flag.Bool("demo", false, "emit a demo trace (optionally: protocol name as arg) and exit")
+	live := flag.Bool("live", false, "run conformance against the real stm/ engines instead of a trace")
+	episodes := flag.Int("episodes", 8, "episodes per engine × pattern cell (live mode)")
+	seed := flag.Int64("seed", 1, "sweep seed; episode shapes and op plans derive from it (live mode)")
+	enginesFlag := flag.String("engine", "", "comma-separated engines to sweep (live mode; default all)")
+	patternsFlag := flag.String("pattern", "", "comma-separated contention patterns (live mode; default all)")
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintln(o, "usage: tmcheck [-check all|<name>] [-dap] trace.json")
 		fmt.Fprintln(o, "       tmcheck -demo [protocol]")
+		fmt.Fprintln(o, "       tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...]")
 		fmt.Fprintln(o)
 		flag.PrintDefaults()
 		// Everything below comes from the registries, so a newly added
 		// checker, protocol or engine shows up here without edits.
 		fmt.Fprintf(o, "\ncheckers:  %s\n", strings.Join(checkerNames(), ", "))
 		fmt.Fprintf(o, "protocols: %s\n", strings.Join(registry.ProtocolNames(), ", "))
-		fmt.Fprintf(o, "engines:   %s (production stm/ engines; traces come from the simulated protocols)\n",
+		fmt.Fprintf(o, "engines:   %s (production stm/ engines; traces come from the simulated protocols, -live records the engines directly)\n",
 			strings.Join(registry.EngineNames(), ", "))
+		fmt.Fprintf(o, "patterns:  %s (live mode contention shapes)\n",
+			strings.Join(registry.PatternNames(), ", "))
 	}
 	flag.Parse()
 
 	if *demo {
 		emitDemo(flag.Arg(0))
+		return
+	}
+	if *live {
+		runLive(*episodes, *seed, *enginesFlag, *patternsFlag)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -119,6 +140,90 @@ func main() {
 		}
 		fmt.Printf("chain disjoint-access-parallelism:  %d violation(s)\n", len(chain))
 	}
+}
+
+// runLive sweeps the conformance harness over the real engines: episodes
+// per engine × pattern, each recorded, stamped and checked. Violations
+// are dumped in the paper's notation and fail the process.
+func runLive(episodes int, seed int64, enginesCSV, patternsCSV string) {
+	cfg := conformance.StressConfig{Episodes: episodes, Seed: seed}
+	if enginesCSV != "" {
+		for _, part := range strings.Split(enginesCSV, ",") {
+			k, err := registry.EngineByName(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Engines = append(cfg.Engines, k)
+		}
+	}
+	if patternsCSV != "" {
+		for _, part := range strings.Split(patternsCSV, ",") {
+			p, err := registry.PatternByName(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Patterns = append(cfg.Patterns, p)
+		}
+	}
+
+	sum, err := conformance.Stress(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: live: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("conformance of production engines (recorded histories vs. the paper's checkers)")
+	fmt.Printf("%-9s %-9s %9s %6s %8s %8s %8s  %s\n",
+		"engine", "pattern", "episodes", "txns", "checked", "skipped", "violate", "required")
+	type cell struct{ episodes, txns, checked, skipped, violated int }
+	cells := make(map[string]*cell)
+	var order []string
+	for _, rep := range sum.Reports {
+		key := rep.Engine + "/" + rep.Episode.Pattern.String()
+		c, ok := cells[key]
+		if !ok {
+			c = &cell{}
+			cells[key] = c
+			order = append(order, key)
+		}
+		c.episodes++
+		c.txns += rep.Txns
+		if rep.Skipped {
+			c.skipped++
+		} else {
+			c.checked++
+		}
+		if len(rep.Failures()) > 0 {
+			c.violated++
+		}
+	}
+	for _, key := range order {
+		c := cells[key]
+		eng, pat, _ := strings.Cut(key, "/")
+		req := conformance.RequiredConditions(eng)
+		reqLabel := "all"
+		switch {
+		case len(req) == 0:
+			reqLabel = "none"
+		case len(req) < len(consistency.Checkers()):
+			reqLabel = req[0] + ",…"
+		}
+		fmt.Printf("%-9s %-9s %9d %6d %8d %8d %8d  %s\n",
+			eng, pat, c.episodes, c.txns, c.checked, c.skipped, c.violated, reqLabel)
+	}
+	fmt.Printf("\ntotal: %d episodes, %d checked, %d skipped (oversized), %d inconclusive (budget)\n",
+		sum.Episodes, sum.Checked, sum.Skipped, sum.Inconclusive)
+
+	if len(sum.Failures) > 0 {
+		fmt.Printf("\n%d VIOLATION(S):\n", len(sum.Failures))
+		for _, f := range sum.Failures {
+			fmt.Println(f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all engines satisfied their required conditions")
 }
 
 // emitDemo records a small two-transaction run under the named protocol

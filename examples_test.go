@@ -1,0 +1,66 @@
+package pcltm
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun smoke-tests every program under examples/: each
+// must build and run to a clean exit, so the examples can't silently rot
+// as the stm/ API moves. The directory listing is live — a new example
+// joins the test by existing.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	bin := t.TempDir()
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, filepath.Base(dir))
+			build := exec.Command("go", "build", "-o", exe, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctxDeadline := 60 * time.Second
+			if d, ok := t.Deadline(); ok {
+				if until := time.Until(d) - 5*time.Second; until < ctxDeadline {
+					ctxDeadline = until
+				}
+			}
+			run := exec.Command(exe)
+			var out bytes.Buffer
+			run.Stdout, run.Stderr = &out, &out
+			if err := run.Start(); err != nil {
+				t.Fatalf("start failed: %v", err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- run.Wait() }()
+			select {
+			case rerr := <-done:
+				if rerr != nil {
+					t.Fatalf("run failed: %v\n%s", rerr, out.Bytes())
+				}
+			case <-time.After(ctxDeadline):
+				_ = run.Process.Kill()
+				<-done
+				t.Fatalf("example did not exit within %v", ctxDeadline)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// TestStressAllEngines is the acceptance gate of the conformance
+// subsystem: every production engine, across every contention pattern,
+// under the seeded concurrent stress driver, must satisfy its required
+// consistency conditions on every recorded history (tl2/tl2s/adaptive:
+// opacity and everything weaker; twopl: strict serializability down;
+// glock: everything). Run under -race in CI.
+func TestStressAllEngines(t *testing.T) {
+	episodes := 4
+	if testing.Short() {
+		episodes = 2
+	}
+	sum, err := Stress(StressConfig{Episodes: episodes, Seed: 1})
+	if err != nil {
+		t.Fatalf("stress harness error: %v", err)
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("conformance violation:\n%s", f)
+	}
+	if sum.Checked == 0 {
+		t.Fatalf("no episode was small enough to check (%d skipped)", sum.Skipped)
+	}
+	// The sweep must actually cover the whole matrix.
+	want := len(stm.EngineKinds()) * len(workload.Patterns()) * episodes
+	if sum.Episodes != want {
+		t.Errorf("swept %d episodes, want %d", sum.Episodes, want)
+	}
+	if sum.Skipped > sum.Episodes/2 {
+		t.Errorf("%d of %d episodes oversized — shapes need retuning", sum.Skipped, sum.Episodes)
+	}
+	t.Logf("episodes=%d checked=%d skipped=%d inconclusive=%d",
+		sum.Episodes, sum.Checked, sum.Skipped, sum.Inconclusive)
+}
+
+// TestStressDeterministicShapes: the same seed derives the same episode
+// shapes, the contract that makes failures replayable.
+func TestStressDeterministicShapes(t *testing.T) {
+	a := episodeShape(7, "tl2", workload.Zipf, 3)
+	b := episodeShape(7, "tl2", workload.Zipf, 3)
+	if a != b {
+		t.Fatalf("episode shape not deterministic: %+v vs %+v", a, b)
+	}
+	c := episodeShape(8, "tl2", workload.Zipf, 3)
+	if a == c {
+		t.Errorf("different sweep seeds produced identical shapes")
+	}
+}
+
+// TestBrokenEngineCaught drives the deliberately inconsistent test engine
+// through the harness: a single process reads x, commits a write to x,
+// reads x again — the stale cache serves the old value, and the checkers
+// must convict. Serializability alone stays satisfied (the stale read can
+// be serialized before the write), which is exactly why the harness runs
+// the whole battery: the real-time and per-process conditions are the
+// ones that see the lie.
+func TestBrokenEngineCaught(t *testing.T) {
+	rec := stm.NewRecorder()
+	eng := stm.NewBrokenEngineForTest(stm.WithRecorder(rec))
+	x := stm.NewTVar[int64](0)
+	items := map[uint64]core.Item{x.ID(): "x"}
+
+	read := func() {
+		_ = eng.AtomicallyAs(0, func(tx *stm.Tx) error {
+			stm.Get(tx, x)
+			return nil
+		})
+	}
+	read() // primes the stale cache with x=0
+	_ = eng.AtomicallyAs(0, func(tx *stm.Tx) error {
+		stm.Set(tx, x, 101)
+		return nil
+	})
+	read() // observes the stale 0: the committed write is lost
+
+	exec, err := Stamp(rec.Take(), func(id uint64) (core.Item, bool) {
+		s, ok := items[id]
+		return s, ok
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate("broken", Episode{Seed: 1}, exec)
+	if rep.WellFormed != nil {
+		t.Fatalf("stamped history not well-formed: %v", rep.WellFormed)
+	}
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatalf("harness did not catch the broken engine:\n%s", rep.DumpHistory())
+	}
+	for _, must := range []string{"opacity", "strict-serializability", "pram"} {
+		if res, ok := rep.Results[must]; !ok || res.Satisfied {
+			t.Errorf("%s should be violated by the stale read\n%s", must, rep.DumpHistory())
+		}
+	}
+	if res := rep.Results["serializability"]; !res.Satisfied {
+		t.Errorf("plain serializability should still hold (stale read serializes first)")
+	}
+	t.Logf("broken engine convicted of %v", fails)
+}
+
+// TestBrokenEngineCaughtByStressPath routes the broken engine through the
+// same Check entry point the stress driver uses, so the detection isn't
+// an artifact of the hand-driven history above.
+func TestBrokenEngineCaughtByStressPath(t *testing.T) {
+	caught := false
+	for seed := int64(1); seed <= 6 && !caught; seed++ {
+		rep, err := Check(stm.NewBrokenEngineForTest, "broken", Episode{
+			Pattern: workload.Zipf, Workers: 2, TxnsPerWorker: 2,
+			OpsPerTxn: 3, Vars: 2, WriteFrac: 50, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failures()) > 0 {
+			caught = true
+			t.Logf("seed %d convicted: %v", seed, rep.Failures())
+		}
+	}
+	if !caught {
+		t.Errorf("six seeded episodes on a 2-variable hot set never caught the stale-read engine")
+	}
+}
+
+// TestReportDumpNotation: the violation dump speaks the paper's x:v /
+// x(v) language.
+func TestReportDumpNotation(t *testing.T) {
+	rep, err := Check(Factory(stm.EngineGlobalLock), "glock", Episode{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := rep.DumpHistory()
+	if !strings.Contains(dump, "T1@p") {
+		t.Errorf("dump lacks transaction/process labels:\n%s", dump)
+	}
+	if !strings.Contains(dump, "(") && !strings.Contains(dump, ":") {
+		t.Errorf("dump lacks x:v / x(v) op notation:\n%s", dump)
+	}
+}
+
+// TestRequiredConditionsShape pins the expectation table: twopl is the
+// only engine excused from opacity, and every production engine owes
+// strict serializability.
+func TestRequiredConditionsShape(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		req := RequiredConditions(kind.String())
+		if len(req) == 0 {
+			t.Fatalf("%s has no required conditions", kind)
+		}
+		hasSS, hasOpacity := false, false
+		for _, name := range req {
+			hasSS = hasSS || name == "strict-serializability"
+			hasOpacity = hasOpacity || name == "opacity"
+		}
+		if !hasSS {
+			t.Errorf("%s not required to be strictly serializable", kind)
+		}
+		if hasOpacity == (kind == stm.EngineTwoPL) {
+			t.Errorf("%s opacity requirement wrong: got %v", kind, hasOpacity)
+		}
+	}
+	if RequiredConditions("no-such-engine") != nil {
+		t.Errorf("unknown engines must carry no expectations")
+	}
+}

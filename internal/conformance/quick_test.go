@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pcltm/internal/history"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// quickEpisode is a randomly drawn (engine, episode) pair for the
+// well-formedness property.
+type quickEpisode struct {
+	Kind stm.EngineKind
+	Ep   Episode
+}
+
+// Generate draws a small random workload shape — sizes may exceed the
+// checker bound (well-formedness is linear, so bigger is fine here).
+func (quickEpisode) Generate(r *rand.Rand, size int) reflect.Value {
+	kinds := stm.EngineKinds()
+	q := quickEpisode{
+		Kind: kinds[r.Intn(len(kinds))],
+		Ep: Episode{
+			Pattern:       workload.Patterns()[r.Intn(len(workload.Patterns()))],
+			Workers:       1 + r.Intn(4),
+			TxnsPerWorker: 1 + r.Intn(4),
+			OpsPerTxn:     1 + r.Intn(5),
+			Vars:          1 + r.Intn(12),
+			WriteFrac:     10 + r.Intn(80),
+			Seed:          1 + r.Int63n(1_000_000),
+		},
+	}
+	return reflect.ValueOf(q)
+}
+
+// TestRecorderHistoriesWellFormed is the recorder's core contract as a
+// property: for every engine under every random small concurrent
+// workload, the stamped history is well-formed in the paper's sense —
+// alternating invocation/response per transaction starting with
+// begin·ok, every transaction ending in exactly one C_T or A_T, nothing
+// after it. If stamping ever interleaves one transaction's events or
+// drops a response, this is the test that goes off.
+func TestRecorderHistoriesWellFormed(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 12
+	}
+	property := func(q quickEpisode) bool {
+		exec, err := RunEpisode(Factory(q.Kind), q.Ep)
+		if err != nil {
+			t.Logf("%s %+v: harness error: %v", q.Kind, q.Ep, err)
+			return false
+		}
+		if werr := history.CheckWellFormed(exec); werr != nil {
+			t.Logf("%s %+v: %v", q.Kind, q.Ep, werr)
+			return false
+		}
+		// Ticket stamps are unique, so no two steps collapsed.
+		v := history.FromExecution(exec)
+		for _, txn := range v.Txns {
+			if txn.BeginIndex < 0 || txn.IntervalHi < txn.IntervalLo {
+				t.Logf("%s %+v: %s has a degenerate interval", q.Kind, q.Ep, txn.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

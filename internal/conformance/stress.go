@@ -1,0 +1,114 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// StressConfig sizes a conformance sweep.
+type StressConfig struct {
+	// Episodes is the number of episodes per engine × pattern cell
+	// (default 4).
+	Episodes int
+	// Seed derives every episode's seed deterministically (default 1).
+	Seed int64
+	// Engines are the engines to sweep (default: every registered kind).
+	Engines []stm.EngineKind
+	// Patterns are the contention shapes (default: every pattern).
+	Patterns []workload.Pattern
+}
+
+func (c StressConfig) withDefaults() StressConfig {
+	if c.Episodes == 0 {
+		c.Episodes = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Engines == nil {
+		c.Engines = stm.EngineKinds()
+	}
+	if c.Patterns == nil {
+		c.Patterns = workload.Patterns()
+	}
+	return c
+}
+
+// StressSummary aggregates a sweep.
+type StressSummary struct {
+	// Reports holds every episode's verdict in sweep order.
+	Reports []*Report
+	// Episodes, Checked, Skipped and Inconclusive count the sweep:
+	// Skipped episodes grew past the checker size bound, Inconclusive
+	// ones hit a search budget on a required condition.
+	Episodes, Checked, Skipped, Inconclusive int
+	// Failures holds one formatted entry per violated episode, history
+	// dump included.
+	Failures []string
+}
+
+// Stress runs the seeded conformance sweep: engines × patterns ×
+// episodes, each episode's shape drawn deterministically from the
+// config seed. Errors from the harness itself (not violations) are
+// returned; violations land in the summary.
+func Stress(cfg StressConfig) (*StressSummary, error) {
+	cfg = cfg.withDefaults()
+	sum := &StressSummary{}
+	for _, kind := range cfg.Engines {
+		for _, pat := range cfg.Patterns {
+			for i := 0; i < cfg.Episodes; i++ {
+				ep := episodeShape(cfg.Seed, kind.String(), pat, i)
+				rep, err := Check(Factory(kind), kind.String(), ep)
+				if err != nil {
+					return nil, fmt.Errorf("stress %s/%s #%d: %w", kind, pat, i, err)
+				}
+				sum.add(rep)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// add folds one report into the summary.
+func (s *StressSummary) add(rep *Report) {
+	s.Reports = append(s.Reports, rep)
+	s.Episodes++
+	switch {
+	case rep.Skipped:
+		s.Skipped++
+	default:
+		s.Checked++
+	}
+	if len(rep.Inconclusive()) > 0 {
+		s.Inconclusive++
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		s.Failures = append(s.Failures, fmt.Sprintf(
+			"%s/%s seed=%d violated %v\n%s",
+			rep.Engine, rep.Episode.Pattern, rep.Episode.Seed, fails, rep.DumpHistory()))
+	}
+}
+
+// episodeShape derives one episode's dimensions deterministically from
+// the sweep seed and the cell coordinates. Shapes stay small on purpose:
+// the checkers are exhaustive, and commits plus conflict-aborted attempts
+// must fit under maxCheckedTxns for the episode to count as checked.
+func episodeShape(seed int64, engine string, pat workload.Pattern, i int) Episode {
+	h := int64(0)
+	for _, c := range engine {
+		h = h*131 + int64(c)
+	}
+	r := rand.New(rand.NewSource(seed + h + int64(pat)*10_007 + int64(i)*104_729))
+	return Episode{
+		Pattern:       pat,
+		Workers:       2 + r.Intn(2),     // 2..3
+		TxnsPerWorker: 1 + r.Intn(2),     // 1..2
+		OpsPerTxn:     2 + r.Intn(3),     // 2..4
+		Vars:          4 + r.Intn(7),     // 4..10
+		WriteFrac:     30 + 10*r.Intn(4), // 30..60
+		Seed:          seed + int64(i)*31 + h%1000 + 1,
+	}
+}

@@ -31,8 +31,10 @@ func Opaque(v *history.View) Result {
 			block := history.FullBlock(t)
 			if !inCom[t.ID] {
 				// Aborted / excluded commit-pending / live: reads must
-				// still be legal, writes are invisible.
-				block = strippedWrites(t)
+				// still be legal — including reads of the transaction's
+				// own earlier writes — but nothing it wrote is visible
+				// to anyone else.
+				block.Ephemeral = true
 			}
 			idx[t.ID] = len(points)
 			points = append(points, point{
@@ -66,18 +68,6 @@ func Opaque(v *history.View) Result {
 		}
 	}
 	return res
-}
-
-// strippedWrites keeps a transaction's reads (validated) but drops its
-// writes from visibility.
-func strippedWrites(t *history.Txn) history.Block {
-	var ops []history.Op
-	for _, op := range t.Ops {
-		if op.Kind == core.OpRead {
-			ops = append(ops, op)
-		}
-	}
-	return history.Block{Txn: t.ID, Ops: ops, CheckReads: true}
 }
 
 // completedBefore is real-time precedence over all transactions: a

@@ -54,13 +54,11 @@ func TestOpacityConsistentAbortAccepted(t *testing.T) {
 	}
 }
 
-// TestOpacityAbortedWritesInvisible: nobody may observe an aborted
-// transaction's writes, and the aborted transaction's own later reads see
-// its writes stripped too? No — the paper's legality rule (i) applies to
-// the same block; stripping writes also strips read-own-write
-// justification, so an aborted transaction whose read depends on its own
-// write is rejected conservatively. Here we only check the external
-// invisibility.
+// TestOpacityAbortedWritesInvisible: nobody else may observe an aborted
+// transaction's writes, but the aborted transaction's own later reads do
+// see them — the paper's legality rule (i) applies within the block, so
+// an aborted transaction's reads validate against its own earlier writes
+// (Block.Ephemeral) while publishing nothing.
 func TestOpacityAbortedWritesInvisible(t *testing.T) {
 	b := exectest.New()
 	b.Begin(0, 1).Write(0, 1, "x", 9).Abort(0, 1)
@@ -74,6 +72,18 @@ func TestOpacityAbortedWritesInvisible(t *testing.T) {
 	b2.SeqTxn(1, 2, exectest.RV("x", 0))
 	if !Opaque(view(b2.Exec())).Satisfied {
 		t.Errorf("opacity rejected the invisible-abort execution")
+	}
+	// Read-own-write inside the aborted transaction: legal iff the value
+	// matches the transaction's own write, independent of committed state.
+	b3 := exectest.New()
+	b3.Begin(0, 1).Write(0, 1, "x", 9).Read(0, 1, "x", 9).Abort(0, 1)
+	if !Opaque(view(b3.Exec())).Satisfied {
+		t.Errorf("opacity rejected an aborted transaction reading its own write")
+	}
+	b4 := exectest.New()
+	b4.Begin(0, 1).Write(0, 1, "x", 9).Read(0, 1, "x", 7).Abort(0, 1)
+	if Opaque(view(b4.Exec())).Satisfied {
+		t.Errorf("opacity accepted an aborted transaction misreading its own write")
 	}
 }
 

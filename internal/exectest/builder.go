@@ -8,17 +8,25 @@ import "pcltm/internal/core"
 
 // Builder accumulates steps for a synthetic execution.
 type Builder struct {
-	steps []core.Step
-	specs map[core.TxID]core.TxSpec
-	objs  map[string]core.ObjID
+	steps  []core.Step
+	specs  map[core.TxID]core.TxSpec
+	objs   map[string]core.ObjID
+	nprocs int
 }
 
 // New returns an empty builder.
 func New() *Builder {
 	return &Builder{
-		specs: make(map[core.TxID]core.TxSpec),
-		objs:  make(map[string]core.ObjID),
+		specs:  make(map[core.TxID]core.TxSpec),
+		objs:   make(map[string]core.ObjID),
+		nprocs: 8,
 	}
+}
+
+// NProcs overrides the machine width stamped on the execution (default 8).
+func (b *Builder) NProcs(n int) *Builder {
+	b.nprocs = n
+	return b
 }
 
 // Spec registers a transaction spec on the resulting execution.
@@ -107,7 +115,7 @@ func (b *Builder) SeqTxn(p core.ProcID, t core.TxID, ops ...core.TxOp) *Builder 
 
 // Exec finalizes the execution.
 func (b *Builder) Exec() *core.Execution {
-	return &core.Execution{Steps: b.steps, Specs: b.specs, NProcs: 8}
+	return &core.Execution{Steps: b.steps, Specs: b.specs, NProcs: b.nprocs}
 }
 
 // RV builds a read op that returned value v, for use with SeqTxn.

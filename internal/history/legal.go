@@ -22,6 +22,11 @@ type Block struct {
 	// other processes still contribute their writes but their reads are
 	// unconstrained.
 	CheckReads bool
+	// Ephemeral keeps the block's writes visible to its own later reads
+	// (legality rule (i)) but invisible to every following block — the
+	// shape of an aborted or excluded transaction under opacity, whose
+	// reads must still be legal while its writes publish nothing.
+	Ephemeral bool
 }
 
 // IllegalRead pinpoints the first legality violation in a candidate
@@ -76,8 +81,10 @@ func CheckLegal(blocks []Block) *IllegalRead {
 				}
 			}
 		}
-		for x, v := range local {
-			last[x] = v
+		if !b.Ephemeral {
+			for x, v := range local {
+				last[x] = v
+			}
 		}
 	}
 	return nil
@@ -130,8 +137,10 @@ func (s *LegalPrefix) Append(b Block) bool {
 			}
 		}
 	}
-	for x, v := range local {
-		s.last[x] = v
+	if !b.Ephemeral {
+		for x, v := range local {
+			s.last[x] = v
+		}
 	}
 	return true
 }

@@ -75,7 +75,10 @@ type Config struct {
 	Workers int
 	// OpsPerWorker is the number of transactions per goroutine.
 	OpsPerWorker int
-	// Seed makes variable choices reproducible.
+	// Seed makes variable choices reproducible. Every driver in this
+	// repo (tmbench -seed, the benchmarks, the conformance stress
+	// driver) defaults it to 1, so two runs of the same command replay
+	// the same variable choices.
 	Seed int64
 }
 
@@ -122,6 +125,50 @@ type Result struct {
 	Adaptive *stm.AdaptiveStats
 }
 
+// Picker returns one worker's variable chooser for a pattern: a function
+// from the worker's op ordinal to a variable index. The semantics are the
+// contract every driver (Run, the benchmarks, the conformance stress
+// driver) shares: Disjoint partitions [0,vars) among the workers, Uniform
+// draws uniformly, Zipf skews toward low indices with skew zipfS, and
+// PhaseShift plays Disjoint for the first half of opsPerWorker ordinals
+// and hammers the phaseHotVars lowest variables for the second half.
+func Picker(p Pattern, r *rand.Rand, zipfS float64, vars, workers, opsPerWorker, worker int) func(op int) int {
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	disjointPick := func() int {
+		span := vars / workers
+		if span == 0 {
+			span = 1
+		}
+		base := (worker * span) % vars
+		return base + r.Intn(span)
+	}
+	var z *rand.Zipf
+	if p == Zipf {
+		z = rand.NewZipf(r, zipfS, 1, uint64(vars-1))
+	}
+	return func(op int) int {
+		switch p {
+		case Disjoint:
+			return disjointPick()
+		case Zipf:
+			return int(z.Uint64())
+		case PhaseShift:
+			if op*2 < opsPerWorker {
+				return disjointPick()
+			}
+			hot := phaseHotVars
+			if hot > vars {
+				hot = vars
+			}
+			return r.Intn(hot)
+		default:
+			return r.Intn(vars)
+		}
+	}
+}
+
 // Run executes the workload on a fresh engine of the given kind.
 func Run(kind stm.EngineKind, cfg Config) Result {
 	cfg = cfg.withDefaults()
@@ -131,34 +178,6 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		vars[i] = stm.NewTVar[int64](0)
 	}
 
-	disjointPick := func(r *rand.Rand, worker int) int {
-		span := cfg.Vars / cfg.Workers
-		if span == 0 {
-			span = 1
-		}
-		base := (worker * span) % cfg.Vars
-		return base + r.Intn(span)
-	}
-	pick := func(r *rand.Rand, z *rand.Zipf, worker, op int) int {
-		switch cfg.Pattern {
-		case Disjoint:
-			return disjointPick(r, worker)
-		case Zipf:
-			return int(z.Uint64())
-		case PhaseShift:
-			if op*2 < cfg.OpsPerWorker {
-				return disjointPick(r, worker)
-			}
-			hot := phaseHotVars
-			if hot > cfg.Vars {
-				hot = cfg.Vars
-			}
-			return r.Intn(hot)
-		default:
-			return r.Intn(cfg.Vars)
-		}
-	}
-
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -166,18 +185,15 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		go func(worker int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
-			var z *rand.Zipf
-			if cfg.Pattern == Zipf {
-				z = rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Vars-1))
-			}
+			pick := Picker(cfg.Pattern, r, cfg.ZipfS, cfg.Vars, cfg.Workers, cfg.OpsPerWorker, worker)
 			for op := 0; op < cfg.OpsPerWorker; op++ {
 				_ = eng.Atomically(func(tx *stm.Tx) error {
 					var acc int64
 					for i := 0; i < cfg.ReadsPerTx; i++ {
-						acc += stm.Get(tx, vars[pick(r, z, worker, op)])
+						acc += stm.Get(tx, vars[pick(op)])
 					}
 					for i := 0; i < cfg.WritesPerTx; i++ {
-						tv := vars[pick(r, z, worker, op)]
+						tv := vars[pick(op)]
 						stm.Set(tx, tv, stm.Get(tx, tv)+1)
 					}
 					_ = acc

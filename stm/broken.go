@@ -1,0 +1,79 @@
+package stm
+
+import "sync"
+
+// NewBrokenEngineForTest returns an engine running a deliberately
+// inconsistent algorithm, used by the conformance harness's self-test to
+// prove the recorded-history checkers actually catch violations. It is
+// not registered in the engine table and must never be used outside
+// tests.
+//
+// The algorithm is the global-lock engine with a stale read cache bolted
+// on: the first load of each variable caches the value it observed, and
+// every later load — in any transaction, forever — returns the cached
+// value, ignoring committed writes. A single process that reads x, then
+// commits a write to x, then reads x again observes its own write lost,
+// which violates every condition down to PRAM; the mutex keeps the
+// breakage deterministic and data-race-free so the harness can assert on
+// it under -race.
+func NewBrokenEngineForTest(opts ...Option) *Engine {
+	e := &Engine{kind: -1, impl: &brokenEngine{stale: make(map[*tvar]any)}}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// brokenEngine is glockEngine plus the poisoned read cache.
+type brokenEngine struct {
+	mu    sync.Mutex
+	stale map[*tvar]any
+}
+
+type brokenTx struct {
+	eng  *brokenEngine
+	undo undoLog
+}
+
+func (e *brokenEngine) begin(attempt int) txState {
+	e.mu.Lock()
+	return &brokenTx{eng: e}
+}
+
+// load returns the first value this engine ever saw for tv — stale the
+// moment anyone commits a newer one.
+func (tx *brokenTx) load(tv *tvar) any {
+	if v, ok := tx.eng.stale[tv]; ok {
+		return v
+	}
+	v := *tv.val.Load()
+	tx.eng.stale[tv] = v
+	return v
+}
+
+func (tx *brokenTx) store(tv *tvar, v any) {
+	tx.undo.push(tv)
+	nv := v
+	tv.val.Store(&nv)
+}
+
+func (tx *brokenTx) commit() bool {
+	tx.eng.mu.Unlock()
+	return true
+}
+
+func (tx *brokenTx) abortCleanup() {
+	tx.undo.rollback()
+	tx.eng.mu.Unlock()
+}
+
+func (tx *brokenTx) conflictCleanup() {
+	tx.undo.rollback()
+	tx.eng.mu.Unlock()
+}
+
+func (tx *brokenTx) wrote() bool { return len(tx.undo) > 0 }
+
+func (tx *brokenTx) mark() txMark { return len(tx.undo) }
+
+func (tx *brokenTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }

@@ -24,9 +24,20 @@ var errRetryInternal = errors.New("stm: internal retry sentinel")
 // txState.mark in engines.go.
 func OrElse(tx *Tx, f, g func(*Tx) error) error {
 	m := tx.st.mark()
+	opsMark := 0
+	if tx.rec != nil {
+		opsMark = len(tx.rec.Ops)
+	}
 	err := runAlternative(tx, f)
 	if errors.Is(err, errRetryInternal) {
 		tx.st.rollbackTo(m)
+		if tx.rec != nil {
+			// The abandoned alternative's ops leave the record with its
+			// writes: they were rolled back and published nothing.
+			// Dropping its reads too is sound — omitting observations
+			// only relaxes what the checkers must justify.
+			tx.rec.Ops = tx.rec.Ops[:opsMark]
+		}
 		return g(tx)
 	}
 	return err

@@ -1,0 +1,154 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recording is the bridge between the production engines and the paper's
+// consistency checkers (internal/conformance): a Recorder attached with
+// WithRecorder collects one AttemptRecord per transaction attempt — every
+// read with the value it observed, every write, and the attempt's fate —
+// each event stamped with a ticket from one shared atomic counter.
+//
+// The stamps make the log checkable: every stamp is taken at a real-time
+// point inside the span of the operation it tags (the begin stamp before
+// the engine snapshots or locks anything, each op stamp when the op's
+// value observation has completed, the end stamp after commit has
+// published or cleanup has rolled back), so sorting all attempts' events
+// by stamp yields a total order in which value observation and
+// publication respect event order. Any real-time precedence present in
+// the sorted log is therefore real, and a consistency condition that
+// holds on the stamped history holds on the execution that produced it.
+//
+// When no Recorder is attached the hot path pays a single nil-check per
+// operation; engines themselves are recording-agnostic (the hooks live on
+// the Engine/Tx seam, above the engine/txState interfaces).
+
+// AttemptOutcome is the fate of one recorded transaction attempt.
+type AttemptOutcome int
+
+const (
+	// AttemptCommitted: the attempt committed and published its writes.
+	AttemptCommitted AttemptOutcome = iota
+	// AttemptConflicted: the engine killed the attempt (encounter-time
+	// lock failure, snapshot or commit-time validation failure); the
+	// Atomically call retried it.
+	AttemptConflicted
+	// AttemptAborted: the transaction function returned an error or
+	// panicked; the attempt rolled back and Atomically returned.
+	AttemptAborted
+	// AttemptWaited: the attempt called Retry and unwound to block; its
+	// reads were observed but nothing was published.
+	AttemptWaited
+)
+
+var attemptOutcomeNames = [...]string{"committed", "conflicted", "aborted", "waited"}
+
+// String returns the outcome name.
+func (o AttemptOutcome) String() string {
+	if o < 0 || int(o) >= len(attemptOutcomeNames) {
+		return "unknown"
+	}
+	return attemptOutcomeNames[o]
+}
+
+// RecordedOp is one completed transactional operation of an attempt.
+type RecordedOp struct {
+	// Write distinguishes writes from reads.
+	Write bool
+	// TVar is the accessed variable's id (TVar.ID).
+	TVar uint64
+	// Value is the value the read observed or the write stored.
+	Value any
+	// Seq is the op's ticket from the recorder's shared counter, taken
+	// when the operation completed.
+	Seq uint64
+}
+
+// AttemptRecord is the op log of one transaction attempt.
+type AttemptRecord struct {
+	rec *Recorder
+	// Proc is the process index the caller passed to AtomicallyAs (0 for
+	// plain Atomically).
+	Proc int
+	// Attempt is the restart ordinal within its Atomically call.
+	Attempt int
+	// BeginSeq is the ticket taken before the engine began the attempt
+	// (before any snapshot or lock acquisition).
+	BeginSeq uint64
+	// EndSeq is the ticket taken after the attempt finished: after a
+	// successful commit's publication, or after cleanup rolled back.
+	EndSeq uint64
+	// Outcome is the attempt's fate.
+	Outcome AttemptOutcome
+	// Ops are the attempt's completed operations in program order.
+	Ops []RecordedOp
+}
+
+// note appends one completed operation. Called only from the attempt's
+// own goroutine; the shared seq counter is the only cross-attempt state.
+func (a *AttemptRecord) note(write bool, id uint64, v any) {
+	a.Ops = append(a.Ops, RecordedOp{Write: write, TVar: id, Value: v, Seq: a.rec.seq.Add(1)})
+}
+
+// finish stamps the attempt's end, fixes its outcome and hands it to the
+// recorder. Nil-safe so the engine can call it unconditionally on every
+// terminal path.
+func (a *AttemptRecord) finish(o AttemptOutcome) {
+	if a == nil {
+		return
+	}
+	a.Outcome = o
+	a.EndSeq = a.rec.seq.Add(1)
+	a.rec.mu.Lock()
+	a.rec.attempts = append(a.rec.attempts, a)
+	a.rec.mu.Unlock()
+}
+
+// Recorder collects attempt records from every engine it is attached to.
+// It is safe for concurrent use.
+type Recorder struct {
+	seq      atomic.Uint64
+	mu       sync.Mutex
+	attempts []*AttemptRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// beginAttempt opens the record of one attempt, stamping its begin.
+func (r *Recorder) beginAttempt(proc, attempt int) *AttemptRecord {
+	return &AttemptRecord{rec: r, Proc: proc, Attempt: attempt, BeginSeq: r.seq.Add(1)}
+}
+
+// Take drains and returns the finished attempts recorded so far. Attempts
+// in flight at the time of the call appear in a later Take.
+func (r *Recorder) Take() []*AttemptRecord {
+	r.mu.Lock()
+	out := r.attempts
+	r.attempts = nil
+	r.mu.Unlock()
+	return out
+}
+
+// Len reports the number of finished attempts currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.attempts)
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithRecorder attaches a recorder: every attempt the engine runs is
+// logged. Recording costs an atomic ticket per operation plus the log
+// append; without it the engine pays one nil-check per operation.
+func WithRecorder(r *Recorder) Option {
+	return func(e *Engine) { e.rec = r }
+}
+
+// ID returns the variable's engine-wide id, the key recorded op logs use
+// to name it (internal/conformance maps ids back to data items).
+func (tv *TVar[T]) ID() uint64 { return tv.inner.id }

@@ -132,20 +132,26 @@ type Stats struct {
 // engines only if every access goes through the same engine.
 type Engine struct {
 	kind    EngineKind
-	impl    engine   // the algorithm (owns clocks, locks, shared state)
-	notif   notifier // wakes Retry-blocked transactions
+	impl    engine    // the algorithm (owns clocks, locks, shared state)
+	notif   notifier  // wakes Retry-blocked transactions
+	rec     *Recorder // attempt-log sink (record.go); nil when not recording
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	retries atomic.Uint64
 }
 
 // NewEngine creates an engine of the given kind. It panics on a kind that
-// is not registered (i.e. not returned by EngineKinds).
-func NewEngine(kind EngineKind) *Engine {
+// is not registered (i.e. not returned by EngineKinds). Options such as
+// WithRecorder configure the engine before first use.
+func NewEngine(kind EngineKind, opts ...Option) *Engine {
 	if kind < 0 || kind >= engineKindCount || engineTable[kind].make == nil {
 		panic("stm: NewEngine: unknown engine kind")
 	}
-	return &Engine{kind: kind, impl: engineTable[kind].make()}
+	e := &Engine{kind: kind, impl: engineTable[kind].make()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Kind returns the engine's algorithm.
@@ -238,14 +244,24 @@ func NewTVar[T any](initial T) *TVar[T] {
 	return &TVar[T]{inner: newTVar(initial)}
 }
 
-// Get reads the variable inside a transaction.
+// Get reads the variable inside a transaction. The op is recorded after
+// the load returns, so the logged value is exactly the one observed.
 func Get[T any](tx *Tx, tv *TVar[T]) T {
-	return tx.st.load(tv.inner).(T)
+	v := tx.st.load(tv.inner).(T)
+	if tx.rec != nil {
+		tx.rec.note(false, tv.inner.id, v)
+	}
+	return v
 }
 
-// Set writes the variable inside a transaction.
+// Set writes the variable inside a transaction. The op is recorded after
+// the store returns, so an encounter-time lock failure (which unwinds the
+// attempt from inside store) leaves no half-completed write in the log.
 func Set[T any](tx *Tx, tv *TVar[T], v T) {
 	tx.st.store(tv.inner, v)
+	if tx.rec != nil {
+		tx.rec.note(true, tv.inner.id, v)
+	}
 }
 
 // Peek reads the variable outside any transaction. The value is a
@@ -259,7 +275,8 @@ func (tv *TVar[T]) Peek() T {
 // passed to Atomically and must not be retained or shared. All operations
 // delegate to the engine-specific txState.
 type Tx struct {
-	st txState
+	st  txState
+	rec *AttemptRecord // op log of this attempt; nil when not recording
 }
 
 // conflict is panicked to unwind a doomed transaction attempt; Atomically
@@ -269,8 +286,17 @@ type conflict struct{}
 // Atomically runs fn as a transaction, retrying on conflicts until it
 // commits or fn returns an error (which aborts and is returned).
 func (e *Engine) Atomically(fn func(*Tx) error) error {
+	return e.AtomicallyAs(0, fn)
+}
+
+// AtomicallyAs is Atomically with the calling process named: proc tags
+// the attempt records when a Recorder is attached, giving the stamped
+// history its per-process structure (the PRAM and processor-consistency
+// checkers group transactions by process). Without a recorder, proc is
+// ignored.
+func (e *Engine) AtomicallyAs(proc int, fn func(*Tx) error) error {
 	for attempt := 0; ; attempt++ {
-		err, retry := e.once(fn, attempt)
+		err, retry := e.once(fn, attempt, proc)
 		if retry {
 			e.retries.Add(1)
 			continue
@@ -285,16 +311,24 @@ func (e *Engine) Atomically(fn func(*Tx) error) error {
 }
 
 // once runs a single attempt; retry=true means a conflict (or an explicit
-// Retry) unwound it.
-func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
+// Retry) unwound it. Recording hooks bracket the attempt: the begin stamp
+// is taken before the engine snapshots or locks anything, the end stamp
+// after a successful commit has published (or after cleanup rolled back),
+// so stamped real-time precedence is always genuine (see record.go).
+func (e *Engine) once(fn func(*Tx) error, attempt, proc int) (err error, retry bool) {
 	seq0 := e.notif.snapshot()
-	tx := &Tx{st: e.impl.begin(attempt)}
+	var ar *AttemptRecord
+	if e.rec != nil {
+		ar = e.rec.beginAttempt(proc, attempt)
+	}
+	tx := &Tx{st: e.impl.begin(attempt), rec: ar}
 
 	defer func() {
 		if r := recover(); r != nil {
 			switch r.(type) {
 			case conflict:
 				tx.st.conflictCleanup()
+				ar.finish(AttemptConflicted)
 				err, retry = nil, true
 			case retrySignal:
 				// Drop everything, then sleep until shared state moves.
@@ -303,10 +337,12 @@ func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
 				} else {
 					tx.st.conflictCleanup()
 				}
+				ar.finish(AttemptWaited)
 				e.notif.waitChange(seq0)
 				err, retry = nil, true
 			default:
 				tx.st.abortCleanup()
+				ar.finish(AttemptAborted)
 				panic(r)
 			}
 		}
@@ -314,11 +350,14 @@ func (e *Engine) once(fn func(*Tx) error, attempt int) (err error, retry bool) {
 
 	if ferr := fn(tx); ferr != nil {
 		tx.st.abortCleanup()
+		ar.finish(AttemptAborted)
 		return ferr, false
 	}
 	if !tx.st.commit() {
+		ar.finish(AttemptConflicted)
 		return nil, true
 	}
+	ar.finish(AttemptCommitted)
 	if tx.st.wrote() {
 		e.notif.bump()
 	}
