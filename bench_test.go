@@ -229,6 +229,7 @@ func BenchmarkE1LongReadOnlyScans(b *testing.B) {
 	for _, kind := range registry.Engines() {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			res := workload.RunScan(kind, workload.ScanConfig{
 				Vars: 512, Writers: 2, Scans: b.N, Seed: 1,
 			})

@@ -8,14 +8,18 @@ import (
 
 // Record is one measurement of a BENCH_*.json file — the benchRecord
 // schema cmd/tmbench writes; fields this tool doesn't compare are
-// ignored on decode.
+// ignored on decode. The alloc cells are pointers so baselines written
+// before the schema carried them decode as absent rather than as a
+// spurious zero.
 type Record struct {
-	Engine     string  `json:"engine"`
-	Pattern    string  `json:"pattern"`
-	Workers    int     `json:"workers"`
-	Throughput float64 `json:"tx_per_sec"`
-	Commits    uint64  `json:"commits"`
-	Retries    uint64  `json:"retries"`
+	Engine      string   `json:"engine"`
+	Pattern     string   `json:"pattern"`
+	Workers     int      `json:"workers"`
+	Throughput  float64  `json:"tx_per_sec"`
+	Commits     uint64   `json:"commits"`
+	Retries     uint64   `json:"retries"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
 }
 
 // Key identifies a measurement cell across runs.
@@ -31,14 +35,30 @@ type Delta struct {
 	Old, New float64
 	// Change is (New-Old)/Old: -0.25 means a 25% throughput drop.
 	Change float64
-	// Regression marks drops beyond the threshold.
+	// Regression marks throughput drops beyond the threshold.
 	Regression bool
+	// HasAllocs is set when both files carry alloc cells for the key;
+	// OldAllocs/NewAllocs are then allocs per committed transaction.
+	HasAllocs            bool
+	OldAllocs, NewAllocs float64
+	// AllocRegression marks allocs/op increases beyond the alloc
+	// threshold — the zero-alloc contract's trajectory gate.
+	AllocRegression bool
 }
 
-// Diff joins two record sets on their cell key and flags throughput drops
-// beyond threshold (a fraction: 0.1 = 10%). Cells present in only one
-// file are skipped — a new engine or pattern is not a regression.
-func Diff(old, new []Record, threshold float64) []Delta {
+// allocEpsilon absorbs float jitter in the per-op averages so an
+// allocThreshold of 0 means "any real increase" rather than "any bit
+// flip".
+const allocEpsilon = 1e-6
+
+// Diff joins two record sets on their cell key and flags throughput
+// drops beyond threshold (a fraction: 0.1 = 10%) plus allocs/op
+// increases beyond allocThreshold (absolute allocs per op: 0 flags any
+// steady-state increase). Cells present in only one file are skipped —
+// a new engine or pattern is not a regression — and alloc cells are
+// only compared when both files carry them, so diffing against a
+// pre-alloc-schema baseline degrades to throughput-only.
+func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
 	oldBy := make(map[string]Record, len(old))
 	for _, r := range old {
 		oldBy[r.Key()] = r
@@ -50,20 +70,26 @@ func Diff(old, new []Record, threshold float64) []Delta {
 			continue
 		}
 		change := (n.Throughput - o.Throughput) / o.Throughput
-		deltas = append(deltas, Delta{
+		d := Delta{
 			Key: n.Key(), Old: o.Throughput, New: n.Throughput,
 			Change: change, Regression: change < -threshold,
-		})
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			d.HasAllocs = true
+			d.OldAllocs, d.NewAllocs = *o.AllocsPerOp, *n.AllocsPerOp
+			d.AllocRegression = d.NewAllocs > d.OldAllocs+allocThreshold+allocEpsilon
+		}
+		deltas = append(deltas, d)
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Change < deltas[j].Change })
 	return deltas
 }
 
-// Regressions filters the flagged deltas.
+// Regressions filters the deltas flagged on either axis.
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			out = append(out, d)
 		}
 	}

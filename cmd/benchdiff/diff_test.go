@@ -3,18 +3,22 @@ package main
 import "testing"
 
 // fixture JSON in the benchRecord schema of cmd/tmbench (extra fields
-// present to prove they are tolerated).
+// present to prove they are tolerated; the tl2/disjoint cell carries
+// alloc cells on both sides, twopl only on one).
 const oldJSON = `[
   {"engine":"tl2","pattern":"disjoint","workers":4,"ops_per_worker":1000,"vars":256,"seed":1,
-   "elapsed_ns":1000,"tx_per_sec":100000,"commits":4000,"aborts":0,"retries":12},
+   "elapsed_ns":1000,"tx_per_sec":100000,"commits":4000,"aborts":0,"retries":12,
+   "allocs_per_op":0.10,"bytes_per_op":12.5},
   {"engine":"twopl","pattern":"disjoint","workers":4,"tx_per_sec":80000,"commits":4000},
   {"engine":"glock","pattern":"zipf","workers":2,"tx_per_sec":50000,"commits":2000},
   {"engine":"tl2","pattern":"zipf","workers":2,"tx_per_sec":0,"commits":0}
 ]`
 
 const newJSON = `[
-  {"engine":"tl2","pattern":"disjoint","workers":4,"tx_per_sec":99000,"commits":4000},
-  {"engine":"twopl","pattern":"disjoint","workers":4,"tx_per_sec":60000,"commits":4000},
+  {"engine":"tl2","pattern":"disjoint","workers":4,"tx_per_sec":99000,"commits":4000,
+   "allocs_per_op":0.10,"bytes_per_op":12.0},
+  {"engine":"twopl","pattern":"disjoint","workers":4,"tx_per_sec":60000,"commits":4000,
+   "allocs_per_op":0.50,"bytes_per_op":64.0},
   {"engine":"glock","pattern":"zipf","workers":2,"tx_per_sec":52000,"commits":2000},
   {"engine":"tl2","pattern":"zipf","workers":2,"tx_per_sec":41000,"commits":2000},
   {"engine":"adaptive","pattern":"disjoint","workers":4,"tx_per_sec":90000,"commits":4000}
@@ -34,7 +38,7 @@ func mustParse(t *testing.T, s string) []Record {
 // missing from either side (adaptive is new, zero-throughput old tl2/zipf)
 // are skipped rather than compared.
 func TestDiffFlagsRegressions(t *testing.T) {
-	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.10)
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.10, 0)
 	if len(deltas) != 3 {
 		t.Fatalf("compared %d cells, want 3: %+v", len(deltas), deltas)
 	}
@@ -53,11 +57,55 @@ func TestDiffFlagsRegressions(t *testing.T) {
 
 // TestDiffThreshold: the same data at a 30% threshold is clean.
 func TestDiffThreshold(t *testing.T) {
-	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30)
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0)
 	if regs := Regressions(deltas); len(regs) != 0 {
 		t.Fatalf("no regression expected at 30%%: %+v", regs)
 	}
 }
+
+// TestDiffAllocCells: alloc cells are compared only where both sides
+// carry them (tl2/disjoint), missing cells degrade silently
+// (twopl/disjoint has them only in the new file, glock in neither), and
+// a flat allocs/op is not a regression even at threshold 0.
+func TestDiffAllocCells(t *testing.T) {
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0)
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	tl2 := byKey["tl2/disjoint/w4"]
+	if !tl2.HasAllocs || tl2.OldAllocs != 0.10 || tl2.NewAllocs != 0.10 {
+		t.Fatalf("tl2 alloc cells wrong: %+v", tl2)
+	}
+	if tl2.AllocRegression {
+		t.Errorf("flat allocs/op flagged as regression: %+v", tl2)
+	}
+	if byKey["twopl/disjoint/w4"].HasAllocs {
+		t.Errorf("one-sided alloc cells should not compare: %+v", byKey["twopl/disjoint/w4"])
+	}
+	if byKey["glock/zipf/w2"].HasAllocs {
+		t.Errorf("absent alloc cells should not compare: %+v", byKey["glock/zipf/w2"])
+	}
+}
+
+// TestDiffAllocRegression: an allocs/op increase beyond the alloc
+// threshold is flagged even when throughput is fine, and the threshold
+// gives slack when raised.
+func TestDiffAllocRegression(t *testing.T) {
+	old := []Record{{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000,
+		AllocsPerOp: f(0.0), BytesPerOp: f(0)}}
+	worse := []Record{{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 105000,
+		AllocsPerOp: f(2.0), BytesPerOp: f(32)}}
+	regs := Regressions(Diff(old, worse, 0.10, 0))
+	if len(regs) != 1 || !regs[0].AllocRegression || regs[0].Regression {
+		t.Fatalf("allocs/op 0→2 at threshold 0 should be exactly an alloc regression: %+v", regs)
+	}
+	if regs := Regressions(Diff(old, worse, 0.10, 2.5)); len(regs) != 0 {
+		t.Fatalf("allocs/op 0→2 within threshold 2.5 flagged: %+v", regs)
+	}
+}
+
+func f(v float64) *float64 { return &v }
 
 // TestParseRejectsGarbage: a malformed file is an error, not a silent
 // empty comparison.

@@ -1,17 +1,26 @@
 // Command benchdiff compares two BENCH_*.json files (the schema
 // cmd/tmbench -json writes and CI uploads as BENCH_ci.json) and flags
-// throughput regressions beyond a threshold — the perf-trajectory tool
-// of ROADMAP.md.
+// regressions beyond thresholds — the perf-trajectory tool of
+// ROADMAP.md. Two axes are compared per cell:
+//
+//   - throughput: a relative drop beyond -threshold;
+//   - allocations: an allocs/op increase beyond -alloc-threshold
+//     (absolute; the default 0 flags any steady-state increase, since
+//     the stm engines' contract is zero allocations on the warmed hot
+//     path).
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.10] [-all] OLD.json NEW.json
+//	benchdiff [-threshold 0.10] [-alloc-threshold 0] [-all] OLD.json NEW.json
 //
-// Cells (engine × pattern × workers) are joined by key; a cell that lost
-// more than the threshold's fraction of throughput is a regression and
-// makes the exit status non-zero. -all prints every matched cell, not
-// just the regressions. Single-core runners are noisy — compare runs
-// from the same class of machine, and treat small deltas as weather.
+// Cells (engine × pattern × workers) are joined by key; any flagged cell
+// makes the exit status non-zero. Alloc cells are compared only when
+// both files carry them, so old baselines degrade to throughput-only.
+// -all prints every matched cell, not just the regressions.
+// Single-core runners are noisy — compare runs from the same class of
+// machine, and treat small throughput deltas as weather (the alloc
+// cells are far more stable: per-op averages of deterministic counts
+// plus a fixed harness overhead).
 package main
 
 import (
@@ -22,9 +31,10 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative throughput drop that counts as a regression")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "absolute allocs/op increase that counts as a regression (0 = any increase)")
 	all := flag.Bool("all", false, "print every matched cell, not just regressions")
 	flag.Usage = func() {
-		fmt.Fprintln(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-all] OLD.json NEW.json")
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-alloc-threshold 0] [-all] OLD.json NEW.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,26 +58,34 @@ func main() {
 	}
 	oldRecs, newRecs := read(flag.Arg(0)), read(flag.Arg(1))
 
-	deltas := Diff(oldRecs, newRecs, *threshold)
+	deltas := Diff(oldRecs, newRecs, *threshold, *allocThreshold)
 	if len(deltas) == 0 {
 		fmt.Println("benchdiff: no common cells to compare")
 		return
 	}
 	regs := Regressions(deltas)
 
-	fmt.Printf("%-24s %14s %14s %8s\n", "cell", "old tx/s", "new tx/s", "change")
+	fmt.Printf("%-24s %14s %14s %8s %11s %11s\n",
+		"cell", "old tx/s", "new tx/s", "change", "old alloc/op", "new alloc/op")
 	for _, d := range deltas {
-		if !*all && !d.Regression {
+		if !*all && !d.Regression && !d.AllocRegression {
 			continue
 		}
 		mark := ""
 		if d.Regression {
-			mark = "  REGRESSION"
+			mark += "  REGRESSION"
 		}
-		fmt.Printf("%-24s %14.0f %14.0f %+7.1f%%%s\n", d.Key, d.Old, d.New, d.Change*100, mark)
+		if d.AllocRegression {
+			mark += "  ALLOC-REGRESSION"
+		}
+		allocs := fmt.Sprintf("%11s %11s", "-", "-")
+		if d.HasAllocs {
+			allocs = fmt.Sprintf("%11.2f %11.2f", d.OldAllocs, d.NewAllocs)
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+7.1f%% %s%s\n", d.Key, d.Old, d.New, d.Change*100, allocs, mark)
 	}
-	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%%\n",
-		len(deltas), len(regs), *threshold*100)
+	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%% throughput / %.2f allocs/op\n",
+		len(deltas), len(regs), *threshold*100, *allocThreshold)
 	if len(regs) > 0 {
 		os.Exit(1)
 	}

@@ -130,6 +130,13 @@ type benchRecord struct {
 	Commits    uint64  `json:"commits"`
 	Aborts     uint64  `json:"aborts"`
 	Retries    uint64  `json:"retries"`
+	// AllocsPerOp and BytesPerOp are heap allocations per committed
+	// transaction over the run (see workload.Result); the alloc cells
+	// cmd/benchdiff compares. Steady-state engine work is pooled and
+	// contributes zero, so these track harness overhead plus any
+	// regression of the zero-alloc contract.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// Adaptive is the per-regime breakdown, present only for the
 	// adaptive engine.
 	Adaptive *stm.AdaptiveStats `json:"adaptive,omitempty"`
@@ -139,8 +146,8 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 	patterns []workload.Pattern, seed int64, jsonPath string) {
 	var records []benchRecord
 	fmt.Println("E1 — production engines under real parallelism")
-	fmt.Printf("%-8s %-9s %-8s %12s %10s %10s %10s\n",
-		"engine", "pattern", "workers", "tx/s", "commits", "aborts", "retries")
+	fmt.Printf("%-8s %-9s %-8s %12s %10s %10s %10s %10s %10s\n",
+		"engine", "pattern", "workers", "tx/s", "commits", "aborts", "retries", "allocs/op", "B/op")
 	for _, pat := range patterns {
 		for _, w := range workers {
 			for _, kind := range engines {
@@ -154,8 +161,9 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 						kind, pat, res.Sum, cfg.ExpectedSum())
 					os.Exit(1)
 				}
-				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d\n",
-					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries)
+				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d %10.2f %10.1f\n",
+					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries,
+					res.AllocsPerOp, res.BytesPerOp)
 				if res.Adaptive != nil {
 					printRegimes(res.Adaptive)
 				}
@@ -164,6 +172,7 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 					Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
 					ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
 					Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+					AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
 					Adaptive: res.Adaptive,
 				})
 			}

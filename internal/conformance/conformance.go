@@ -162,9 +162,11 @@ func RequiredConditions(engine string) []string {
 	switch engine {
 	case "tl2", "tl2s", "adaptive", "glock":
 		return all
-	case "broken":
-		// The test fixture impersonates glock, so it owes everything —
-		// that the harness flags it is the harness's own self-test.
+	case "broken", "leaky":
+		// The test fixtures impersonate glock, so they owe everything —
+		// that the harness flags them is the harness's own self-test
+		// (stale read cache for "broken", pooled undo-log leak for
+		// "leaky").
 		return all
 	case "twopl":
 		var out []string

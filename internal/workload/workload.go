@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -117,6 +118,14 @@ type Result struct {
 	Commits, Aborts, Retries uint64
 	// Throughput is committed transactions per second.
 	Throughput float64
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes per
+	// committed transaction over the whole parallel section (runtime
+	// mallocs/total-alloc deltas divided by commits). They include the
+	// workers' fixed per-run overhead (goroutine spawn, RNG state),
+	// which amortizes toward zero as OpsPerWorker grows; with pooled
+	// attempt state the steady-state contribution of the engines
+	// themselves is zero (see the stm package's allocation contract).
+	AllocsPerOp, BytesPerOp float64
 	// Sum is the total of all variables after the run (workload
 	// invariant: equals the number of increments performed).
 	Sum int64
@@ -178,6 +187,8 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		vars[i] = stm.NewTVar[int64](0)
 	}
 
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -204,6 +215,8 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	var sum int64
 	_ = eng.Atomically(func(tx *stm.Tx) error {
@@ -225,6 +238,10 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(st.Commits) / elapsed.Seconds()
+	}
+	if st.Commits > 0 {
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(st.Commits)
+		res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(st.Commits)
 	}
 	return res
 }

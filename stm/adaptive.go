@@ -1,6 +1,10 @@
 package stm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
 func init() {
 	registerEngine(EngineAdaptive, "adaptive",
@@ -39,7 +43,7 @@ var regimeKinds = [regimeCount]EngineKind{EngineTL2Striped, EngineTwoPL, EngineG
 
 // windowMetrics summarizes one closed sampling window.
 type windowMetrics struct {
-	// attempts = commits + conflicts + user aborts.
+	// attempts = commits + conflicts + user aborts + waits.
 	attempts uint64
 	// commits and conflicts count finished attempts by outcome.
 	commits, conflicts uint64
@@ -176,42 +180,77 @@ func (p *regimePolicy) decide(cur int, m windowMetrics) int {
 	return cur
 }
 
-// windowAccum is the open sampling window.
-type windowAccum struct {
-	attempts, commits, conflicts, loads, stores uint64
+// regimeTotals is one delegate's cumulative share of the engine's work.
+// commits and conflicts are striped (bumped on every finish); lockFails
+// and windows are charged at window close under the engine mutex.
+type regimeTotals struct {
+	commits, conflicts stripedCounter
+	lockFails, windows uint64
 }
 
-// regimeCounters is one delegate's cumulative share of the engine's work.
-type regimeCounters struct {
-	commits, conflicts, lockFails, windows uint64
-}
-
+// The window accounting is the adaptive engine's own hot path: every
+// begin and finish used to take the engine mutex, which made the engine
+// that exists to exploit disjoint-access parallelism serialize all its
+// attempts on one lock. Begin and finish now touch only striped per-core
+// counters (counter.go):
+//
+//   - begin increments the striped inflight count, then re-checks for a
+//     pending switch; the increment-before-check pairs with the switch
+//     committer's decide-then-sum (both seq-cst), so either the beginner
+//     sees the pending switch and backs out, or the drain sees the
+//     beginner and waits — the epoch invariant survives without a lock.
+//   - finish bumps cumulative striped counters (attempts, loads, stores,
+//     per-regime commits/conflicts) and decrements inflight. Window
+//     metrics are deltas of those sums against bases snapped at the last
+//     close, so no per-attempt mutable window struct exists at all.
+//
+// The mutex remains on the cold paths only: committing a switch,
+// closing a window (once per `window` attempts, elected by a CAS so the
+// scan-and-close never stampedes), and stats snapshots. Because the
+// deltas are read while other attempts finish, a window's metrics can be
+// off by the handful of attempts in flight at close time — noise well
+// under the policy's hysteresis, and the price of a lock-free hot path.
 type adaptiveEngine struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // cold paths: switch commit, window close, stats
 	cond *sync.Cond
 
 	delegates [regimeCount]engine
 	// cur is the active regime; target != cur means a switch is decided
 	// and draining. inflight counts attempts begun in the current epoch
 	// and not yet finished.
-	cur, target int
-	inflight    int
-	epoch       uint64
-	switches    uint64
+	cur, target atomic.Int32
+	inflight    stripedCounter
 
-	policy regimePolicy
-	win    windowAccum
-	// lockFailBase is the active delegate's failed-acquisition count at
-	// the open window's start, so a window close can take the delta.
-	lockFailBase uint64
-	regimes      [regimeCount]regimeCounters
+	// Cumulative hot-path counters; window metrics are deltas against
+	// the base* fields, which are rewritten under mu at window close.
+	attempts      stripedCounter
+	loads, stores stripedCounter
+	regimes       [regimeCount]regimeTotals
+
+	// baseAttempts is read racily by finish for the boundary check, so
+	// it is atomic; the remaining bases are only touched under mu.
+	baseAttempts               atomic.Uint64
+	baseCommits, baseConflicts uint64
+	baseLoads, baseStores      uint64
+	lockFailBase               uint64
+	closing                    atomic.Bool // window-close election
+	policy                     regimePolicy
+	epoch, switches            uint64
+
+	pool sync.Pool
 }
 
 func newAdaptiveEngine() *adaptiveEngine {
 	a := &adaptiveEngine{policy: defaultPolicy()}
 	a.cond = sync.NewCond(&a.mu)
+	a.inflight = newStripedCounter()
+	a.attempts = newStripedCounter()
+	a.loads = newStripedCounter()
+	a.stores = newStripedCounter()
 	for r, kind := range regimeKinds {
 		a.delegates[r] = engineTable[kind].make()
+		a.regimes[r].commits = newStripedCounter()
+		a.regimes[r].conflicts = newStripedCounter()
 	}
 	return a
 }
@@ -234,31 +273,76 @@ func (a *adaptiveEngine) lockFailCount() uint64 {
 	return sum
 }
 
-// begin enters the current epoch. If a switch is draining, it blocks
-// until the last old-epoch attempt finishes; the first begin to observe
-// the drained engine commits the switch.
+// begin enters the current epoch. The fast path is lock-free: announce
+// the attempt in the striped inflight count, then confirm no switch is
+// pending. If one is, back out and block until the last old-epoch
+// attempt finishes; the first begin to observe the drained engine
+// commits the switch.
 func (a *adaptiveEngine) begin(attempt int) txState {
+	tx, _ := a.pool.Get().(*adaptiveTx)
+	if tx == nil {
+		tx = &adaptiveTx{a: a}
+	}
+	hint := poolHint(unsafe.Pointer(tx))
+	for {
+		a.inflight.add(hint, 1)
+		// Triple read: cur, target, cur again — proceed only if all
+		// three agree. Two reads are not enough: a drain whose stripe
+		// scan raced (and missed) our increment can commit its switch at
+		// any later moment, and after a full window on the new delegate
+		// the policy may store a target pointing back at our stale cur,
+		// making a cur/target pair look quiescent across two committed
+		// epochs. The re-read of cur closes that: once our increment is
+		// visible, every subsequent drain scan sees it and blocks, so at
+		// most the one racing switch can commit over us — and it flips
+		// cur, which one of the two cur reads must then observe (cur
+		// cannot flip away and back across the re-read, because the
+		// return trip's drain would need our own inflight to reach 0).
+		cur := a.cur.Load()
+		if a.target.Load() == cur && a.cur.Load() == cur {
+			// No switch pending at a point after our announcement: a
+			// switch decided from here on must drain past our inflight
+			// increment, so running on delegates[cur] is epoch-safe.
+			tx.regime, tx.hint = int(cur), hint
+			// The delegate's begin may block (glock) or sleep (2PL
+			// backoff); it runs outside any engine lock.
+			tx.st = a.delegates[cur].begin(attempt)
+			return tx
+		}
+		a.inflight.add(hint, ^uint64(0))
+		a.awaitSwitch()
+	}
+}
+
+// awaitSwitch blocks while a decided switch drains, and commits it once
+// the epoch is empty.
+func (a *adaptiveEngine) awaitSwitch() {
 	a.mu.Lock()
-	for a.target != a.cur && a.inflight > 0 {
+	for a.target.Load() != a.cur.Load() && a.inflight.sum() > 0 {
 		a.cond.Wait()
 	}
-	if a.target != a.cur {
+	if t := a.target.Load(); t != a.cur.Load() {
 		// Drained: commit the switch. The old delegate is idle, so the
 		// new one takes over a quiescent heap.
-		a.cur = a.target
+		a.cur.Store(t)
 		a.epoch++
 		a.switches++
-		a.win = windowAccum{}
-		a.lockFailBase = a.lockFailsOf(a.cur)
+		a.resetWindowLocked(int(t))
 		a.policy.reset()
+		a.cond.Broadcast()
 	}
-	r := a.cur
-	a.inflight++
-	d := a.delegates[r]
 	a.mu.Unlock()
-	// The delegate's begin may block (glock) or sleep (2PL backoff);
-	// keep it outside the engine lock.
-	return &adaptiveTx{a: a, st: d.begin(attempt), regime: r}
+}
+
+// resetWindowLocked discards the open window by re-basing every delta at
+// the counters' current sums. Called with mu held.
+func (a *adaptiveEngine) resetWindowLocked(r int) {
+	a.baseAttempts.Store(a.attempts.sum())
+	a.baseCommits = a.regimes[r].commits.sum()
+	a.baseConflicts = a.regimes[r].conflicts.sum()
+	a.baseLoads = a.loads.sum()
+	a.baseStores = a.stores.sum()
+	a.lockFailBase = a.lockFailsOf(r)
 }
 
 // outcomes of one finished attempt. Only commits and conflicts move the
@@ -272,54 +356,80 @@ const (
 	outcomeWait
 )
 
-// finish retires one attempt: it leaves the epoch, feeds the sampling
-// window, and wakes a draining switch when the epoch empties.
+// finish retires one attempt: cumulative striped bumps, the epoch exit,
+// and — when the window boundary is crossed with no switch pending — an
+// elected window close.
 func (a *adaptiveEngine) finish(tx *adaptiveTx, outcome int) {
-	a.mu.Lock()
-	a.inflight--
-	a.win.attempts++
-	a.win.loads += tx.loads
-	a.win.stores += tx.stores
-	rc := &a.regimes[tx.regime]
+	hint := tx.hint
 	switch outcome {
 	case outcomeCommit:
-		a.win.commits++
-		rc.commits++
+		a.regimes[tx.regime].commits.add(hint, 1)
 	case outcomeConflict:
-		a.win.conflicts++
-		rc.conflicts++
+		a.regimes[tx.regime].conflicts.add(hint, 1)
 	}
-	if a.target == a.cur && a.win.attempts >= a.policy.window {
-		a.closeWindowLocked()
+	a.loads.add(hint, tx.loads)
+	a.stores.add(hint, tx.stores)
+	a.attempts.add(hint, 1)
+	a.inflight.add(hint, ^uint64(0))
+	if a.target.Load() != a.cur.Load() {
+		// A switch is draining; if this was the last in-flight attempt,
+		// wake the begins blocked on the epoch boundary.
+		a.mu.Lock()
+		if a.inflight.sum() == 0 {
+			a.cond.Broadcast()
+		}
+		a.mu.Unlock()
+		return
 	}
-	if a.target != a.cur && a.inflight == 0 {
-		a.cond.Broadcast()
+	if a.attempts.sum()-a.baseAttempts.Load() >= a.policy.window {
+		a.tryCloseWindow()
 	}
-	a.mu.Unlock()
 }
 
-// closeWindowLocked seals the open window, charges it to the active
-// regime, and asks the policy for a move. Called with a.mu held and no
-// switch pending.
+// tryCloseWindow elects one closer by CAS, re-checks the boundary under
+// the mutex and closes the window. Losing the election is fine: the
+// winner is about to close it.
+func (a *adaptiveEngine) tryCloseWindow() {
+	if !a.closing.CompareAndSwap(false, true) {
+		return
+	}
+	a.mu.Lock()
+	if a.target.Load() == a.cur.Load() &&
+		a.attempts.sum()-a.baseAttempts.Load() >= a.policy.window {
+		a.closeWindowLocked()
+	}
+	a.mu.Unlock()
+	a.closing.Store(false)
+}
+
+// closeWindowLocked seals the open window (deltas of the cumulative
+// sums against the bases), charges it to the active regime, and asks the
+// policy for a move. Called with a.mu held and no switch pending.
 func (a *adaptiveEngine) closeWindowLocked() {
-	lf := a.lockFailsOf(a.cur)
+	cur := int(a.cur.Load())
+	att := a.attempts.sum()
+	commits := a.regimes[cur].commits.sum()
+	conflicts := a.regimes[cur].conflicts.sum()
+	loads, stores := a.loads.sum(), a.stores.sum()
+	lf := a.lockFailsOf(cur)
 	m := windowMetrics{
-		attempts:  a.win.attempts,
-		commits:   a.win.commits,
-		conflicts: a.win.conflicts,
-		loads:     a.win.loads,
-		stores:    a.win.stores,
+		attempts:  att - a.baseAttempts.Load(),
+		commits:   commits - a.baseCommits,
+		conflicts: conflicts - a.baseConflicts,
+		loads:     loads - a.baseLoads,
+		stores:    stores - a.baseStores,
 		lockFails: lf - a.lockFailBase,
 	}
-	rc := &a.regimes[a.cur]
-	rc.lockFails += m.lockFails
-	rc.windows++
+	a.regimes[cur].lockFails += m.lockFails
+	a.regimes[cur].windows++
+	a.baseAttempts.Store(att)
+	a.baseCommits, a.baseConflicts = commits, conflicts
+	a.baseLoads, a.baseStores = loads, stores
 	a.lockFailBase = lf
-	a.win = windowAccum{}
-	if next := a.policy.decide(a.cur, m); next != a.cur {
+	if next := a.policy.decide(cur, m); next != cur {
 		// Decided, not committed: the switch takes effect at the first
 		// begin after the epoch drains.
-		a.target = next
+		a.target.Store(int32(next))
 	}
 }
 
@@ -328,20 +438,30 @@ func (a *adaptiveEngine) snapshotStats() AdaptiveStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := AdaptiveStats{
-		Current:  regimeKinds[a.cur].String(),
+		Current:  regimeKinds[a.cur.Load()].String(),
 		Epoch:    a.epoch + 1,
 		Switches: a.switches,
 	}
-	for r, rc := range a.regimes {
+	for r := range a.regimes {
+		rt := &a.regimes[r]
 		out.Regimes = append(out.Regimes, RegimeStats{
 			Engine:    regimeKinds[r].String(),
-			Commits:   rc.commits,
-			Conflicts: rc.conflicts,
-			LockFails: rc.lockFails,
-			Windows:   rc.windows,
+			Commits:   rt.commits.sum(),
+			Conflicts: rt.conflicts.sum(),
+			LockFails: rt.lockFails,
+			Windows:   rt.windows,
 		})
 	}
 	return out
+}
+
+// done returns an attempt's state: the delegate's inner state to the
+// delegate's pool, the wrapper to this engine's.
+func (a *adaptiveEngine) done(st txState) {
+	tx := st.(*adaptiveTx)
+	a.delegates[tx.regime].done(tx.st)
+	tx.reset()
+	a.pool.Put(tx)
 }
 
 // adaptiveTx wraps one delegate attempt, counting its operations for the
@@ -350,8 +470,14 @@ type adaptiveTx struct {
 	a      *adaptiveEngine
 	st     txState
 	regime int
+	hint   uint64
 	loads  uint64
 	stores uint64
+}
+
+func (tx *adaptiveTx) reset() {
+	tx.st = nil
+	tx.loads, tx.stores = 0, 0
 }
 
 func (tx *adaptiveTx) load(tv *tvar) any {

@@ -156,12 +156,10 @@ func TestAdaptiveRetryNotCountedAsConflict(t *testing.T) {
 	}
 	_ = e.Atomically(func(tx *Tx) error { Set(tx, flag, true); return nil })
 	<-done
-	a.mu.Lock()
-	conflicts := a.win.conflicts
-	for _, rc := range a.regimes {
-		conflicts += rc.conflicts
+	var conflicts uint64
+	for r := range a.regimes {
+		conflicts += a.regimes[r].conflicts.sum()
 	}
-	a.mu.Unlock()
 	if conflicts != 0 {
 		t.Fatalf("Retry waits were counted as %d conflicts", conflicts)
 	}
@@ -180,7 +178,7 @@ func TestAdaptiveEpochDrainBlocksSwitch(t *testing.T) {
 
 	// Decide a switch while tx1 is in flight.
 	a.mu.Lock()
-	a.target = regimeHigh
+	a.target.Store(regimeHigh)
 	epoch0 := a.epoch
 	a.mu.Unlock()
 
@@ -195,8 +193,8 @@ func TestAdaptiveEpochDrainBlocksSwitch(t *testing.T) {
 
 	// The pending switch must not have taken effect mid-epoch.
 	a.mu.Lock()
-	if a.cur != regimeLow || a.epoch != epoch0 {
-		t.Fatalf("switch committed mid-epoch: cur=%d epoch=%d", a.cur, a.epoch)
+	if a.cur.Load() != regimeLow || a.epoch != epoch0 {
+		t.Fatalf("switch committed mid-epoch: cur=%d epoch=%d", a.cur.Load(), a.epoch)
 	}
 	a.mu.Unlock()
 
@@ -215,8 +213,8 @@ func TestAdaptiveEpochDrainBlocksSwitch(t *testing.T) {
 		t.Fatalf("post-switch begin ran on regime %d, want %d", tx2.regime, regimeHigh)
 	}
 	a.mu.Lock()
-	if a.cur != regimeHigh || a.epoch != epoch0+1 || a.switches != 1 {
-		t.Fatalf("switch bookkeeping: cur=%d epoch=%d switches=%d", a.cur, a.epoch, a.switches)
+	if a.cur.Load() != regimeHigh || a.epoch != epoch0+1 || a.switches != 1 {
+		t.Fatalf("switch bookkeeping: cur=%d epoch=%d switches=%d", a.cur.Load(), a.epoch, a.switches)
 	}
 	a.mu.Unlock()
 	tx2.commit()

@@ -1,9 +1,6 @@
 package stm
 
-import (
-	"runtime"
-	"sync/atomic"
-)
+import "sync/atomic"
 
 // versionClock abstracts TL2's version clock so engine variants can swap
 // the contended single counter for a striped one. The contract both TL2
@@ -45,13 +42,6 @@ func (g *globalClock) tick(rv, _ uint64) uint64 { return g.c.Add(1) }
 // very wide machines.
 const maxClockShards = 64
 
-// paddedClock keeps each shard's counter on its own cache line so
-// committers hashing to different shards never false-share.
-type paddedClock struct {
-	v atomic.Uint64
-	_ [56]byte // pad to 64 bytes
-}
-
 // stripedClock spreads the version clock over per-shard padded counters.
 // The logical clock value is the maximum over all shards:
 //
@@ -74,26 +64,20 @@ type paddedClock struct {
 // independently; the striped engine compensates for the latter with lazy
 // snapshot extension (see tl2.go).
 type stripedClock struct {
-	shards []paddedClock
+	shards []paddedUint64 // cache-line-padded, shared with counter.go
 	mask   uint64
 }
 
 // newStripedClock sizes the stripe to the true parallelism available
-// when the engine is built: the next power of two at or above
-// min(GOMAXPROCS, NumCPU), capped at maxClockShards. Striping only pays
-// off when commits genuinely run in parallel, so a 1-core box gets a
-// 1-shard clock that degenerates gracefully into a CAS-based global
-// clock instead of a snapshot scan with nothing to amortize it.
+// when the engine is built (stripeCount in counter.go: next power of
+// two at or above min(GOMAXPROCS, NumCPU), capped at maxClockShards).
+// Striping only pays off when commits genuinely run in parallel, so a
+// 1-core box gets a 1-shard clock that degenerates gracefully into a
+// CAS-based global clock instead of a snapshot scan with nothing to
+// amortize it.
 func newStripedClock() *stripedClock {
-	width := runtime.GOMAXPROCS(0)
-	if c := runtime.NumCPU(); c < width {
-		width = c
-	}
-	n := 1
-	for n < width && n < maxClockShards {
-		n <<= 1
-	}
-	return &stripedClock{shards: make([]paddedClock, n), mask: uint64(n - 1)}
+	n := stripeCount(maxClockShards)
+	return &stripedClock{shards: make([]paddedUint64, n), mask: uint64(n - 1)}
 }
 
 func (s *stripedClock) snapshot() uint64 {

@@ -39,7 +39,7 @@ func TestClockSnapshotCoversCompletedTicks(t *testing.T) {
 
 func TestStripedClockSpreadsShards(t *testing.T) {
 	// A fixed 8-shard clock, independent of GOMAXPROCS.
-	c := &stripedClock{shards: make([]paddedClock, 8), mask: 7}
+	c := &stripedClock{shards: make([]paddedUint64, 8), mask: 7}
 	for hint := uint64(0); hint < 8; hint++ {
 		c.tick(0, hint)
 	}
@@ -57,7 +57,7 @@ func TestStripedClockSpreadsShards(t *testing.T) {
 // raised by shard B could accept a version just published through shard
 // A at a timestamp ≤ rv — a torn snapshot.)
 func TestStripedTickExceedsPriorSnapshots(t *testing.T) {
-	c := &stripedClock{shards: make([]paddedClock, 2), mask: 1}
+	c := &stripedClock{shards: make([]paddedUint64, 2), mask: 1}
 	c.shards[1].v.Store(5)
 	s := c.snapshot() // 5, via shard 1
 	if wv := c.tick(0, 0); wv <= s {

@@ -17,8 +17,15 @@ import (
 // constructor.
 type engine interface {
 	// begin starts one transaction attempt. attempt counts restarts of
-	// the same Atomically call, so implementations can back off.
+	// the same Atomically call, so implementations can back off. In
+	// steady state the returned state comes from the engine's pool, so a
+	// conflict retry reuses the previous attempt's storage.
 	begin(attempt int) txState
+	// done hands a finished attempt's state back for reuse. The caller
+	// guarantees cleanup has run (locks released, writes rolled back or
+	// published) and that it will not touch st again; implementations
+	// reset the state and return it to their pool.
+	done(st txState)
 }
 
 // txState is the engine-specific state of one transaction attempt. The
@@ -46,9 +53,18 @@ type txState interface {
 	// alternative. Locks acquired since the mark are deliberately kept
 	// (conservative and deadlock-free: they are released when the
 	// transaction finishes either way), as are read-set entries (extra
-	// validation can only make commit more conservative).
+	// validation can only make commit more conservative). Marks capture
+	// values, never pooled storage, so they stay valid however the
+	// attempt's state is reused.
 	mark() txMark
 	rollbackTo(m txMark)
+	// reset truncates the attempt's collections (read set, write set,
+	// undo log, lock set) for reuse by a later attempt, zeroing dropped
+	// references so pooled state pins nothing. Called by the engine's
+	// done before pooling; leaking any entry across reset is the classic
+	// pooling bug the conformance harness convicts (see
+	// NewLeakyPoolEngineForTest).
+	reset()
 }
 
 // txMark is an opaque engine-specific snapshot of a transaction's write
@@ -120,26 +136,34 @@ func backoff(attempt int) {
 // undoEntry is one in-place write to roll back.
 type undoEntry struct {
 	tv   *tvar
-	prev *any
+	prev any
 }
 
 // undoLog records in-place writes for the lock-based engines, newest
-// last.
+// last. It lives in pooled attempt state: reset keeps the backing array
+// and zeroes the entries.
 type undoLog []undoEntry
 
 // push records tv's current value before it is overwritten.
 func (u *undoLog) push(tv *tvar) {
-	*u = append(*u, undoEntry{tv: tv, prev: tv.val.Load()})
+	*u = append(*u, undoEntry{tv: tv, prev: tv.read()})
 }
 
 // rollbackTo restores everything written after the log had n entries.
 func (u *undoLog) rollbackTo(n int) {
 	log := *u
 	for i := len(log) - 1; i >= n; i-- {
-		log[i].tv.val.Store(log[i].prev)
+		log[i].tv.publish(log[i].prev)
+		log[i] = undoEntry{}
 	}
 	*u = log[:n]
 }
 
 // rollback restores everything.
 func (u *undoLog) rollback() { u.rollbackTo(0) }
+
+// reset empties the log for reuse.
+func (u *undoLog) reset() {
+	clear(*u)
+	*u = (*u)[:0]
+}

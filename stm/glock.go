@@ -12,7 +12,8 @@ func init() {
 // consistent and non-interfering, with zero parallelism — the third
 // corner of the PCL triangle surrendered outright.
 type glockEngine struct {
-	mu sync.Mutex
+	mu   sync.Mutex
+	pool sync.Pool
 }
 
 // glockTx is one global-lock attempt: the lock is held from begin to
@@ -23,18 +24,28 @@ type glockTx struct {
 }
 
 func (e *glockEngine) begin(attempt int) txState {
+	tx, _ := e.pool.Get().(*glockTx)
+	if tx == nil {
+		tx = &glockTx{eng: e}
+	}
 	e.mu.Lock()
-	return &glockTx{eng: e}
+	return tx
 }
 
+func (e *glockEngine) done(st txState) {
+	st.reset()
+	e.pool.Put(st)
+}
+
+func (tx *glockTx) reset() { tx.undo.reset() }
+
 func (tx *glockTx) load(tv *tvar) any {
-	return *tv.val.Load()
+	return tv.read()
 }
 
 func (tx *glockTx) store(tv *tvar, v any) {
 	tx.undo.push(tv)
-	nv := v
-	tv.val.Store(&nv)
+	tv.publish(v)
 }
 
 func (tx *glockTx) commit() bool {

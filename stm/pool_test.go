@@ -1,0 +1,231 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Pool-hygiene tests: pooled attempt state is reused by design, so the
+// classic failure mode is an entry leaking across reset — a conflicted
+// attempt's write set republished by its successor, a leaked undo entry
+// resurrecting an overwritten value, a leaked lock-set entry
+// double-unlocking an orec. Each test here forces the dangerous
+// attempt sequence on the same pooled state (single goroutine → the pool
+// hands back the same object) and asserts the leak's observable symptom
+// is absent.
+
+// forceTL2Conflict runs one transaction on e whose first attempt is
+// doomed: it writes doomedWrites, then a nested committed transaction
+// bumps a variable it read, so commit-time validation fails and the
+// retry runs retryBody instead.
+func forceTL2Conflict(t *testing.T, e *Engine, x *TVar[int],
+	doomed func(tx *Tx), retryBody func(tx *Tx)) {
+	t.Helper()
+	first := true
+	if err := e.Atomically(func(tx *Tx) error {
+		_ = Get(tx, x)
+		if first {
+			first = false
+			doomed(tx)
+			if err := e.Atomically(func(tx2 *Tx) error {
+				Set(tx2, x, Get(tx2, x)+1)
+				return nil
+			}); err != nil {
+				return err
+			}
+			return nil
+		}
+		retryBody(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolNoWriteSetLeakTL2: a conflicted attempt buffered a write to a;
+// its pooled successor writes only b. If reset leaked the write set, the
+// retry's commit would publish the stale a write.
+func TestPoolNoWriteSetLeakTL2(t *testing.T) {
+	for _, kind := range []EngineKind{EngineTL2, EngineTL2Striped} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[int](0)
+			a := NewTVar[int](100)
+			b := NewTVar[int](200)
+			forceTL2Conflict(t, e, x,
+				func(tx *Tx) { Set(tx, a, 111) },
+				func(tx *Tx) { Set(tx, b, 222) })
+			if got := a.Peek(); got != 100 {
+				t.Errorf("conflicted attempt's write to a leaked into the retry's commit: a = %d, want 100", got)
+			}
+			if got := b.Peek(); got != 222 {
+				t.Errorf("retry's own write lost: b = %d, want 222", got)
+			}
+			if st := e.Stats(); st.Retries == 0 {
+				t.Fatalf("no conflict was forced; the test is vacuous")
+			}
+		})
+	}
+}
+
+// TestPoolNoReadSetLeakTL2: a conflicted attempt read x (whose version
+// then moved). Its pooled successor never reads x; leaked read-set
+// entries would make every successor commit fail validation forever.
+// The transaction committing at all — with a bounded retry count — is
+// the assertion.
+func TestPoolNoReadSetLeakTL2(t *testing.T) {
+	e := NewEngine(EngineTL2)
+	x := NewTVar[int](0)
+	y := NewTVar[int](0)
+	scratch := NewTVar[int](0)
+	forceTL2Conflict(t, e, x,
+		// The doomed attempt must write something — read-only TL2
+		// commits without re-validation — so it writes a scratch var
+		// while x moves under its read.
+		func(tx *Tx) { Set(tx, scratch, 1) },
+		// The retry still reads x through forceTL2Conflict's Get, which
+		// is fine: its version is stable now. Write y to make commit
+		// validate.
+		func(tx *Tx) { Set(tx, y, 1) })
+	if got := y.Peek(); got != 1 {
+		t.Errorf("retry failed to commit: y = %d, want 1", got)
+	}
+	// One forced conflict, one retry: a leaked read set would have
+	// produced an unbounded (or at least larger) retry count.
+	if st := e.Stats(); st.Retries != 1 {
+		t.Errorf("retries = %d, want exactly 1 (leaked read-set entries re-doom retries)", st.Retries)
+	}
+}
+
+// TestPoolNoLockSetLeakTwoPL: a conflicted 2PL attempt released its
+// orecs during conflictCleanup; if the lock set leaked through reset,
+// the successor's release would unlock records it never locked,
+// panicking sync.Mutex. Forcing the conflict needs two goroutines
+// holding disjoint-then-overlapping records.
+func TestPoolNoLockSetLeakTwoPL(t *testing.T) {
+	defer func(old int) { OrecShards = old }(OrecShards)
+	OrecShards = 1 // every variable shares one record: conflicts are certain
+	e := NewEngine(EngineTwoPL)
+	x := NewTVar[int](0)
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = e.Atomically(func(tx *Tx) error {
+			Set(tx, x, Get(tx, x)+1)
+			close(hold)
+			<-release
+			return nil
+		})
+	}()
+	<-hold
+	// This transaction's first attempts bounce off the held record
+	// (conflict, pooled state reused); after release they must commit
+	// cleanly without a double-unlock panic.
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Atomically(func(tx *Tx) error {
+			Set(tx, x, Get(tx, x)+10)
+			return nil
+		})
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Peek(); got != 11 {
+		t.Errorf("x = %d, want 11", got)
+	}
+}
+
+// TestPoolNoUndoLogLeak: transaction 1 commits a write to a; its pooled
+// successor writes b and aborts. A leaked undo log would roll a back to
+// its pre-transaction-1 value — the exact bug NewLeakyPoolEngineForTest
+// plants and the conformance harness convicts.
+func TestPoolNoUndoLogLeak(t *testing.T) {
+	boom := errors.New("boom")
+	for _, kind := range []EngineKind{EngineTwoPL, EngineGlobalLock, EngineAdaptive} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			a := NewTVar[int](1)
+			b := NewTVar[int](2)
+			if err := e.Atomically(func(tx *Tx) error {
+				Set(tx, a, 10)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Atomically(func(tx *Tx) error {
+				Set(tx, b, 20)
+				return boom
+			}); !errors.Is(err, boom) {
+				t.Fatal(err)
+			}
+			if got := a.Peek(); got != 10 {
+				t.Errorf("aborting transaction rolled back its predecessor's committed write: a = %d, want 10", got)
+			}
+			if got := b.Peek(); got != 2 {
+				t.Errorf("abort failed to roll back its own write: b = %d, want 2", got)
+			}
+		})
+	}
+}
+
+// TestPoolStateReusedAcrossAttempts pins that pooling actually engages —
+// the whole hygiene suite would be vacuous if every attempt got fresh
+// state. Several transactions run on one goroutine; some adjacent pair
+// must share a txState object. (Not every pair: under -race, sync.Pool
+// deliberately drops a fraction of puts, so exact reuse is statistical.)
+func TestPoolStateReusedAcrossAttempts(t *testing.T) {
+	const rounds = 32
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[int](0)
+			var prev txState
+			reused := false
+			for i := 0; i < rounds; i++ {
+				var cur txState
+				if err := e.Atomically(func(tx *Tx) error {
+					cur = tx.st
+					Set(tx, x, i%256)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if cur == prev {
+					reused = true
+				}
+				prev = cur
+			}
+			if !reused {
+				t.Errorf("%s: %d transactions never reused attempt state; pooling not engaged", kind, rounds)
+			}
+		})
+	}
+}
+
+// TestLeakySelfTestEngineLeaks confirms the planted bug in
+// NewLeakyPoolEngineForTest does what its doc says — the undo leak
+// resurrects an overwritten committed value — so the conformance
+// harness's conviction of it (internal/conformance) is earned.
+func TestLeakySelfTestEngineLeaks(t *testing.T) {
+	e := NewLeakyPoolEngineForTest()
+	a := NewTVar[int](1)
+	b := NewTVar[int](2)
+	if err := e.Atomically(func(tx *Tx) error {
+		Set(tx, a, 10)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := e.Atomically(func(tx *Tx) error {
+		Set(tx, b, 20)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := a.Peek(); got != 1 {
+		t.Fatalf("leaky engine failed to leak: a = %d, want the resurrected 1", got)
+	}
+}

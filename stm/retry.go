@@ -1,16 +1,23 @@
 package stm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // retrySignal unwinds an attempt that called Retry; the engine blocks
 // until some transaction commits writes, then re-runs the function.
 type retrySignal struct{}
 
-// notifier wakes blocked Retry-ers on every writing commit.
+// notifier wakes blocked Retry-ers on every writing commit. The
+// attempt-path operations are lock-free: snapshot is one atomic load,
+// and bump takes the mutex only when a waiter is registered, so writing
+// commits with nobody blocked pay a single fetch-and-add.
 type notifier struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	seq  uint64
+	seq     atomic.Uint64
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
 }
 
 func (n *notifier) init() {
@@ -19,23 +26,22 @@ func (n *notifier) init() {
 
 // snapshot returns the current commit sequence number.
 func (n *notifier) snapshot() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.cond == nil {
-		n.init()
-	}
-	return n.seq
+	return n.seq.Load()
 }
 
-// bump signals that shared state changed.
+// bump signals that shared state changed. The seq bump (atomic RMW)
+// precedes the waiter check; waitChange registers (RMW) before reading
+// seq — so either the waiter sees the new seq and never sleeps, or this
+// load sees the waiter and broadcasts under the mutex it sleeps on.
 func (n *notifier) bump() {
-	n.mu.Lock()
-	if n.cond == nil {
-		n.init()
+	n.seq.Add(1)
+	if n.waiters.Load() != 0 {
+		n.mu.Lock()
+		if n.cond != nil {
+			n.cond.Broadcast()
+		}
+		n.mu.Unlock()
 	}
-	n.seq++
-	n.cond.Broadcast()
-	n.mu.Unlock()
 }
 
 // waitChange blocks until the sequence number moves past since.
@@ -44,9 +50,11 @@ func (n *notifier) waitChange(since uint64) {
 	if n.cond == nil {
 		n.init()
 	}
-	for n.seq == since {
+	n.waiters.Add(1)
+	for n.seq.Load() == since {
 		n.cond.Wait()
 	}
+	n.waiters.Add(-1)
 	n.mu.Unlock()
 }
 

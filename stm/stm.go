@@ -36,6 +36,23 @@
 // engines.go and registers itself in the engine table; nothing outside
 // an engine's file knows its algorithm.
 //
+// # Allocation contract
+//
+// The attempt hot path is allocation-free in steady state: attempt state
+// (the Tx handle and each engine's txState, including read sets, write
+// sets, undo logs and lock sets) is pooled per engine and reset between
+// attempts, so a warmed transaction — including every conflict retry —
+// performs Get, Set, commit and rollback without touching the allocator.
+// Write and lock sets use a small-set fast path (append-ordered slice,
+// linear scan) and only allocate a map index past stm.SmallSetSpill
+// entries; engine counters are striped per core (counter.go) rather than
+// contended or mutex-guarded. The one exception is Go interface boxing:
+// Set must box its value into an `any`, which allocates for values the
+// runtime cannot box statically (integers outside [0,255], strings,
+// structs). Pointer-shaped values and small integers box for free, and
+// nothing downstream of the boxing allocates. stm/alloc_test.go pins the
+// contract per engine with testing.AllocsPerRun.
+//
 // Usage:
 //
 //	eng := stm.NewEngine(stm.EngineTL2)
@@ -52,7 +69,10 @@
 package stm
 
 import (
+	"reflect"
+	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // EngineKind selects a concurrency-control algorithm.
@@ -131,13 +151,32 @@ type Stats struct {
 // Engines are safe for concurrent use; TVars may be shared between
 // engines only if every access goes through the same engine.
 type Engine struct {
-	kind    EngineKind
-	impl    engine    // the algorithm (owns clocks, locks, shared state)
-	notif   notifier  // wakes Retry-blocked transactions
-	rec     *Recorder // attempt-log sink (record.go); nil when not recording
-	commits atomic.Uint64
-	aborts  atomic.Uint64
-	retries atomic.Uint64
+	kind  EngineKind
+	impl  engine    // the algorithm (owns clocks, locks, shared state)
+	notif notifier  // wakes Retry-blocked transactions
+	rec   *Recorder // attempt-log sink (record.go); nil when not recording
+	// txPool recycles the public Tx handles; each engine pools its own
+	// txStates behind engine.done. Counters are striped per core so
+	// disjoint committers don't rendezvous on a stats word.
+	txPool  sync.Pool
+	commits stripedCounter
+	aborts  stripedCounter
+	retries stripedCounter
+}
+
+// newEngineShell wires the engine-independent parts (counters, notifier,
+// options); shared by NewEngine and the unregistered test engines in
+// broken.go.
+func newEngineShell(kind EngineKind, impl engine, opts ...Option) *Engine {
+	e := &Engine{kind: kind, impl: impl}
+	e.commits = newStripedCounter()
+	e.aborts = newStripedCounter()
+	e.retries = newStripedCounter()
+	e.notif.init()
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // NewEngine creates an engine of the given kind. It panics on a kind that
@@ -147,22 +186,20 @@ func NewEngine(kind EngineKind, opts ...Option) *Engine {
 	if kind < 0 || kind >= engineKindCount || engineTable[kind].make == nil {
 		panic("stm: NewEngine: unknown engine kind")
 	}
-	e := &Engine{kind: kind, impl: engineTable[kind].make()}
-	for _, opt := range opts {
-		opt(e)
-	}
-	return e
+	return newEngineShell(kind, engineTable[kind].make(), opts...)
 }
 
 // Kind returns the engine's algorithm.
 func (e *Engine) Kind() EngineKind { return e.kind }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. The striped sums are
+// exact when the engine is quiescent and at most momentarily stale under
+// concurrent load.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Commits: e.commits.Load(),
-		Aborts:  e.aborts.Load(),
-		Retries: e.retries.Load(),
+		Commits: e.commits.sum(),
+		Aborts:  e.aborts.sum(),
+		Retries: e.retries.sum(),
 	}
 	if c, ok := e.impl.(lockFailCounter); ok {
 		st.LockFails = c.lockFailCount()
@@ -211,13 +248,21 @@ func (e *Engine) AdaptiveStats() (AdaptiveStats, bool) {
 
 // tvar is the untyped transactional variable all engines share: an
 // allocation-ordered id (stable lock and orec-hash input), a TL2
-// versioned lock word, and the boxed current value. 2PL locking moved
-// off the variable into the sharded orec table (orec.go), so a tvar
-// carries no mutex.
+// versioned lock word, and the current value.
+//
+// The value lives in an atomic.Value so publishing a write stores the
+// interface words directly instead of allocating a fresh *any box per
+// publish (atomic.Value overwrites only the data word once the type is
+// fixed). atomic.Value requires every store to carry the same concrete
+// type, which NewTVar guarantees for concrete T; for interface-kind T
+// (TVar[error], TVar[any]) the dynamic type varies, so those variables
+// set boxed and publish through a fresh *any per write — the pre-existing
+// cost, confined to the types that need it.
 type tvar struct {
-	id   uint64
-	lock atomic.Uint64 // bit 63 = locked, low bits = version
-	val  atomic.Pointer[any]
+	id    uint64
+	boxed bool
+	lock  atomic.Uint64 // bit 63 = locked, low bits = version
+	val   atomic.Value
 }
 
 const lockedBit = uint64(1) << 63
@@ -227,11 +272,32 @@ func isLocked(word uint64) bool  { return word&lockedBit != 0 }
 
 var tvarIDs atomic.Uint64
 
-func newTVar(initial any) *tvar {
-	tv := &tvar{id: tvarIDs.Add(1)}
-	v := initial
-	tv.val.Store(&v)
+func newTVar(initial any, boxed bool) *tvar {
+	tv := &tvar{id: tvarIDs.Add(1), boxed: boxed}
+	tv.publish(initial)
 	return tv
+}
+
+// publish stores v as the variable's current value. Engines call it only
+// while holding the variable's write authority (versioned lock, orec, or
+// the global mutex); racing readers are safe because the store is atomic
+// and the boxes an interface value points at are immutable.
+func (tv *tvar) publish(v any) {
+	if tv.boxed {
+		nv := v
+		tv.val.Store(&nv)
+		return
+	}
+	tv.val.Store(v)
+}
+
+// read returns the variable's current value.
+func (tv *tvar) read() any {
+	v := tv.val.Load()
+	if tv.boxed {
+		return *(v.(*any))
+	}
+	return v
 }
 
 // TVar is a typed transactional variable.
@@ -241,7 +307,8 @@ type TVar[T any] struct {
 
 // NewTVar allocates a transactional variable holding initial.
 func NewTVar[T any](initial T) *TVar[T] {
-	return &TVar[T]{inner: newTVar(initial)}
+	boxed := reflect.TypeFor[T]().Kind() == reflect.Interface
+	return &TVar[T]{inner: newTVar(initial, boxed)}
 }
 
 // Get reads the variable inside a transaction. The op is recorded after
@@ -268,12 +335,13 @@ func Set[T any](tx *Tx, tv *TVar[T], v T) {
 // consistent single-variable snapshot; cross-variable invariants need a
 // transaction.
 func (tv *TVar[T]) Peek() T {
-	return (*tv.inner.val.Load()).(T)
+	return tv.inner.read().(T)
 }
 
-// Tx is one transaction attempt. It is only valid inside the function
-// passed to Atomically and must not be retained or shared. All operations
-// delegate to the engine-specific txState.
+// Tx is one transaction attempt handle. It is only valid inside the
+// function passed to Atomically and must not be retained or shared: the
+// handle and the engine state behind it are pooled and reused by later
+// attempts. All operations delegate to the engine-specific txState.
 type Tx struct {
 	st  txState
 	rec *AttemptRecord // op log of this attempt; nil when not recording
@@ -294,18 +362,30 @@ func (e *Engine) Atomically(fn func(*Tx) error) error {
 // history its per-process structure (the PRAM and processor-consistency
 // checkers group transactions by process). Without a recorder, proc is
 // ignored.
+//
+// The Tx handle is taken from the engine's pool once per call and reused
+// across conflict retries; each attempt's engine state is likewise pooled
+// (engine.done/txState.reset), so the retry loop runs allocation-free in
+// steady state.
 func (e *Engine) AtomicallyAs(proc int, fn func(*Tx) error) error {
+	tx, _ := e.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = new(Tx)
+	}
+	hint := poolHint(unsafe.Pointer(tx))
 	for attempt := 0; ; attempt++ {
-		err, retry := e.once(fn, attempt, proc)
+		err, retry := e.once(tx, fn, attempt, proc)
 		if retry {
-			e.retries.Add(1)
+			e.retries.add(hint, 1)
 			continue
 		}
+		tx.st, tx.rec = nil, nil
+		e.txPool.Put(tx)
 		if err != nil {
-			e.aborts.Add(1)
+			e.aborts.add(hint, 1)
 			return err
 		}
-		e.commits.Add(1)
+		e.commits.add(hint, 1)
 		return nil
 	}
 }
@@ -315,13 +395,17 @@ func (e *Engine) AtomicallyAs(proc int, fn func(*Tx) error) error {
 // is taken before the engine snapshots or locks anything, the end stamp
 // after a successful commit has published (or after cleanup rolled back),
 // so stamped real-time precedence is always genuine (see record.go).
-func (e *Engine) once(fn func(*Tx) error, attempt, proc int) (err error, retry bool) {
+// Every terminal path hands the attempt state back to the engine's pool
+// via engine.done — after cleanup has released what the state held, and
+// after the last read of it (wrote) — except a user panic, which drops
+// the state rather than risk pooling mid-unwind.
+func (e *Engine) once(tx *Tx, fn func(*Tx) error, attempt, proc int) (err error, retry bool) {
 	seq0 := e.notif.snapshot()
 	var ar *AttemptRecord
 	if e.rec != nil {
 		ar = e.rec.beginAttempt(proc, attempt)
 	}
-	tx := &Tx{st: e.impl.begin(attempt), rec: ar}
+	tx.st, tx.rec = e.impl.begin(attempt), ar
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -329,6 +413,8 @@ func (e *Engine) once(fn func(*Tx) error, attempt, proc int) (err error, retry b
 			case conflict:
 				tx.st.conflictCleanup()
 				ar.finish(AttemptConflicted)
+				e.impl.done(tx.st)
+				tx.st = nil
 				err, retry = nil, true
 			case retrySignal:
 				// Drop everything, then sleep until shared state moves.
@@ -338,11 +424,14 @@ func (e *Engine) once(fn func(*Tx) error, attempt, proc int) (err error, retry b
 					tx.st.conflictCleanup()
 				}
 				ar.finish(AttemptWaited)
+				e.impl.done(tx.st)
+				tx.st = nil
 				e.notif.waitChange(seq0)
 				err, retry = nil, true
 			default:
 				tx.st.abortCleanup()
 				ar.finish(AttemptAborted)
+				tx.st = nil
 				panic(r)
 			}
 		}
@@ -351,14 +440,21 @@ func (e *Engine) once(fn func(*Tx) error, attempt, proc int) (err error, retry b
 	if ferr := fn(tx); ferr != nil {
 		tx.st.abortCleanup()
 		ar.finish(AttemptAborted)
+		e.impl.done(tx.st)
+		tx.st = nil
 		return ferr, false
 	}
 	if !tx.st.commit() {
 		ar.finish(AttemptConflicted)
+		e.impl.done(tx.st)
+		tx.st = nil
 		return nil, true
 	}
 	ar.finish(AttemptCommitted)
-	if tx.st.wrote() {
+	wrote := tx.st.wrote()
+	e.impl.done(tx.st)
+	tx.st = nil
+	if wrote {
 		e.notif.bump()
 	}
 	return nil, false

@@ -2,7 +2,7 @@ package stm
 
 import (
 	"runtime"
-	"sort"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 )
@@ -10,7 +10,7 @@ import (
 func init() {
 	registerEngine(EngineTL2, "tl2",
 		"speculative TL2: versioned locks, one global version clock (consistent, non-blocking, not DAP)",
-		func() engine { return &tl2Engine{clock: &globalClock{}} })
+		func() engine { return &tl2Engine{clock: &globalClock{}, spill: spillThreshold()} })
 }
 
 // tl2Engine is speculative TL2 (Dice/Shalev/Shavit): reads are validated
@@ -27,6 +27,10 @@ type tl2Engine struct {
 	// whose single clock makes stale snapshots rare; on for the striped
 	// clock, whose reused timestamps make them common.
 	extend bool
+	// spill is the small-set threshold captured at construction.
+	spill int
+	// pool recycles tl2Tx attempt state (see engine.done).
+	pool sync.Pool
 	// lockFails counts commit-time versioned-lock acquisitions that
 	// exhausted their spin budget (see Stats.LockFails).
 	lockFails atomic.Uint64
@@ -35,13 +39,12 @@ type tl2Engine struct {
 func (e *tl2Engine) lockFailCount() uint64 { return e.lockFails.Load() }
 
 // tl2Tx is one TL2 transaction attempt: a read snapshot, a validated
-// read set, and a buffered write set in first-write order.
+// read set, and a buffered small-set write set in first-write order.
 type tl2Tx struct {
-	eng    *tl2Engine
-	rv     uint64
-	reads  []readEntry
-	writes map[*tvar]any
-	worder []*tvar
+	eng   *tl2Engine
+	rv    uint64
+	reads []readEntry
+	ws    writeSet
 }
 
 type readEntry struct {
@@ -50,13 +53,33 @@ type readEntry struct {
 }
 
 func (e *tl2Engine) begin(attempt int) txState {
-	return &tl2Tx{eng: e, rv: e.clock.snapshot(), writes: make(map[*tvar]any)}
+	tx, _ := e.pool.Get().(*tl2Tx)
+	if tx == nil {
+		tx = &tl2Tx{eng: e}
+		tx.ws.init(e.spill)
+	}
+	tx.rv = e.clock.snapshot()
+	return tx
+}
+
+func (e *tl2Engine) done(st txState) {
+	st.reset()
+	e.pool.Put(st)
+}
+
+// reset truncates the read and write sets for reuse, keeping their
+// backing storage.
+func (tx *tl2Tx) reset() {
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	tx.ws.reset()
+	tx.rv = 0
 }
 
 // load implements TL2's versioned read: a lock-stable value whose version
 // does not postdate the transaction's read snapshot.
 func (tx *tl2Tx) load(tv *tvar) any {
-	if v, ok := tx.writes[tv]; ok {
+	if v, ok := tx.ws.get(tv); ok {
 		return v
 	}
 	for {
@@ -65,7 +88,7 @@ func (tx *tl2Tx) load(tv *tvar) any {
 			runtime.Gosched()
 			continue
 		}
-		v := tv.val.Load()
+		v := tv.read()
 		l2 := tv.lock.Load()
 		if l1 != l2 {
 			continue
@@ -77,7 +100,7 @@ func (tx *tl2Tx) load(tv *tvar) any {
 			continue // rv advanced past the version; re-read
 		}
 		tx.reads = append(tx.reads, readEntry{tv, version(l1)})
-		return *v
+		return v
 	}
 }
 
@@ -98,30 +121,23 @@ func (tx *tl2Tx) extendSnapshot() bool {
 }
 
 func (tx *tl2Tx) store(tv *tvar, v any) {
-	if _, ok := tx.writes[tv]; !ok {
-		tx.worder = append(tx.worder, tv)
-	}
-	tx.writes[tv] = v
+	tx.ws.put(tv, v)
 }
 
-// commit implements TL2's commit: lock the write set in id order, take a
-// commit timestamp, validate the read set, publish, release.
+// commit implements TL2's commit: sort the write set in id order in
+// place, lock it, take a commit timestamp, validate the read set,
+// publish, release. The locked prefix is tracked by index into the
+// sorted entries — no second slice, no sort closure.
 func (tx *tl2Tx) commit() bool {
-	if len(tx.worder) == 0 {
+	if tx.ws.len() == 0 {
 		// Read-only transactions validated every read against rv; done.
 		return true
 	}
-	ws := make([]*tvar, len(tx.worder))
-	copy(ws, tx.worder)
-	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
-
-	locked := ws[:0:0]
-	releaseAll := func() {
-		for _, tv := range locked {
-			tv.lock.Store(tv.lock.Load() &^ lockedBit)
-		}
-	}
-	for _, tv := range ws {
+	tx.ws.sortByID()
+	es := tx.ws.entries
+	nlocked := 0
+	for i := range es {
+		tv := es[i].tv
 		acquired := false
 		for spin := 0; spin < 64; spin++ {
 			l := tv.lock.Load()
@@ -136,38 +152,44 @@ func (tx *tl2Tx) commit() bool {
 		}
 		if !acquired {
 			tx.eng.lockFails.Add(1)
-			releaseAll()
+			releaseLocked(es[:nlocked])
 			return false
 		}
-		locked = append(locked, tv)
+		nlocked++
 	}
 
 	wv := tx.eng.clock.tick(tx.rv, tx.shardHint())
 
-	inWrites := func(tv *tvar) bool { _, ok := tx.writes[tv]; return ok }
 	for _, r := range tx.reads {
 		l := r.tv.lock.Load()
-		if version(l) != r.ver || (isLocked(l) && !inWrites(r.tv)) {
-			releaseAll()
+		if version(l) != r.ver || (isLocked(l) && !tx.ws.containsSorted(r.tv)) {
+			releaseLocked(es)
 			return false
 		}
 	}
 
-	for _, tv := range ws {
-		v := tx.writes[tv]
-		nv := v
-		tv.val.Store(&nv)
-		tv.lock.Store(wv) // publish new version and release
+	for i := range es {
+		es[i].tv.publish(es[i].v)
+		es[i].tv.lock.Store(wv) // publish new version and release
 	}
 	return true
 }
 
+// releaseLocked unlocks the given prefix of the write set without
+// advancing versions.
+func releaseLocked(es []writeEntry) {
+	for i := range es {
+		tv := es[i].tv
+		tv.lock.Store(tv.lock.Load() &^ lockedBit)
+	}
+}
+
 // shardHint spreads concurrent committers over clock shards. The
 // attempt's own address is as good a hash as any: distinct live attempts
-// have distinct addresses, and an allocator slot tends to be reused by
-// the same goroutine, so the shard choice is stable under steady load.
+// have distinct addresses, and the pool tends to hand a goroutine the
+// state it last used, so the shard choice is stable under steady load.
 func (tx *tl2Tx) shardHint() uint64 {
-	return uint64(uintptr(unsafe.Pointer(tx)) >> 6)
+	return poolHint(unsafe.Pointer(tx))
 }
 
 // abortCleanup: writes were buffered; nothing to roll back.
@@ -176,31 +198,25 @@ func (tx *tl2Tx) abortCleanup() {}
 // conflictCleanup: nothing held between operations.
 func (tx *tl2Tx) conflictCleanup() {}
 
-func (tx *tl2Tx) wrote() bool { return len(tx.worder) > 0 }
+func (tx *tl2Tx) wrote() bool { return tx.ws.len() > 0 }
 
-// tl2Mark snapshots the buffered write set for OrElse.
+// tl2Mark snapshots the buffered write set for OrElse: the entry count
+// plus a copy of the prefix, because an alternative may overwrite a
+// pre-mark entry in place. The copy holds values, not pooled storage, so
+// the mark survives however the state is reused.
 type tl2Mark struct {
-	worderLen int
-	writes    map[*tvar]any
+	n     int
+	saved []writeEntry
 }
 
 func (tx *tl2Tx) mark() txMark {
-	m := tl2Mark{worderLen: len(tx.worder), writes: make(map[*tvar]any, len(tx.writes))}
-	for tv, v := range tx.writes {
-		m.writes[tv] = v
-	}
-	return m
+	n := tx.ws.len()
+	saved := make([]writeEntry, n)
+	copy(saved, tx.ws.entries)
+	return tl2Mark{n: n, saved: saved}
 }
 
 func (tx *tl2Tx) rollbackTo(mk txMark) {
 	m := mk.(tl2Mark)
-	tx.worder = tx.worder[:m.worderLen]
-	for tv := range tx.writes {
-		if _, kept := m.writes[tv]; !kept {
-			delete(tx.writes, tv)
-		}
-	}
-	for tv, v := range m.writes {
-		tx.writes[tv] = v
-	}
+	tx.ws.truncate(m.n, m.saved)
 }

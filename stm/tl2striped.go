@@ -3,7 +3,9 @@ package stm
 func init() {
 	registerEngine(EngineTL2Striped, "tl2s",
 		"TL2 with a cache-line-padded striped version clock and lazy snapshot extension (DAP-friendly on disjoint workloads)",
-		func() engine { return &tl2Engine{clock: newStripedClock(), extend: true} })
+		func() engine {
+			return &tl2Engine{clock: newStripedClock(), extend: true, spill: spillThreshold()}
+		})
 }
 
 // EngineTL2Striped is the tl2Engine of tl2.go running on the

@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func init() {
 	registerEngine(EngineTwoPL, "twopl",
@@ -20,27 +23,45 @@ func init() {
 // transaction.
 type twoPLEngine struct {
 	orecs     *orecTable
+	spill     int
+	pool      sync.Pool
 	lockFails atomic.Uint64
 }
 
 func newTwoPLEngine() *twoPLEngine {
-	return &twoPLEngine{orecs: newOrecTable(OrecShards)}
+	return &twoPLEngine{orecs: newOrecTable(OrecShards), spill: spillThreshold()}
 }
 
 func (e *twoPLEngine) lockFailCount() uint64 { return e.lockFails.Load() }
 
-// twoPLTx is one 2PL attempt: the held ownership records in acquisition
-// order and the undo log of in-place writes.
+// twoPLTx is one 2PL attempt: the held ownership records (small-set
+// lockSet, acquisition order) and the undo log of in-place writes.
 type twoPLTx struct {
 	eng    *twoPLEngine
-	locked map[*orec]bool
-	lorder []*orec
+	locked lockSet
 	undo   undoLog
 }
 
 func (e *twoPLEngine) begin(attempt int) txState {
 	backoff(attempt)
-	return &twoPLTx{eng: e, locked: make(map[*orec]bool)}
+	tx, _ := e.pool.Get().(*twoPLTx)
+	if tx == nil {
+		tx = &twoPLTx{eng: e}
+		tx.locked.init(e.spill)
+	}
+	return tx
+}
+
+func (e *twoPLEngine) done(st txState) {
+	st.reset()
+	e.pool.Put(st)
+}
+
+// reset truncates the lock set and undo log for reuse. The locks
+// themselves were released on every terminal path before done runs.
+func (tx *twoPLTx) reset() {
+	tx.locked.reset()
+	tx.undo.reset()
 }
 
 // acquire try-locks the variable's ownership record at first access;
@@ -48,27 +69,25 @@ func (e *twoPLEngine) begin(attempt int) txState {
 // same record share one acquisition.
 func (tx *twoPLTx) acquire(tv *tvar) {
 	o := tx.eng.orecs.of(tv)
-	if tx.locked[o] {
+	if tx.locked.contains(o) {
 		return
 	}
 	if !o.mu.TryLock() {
 		tx.eng.lockFails.Add(1)
 		panic(conflict{})
 	}
-	tx.locked[o] = true
-	tx.lorder = append(tx.lorder, o)
+	tx.locked.add(o)
 }
 
 func (tx *twoPLTx) load(tv *tvar) any {
 	tx.acquire(tv)
-	return *tv.val.Load()
+	return tv.read()
 }
 
 func (tx *twoPLTx) store(tv *tvar, v any) {
 	tx.acquire(tv)
 	tx.undo.push(tv)
-	nv := v
-	tv.val.Store(&nv)
+	tv.publish(v)
 }
 
 // commit releases the locks; the in-place writes are already visible.
@@ -89,13 +108,11 @@ func (tx *twoPLTx) conflictCleanup() {
 }
 
 func (tx *twoPLTx) releaseLocks() {
-	for i := len(tx.lorder) - 1; i >= 0; i-- {
-		tx.lorder[i].mu.Unlock()
+	held := tx.locked.held
+	for i := len(held) - 1; i >= 0; i-- {
+		held[i].mu.Unlock()
 	}
-	tx.lorder = tx.lorder[:0]
-	for o := range tx.locked {
-		delete(tx.locked, o)
-	}
+	tx.locked.reset()
 }
 
 func (tx *twoPLTx) wrote() bool { return len(tx.undo) > 0 }

@@ -1,0 +1,173 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+)
+
+func wsVars(n int) []*tvar {
+	out := make([]*tvar, n)
+	for i := range out {
+		out[i] = newTVar(0, false)
+	}
+	return out
+}
+
+// TestWriteSetSmallAndSpill drives the write set across the spill
+// boundary: lookups and overwrites must behave identically on the
+// linear-scan path and the map-indexed path.
+func TestWriteSetSmallAndSpill(t *testing.T) {
+	const spill = 4
+	tvs := wsVars(spill * 3)
+	var ws writeSet
+	ws.init(spill)
+	for i, tv := range tvs {
+		ws.put(tv, i)
+		if i+1 <= spill && ws.idx != nil {
+			t.Fatalf("map index built at %d entries, spill is %d", i+1, spill)
+		}
+	}
+	if ws.idx == nil {
+		t.Fatalf("map index never built past the spill threshold")
+	}
+	if ws.len() != len(tvs) {
+		t.Fatalf("len = %d, want %d", ws.len(), len(tvs))
+	}
+	for i, tv := range tvs {
+		if v, ok := ws.get(tv); !ok || v.(int) != i {
+			t.Fatalf("get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	// Overwrites keep the entry count and position.
+	ws.put(tvs[1], 100)
+	if v, _ := ws.get(tvs[1]); v.(int) != 100 || ws.len() != len(tvs) {
+		t.Fatalf("overwrite: got %v, len %d", v, ws.len())
+	}
+	if _, ok := ws.get(newTVar(0, false)); ok {
+		t.Fatal("get of absent variable succeeded")
+	}
+}
+
+// TestWriteSetSortAndMembership: sortByID orders entries by id whatever
+// the insertion order, and containsSorted agrees with membership both
+// below and above the spill threshold.
+func TestWriteSetSortAndMembership(t *testing.T) {
+	for _, n := range []int{3, 20} { // below and above the default spill
+		tvs := wsVars(n)
+		var ws writeSet
+		ws.init(0)
+		for i := len(tvs) - 1; i >= 0; i-- { // reverse insertion
+			ws.put(tvs[i], i)
+		}
+		ws.sortByID()
+		for i := 1; i < len(ws.entries); i++ {
+			if ws.entries[i-1].tv.id >= ws.entries[i].tv.id {
+				t.Fatalf("n=%d: entries not sorted by id at %d", n, i)
+			}
+		}
+		for i, tv := range tvs {
+			if !ws.containsSorted(tv) {
+				t.Fatalf("n=%d: containsSorted missed member %d", n, i)
+			}
+			if v, ok := ws.get(tv); !ok || v.(int) != i {
+				t.Fatalf("n=%d: get(%d) after sort = %v, %v", n, i, v, ok)
+			}
+		}
+		if ws.containsSorted(newTVar(0, false)) {
+			t.Fatalf("n=%d: containsSorted accepted non-member", n)
+		}
+	}
+}
+
+// TestWriteSetTruncateRestoresOverwrites: the mark/rollback bracket must
+// restore a pre-mark entry's value that the truncated suffix overwrote.
+func TestWriteSetTruncateRestoresOverwrites(t *testing.T) {
+	tvs := wsVars(12) // spills at the default 8
+	var ws writeSet
+	ws.init(0)
+	for i, tv := range tvs {
+		ws.put(tv, i)
+	}
+	// Snapshot, then overwrite an early entry and add nothing new.
+	n := ws.len()
+	saved := make([]writeEntry, n)
+	copy(saved, ws.entries)
+	ws.put(tvs[2], 222)
+	ws.put(newTVar(0, false), 999)
+	ws.truncate(n, saved)
+	if ws.len() != n {
+		t.Fatalf("len after truncate = %d, want %d", ws.len(), n)
+	}
+	if v, _ := ws.get(tvs[2]); v.(int) != 2 {
+		t.Fatalf("overwritten pre-mark value not restored: %v", v)
+	}
+	ws.reset()
+	if ws.len() != 0 {
+		t.Fatalf("reset left %d entries", ws.len())
+	}
+	if _, ok := ws.get(tvs[0]); ok {
+		t.Fatal("reset left a live index entry")
+	}
+}
+
+// TestLockSetSmallAndSpill mirrors the write-set test for the 2PL lock
+// set.
+func TestLockSetSmallAndSpill(t *testing.T) {
+	const spill = 4
+	recs := make([]*orec, spill*3)
+	tab := newOrecTable(len(recs) * 8)
+	for i := range recs {
+		recs[i] = &tab.recs[i]
+	}
+	var ls lockSet
+	ls.init(spill)
+	for i, o := range recs {
+		if ls.contains(o) {
+			t.Fatalf("contains(%d) before add", i)
+		}
+		ls.add(o)
+		if !ls.contains(o) {
+			t.Fatalf("contains(%d) false after add", i)
+		}
+	}
+	if ls.idx == nil {
+		t.Fatal("lock set never spilled to the map index")
+	}
+	if len(ls.held) != len(recs) {
+		t.Fatalf("held %d records, want %d", len(ls.held), len(recs))
+	}
+	ls.reset()
+	if len(ls.held) != 0 || ls.contains(recs[0]) {
+		t.Fatal("reset left held records")
+	}
+}
+
+// TestOrElsePreMarkOverwriteRestored is the engine-level version of the
+// truncate test: an abandoned alternative overwrites a value the
+// transaction wrote before the OrElse; falling back must see the
+// pre-OrElse value again, on every engine.
+func TestOrElsePreMarkOverwriteRestored(t *testing.T) {
+	for _, e := range engines(t) {
+		x := NewTVar[int](0)
+		if err := e.Atomically(func(tx *Tx) error {
+			Set(tx, x, 1) // pre-mark write
+			return OrElse(tx,
+				func(tx *Tx) error {
+					Set(tx, x, 2) // overwrites the pre-mark write
+					Retry(tx)     // abandon: the overwrite must be undone
+					return nil
+				},
+				func(tx *Tx) error {
+					if got := Get(tx, x); got != 1 {
+						return errors.New("pre-mark write not restored")
+					}
+					return nil
+				})
+		}); err != nil {
+			t.Errorf("%v: %v", e.Kind(), err)
+		}
+		if got := x.Peek(); got != 1 {
+			t.Errorf("%v: committed x = %d, want 1", e.Kind(), got)
+		}
+	}
+}
