@@ -241,6 +241,32 @@ func BenchmarkE1LongReadOnlyScans(b *testing.B) {
 	}
 }
 
+// BenchmarkE1ValueKinds sweeps engine × payload value kind (experiment
+// E6): int, string and struct payloads ride the raw-word value
+// representation and owe zero allocations per transaction; any is the
+// boxed fallback and pays one box per Set. The workload-allocs/op metric
+// (workload.Result's runtime-counted average) makes the gap visible next
+// to ns/op whatever the harness overhead.
+func BenchmarkE1ValueKinds(b *testing.B) {
+	for _, kind := range registry.Engines() {
+		for _, vk := range registry.ValueKinds() {
+			b.Run(fmt.Sprintf("%s/%s", kind, vk), func(b *testing.B) {
+				b.ReportAllocs()
+				const workers = 4
+				cfg := workload.Config{
+					Vars: 256, Workers: workers, OpsPerWorker: b.N/workers + 1,
+					Pattern: workload.Uniform, Values: vk, Seed: 1,
+				}
+				res := workload.Run(kind, cfg)
+				if res.Sum != cfg.ExpectedSum() {
+					b.Fatalf("sum invariant broken: %d != %d", res.Sum, cfg.ExpectedSum())
+				}
+				b.ReportMetric(res.AllocsPerOp, "workload-allocs/op")
+			})
+		}
+	}
+}
+
 // ---- E3: contention ramp — where the adaptive engine switches ----
 
 // benchRamp drives one engine with fixed-size transactions whose write

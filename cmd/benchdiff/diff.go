@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -10,11 +11,13 @@ import (
 // schema cmd/tmbench writes; fields this tool doesn't compare are
 // ignored on decode. The alloc cells are pointers so baselines written
 // before the schema carried them decode as absent rather than as a
-// spurious zero.
+// spurious zero; Values defaults to "int" on absence for the same
+// reason (pre-value-kind baselines measured the int payload).
 type Record struct {
 	Engine      string   `json:"engine"`
 	Pattern     string   `json:"pattern"`
 	Workers     int      `json:"workers"`
+	Values      string   `json:"values"`
 	Throughput  float64  `json:"tx_per_sec"`
 	Commits     uint64   `json:"commits"`
 	Retries     uint64   `json:"retries"`
@@ -22,9 +25,14 @@ type Record struct {
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 }
 
-// Key identifies a measurement cell across runs.
+// Key identifies a measurement cell across runs. The int value kind is
+// the unsuffixed spelling, so cells join across the schema change.
 func (r Record) Key() string {
-	return fmt.Sprintf("%s/%s/w%d", r.Engine, r.Pattern, r.Workers)
+	key := fmt.Sprintf("%s/%s/w%d", r.Engine, r.Pattern, r.Workers)
+	if r.Values != "" && r.Values != "int" {
+		key += "/" + r.Values
+	}
+	return key
 }
 
 // Delta compares one cell across the two files.
@@ -44,6 +52,11 @@ type Delta struct {
 	// AllocRegression marks allocs/op increases beyond the alloc
 	// threshold — the zero-alloc contract's trajectory gate.
 	AllocRegression bool
+	// Missing marks a cell present in the baseline but absent from the
+	// candidate — a silently dropped measurement (an engine that stopped
+	// registering, a renamed pattern) used to pass unnoticed; it is a
+	// regression on its own.
+	Missing bool
 }
 
 // allocEpsilon absorbs float jitter in the per-op averages so an
@@ -54,21 +67,25 @@ const allocEpsilon = 1e-6
 // Diff joins two record sets on their cell key and flags throughput
 // drops beyond threshold (a fraction: 0.1 = 10%) plus allocs/op
 // increases beyond allocThreshold (absolute allocs per op: 0 flags any
-// steady-state increase). Cells present in only one file are skipped —
-// a new engine or pattern is not a regression — and alloc cells are
-// only compared when both files carry them, so diffing against a
-// pre-alloc-schema baseline degrades to throughput-only.
+// steady-state increase). Cells only in the candidate are skipped — a
+// new engine or pattern is not a regression — but a baseline cell
+// missing from the candidate is flagged: a measurement that silently
+// vanishes is exactly the kind of rot -threshold exists to catch. Alloc
+// cells are only compared when both files carry them, so diffing against
+// a pre-alloc-schema baseline degrades to throughput-only.
 func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
 	oldBy := make(map[string]Record, len(old))
 	for _, r := range old {
 		oldBy[r.Key()] = r
 	}
+	seen := make(map[string]bool, len(new))
 	var deltas []Delta
 	for _, n := range new {
 		o, ok := oldBy[n.Key()]
 		if !ok || o.Throughput <= 0 {
 			continue
 		}
+		seen[n.Key()] = true
 		change := (n.Throughput - o.Throughput) / o.Throughput
 		d := Delta{
 			Key: n.Key(), Old: o.Throughput, New: n.Throughput,
@@ -81,8 +98,38 @@ func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
 		}
 		deltas = append(deltas, d)
 	}
+	for _, o := range old {
+		if o.Throughput <= 0 || seen[o.Key()] {
+			continue
+		}
+		deltas = append(deltas, Delta{
+			Key: o.Key(), Old: o.Throughput, Change: -1,
+			Missing: true, Regression: true,
+		})
+	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Change < deltas[j].Change })
 	return deltas
+}
+
+// Geomean returns the benchstat-style geometric mean of the matched
+// cells' throughput ratios (new/old) — one number for "did this run get
+// faster or slower overall", robust to cells living on wildly different
+// absolute scales. Missing cells are excluded (they have no ratio);
+// ok=false when nothing was matched.
+func Geomean(deltas []Delta) (ratio float64, ok bool) {
+	var logSum float64
+	n := 0
+	for _, d := range deltas {
+		if d.Missing || d.Old <= 0 || d.New <= 0 {
+			continue
+		}
+		logSum += math.Log(d.New / d.Old)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return math.Exp(logSum / float64(n)), true
 }
 
 // Regressions filters the deltas flagged on either axis.

@@ -107,6 +107,79 @@ func TestDiffAllocRegression(t *testing.T) {
 
 func f(v float64) *float64 { return &v }
 
+// TestDiffMissingCells: a live baseline cell absent from the candidate
+// is a regression in its own right (it used to pass silently), while a
+// zero-throughput baseline cell and candidate-only cells stay skipped.
+func TestDiffMissingCells(t *testing.T) {
+	old := []Record{
+		{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000},
+		{Engine: "twopl", Pattern: "disjoint", Workers: 4, Throughput: 80000},
+		{Engine: "dead", Pattern: "zipf", Workers: 2, Throughput: 0},
+	}
+	new := []Record{
+		{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000},
+		{Engine: "fresh", Pattern: "disjoint", Workers: 4, Throughput: 50000},
+	}
+	deltas := Diff(old, new, 0.10, 0)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d cells, want 2 (one matched, one missing): %+v", len(deltas), deltas)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Key != "twopl/disjoint/w4" || !regs[0].Missing {
+		t.Fatalf("regressions = %+v, want exactly the missing twopl cell", regs)
+	}
+	// Missing cells sort worst-first (change -1).
+	if !deltas[0].Missing {
+		t.Errorf("missing cell not sorted first: %+v", deltas)
+	}
+}
+
+// TestDiffValuesDimension: the value-kind field joins cells — the int
+// kind spells its key bare so pre-value-kind baselines still match, and
+// distinct kinds never cross-join.
+func TestDiffValuesDimension(t *testing.T) {
+	old := []Record{
+		{Engine: "tl2", Pattern: "uniform", Workers: 4, Throughput: 100000}, // pre-schema: no values
+		{Engine: "tl2", Pattern: "uniform", Workers: 4, Values: "any", Throughput: 50000},
+	}
+	new := []Record{
+		{Engine: "tl2", Pattern: "uniform", Workers: 4, Values: "int", Throughput: 99000},
+		{Engine: "tl2", Pattern: "uniform", Workers: 4, Values: "any", Throughput: 30000},
+	}
+	deltas := Diff(old, new, 0.10, 0)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d cells, want 2: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	if d, ok := byKey["tl2/uniform/w4"]; !ok || d.Regression {
+		t.Errorf("int cell should join the bare baseline key cleanly: %+v", byKey)
+	}
+	if d, ok := byKey["tl2/uniform/w4/any"]; !ok || !d.Regression {
+		t.Errorf("any cell's 40%% drop should flag: %+v", byKey)
+	}
+}
+
+// TestGeomean: the geometric mean of the matched ratios, with missing
+// cells excluded; no matches means no geomean.
+func TestGeomean(t *testing.T) {
+	deltas := []Delta{
+		{Old: 100, New: 200},      // ratio 2
+		{Old: 100, New: 50},       // ratio 0.5
+		{Old: 100, Missing: true}, // excluded
+		{Old: 0, New: 10},         // excluded (no baseline)
+	}
+	g, ok := Geomean(deltas)
+	if !ok || g < 0.999 || g > 1.001 {
+		t.Fatalf("geomean = %v, %v; want 1.0 (2 × 0.5)", g, ok)
+	}
+	if _, ok := Geomean([]Delta{{Old: 100, Missing: true}}); ok {
+		t.Fatal("geomean of only-missing deltas should not exist")
+	}
+}
+
 // TestParseRejectsGarbage: a malformed file is an error, not a silent
 // empty comparison.
 func TestParseRejectsGarbage(t *testing.T) {

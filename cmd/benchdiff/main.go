@@ -13,9 +13,14 @@
 //
 //	benchdiff [-threshold 0.10] [-alloc-threshold 0] [-all] OLD.json NEW.json
 //
-// Cells (engine × pattern × workers) are joined by key; any flagged cell
-// makes the exit status non-zero. Alloc cells are compared only when
-// both files carry them, so old baselines degrade to throughput-only.
+// Cells (engine × pattern × workers × value kind) are joined by key; any
+// flagged cell makes the exit status non-zero. A baseline cell missing
+// from the candidate is itself a failure — a measurement that silently
+// vanishes is rot, not a pass. Alloc cells are compared only when both
+// files carry them, so old baselines degrade to throughput-only, and a
+// missing "values" field reads as the int kind. The summary ends with a
+// benchstat-style geometric-mean line over the matched cells' throughput
+// ratios (CI surfaces it in the step summary).
 // -all prints every matched cell, not just the regressions.
 // Single-core runners are noisy — compare runs from the same class of
 // machine, and treat small throughput deltas as weather (the alloc
@@ -71,6 +76,11 @@ func main() {
 		if !*all && !d.Regression && !d.AllocRegression {
 			continue
 		}
+		if d.Missing {
+			fmt.Printf("%-24s %14.0f %14s %8s %11s %11s  MISSING-IN-CANDIDATE\n",
+				d.Key, d.Old, "-", "-", "-", "-")
+			continue
+		}
 		mark := ""
 		if d.Regression {
 			mark += "  REGRESSION"
@@ -86,6 +96,9 @@ func main() {
 	}
 	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%% throughput / %.2f allocs/op\n",
 		len(deltas), len(regs), *threshold*100, *allocThreshold)
+	if g, ok := Geomean(deltas); ok {
+		fmt.Printf("geomean throughput ratio (new/old): %.3f (%+.1f%%)\n", g, (g-1)*100)
+	}
 	if len(regs) > 0 {
 		os.Exit(1)
 	}

@@ -21,7 +21,13 @@
 //
 //	tmbench [-mode real|sim] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
 //	        [-engine tl2,tl2s,twopl,glock,adaptive] [-pattern disjoint,uniform,zipf,phase]
-//	        [-orec-shards N] [-json results.json] [-txns 6]
+//	        [-values int,string,struct,any] [-orec-shards N] [-json results.json] [-txns 6]
+//
+// -values selects the payload kind(s) each transaction carries (the
+// value-representation dimension: int/string/struct ride the engines'
+// raw-word path, any is the boxed fallback); the default sweeps only
+// int, so trajectory comparisons against pre-value-kind baselines stay
+// cell-compatible.
 //
 // The adaptive engine's rows carry an extra per-regime breakdown (which
 // delegate ran, how many switches) both in the table and in the JSON.
@@ -53,6 +59,8 @@ func main() {
 		"comma-separated engines to sweep (real mode)")
 	patternsFlag := flag.String("pattern", strings.Join(registry.PatternNames(), ","),
 		"contention patterns (real mode)")
+	valuesFlag := flag.String("values", "int",
+		"payload value kinds to sweep: int,string,struct,any (real mode)")
 	jsonPath := flag.String("json", "", "also write real-mode results as JSON to this file (\"-\" = stdout)")
 	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
@@ -64,7 +72,8 @@ func main() {
 	switch *mode {
 	case "real":
 		realMode(parseInts(*workersFlag), *ops, *vars,
-			parseEngines(*enginesFlag), parsePatterns(*patternsFlag), *seed, *jsonPath)
+			parseEngines(*enginesFlag), parsePatterns(*patternsFlag),
+			parseValueKinds(*valuesFlag), *seed, *jsonPath)
 	case "sim":
 		if *jsonPath != "" {
 			fmt.Fprintln(os.Stderr, "tmbench: -json only applies to -mode real")
@@ -116,12 +125,29 @@ func parsePatterns(s string) []workload.Pattern {
 	return out
 }
 
+func parseValueKinds(s string) []workload.ValueKind {
+	var out []workload.ValueKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := registry.ValueKindByName(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 // benchRecord is one real-mode measurement in the machine-readable
 // output (the BENCH_*.json schema).
 type benchRecord struct {
-	Engine     string  `json:"engine"`
-	Pattern    string  `json:"pattern"`
-	Workers    int     `json:"workers"`
+	Engine  string `json:"engine"`
+	Pattern string `json:"pattern"`
+	Workers int    `json:"workers"`
+	// Values is the payload kind dimension ("int", "string", "struct",
+	// "any"); cmd/benchdiff treats an absent field as "int", so baselines
+	// written before the schema carried it stay cell-compatible.
+	Values     string  `json:"values,omitempty"`
 	OpsPerWkr  int     `json:"ops_per_worker"`
 	Vars       int     `json:"vars"`
 	Seed       int64   `json:"seed"`
@@ -143,38 +169,41 @@ type benchRecord struct {
 }
 
 func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
-	patterns []workload.Pattern, seed int64, jsonPath string) {
+	patterns []workload.Pattern, valueKinds []workload.ValueKind,
+	seed int64, jsonPath string) {
 	var records []benchRecord
 	fmt.Println("E1 — production engines under real parallelism")
-	fmt.Printf("%-8s %-9s %-8s %12s %10s %10s %10s %10s %10s\n",
-		"engine", "pattern", "workers", "tx/s", "commits", "aborts", "retries", "allocs/op", "B/op")
+	fmt.Printf("%-8s %-9s %-7s %-8s %12s %10s %10s %10s %10s %10s\n",
+		"engine", "pattern", "values", "workers", "tx/s", "commits", "aborts", "retries", "allocs/op", "B/op")
 	for _, pat := range patterns {
-		for _, w := range workers {
-			for _, kind := range engines {
-				cfg := workload.Config{
-					Vars: vars, Workers: w, OpsPerWorker: ops,
-					Pattern: pat, Seed: seed,
+		for _, vk := range valueKinds {
+			for _, w := range workers {
+				for _, kind := range engines {
+					cfg := workload.Config{
+						Vars: vars, Workers: w, OpsPerWorker: ops,
+						Pattern: pat, Values: vk, Seed: seed,
+					}
+					res := workload.Run(kind, cfg)
+					if res.Sum != cfg.ExpectedSum() {
+						fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d\n",
+							kind, pat, res.Sum, cfg.ExpectedSum())
+						os.Exit(1)
+					}
+					fmt.Printf("%-8s %-9s %-7s %-8d %12.0f %10d %10d %10d %10.2f %10.1f\n",
+						kind, pat, vk, w, res.Throughput, res.Commits, res.Aborts, res.Retries,
+						res.AllocsPerOp, res.BytesPerOp)
+					if res.Adaptive != nil {
+						printRegimes(res.Adaptive)
+					}
+					records = append(records, benchRecord{
+						Engine: kind.String(), Pattern: pat.String(), Values: vk.String(),
+						Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
+						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
+						Adaptive: res.Adaptive,
+					})
 				}
-				res := workload.Run(kind, cfg)
-				if res.Sum != cfg.ExpectedSum() {
-					fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d\n",
-						kind, pat, res.Sum, cfg.ExpectedSum())
-					os.Exit(1)
-				}
-				fmt.Printf("%-8s %-9s %-8d %12.0f %10d %10d %10d %10.2f %10.1f\n",
-					kind, pat, w, res.Throughput, res.Commits, res.Aborts, res.Retries,
-					res.AllocsPerOp, res.BytesPerOp)
-				if res.Adaptive != nil {
-					printRegimes(res.Adaptive)
-				}
-				records = append(records, benchRecord{
-					Engine: kind.String(), Pattern: pat.String(),
-					Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
-					ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
-					Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
-					AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
-					Adaptive: res.Adaptive,
-				})
 			}
 		}
 		fmt.Println()

@@ -35,6 +35,11 @@ type Episode struct {
 	Workers, TxnsPerWorker, OpsPerTxn, Vars int
 	// WriteFrac is the chance an op is a write, in percent (default 40).
 	WriteFrac int
+	// Boxed runs the episode over TVar[any] variables instead of
+	// TVar[int64]: the same int64 payloads, but flowing through the
+	// engines' boxed fallback instead of the raw-word path. The stress
+	// sweep alternates so both value pipelines face the checkers.
+	Boxed bool
 	// Seed makes the op plans deterministic (default 1, like every other
 	// driver in the repo). Scheduling still interleaves attempts freely —
 	// the seed fixes what each transaction does, not when.
@@ -97,6 +102,48 @@ func (ep Episode) plan() [][][]planOp {
 	return plans
 }
 
+// episodeVars is the variable set of one episode, abstracted over the
+// engines' two value pipelines: the raw-word path (TVar[int64]) and the
+// boxed fallback (TVar[any] carrying int64). Both record int64 payloads,
+// so the stamped histories are identical in shape and the checkers judge
+// the pipelines on equal terms.
+type episodeVars interface {
+	item(i int) (uint64, core.Item)
+	get(tx *stm.Tx, i int)
+	set(tx *stm.Tx, i int, v int64)
+}
+
+type wordVars []*stm.TVar[int64]
+
+func (vs wordVars) item(i int) (uint64, core.Item) {
+	return vs[i].ID(), core.Item(fmt.Sprintf("x%d", i))
+}
+func (vs wordVars) get(tx *stm.Tx, i int)          { stm.Get(tx, vs[i]) }
+func (vs wordVars) set(tx *stm.Tx, i int, v int64) { stm.Set(tx, vs[i], v) }
+
+type boxedVars []*stm.TVar[any]
+
+func (vs boxedVars) item(i int) (uint64, core.Item) {
+	return vs[i].ID(), core.Item(fmt.Sprintf("x%d", i))
+}
+func (vs boxedVars) get(tx *stm.Tx, i int)          { stm.Get(tx, vs[i]) }
+func (vs boxedVars) set(tx *stm.Tx, i int, v int64) { stm.Set(tx, vs[i], any(v)) }
+
+func (ep Episode) makeVars() episodeVars {
+	if ep.Boxed {
+		vs := make(boxedVars, ep.Vars)
+		for i := range vs {
+			vs[i] = stm.NewTVar[any](int64(0))
+		}
+		return vs
+	}
+	vs := make(wordVars, ep.Vars)
+	for i := range vs {
+		vs[i] = stm.NewTVar[int64](0)
+	}
+	return vs
+}
+
 // RunEpisode drives a fresh engine from the factory with the episode's
 // concurrent workload under a recorder and returns the stamped execution.
 func RunEpisode(factory EngineFactory, ep Episode) (*core.Execution, error) {
@@ -104,11 +151,11 @@ func RunEpisode(factory EngineFactory, ep Episode) (*core.Execution, error) {
 	rec := stm.NewRecorder()
 	eng := factory(stm.WithRecorder(rec))
 
-	vars := make([]*stm.TVar[int64], ep.Vars)
+	vars := ep.makeVars()
 	items := make(map[uint64]core.Item, ep.Vars)
-	for i := range vars {
-		vars[i] = stm.NewTVar[int64](0)
-		items[vars[i].ID()] = core.Item(fmt.Sprintf("x%d", i))
+	for i := 0; i < ep.Vars; i++ {
+		id, item := vars.item(i)
+		items[id] = item
 	}
 
 	plans := ep.plan()
@@ -126,9 +173,9 @@ func RunEpisode(factory EngineFactory, ep Episode) (*core.Execution, error) {
 				_ = eng.AtomicallyAs(worker, func(tx *stm.Tx) error {
 					for _, op := range ops {
 						if op.write {
-							stm.Set(tx, vars[op.varIdx], valueCtr.Add(1))
+							vars.set(tx, op.varIdx, valueCtr.Add(1))
 						} else {
-							stm.Get(tx, vars[op.varIdx])
+							vars.get(tx, op.varIdx)
 						}
 					}
 					return nil
@@ -162,11 +209,11 @@ func RequiredConditions(engine string) []string {
 	switch engine {
 	case "tl2", "tl2s", "adaptive", "glock":
 		return all
-	case "broken", "leaky":
+	case "broken", "leaky", "corrupt":
 		// The test fixtures impersonate glock, so they owe everything —
 		// that the harness flags them is the harness's own self-test
 		// (stale read cache for "broken", pooled undo-log leak for
-		// "leaky").
+		// "leaky", raw-word truncation for "corrupt").
 		return all
 	case "twopl":
 		var out []string

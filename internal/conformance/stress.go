@@ -96,6 +96,8 @@ func (s *StressSummary) add(rep *Report) {
 // the sweep seed and the cell coordinates. Shapes stay small on purpose:
 // the checkers are exhaustive, and commits plus conflict-aborted attempts
 // must fit under maxCheckedTxns for the episode to count as checked.
+// Odd episodes run boxed (TVar[any]), even ones on the raw-word path, so
+// every sweep checks both value pipelines of every engine.
 func episodeShape(seed int64, engine string, pat workload.Pattern, i int) Episode {
 	h := int64(0)
 	for _, c := range engine {
@@ -109,6 +111,7 @@ func episodeShape(seed int64, engine string, pat workload.Pattern, i int) Episod
 		OpsPerTxn:     2 + r.Intn(3),     // 2..4
 		Vars:          4 + r.Intn(7),     // 4..10
 		WriteFrac:     30 + 10*r.Intn(4), // 30..60
+		Boxed:         i%2 == 1,
 		Seed:          seed + int64(i)*31 + h%1000 + 1,
 	}
 }

@@ -1,0 +1,109 @@
+package conformance
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// Conformance of the raw-word value plane (stm/value.go): the word path
+// and the boxed fallback must produce identical, checker-clean histories
+// — and a planted word corruption must be convicted, proving the harness
+// would catch a real encode/decode/publish bug the same way.
+
+// TestBoxedFallbackHistoriesClean runs the same episode shapes over
+// TVar[any] (boxed fallback) on every engine and requires the same
+// verdicts as the word path: the two value pipelines are semantically
+// indistinguishable to the checkers.
+func TestBoxedFallbackHistoriesClean(t *testing.T) {
+	seeds := []int64{1, 2}
+	if !testing.Short() {
+		seeds = append(seeds, 3, 4)
+	}
+	checked := 0
+	for _, kind := range stm.EngineKinds() {
+		for _, seed := range seeds {
+			for _, boxed := range []bool{false, true} {
+				ep := Episode{
+					Pattern: workload.Zipf,
+					Workers: 2, TxnsPerWorker: 2, OpsPerTxn: 3,
+					Vars: 3, WriteFrac: 50, Boxed: boxed, Seed: seed,
+				}
+				rep, err := Check(Factory(kind), kind.String(), ep)
+				if err != nil {
+					t.Fatalf("%s seed=%d boxed=%v: %v", kind, seed, boxed, err)
+				}
+				if fails := rep.Failures(); len(fails) > 0 {
+					t.Errorf("%s seed=%d boxed=%v violated %v\n%s",
+						kind, seed, boxed, fails, rep.DumpHistory())
+				}
+				if !rep.Skipped {
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("every episode was oversized; nothing was checked")
+	}
+}
+
+// TestWordCorruptingEngineConvicted is the word plane's self-test, in
+// the mold of TestLeakyPoolEngineConvicted: an engine whose publish
+// truncates one-word values to 32 bits
+// (stm.NewWordCorruptingEngineForTest) commits a value that needs the
+// high bits; the next read observes the truncation — a value no
+// transaction ever wrote, which no serialization can justify — and the
+// checkers must convict. This is the proof that a real bug in the
+// raw-word encode/decode/publish pipeline would not slip past the
+// harness as long as it changes any observed value.
+func TestWordCorruptingEngineConvicted(t *testing.T) {
+	rec := stm.NewRecorder()
+	eng := stm.NewWordCorruptingEngineForTest(stm.WithRecorder(rec))
+	x := stm.NewTVar[int64](0)
+	items := map[uint64]core.Item{x.ID(): "x"}
+
+	// T1 commits a value with live high bits; the planted bug publishes
+	// only the low 32.
+	const wide = int64(1)<<40 | 5
+	if err := eng.AtomicallyAs(0, func(tx *stm.Tx) error {
+		stm.Set(tx, x, wide)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// T2 observes the truncated value.
+	if err := eng.AtomicallyAs(0, func(tx *stm.Tx) error {
+		stm.Get(tx, x)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Peek(); got != 5 {
+		t.Fatalf("fixture failed to corrupt: x = %d, want the truncated 5", got)
+	}
+
+	exec, err := Stamp(rec.Take(), func(id uint64) (core.Item, bool) {
+		s, ok := items[id]
+		return s, ok
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate("corrupt", Episode{Seed: 1}, exec)
+	if rep.WellFormed != nil {
+		t.Fatalf("stamped history not well-formed: %v", rep.WellFormed)
+	}
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatalf("harness did not convict the word-corrupting engine:\n%s", rep.DumpHistory())
+	}
+	for _, must := range []string{"opacity", "strict-serializability"} {
+		if res, ok := rep.Results[must]; !ok || res.Satisfied {
+			t.Errorf("%s should be violated by the truncated value\n%s", must, rep.DumpHistory())
+		}
+	}
+	t.Logf("word-corrupting engine convicted of %v", fails)
+}

@@ -79,3 +79,27 @@ func PatternByName(name string) (workload.Pattern, error) {
 	return 0, fmt.Errorf("registry: unknown pattern %q (known: %s)",
 		name, strings.Join(PatternNames(), ", "))
 }
+
+// ValueKinds lists the workload payload kinds (the value-representation
+// dimension of the E1/E6 experiments).
+func ValueKinds() []workload.ValueKind { return workload.ValueKinds() }
+
+// ValueKindNames lists the payload kind names in presentation order.
+func ValueKindNames() []string {
+	kinds := ValueKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// ValueKindByName resolves a payload kind name; the error names the
+// known kinds.
+func ValueKindByName(name string) (workload.ValueKind, error) {
+	if k, ok := workload.ValueKindByName(name); ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("registry: unknown value kind %q (known: %s)",
+		name, strings.Join(ValueKindNames(), ", "))
+}

@@ -62,6 +62,48 @@ func PatternByName(s string) (Pattern, bool) {
 	return 0, false
 }
 
+// ValueKind selects the payload type the workload's transactions carry —
+// the value-kind dimension of the E1/E6 experiments. Every transaction
+// performs one Get+Set of a payload variable of this kind on top of its
+// int64 counter ops, so the cells isolate what the engines' value
+// representation charges per kind: int, string and struct ride the
+// raw-word path (zero allocations), any is the boxed fallback (one box
+// per Set).
+type ValueKind int
+
+const (
+	// VKInt: int64 payloads — one data word.
+	VKInt ValueKind = iota
+	// VKString: string payloads from a fixed table — data pointer + length.
+	VKString
+	// VKStruct: a two-word pointer-free struct — both data words.
+	VKStruct
+	// VKAny: interface payloads — the boxed fallback, one allocation per Set.
+	VKAny
+)
+
+var valueKindNames = [...]string{"int", "string", "struct", "any"}
+
+func (k ValueKind) String() string {
+	if k < 0 || int(k) >= len(valueKindNames) {
+		return fmt.Sprintf("values(%d)", int(k))
+	}
+	return valueKindNames[k]
+}
+
+// ValueKinds lists all payload kinds.
+func ValueKinds() []ValueKind { return []ValueKind{VKInt, VKString, VKStruct, VKAny} }
+
+// ValueKindByName resolves a payload kind name.
+func ValueKindByName(s string) (ValueKind, bool) {
+	for _, k := range ValueKinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Config describes a real-engine load run.
 type Config struct {
 	// Vars is the number of transactional variables.
@@ -76,6 +118,9 @@ type Config struct {
 	Workers int
 	// OpsPerWorker is the number of transactions per goroutine.
 	OpsPerWorker int
+	// Values selects the payload kind each transaction carries (default
+	// VKInt; see ValueKind).
+	Values ValueKind
 	// Seed makes variable choices reproducible. Every driver in this
 	// repo (tmbench -seed, the benchmarks, the conformance stress
 	// driver) defaults it to 1, so two runs of the same command replay
@@ -178,6 +223,76 @@ func Picker(p Pattern, r *rand.Rand, zipfS float64, vars, workers, opsPerWorker,
 	}
 }
 
+// payloadPair is the VKStruct payload: two words, pointer-free, so it
+// rides the raw-word path.
+type payloadPair struct{ A, B uint64 }
+
+// payloadStrings is the VKString table; preallocated so the workload
+// itself stores strings without constructing them (what the STM charges
+// per string Set is the measurand, not fmt).
+var payloadStrings = func() [16]string {
+	var out [16]string
+	for i := range out {
+		out[i] = fmt.Sprintf("payload-string-%02d", i)
+	}
+	return out
+}()
+
+// payloadAnys is the VKAny table, boxed once up front; each Set still
+// re-boxes through the engines' fallback, which is the point.
+var payloadAnys = func() [16]any {
+	var out [16]any
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}()
+
+// makePayload builds the per-run payload accessor: apply(tx, i, n)
+// performs one Get+Set of payload variable i with a value derived from
+// the op ordinal n. Every kind runs the same transaction shape, so cells
+// differ only in what the value representation costs.
+func makePayload(kind ValueKind, vars int) func(tx *stm.Tx, i, n int) {
+	switch kind {
+	case VKString:
+		pv := make([]*stm.TVar[string], vars)
+		for i := range pv {
+			pv[i] = stm.NewTVar[string](payloadStrings[0])
+		}
+		return func(tx *stm.Tx, i, n int) {
+			_ = stm.Get(tx, pv[i])
+			stm.Set(tx, pv[i], payloadStrings[n%len(payloadStrings)])
+		}
+	case VKStruct:
+		pv := make([]*stm.TVar[payloadPair], vars)
+		for i := range pv {
+			pv[i] = stm.NewTVar[payloadPair](payloadPair{})
+		}
+		return func(tx *stm.Tx, i, n int) {
+			v := stm.Get(tx, pv[i])
+			stm.Set(tx, pv[i], payloadPair{A: v.A + uint64(n), B: v.B ^ uint64(n)})
+		}
+	case VKAny:
+		pv := make([]*stm.TVar[any], vars)
+		for i := range pv {
+			pv[i] = stm.NewTVar[any](payloadAnys[0])
+		}
+		return func(tx *stm.Tx, i, n int) {
+			_ = stm.Get(tx, pv[i])
+			stm.Set(tx, pv[i], payloadAnys[n%len(payloadAnys)])
+		}
+	default: // VKInt
+		pv := make([]*stm.TVar[int64], vars)
+		for i := range pv {
+			pv[i] = stm.NewTVar[int64](0)
+		}
+		return func(tx *stm.Tx, i, n int) {
+			v := stm.Get(tx, pv[i])
+			stm.Set(tx, pv[i], v+int64(n))
+		}
+	}
+}
+
 // Run executes the workload on a fresh engine of the given kind.
 func Run(kind stm.EngineKind, cfg Config) Result {
 	cfg = cfg.withDefaults()
@@ -186,6 +301,7 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 	for i := range vars {
 		vars[i] = stm.NewTVar[int64](0)
 	}
+	payload := makePayload(cfg.Values, cfg.Vars)
 
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -207,6 +323,7 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 						tv := vars[pick(op)]
 						stm.Set(tx, tv, stm.Get(tx, tv)+1)
 					}
+					payload(tx, pick(op), op)
 					_ = acc
 					return nil
 				})

@@ -480,12 +480,12 @@ func (tx *adaptiveTx) reset() {
 	tx.loads, tx.stores = 0, 0
 }
 
-func (tx *adaptiveTx) load(tv *tvar) any {
+func (tx *adaptiveTx) load(tv *tvar) vword {
 	tx.loads++
 	return tx.st.load(tv)
 }
 
-func (tx *adaptiveTx) store(tv *tvar, v any) {
+func (tx *adaptiveTx) store(tv *tvar, v vword) {
 	tx.stores++
 	tx.st.store(tv, v)
 }

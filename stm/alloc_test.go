@@ -10,12 +10,13 @@ import (
 // attempts allocate their state, slices and pool internals), then
 // measures a steady-state transaction.
 //
-// Written values stay in [0,255] so Go's static small-integer boxing
-// applies: the gate isolates the machinery (pool, read/write/lock/undo
-// sets, commit, counters) from the orthogonal cost of boxing large
-// values, which is the one allocation the contract exempts. A pointer-
-// valued variant pins the same property for pointer-shaped values, whose
-// boxing is always free.
+// Since the raw-word value representation (value.go), the contract
+// covers the values themselves, not just the machinery: strings,
+// floats, large integers and pointer-free structs up to two words cross
+// Set/Get without boxing, so the gates below pin those at zero too. The
+// one remaining exemption is the boxed fallback (interface-kind TVars
+// and types the words cannot carry), which allocates its box per Set by
+// design.
 
 // allocBudget is the steady-state allocs/op each engine is allowed.
 // glock/twopl/tl2/tl2s owe exactly zero; adaptive gets a small fixed
@@ -110,6 +111,108 @@ func TestZeroAllocPointerValues(t *testing.T) {
 			}
 			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
 				t.Errorf("%s: pointer-valued transaction allocates %.2f allocs/op in steady state, budget %.1f",
+					kind, got, allocBudget(kind))
+			}
+		})
+	}
+}
+
+// TestZeroAllocValueKindString: a warmed transaction that reads and
+// writes a string allocates nothing — the words carry the header, the
+// pointer slot carries the data pointer, and no box is built. Before the
+// raw-word representation this was ≥1 alloc per Set on every engine.
+func TestZeroAllocValueKindString(t *testing.T) {
+	vals := [2]string{"zero-alloc-string-a", "zero-alloc-string-b"}
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[string](vals[0])
+			i := 0
+			var sink int
+			fn := func(tx *Tx) error {
+				sink = len(Get(tx, x))
+				i++
+				Set(tx, x, vals[i%2])
+				return nil
+			}
+			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
+				t.Errorf("%s: string transaction allocates %.2f allocs/op in steady state, budget %.1f",
+					kind, got, allocBudget(kind))
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestZeroAllocValueKindFloat64: floats ride the data word; no boxing.
+func TestZeroAllocValueKindFloat64(t *testing.T) {
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[float64](0)
+			fn := func(tx *Tx) error {
+				v := Get(tx, x)
+				if v > 1e9 {
+					v = 0
+				}
+				Set(tx, x, v+1.5)
+				return nil
+			}
+			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
+				t.Errorf("%s: float64 transaction allocates %.2f allocs/op in steady state, budget %.1f",
+					kind, got, allocBudget(kind))
+			}
+		})
+	}
+}
+
+// TestZeroAllocValueKindPair: a two-word pointer-free struct rides both
+// data words; no boxing.
+func TestZeroAllocValueKindPair(t *testing.T) {
+	type pair struct{ A, B uint64 }
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[pair](pair{})
+			fn := func(tx *Tx) error {
+				v := Get(tx, x)
+				Set(tx, x, pair{A: v.A + 1, B: v.B + 2})
+				return nil
+			}
+			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
+				t.Errorf("%s: two-word struct transaction allocates %.2f allocs/op in steady state, budget %.1f",
+					kind, got, allocBudget(kind))
+			}
+		})
+	}
+}
+
+// TestZeroAllocOrElse: the OrElse bracket — mark, abandoned first
+// alternative, rollback, fallback — allocates nothing in steady state.
+// The mark is a by-value txMark (no interface boxing) and its write-set
+// prefix copy lands in the attempt's pooled markBuf, so OrElse is no
+// longer the one operation that always allocated.
+func TestZeroAllocOrElse(t *testing.T) {
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[int](0)
+			y := NewTVar[int](0)
+			fn := func(tx *Tx) error {
+				Set(tx, x, (Get(tx, x)+1)%256) // pre-mark write: a non-empty mark copy
+				return OrElse(tx,
+					func(tx *Tx) error {
+						Set(tx, x, 7) // overwritten pre-mark entry, rolled back
+						Retry(tx)
+						return nil
+					},
+					func(tx *Tx) error {
+						Set(tx, y, (Get(tx, y)+1)%256)
+						return nil
+					})
+			}
+			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
+				t.Errorf("%s: OrElse transaction allocates %.2f allocs/op in steady state, budget %.1f",
 					kind, got, allocBudget(kind))
 			}
 		})

@@ -21,13 +21,13 @@ import "sync"
 // breakage deterministic and data-race-free so the harness can assert on
 // it under -race.
 func NewBrokenEngineForTest(opts ...Option) *Engine {
-	return newEngineShell(-1, &brokenEngine{stale: make(map[*tvar]any)}, opts...)
+	return newEngineShell(-1, &brokenEngine{stale: make(map[*tvar]vword)}, opts...)
 }
 
 // brokenEngine is glockEngine plus the poisoned read cache.
 type brokenEngine struct {
 	mu    sync.Mutex
-	stale map[*tvar]any
+	stale map[*tvar]vword
 }
 
 type brokenTx struct {
@@ -48,7 +48,7 @@ func (tx *brokenTx) reset() { tx.undo.reset() }
 
 // load returns the first value this engine ever saw for tv — stale the
 // moment anyone commits a newer one.
-func (tx *brokenTx) load(tv *tvar) any {
+func (tx *brokenTx) load(tv *tvar) vword {
 	if v, ok := tx.eng.stale[tv]; ok {
 		return v
 	}
@@ -57,7 +57,7 @@ func (tx *brokenTx) load(tv *tvar) any {
 	return v
 }
 
-func (tx *brokenTx) store(tv *tvar, v any) {
+func (tx *brokenTx) store(tv *tvar, v vword) {
 	tx.undo.push(tv)
 	tv.publish(v)
 }
@@ -79,9 +79,9 @@ func (tx *brokenTx) conflictCleanup() {
 
 func (tx *brokenTx) wrote() bool { return len(tx.undo) > 0 }
 
-func (tx *brokenTx) mark() txMark { return len(tx.undo) }
+func (tx *brokenTx) mark() txMark { return txMark{n: len(tx.undo)} }
 
-func (tx *brokenTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }
+func (tx *brokenTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.n) }
 
 // NewLeakyPoolEngineForTest returns an engine with the classic pooling
 // bug built in: it writes in place with an undo log and pools its
@@ -137,11 +137,11 @@ func (e *leakyEngine) done(st txState) {
 // it, so the entries survive into the state's next attempt.
 func (tx *leakyTx) reset() {}
 
-func (tx *leakyTx) load(tv *tvar) any {
+func (tx *leakyTx) load(tv *tvar) vword {
 	return tv.read()
 }
 
-func (tx *leakyTx) store(tv *tvar, v any) {
+func (tx *leakyTx) store(tv *tvar, v vword) {
 	tx.undo.push(tv)
 	tv.publish(v)
 }
@@ -167,6 +167,73 @@ func (tx *leakyTx) conflictCleanup() {
 
 func (tx *leakyTx) wrote() bool { return len(tx.undo) > 0 }
 
-func (tx *leakyTx) mark() txMark { return len(tx.undo) }
+func (tx *leakyTx) mark() txMark { return txMark{n: len(tx.undo)} }
 
-func (tx *leakyTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }
+func (tx *leakyTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.n) }
+
+// NewWordCorruptingEngineForTest returns an engine with a planted
+// raw-word bug: every publish of a single-word (kindWord) value zeroes
+// the word's high 32 bits, as if the value had been squeezed through a
+// 32-bit register on its way to the tvar. A committed write of a value
+// that needs the high bits is then observed by later reads as a value no
+// transaction ever wrote, which no serialization can justify — the
+// conformance harness must convict it (internal/conformance's word
+// corruption test), proving the checkers would catch a real encode/
+// decode or publish bug in the word pipeline the same way.
+func NewWordCorruptingEngineForTest(opts ...Option) *Engine {
+	return newEngineShell(-1, &corruptEngine{}, opts...)
+}
+
+// corruptEngine is the glock algorithm with the planted word truncation;
+// the mutex keeps the corruption deterministic and data-race-free.
+type corruptEngine struct {
+	mu sync.Mutex
+}
+
+type corruptTx struct {
+	eng  *corruptEngine
+	undo undoLog
+}
+
+func (e *corruptEngine) begin(attempt int) txState {
+	e.mu.Lock()
+	return &corruptTx{eng: e}
+}
+
+func (e *corruptEngine) done(st txState) { st.reset() }
+
+func (tx *corruptTx) reset() { tx.undo.reset() }
+
+func (tx *corruptTx) load(tv *tvar) vword {
+	return tv.read()
+}
+
+// store is the planted bug: kindWord payloads lose their high 32 bits.
+func (tx *corruptTx) store(tv *tvar, v vword) {
+	tx.undo.push(tv)
+	if tv.kind == kindWord {
+		v.w0 &= 0xFFFFFFFF
+	}
+	tv.publish(v)
+}
+
+func (tx *corruptTx) commit() bool {
+	tx.eng.mu.Unlock()
+	return true
+}
+
+func (tx *corruptTx) abortCleanup() {
+	tx.undo.rollback()
+	tx.eng.mu.Unlock()
+}
+
+func (tx *corruptTx) conflictCleanup() {
+	tx.undo.rollback()
+	tx.eng.mu.Unlock()
+}
+
+func (tx *corruptTx) wrote() bool { return len(tx.undo) > 0 }
+
+func (tx *corruptTx) mark() txMark { return txMark{n: len(tx.undo)} }
+
+func (tx *corruptTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.n) }

@@ -33,10 +33,11 @@ type engine interface {
 // the fields its algorithm needs instead of a union of all engines'
 // fields.
 type txState interface {
-	// load performs a transactional read.
-	load(tv *tvar) any
-	// store performs a transactional write.
-	store(tv *tvar, v any)
+	// load performs a transactional read, returning the value in
+	// raw-word form (value.go); the public API decodes it back to T.
+	load(tv *tvar) vword
+	// store performs a transactional write of an encoded value.
+	store(tv *tvar, w vword)
 	// commit publishes the attempt's writes; false means a conflict was
 	// detected and the attempt must restart.
 	commit() bool
@@ -53,9 +54,11 @@ type txState interface {
 	// alternative. Locks acquired since the mark are deliberately kept
 	// (conservative and deadlock-free: they are released when the
 	// transaction finishes either way), as are read-set entries (extra
-	// validation can only make commit more conservative). Marks capture
-	// values, never pooled storage, so they stay valid however the
-	// attempt's state is reused.
+	// validation can only make commit more conservative). A mark may
+	// reference scratch storage pooled inside the attempt state (tl2's
+	// markBuf), so it is valid only within the attempt that took it and
+	// only in LIFO order — exactly the shape of OrElse's bracket, which
+	// takes, uses and abandons marks strictly nested inside one attempt.
 	mark() txMark
 	rollbackTo(m txMark)
 	// reset truncates the attempt's collections (read set, write set,
@@ -67,9 +70,15 @@ type txState interface {
 	reset()
 }
 
-// txMark is an opaque engine-specific snapshot of a transaction's write
-// state; see txState.mark.
-type txMark any
+// txMark is an engine-specific snapshot of a transaction's write state;
+// see txState.mark. It is a small concrete struct passed by value — an
+// interface here would box the mark on every OrElse, the one allocation
+// the bracket used to pay even when nothing had been written. n is the
+// undo-log or write-set length at the mark; off is the engine's offset
+// into its pooled mark scratch (unused by the in-place engines).
+type txMark struct {
+	n, off int
+}
 
 // lockFailCounter is the optional engine interface behind
 // Stats.LockFails: engines that can fail a lock acquisition (2PL's
@@ -133,10 +142,12 @@ func backoff(attempt int) {
 	}
 }
 
-// undoEntry is one in-place write to roll back.
+// undoEntry is one in-place write to roll back, with the overwritten
+// value in raw-word form — buffering it allocates nothing, and the
+// vword's pointer slot keeps boxed or string payloads alive for the GC.
 type undoEntry struct {
 	tv   *tvar
-	prev any
+	prev vword
 }
 
 // undoLog records in-place writes for the lock-based engines, newest
@@ -144,9 +155,11 @@ type undoEntry struct {
 // and zeroes the entries.
 type undoLog []undoEntry
 
-// push records tv's current value before it is overwritten.
+// push records tv's current value before it is overwritten. Every
+// caller holds the variable's write authority (orec, global mutex), so
+// the bare loadWords is a consistent snapshot — no seqlock validation.
 func (u *undoLog) push(tv *tvar) {
-	*u = append(*u, undoEntry{tv: tv, prev: tv.read()})
+	*u = append(*u, undoEntry{tv: tv, prev: tv.loadWords()})
 }
 
 // rollbackTo restores everything written after the log had n entries.

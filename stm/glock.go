@@ -39,11 +39,11 @@ func (e *glockEngine) done(st txState) {
 
 func (tx *glockTx) reset() { tx.undo.reset() }
 
-func (tx *glockTx) load(tv *tvar) any {
+func (tx *glockTx) load(tv *tvar) vword {
 	return tv.read()
 }
 
-func (tx *glockTx) store(tv *tvar, v any) {
+func (tx *glockTx) store(tv *tvar, v vword) {
 	tx.undo.push(tv)
 	tv.publish(v)
 }
@@ -68,6 +68,6 @@ func (tx *glockTx) conflictCleanup() {
 
 func (tx *glockTx) wrote() bool { return len(tx.undo) > 0 }
 
-func (tx *glockTx) mark() txMark { return len(tx.undo) }
+func (tx *glockTx) mark() txMark { return txMark{n: len(tx.undo)} }
 
-func (tx *glockTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }
+func (tx *glockTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.n) }

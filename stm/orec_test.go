@@ -23,14 +23,14 @@ func TestOrecTableSizing(t *testing.T) {
 
 func TestOrecHashStableAndSpread(t *testing.T) {
 	tab := newOrecTable(64)
-	tv := newTVar(0, false)
+	tv := newTVar(kindWord, vword{})
 	if tab.of(tv) != tab.of(tv) {
 		t.Fatal("orec hash is not stable for the same variable")
 	}
 	// Sequentially allocated variables must not pile onto one record.
 	seen := map[*orec]bool{}
 	for i := 0; i < 256; i++ {
-		seen[tab.of(newTVar(0, false))] = true
+		seen[tab.of(newTVar(kindWord, vword{}))] = true
 	}
 	if len(seen) < tab.size()/2 {
 		t.Errorf("256 variables hit only %d of %d records", len(seen), tab.size())

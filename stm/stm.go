@@ -38,20 +38,35 @@
 //
 // # Allocation contract
 //
-// The attempt hot path is allocation-free in steady state: attempt state
-// (the Tx handle and each engine's txState, including read sets, write
-// sets, undo logs and lock sets) is pooled per engine and reset between
-// attempts, so a warmed transaction — including every conflict retry —
-// performs Get, Set, commit and rollback without touching the allocator.
-// Write and lock sets use a small-set fast path (append-ordered slice,
-// linear scan) and only allocate a map index past stm.SmallSetSpill
-// entries; engine counters are striped per core (counter.go) rather than
-// contended or mutex-guarded. The one exception is Go interface boxing:
-// Set must box its value into an `any`, which allocates for values the
-// runtime cannot box statically (integers outside [0,255], strings,
-// structs). Pointer-shaped values and small integers box for free, and
-// nothing downstream of the boxing allocates. stm/alloc_test.go pins the
-// contract per engine with testing.AllocsPerRun.
+// The attempt hot path is allocation-free in steady state, values
+// included. Attempt state (the Tx handle and each engine's txState,
+// including read sets, write sets, undo logs, lock sets and OrElse mark
+// scratch) is pooled per engine and reset between attempts, so a warmed
+// transaction — including every conflict retry and every OrElse bracket
+// — performs Get, Set, commit and rollback without touching the
+// allocator. Write and lock sets use a small-set fast path
+// (append-ordered slice, linear scan) and only allocate a map index past
+// stm.SmallSetSpill entries; engine counters are striped per core
+// (counter.go) rather than contended or mutex-guarded.
+//
+// Values flow through the engines as raw machine words (value.go), not
+// as `any`: NewTVar classifies the element type once, and Set/Get move
+// word-representable values with unsafe word copies instead of interface
+// boxing. Zero allocations per operation for:
+//
+//   - word kinds: ints of every width, floats, bool, and pointer-free
+//     structs or arrays up to 8 bytes;
+//   - pair kinds: pointer-free types of 9..16 bytes (two-word structs,
+//     complex128);
+//   - strings (data pointer + length, no copy of the bytes);
+//   - pointer kinds: *T, unsafe.Pointer, map, chan, func.
+//
+// The boxed fallback — interface-kind element types (TVar[any],
+// TVar[error]) and types the words cannot carry (pointer-containing or
+// >16-byte structs, slices) — keeps exactly the pre-word semantics and
+// allocates one box per Set; it is the contract's only exemption, and it
+// is per-TVar-type, never per engine. stm/alloc_test.go pins the
+// contract per engine and per value kind with testing.AllocsPerRun.
 //
 // Usage:
 //
@@ -70,6 +85,7 @@ package stm
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -248,21 +264,36 @@ func (e *Engine) AdaptiveStats() (AdaptiveStats, bool) {
 
 // tvar is the untyped transactional variable all engines share: an
 // allocation-ordered id (stable lock and orec-hash input), a TL2
-// versioned lock word, and the current value.
+// versioned lock word, and the current value in raw-word form — two
+// inline atomic data words plus one GC-visible pointer slot, interpreted
+// per the variable's valueKind (value.go). Publishing a
+// word-representable value overwrites the words in place; nothing
+// allocates.
 //
-// The value lives in an atomic.Value so publishing a write stores the
-// interface words directly instead of allocating a fresh *any box per
-// publish (atomic.Value overwrites only the data word once the type is
-// fixed). atomic.Value requires every store to carry the same concrete
-// type, which NewTVar guarantees for concrete T; for interface-kind T
-// (TVar[error], TVar[any]) the dynamic type varies, so those variables
-// set boxed and publish through a fresh *any per write — the pre-existing
-// cost, confined to the types that need it.
+// Consistency of multi-word ("wide": pair and string kinds) values is a
+// seqlock discipline with two guards, one per publication regime:
+//
+//   - TL2 commits publish while the versioned lock's locked bit is set
+//     and release by storing a fresh version, so any unlocked reader
+//     whose before/after loads of the lock word agree saw untorn words.
+//   - In-place engines (2PL, glock, undo rollbacks) publish inside an
+//     odd/even bracket on the dedicated seq word. They cannot reuse the
+//     versioned lock for this: restoring the same version would let a
+//     reader's before/after check pass across a write (ABA), and minting
+//     a new version would push the variable past the TL2 clock — after
+//     an adaptive regime switch back to tl2s, every read of the variable
+//     would fail validation forever.
+//
+// Narrow kinds are immune by construction: their single word is stored
+// and loaded with one atomic op.
 type tvar struct {
-	id    uint64
-	boxed bool
-	lock  atomic.Uint64 // bit 63 = locked, low bits = version
-	val   atomic.Value
+	id   uint64
+	kind valueKind
+	lock atomic.Uint64 // bit 63 = locked, low bits = version (TL2 engines)
+	seq  atomic.Uint64 // wide-value seqlock for in-place publishes (odd = mid-write)
+	w0   atomic.Uint64
+	w1   atomic.Uint64
+	p    atomic.Pointer[byte] // GC-visible slot: string data / pointer / *any box
 }
 
 const lockedBit = uint64(1) << 63
@@ -272,32 +303,88 @@ func isLocked(word uint64) bool  { return word&lockedBit != 0 }
 
 var tvarIDs atomic.Uint64
 
-func newTVar(initial any, boxed bool) *tvar {
-	tv := &tvar{id: tvarIDs.Add(1), boxed: boxed}
-	tv.publish(initial)
+func newTVar(kind valueKind, initial vword) *tvar {
+	tv := &tvar{id: tvarIDs.Add(1), kind: kind}
+	tv.storeWords(initial)
 	return tv
 }
 
-// publish stores v as the variable's current value. Engines call it only
-// while holding the variable's write authority (versioned lock, orec, or
-// the global mutex); racing readers are safe because the store is atomic
-// and the boxes an interface value points at are immutable.
-func (tv *tvar) publish(v any) {
-	if tv.boxed {
-		nv := v
-		tv.val.Store(&nv)
-		return
+// storeWords writes only the words the kind uses, with no tearing guard;
+// callers wrap it in whichever discipline their regime requires.
+func (tv *tvar) storeWords(w vword) {
+	switch tv.kind {
+	case kindWord:
+		tv.w0.Store(w.w0)
+	case kindPair:
+		tv.w0.Store(w.w0)
+		tv.w1.Store(w.w1)
+	case kindString:
+		tv.p.Store((*byte)(w.p))
+		tv.w0.Store(w.w0)
+	default: // kindPointer, kindBoxed
+		tv.p.Store((*byte)(w.p))
 	}
-	tv.val.Store(v)
 }
 
-// read returns the variable's current value.
-func (tv *tvar) read() any {
-	v := tv.val.Load()
-	if tv.boxed {
-		return *(v.(*any))
+// loadWords reads the words with no tearing guard; callers either hold
+// write authority or bracket the call with a seqlock validation.
+func (tv *tvar) loadWords() vword {
+	switch tv.kind {
+	case kindWord:
+		return vword{w0: tv.w0.Load()}
+	case kindPair:
+		return vword{w0: tv.w0.Load(), w1: tv.w1.Load()}
+	case kindString:
+		return vword{w0: tv.w0.Load(), p: unsafe.Pointer(tv.p.Load())}
+	default:
+		return vword{p: unsafe.Pointer(tv.p.Load())}
 	}
-	return v
+}
+
+// publish stores w as the variable's current value from an in-place
+// engine (2PL, glock, an undo rollback, the broken test engines). The
+// caller holds the variable's write authority (orec or global mutex), so
+// the only concurrent readers are unsynchronized ones (Peek); wide kinds
+// bracket the stores with the seq word so those readers detect tearing,
+// narrow kinds are one atomic store. TL2 commits use publishLocked.
+func (tv *tvar) publish(w vword) {
+	if !tv.kind.wide() {
+		tv.storeWords(w)
+		return
+	}
+	tv.seq.Add(1) // odd: write in progress
+	tv.storeWords(w)
+	tv.seq.Add(1) // even: complete
+}
+
+// publishLocked stores w while the caller holds the variable's versioned
+// lock (TL2 commit). The locked bit is already visible to every reader
+// and the release will publish a fresh version, so the words go in bare.
+func (tv *tvar) publishLocked(w vword) {
+	tv.storeWords(w)
+}
+
+// read returns the variable's current value as a consistent word
+// snapshot, from any context — including outside every lock (Peek). Wide
+// kinds validate both seqlock guards around the loads; narrow kinds are
+// a single atomic load.
+func (tv *tvar) read() vword {
+	if !tv.kind.wide() {
+		return tv.loadWords()
+	}
+	for {
+		s1 := tv.seq.Load()
+		l1 := tv.lock.Load()
+		if s1&1 != 0 || isLocked(l1) {
+			runtime.Gosched()
+			continue
+		}
+		w := tv.loadWords()
+		if tv.seq.Load() == s1 && tv.lock.Load() == l1 {
+			return w
+		}
+		runtime.Gosched()
+	}
 }
 
 // TVar is a typed transactional variable.
@@ -305,37 +392,46 @@ type TVar[T any] struct {
 	inner *tvar
 }
 
-// NewTVar allocates a transactional variable holding initial.
+// NewTVar allocates a transactional variable holding initial. The
+// element type is classified here, once: word-representable types (see
+// value.go) flow through Get/Set as raw machine words and never box;
+// interface kinds and types the words cannot carry use the boxed
+// fallback, with exactly the pre-word semantics and cost.
 func NewTVar[T any](initial T) *TVar[T] {
-	boxed := reflect.TypeFor[T]().Kind() == reflect.Interface
-	return &TVar[T]{inner: newTVar(initial, boxed)}
+	kind := classify(reflect.TypeFor[T]())
+	return &TVar[T]{inner: newTVar(kind, encode(kind, &initial))}
 }
 
 // Get reads the variable inside a transaction. The op is recorded after
-// the load returns, so the logged value is exactly the one observed.
+// the load returns, so the logged value is exactly the one observed; the
+// value is rematerialized for the record only when recording is on, so
+// the off path stays free of interface traffic.
 func Get[T any](tx *Tx, tv *TVar[T]) T {
-	v := tx.st.load(tv.inner).(T)
+	v := decode[T](tv.inner.kind, tx.st.load(tv.inner))
 	if tx.rec != nil {
 		tx.rec.note(false, tv.inner.id, v)
 	}
 	return v
 }
 
-// Set writes the variable inside a transaction. The op is recorded after
-// the store returns, so an encounter-time lock failure (which unwinds the
-// attempt from inside store) leaves no half-completed write in the log.
+// Set writes the variable inside a transaction, encoding the value into
+// raw-word form at the API boundary — word-representable types cross the
+// engine pipeline (write set, undo log, publication) without touching
+// the allocator. The op is recorded after the store returns, so an
+// encounter-time lock failure (which unwinds the attempt from inside
+// store) leaves no half-completed write in the log.
 func Set[T any](tx *Tx, tv *TVar[T], v T) {
-	tx.st.store(tv.inner, v)
+	tx.st.store(tv.inner, encode(tv.inner.kind, &v))
 	if tx.rec != nil {
 		tx.rec.note(true, tv.inner.id, v)
 	}
 }
 
 // Peek reads the variable outside any transaction. The value is a
-// consistent single-variable snapshot; cross-variable invariants need a
-// transaction.
+// consistent single-variable snapshot (wide values go through the
+// seqlock read protocol); cross-variable invariants need a transaction.
 func (tv *TVar[T]) Peek() T {
-	return tv.inner.read().(T)
+	return decode[T](tv.inner.kind, tv.inner.read())
 }
 
 // Tx is one transaction attempt handle. It is only valid inside the

@@ -39,12 +39,14 @@ type tl2Engine struct {
 func (e *tl2Engine) lockFailCount() uint64 { return e.lockFails.Load() }
 
 // tl2Tx is one TL2 transaction attempt: a read snapshot, a validated
-// read set, and a buffered small-set write set in first-write order.
+// read set, a buffered small-set write set in first-write order, and the
+// pooled scratch OrElse marks copy their prefixes into.
 type tl2Tx struct {
-	eng   *tl2Engine
-	rv    uint64
-	reads []readEntry
-	ws    writeSet
+	eng     *tl2Engine
+	rv      uint64
+	reads   []readEntry
+	ws      writeSet
+	markBuf []writeEntry
 }
 
 type readEntry struct {
@@ -67,18 +69,22 @@ func (e *tl2Engine) done(st txState) {
 	e.pool.Put(st)
 }
 
-// reset truncates the read and write sets for reuse, keeping their
-// backing storage.
+// reset truncates the read and write sets and the mark scratch for
+// reuse, keeping their backing storage.
 func (tx *tl2Tx) reset() {
 	clear(tx.reads)
 	tx.reads = tx.reads[:0]
 	tx.ws.reset()
+	clear(tx.markBuf)
+	tx.markBuf = tx.markBuf[:0]
 	tx.rv = 0
 }
 
 // load implements TL2's versioned read: a lock-stable value whose version
-// does not postdate the transaction's read snapshot.
-func (tx *tl2Tx) load(tv *tvar) any {
+// does not postdate the transaction's read snapshot. The word loads are
+// bare — the l1/l2 bracket on the versioned lock already rejects any
+// value a concurrent commit was publishing, wide kinds included.
+func (tx *tl2Tx) load(tv *tvar) vword {
 	if v, ok := tx.ws.get(tv); ok {
 		return v
 	}
@@ -88,7 +94,7 @@ func (tx *tl2Tx) load(tv *tvar) any {
 			runtime.Gosched()
 			continue
 		}
-		v := tv.read()
+		v := tv.loadWords()
 		l2 := tv.lock.Load()
 		if l1 != l2 {
 			continue
@@ -120,7 +126,7 @@ func (tx *tl2Tx) extendSnapshot() bool {
 	return true
 }
 
-func (tx *tl2Tx) store(tv *tvar, v any) {
+func (tx *tl2Tx) store(tv *tvar, v vword) {
 	tx.ws.put(tv, v)
 }
 
@@ -169,7 +175,7 @@ func (tx *tl2Tx) commit() bool {
 	}
 
 	for i := range es {
-		es[i].tv.publish(es[i].v)
+		es[i].tv.publishLocked(es[i].v)
 		es[i].tv.lock.Store(wv) // publish new version and release
 	}
 	return true
@@ -200,23 +206,23 @@ func (tx *tl2Tx) conflictCleanup() {}
 
 func (tx *tl2Tx) wrote() bool { return tx.ws.len() > 0 }
 
-// tl2Mark snapshots the buffered write set for OrElse: the entry count
-// plus a copy of the prefix, because an alternative may overwrite a
-// pre-mark entry in place. The copy holds values, not pooled storage, so
-// the mark survives however the state is reused.
-type tl2Mark struct {
-	n     int
-	saved []writeEntry
-}
-
+// mark snapshots the buffered write set for OrElse: the entry count plus
+// a copy of the prefix (an alternative may overwrite a pre-mark entry in
+// place), appended to the attempt's pooled markBuf. An empty write set
+// copies nothing and a warmed markBuf has capacity, so marking is
+// allocation-free in steady state. Nested marks stack LIFO in markBuf;
+// rollbackTo pops back to its own offset, which also invalidates every
+// mark taken after it — exactly OrElse's bracket discipline (see
+// txState.mark in engines.go).
 func (tx *tl2Tx) mark() txMark {
 	n := tx.ws.len()
-	saved := make([]writeEntry, n)
-	copy(saved, tx.ws.entries)
-	return tl2Mark{n: n, saved: saved}
+	off := len(tx.markBuf)
+	tx.markBuf = append(tx.markBuf, tx.ws.entries[:n]...)
+	return txMark{n: n, off: off}
 }
 
-func (tx *tl2Tx) rollbackTo(mk txMark) {
-	m := mk.(tl2Mark)
-	tx.ws.truncate(m.n, m.saved)
+func (tx *tl2Tx) rollbackTo(m txMark) {
+	tx.ws.truncate(m.n, tx.markBuf[m.off:m.off+m.n])
+	clear(tx.markBuf[m.off:])
+	tx.markBuf = tx.markBuf[:m.off]
 }

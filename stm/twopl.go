@@ -79,12 +79,12 @@ func (tx *twoPLTx) acquire(tv *tvar) {
 	tx.locked.add(o)
 }
 
-func (tx *twoPLTx) load(tv *tvar) any {
+func (tx *twoPLTx) load(tv *tvar) vword {
 	tx.acquire(tv)
 	return tv.read()
 }
 
-func (tx *twoPLTx) store(tv *tvar, v any) {
+func (tx *twoPLTx) store(tv *tvar, v vword) {
 	tx.acquire(tv)
 	tx.undo.push(tv)
 	tv.publish(v)
@@ -117,6 +117,6 @@ func (tx *twoPLTx) releaseLocks() {
 
 func (tx *twoPLTx) wrote() bool { return len(tx.undo) > 0 }
 
-func (tx *twoPLTx) mark() txMark { return len(tx.undo) }
+func (tx *twoPLTx) mark() txMark { return txMark{n: len(tx.undo)} }
 
-func (tx *twoPLTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.(int)) }
+func (tx *twoPLTx) rollbackTo(m txMark) { tx.undo.rollbackTo(m.n) }

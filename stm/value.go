@@ -1,0 +1,240 @@
+package stm
+
+// The raw-word value plane. Values used to flow through the engines as
+// `any`, which made every Set of a string, float, large integer or small
+// struct box its argument — one heap allocation per write on a hot path
+// that PR 4 had otherwise driven to zero. Values now flow as vwords: up
+// to two raw machine words plus one GC-visible pointer word, classified
+// once per TVar type at construction. Get/Set convert between T and the
+// word form with unsafe loads/stores of the value's own bytes, so for
+// every word-representable type the whole pipeline — write set, undo
+// log, tvar storage, publication — touches the allocator zero times.
+// Types the words cannot carry (interfaces, pointer-mixed or >2-word
+// structs, slices) keep the old boxed representation behind the same
+// API, documented as the fallback.
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// valueKind is a TVar element type's raw-word classification, computed
+// once by NewTVar and fixed for the variable's lifetime.
+type valueKind uint8
+
+const (
+	// kindWord: pointer-free, at most 8 bytes (ints, floats, bool,
+	// small pointer-free structs/arrays). One data word.
+	kindWord valueKind = iota
+	// kindPair: pointer-free, 9..16 bytes (two-word structs,
+	// complex128, [2]uint64). Two data words.
+	kindPair
+	// kindString: string-kind types. The data pointer rides in the
+	// GC-visible pointer slot, the length in a data word.
+	kindString
+	// kindPointer: exactly one pointer word (*T, unsafe.Pointer, map,
+	// chan, func). The pointer slot alone.
+	kindPointer
+	// kindBoxed: everything the words cannot carry — interface kinds
+	// (TVar[any], TVar[error]), pointer-containing or >16-byte
+	// non-interface types, slices. The pointer slot holds a *any box;
+	// Set allocates, exactly as before the word representation.
+	kindBoxed
+)
+
+var valueKindNames = [...]string{"word", "pair", "string", "pointer", "boxed"}
+
+func (k valueKind) String() string {
+	if int(k) >= len(valueKindNames) {
+		return "kind(?)"
+	}
+	return valueKindNames[k]
+}
+
+// wide reports whether the kind spreads a value over more than one
+// storage word, so an in-place publish must bracket the stores with the
+// tvar's seqlock for unlocked readers (see tvar.publish).
+func (k valueKind) wide() bool { return k == kindPair || k == kindString }
+
+// vword is one value in raw-word form. w0/w1 carry pointer-free bytes;
+// p is the single GC-visible pointer slot (string data, pointer value,
+// or the boxed fallback's *any). The struct is three words passed and
+// stored by value — buffering one in a write set or undo log allocates
+// nothing, and because p is a real pointer type the GC keeps whatever
+// it references alive while the value is in flight.
+type vword struct {
+	w0, w1 uint64
+	p      unsafe.Pointer
+}
+
+// classify maps a TVar element type to its kind. The classification is
+// conservative: anything not provably carryable in the words goes
+// boxed, which is always correct (boxed is the pre-word pipeline).
+func classify(t reflect.Type) valueKind {
+	switch t.Kind() {
+	case reflect.String:
+		return kindString
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return kindPointer
+	}
+	if pointerFree(t) {
+		switch {
+		case t.Size() <= 8:
+			return kindWord
+		case t.Size() <= 16:
+			return kindPair
+		}
+	}
+	return kindBoxed
+}
+
+// pointerFree reports whether values of t contain no pointer words, so
+// their raw bytes can live in non-GC-visible storage.
+func pointerFree(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return t.Len() == 0 || pointerFree(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFree(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// stringHeader is the runtime layout of a string value — the one layout
+// assumption the string kind makes, identical to reflect.StringHeader
+// with an honest pointer type.
+type stringHeader struct {
+	data unsafe.Pointer
+	len  int
+}
+
+// encode packs *v into raw-word form for the kind. v is only read
+// through, never retained, so the callee keeps the caller's value on
+// the stack; for word-representable kinds nothing here allocates. The
+// boxed fallback allocates its *any box — the documented exception.
+//
+// Typed word loads are used only when the type's own alignment proves
+// them safe (aligned below): the choice is a per-type constant, never a
+// function of the value's runtime address, so encode and decode always
+// take the same path and the word layout is deterministic. (An
+// address-based check would diverge between the typed load and the
+// byte copy on big-endian targets, silently corrupting values of types
+// whose alignment is smaller than their size.)
+func encode[T any](kind valueKind, v *T) vword {
+	switch kind {
+	case kindWord:
+		return vword{w0: loadWordBytes(unsafe.Pointer(v), unsafe.Sizeof(*v), aligned(v))}
+	case kindPair:
+		// An 8-aligned base keeps both words' sub-loads aligned.
+		a := unsafe.Alignof(*v) >= 8
+		return vword{
+			w0: loadWordBytes(unsafe.Pointer(v), 8, a),
+			w1: loadWordBytes(unsafe.Add(unsafe.Pointer(v), 8), unsafe.Sizeof(*v)-8, a),
+		}
+	case kindString:
+		h := (*stringHeader)(unsafe.Pointer(v))
+		return vword{w0: uint64(h.len), p: h.data}
+	case kindPointer:
+		return vword{p: *(*unsafe.Pointer)(unsafe.Pointer(v))}
+	default:
+		b := new(any)
+		*b = *v
+		return vword{p: unsafe.Pointer(b)}
+	}
+}
+
+// decode unpacks a raw-word value back into T. Exact inverse of encode
+// for every kind; allocation-free for all of them (the boxed fallback's
+// type assertion reads the existing box).
+func decode[T any](kind valueKind, w vword) T {
+	var v T
+	switch kind {
+	case kindWord:
+		storeWordBytes(unsafe.Pointer(&v), w.w0, unsafe.Sizeof(v), aligned(&v))
+	case kindPair:
+		a := unsafe.Alignof(v) >= 8
+		storeWordBytes(unsafe.Pointer(&v), w.w0, 8, a)
+		storeWordBytes(unsafe.Add(unsafe.Pointer(&v), 8), w.w1, unsafe.Sizeof(v)-8, a)
+	case kindString:
+		h := (*stringHeader)(unsafe.Pointer(&v))
+		h.data = w.p
+		h.len = int(w.w0)
+	case kindPointer:
+		*(*unsafe.Pointer)(unsafe.Pointer(&v)) = w.p
+	default:
+		v = (*(*any)(w.p)).(T)
+	}
+	return v
+}
+
+// aligned reports whether T's own alignment covers its size, so any
+// *T — stack local, heap slot, struct field — is naturally aligned for
+// a single typed load of the whole value. A compile-time constant per
+// instantiation.
+func aligned[T any](v *T) bool {
+	return unsafe.Alignof(*v) >= unsafe.Sizeof(*v)
+}
+
+// loadWordBytes reads the n (≤8) bytes at p into the low bytes of one
+// word. The typed fast paths run only when the caller proves natural
+// alignment from the type (see encode) — which also keeps checkptr
+// (enabled under -race) quiet — otherwise the bytes are copied
+// little-end-first, and odd sizes always copy so nothing past the
+// value is touched.
+func loadWordBytes(p unsafe.Pointer, n uintptr, aligned bool) uint64 {
+	if aligned {
+		switch n {
+		case 8:
+			return *(*uint64)(p)
+		case 4:
+			return uint64(*(*uint32)(p))
+		case 2:
+			return uint64(*(*uint16)(p))
+		case 1:
+			return uint64(*(*uint8)(p))
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	var w uint64
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&w)), n), unsafe.Slice((*byte)(p), n))
+	return w
+}
+
+// storeWordBytes writes the low n (≤8) bytes of w to p, with the same
+// alignment discipline as loadWordBytes.
+func storeWordBytes(p unsafe.Pointer, w uint64, n uintptr, aligned bool) {
+	if aligned {
+		switch n {
+		case 8:
+			*(*uint64)(p) = w
+			return
+		case 4:
+			*(*uint32)(p) = uint32(w)
+			return
+		case 2:
+			*(*uint16)(p) = uint16(w)
+			return
+		case 1:
+			*(*uint8)(p) = uint8(w)
+			return
+		}
+	}
+	if n == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(p), n), unsafe.Slice((*byte)(unsafe.Pointer(&w)), n))
+}

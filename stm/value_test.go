@@ -1,0 +1,225 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Tests of the raw-word value plane (value.go): classification, exact
+// round-trips of every kind through every engine's full value pipeline
+// (Set → read-own-write Get → commit → Peek, abort → undo rollback,
+// OrElse → mark rollback), and a seqlock stress over wide-value reads.
+
+func TestClassify(t *testing.T) {
+	type pair struct{ A, B uint64 }
+	type triple struct{ A, B, C uint64 }
+	type mixed struct {
+		P *int
+		N int
+	}
+	type small3 struct{ A, B, C uint8 }
+	type int32x3 struct{ A, B, C int32 }
+	cases := []struct {
+		typ  reflect.Type
+		want valueKind
+	}{
+		{reflect.TypeFor[int](), kindWord},
+		{reflect.TypeFor[uint64](), kindWord},
+		{reflect.TypeFor[float64](), kindWord},
+		{reflect.TypeFor[bool](), kindWord},
+		{reflect.TypeFor[int8](), kindWord},
+		{reflect.TypeFor[small3](), kindWord},
+		{reflect.TypeFor[struct{}](), kindWord},
+		{reflect.TypeFor[[2]uint32](), kindWord},
+		{reflect.TypeFor[complex128](), kindPair},
+		{reflect.TypeFor[pair](), kindPair},
+		{reflect.TypeFor[int32x3](), kindPair},
+		{reflect.TypeFor[[4]uint32](), kindPair},
+		{reflect.TypeFor[string](), kindString},
+		{reflect.TypeFor[*int](), kindPointer},
+		{reflect.TypeFor[map[string]int](), kindPointer},
+		{reflect.TypeFor[chan int](), kindPointer},
+		{reflect.TypeFor[func()](), kindPointer},
+		{reflect.TypeFor[any](), kindBoxed},
+		{reflect.TypeFor[error](), kindBoxed},
+		{reflect.TypeFor[[]int](), kindBoxed},
+		{reflect.TypeFor[mixed](), kindBoxed},
+		{reflect.TypeFor[triple](), kindBoxed},
+		{reflect.TypeFor[[3]string](), kindBoxed},
+	}
+	for _, c := range cases {
+		if got := classify(c.typ); got != c.want {
+			t.Errorf("classify(%v) = %v, want %v", c.typ, got, c.want)
+		}
+	}
+}
+
+var errAbortRT = errors.New("value round-trip: deliberate abort")
+
+// checkRoundTrip drives values of one kind through every engine: write
+// and read-own-write inside a transaction, an OrElse alternative that
+// overwrites and is rolled back, a committed value visible to Peek, and
+// an aborted write undone by the undo log (in-place engines) or dropped
+// with the write set (speculative engines).
+func checkRoundTrip[T comparable](t *testing.T, name string, wantKind valueKind, mk func(seed int64) T) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		if k := classify(reflect.TypeFor[T]()); k != wantKind {
+			t.Fatalf("classify = %v, want %v", k, wantKind)
+		}
+		for _, e := range engines(t) {
+			e := e
+			x := NewTVar[T](mk(0))
+			prop := func(s1, s2 int64) bool {
+				v1, v2 := mk(s1), mk(s2)
+				ok := true
+				if err := e.Atomically(func(tx *Tx) error {
+					Set(tx, x, v1)
+					ok = ok && Get(tx, x) == v1 // read own write
+					return OrElse(tx,
+						func(tx *Tx) error {
+							Set(tx, x, v2) // overwrite, then abandon
+							Retry(tx)
+							return nil
+						},
+						func(tx *Tx) error {
+							ok = ok && Get(tx, x) == v1 // mark rollback restored v1
+							Set(tx, x, v2)
+							ok = ok && Get(tx, x) == v2
+							return nil
+						})
+				}); err != nil {
+					return false
+				}
+				if !ok || x.Peek() != v2 {
+					return false
+				}
+				// Aborted writes are rolled back wholesale.
+				if err := e.Atomically(func(tx *Tx) error {
+					Set(tx, x, v1)
+					return errAbortRT
+				}); err != errAbortRT {
+					return false
+				}
+				return x.Peek() == v2
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Errorf("%s: %v", e.Kind(), err)
+			}
+		}
+	})
+}
+
+func TestValueRoundTrips(t *testing.T) {
+	type pair struct{ A, B uint64 }
+	type int32x3 struct{ A, B, C int32 }
+	ptrs := [8]*int{}
+	for i := range ptrs {
+		ptrs[i] = new(int)
+	}
+	checkRoundTrip(t, "int", kindWord, func(s int64) int { return int(s) })
+	checkRoundTrip(t, "uint64", kindWord, func(s int64) uint64 { return uint64(s) * 0x9E3779B97F4A7C15 })
+	checkRoundTrip(t, "float64", kindWord, func(s int64) float64 { return float64(s) * math.Pi })
+	checkRoundTrip(t, "bool", kindWord, func(s int64) bool { return s&1 == 0 })
+	checkRoundTrip(t, "int8", kindWord, func(s int64) int8 { return int8(s) })
+	checkRoundTrip(t, "string", kindString, func(s int64) string { return fmt.Sprintf("str-%d", s) })
+	checkRoundTrip(t, "pointer", kindPointer, func(s int64) *int { return ptrs[uint64(s)%8] })
+	checkRoundTrip(t, "pair-struct", kindPair, func(s int64) pair {
+		return pair{A: uint64(s), B: ^uint64(s)}
+	})
+	checkRoundTrip(t, "odd-pair-struct", kindPair, func(s int64) int32x3 {
+		return int32x3{A: int32(s), B: int32(s >> 16), C: int32(s >> 32)}
+	})
+	checkRoundTrip(t, "complex128", kindPair, func(s int64) complex128 {
+		return complex(float64(s), -float64(s))
+	})
+	checkRoundTrip(t, "interface-fallback", kindBoxed, func(s int64) any { return s })
+	checkRoundTrip(t, "slice-fallback", kindBoxed, func(s int64) [3]string {
+		return [3]string{fmt.Sprint(s), "mid", fmt.Sprint(-s)}
+	})
+}
+
+// TestWideValueSeqlockStress hammers wide (multi-word) variables with
+// in-place and commit-time publishes while unsynchronized readers Peek,
+// asserting no reader ever observes a torn value. The pair variable's
+// invariant is B == ^A (any mix of two publishes breaks it); the string
+// variable's values are distinct-length windows of one backing array, so
+// even a torn data-pointer/length pair stays in bounds and is caught by
+// set membership. Run under -race this also drives checkptr over every
+// unsafe conversion in the word plane.
+func TestWideValueSeqlockStress(t *testing.T) {
+	type pair struct{ A, B uint64 }
+	const base = "abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	strs := make([]string, 16)
+	legal := make(map[string]bool, len(strs))
+	for i := range strs {
+		strs[i] = base[i : i+4+i%8] // distinct offsets and lengths, one backing array
+		legal[strs[i]] = true
+	}
+	dur := 80 * time.Millisecond
+	if testing.Short() {
+		dur = 20 * time.Millisecond
+	}
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			xp := NewTVar[pair](pair{0, ^uint64(0)})
+			xs := NewTVar[string](strs[0])
+			stop := make(chan struct{})
+			var torn sync.Map
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					i := uint64(w)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						i++
+						_ = e.Atomically(func(tx *Tx) error {
+							Set(tx, xp, pair{A: i, B: ^i})
+							Set(tx, xs, strs[i%uint64(len(strs))])
+							return nil
+						})
+					}
+				}(w)
+			}
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if p := xp.Peek(); p.B != ^p.A {
+							torn.Store(fmt.Sprintf("pair A=%d B=%d", p.A, p.B), true)
+						}
+						if s := xs.Peek(); !legal[s] {
+							torn.Store(fmt.Sprintf("string %q", s), true)
+						}
+					}
+				}(r)
+			}
+			time.Sleep(dur)
+			close(stop)
+			wg.Wait()
+			torn.Range(func(k, _ any) bool {
+				t.Errorf("%s: torn wide read observed: %s", kind, k)
+				return true
+			})
+		})
+	}
+}

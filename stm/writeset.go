@@ -31,10 +31,10 @@ func spillThreshold() int {
 	return defaultSmallSetSpill
 }
 
-// writeEntry is one buffered write.
+// writeEntry is one buffered write, value in raw-word form (value.go).
 type writeEntry struct {
 	tv *tvar
-	v  any
+	v  vword
 }
 
 // writeSet buffers an attempt's writes in first-write order (the order
@@ -71,16 +71,16 @@ func (ws *writeSet) lookup(tv *tvar) (int, bool) {
 }
 
 // get returns the buffered value for tv.
-func (ws *writeSet) get(tv *tvar) (any, bool) {
+func (ws *writeSet) get(tv *tvar) (vword, bool) {
 	if i, ok := ws.lookup(tv); ok {
 		return ws.entries[i].v, true
 	}
-	return nil, false
+	return vword{}, false
 }
 
 // put buffers v for tv, overwriting in place on a rewrite. Crossing the
 // spill threshold builds the map index once; it then tracks every insert.
-func (ws *writeSet) put(tv *tvar, v any) {
+func (ws *writeSet) put(tv *tvar, v vword) {
 	if i, ok := ws.lookup(tv); ok {
 		ws.entries[i].v = v
 		return

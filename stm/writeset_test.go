@@ -5,10 +5,13 @@ import (
 	"testing"
 )
 
+// intWord encodes a small test integer as a one-word value.
+func intWord(i int) vword { return vword{w0: uint64(i)} }
+
 func wsVars(n int) []*tvar {
 	out := make([]*tvar, n)
 	for i := range out {
-		out[i] = newTVar(0, false)
+		out[i] = newTVar(kindWord, vword{})
 	}
 	return out
 }
@@ -22,7 +25,7 @@ func TestWriteSetSmallAndSpill(t *testing.T) {
 	var ws writeSet
 	ws.init(spill)
 	for i, tv := range tvs {
-		ws.put(tv, i)
+		ws.put(tv, intWord(i))
 		if i+1 <= spill && ws.idx != nil {
 			t.Fatalf("map index built at %d entries, spill is %d", i+1, spill)
 		}
@@ -34,16 +37,16 @@ func TestWriteSetSmallAndSpill(t *testing.T) {
 		t.Fatalf("len = %d, want %d", ws.len(), len(tvs))
 	}
 	for i, tv := range tvs {
-		if v, ok := ws.get(tv); !ok || v.(int) != i {
+		if v, ok := ws.get(tv); !ok || v.w0 != uint64(i) {
 			t.Fatalf("get(%d) = %v, %v", i, v, ok)
 		}
 	}
 	// Overwrites keep the entry count and position.
-	ws.put(tvs[1], 100)
-	if v, _ := ws.get(tvs[1]); v.(int) != 100 || ws.len() != len(tvs) {
+	ws.put(tvs[1], intWord(100))
+	if v, _ := ws.get(tvs[1]); v.w0 != 100 || ws.len() != len(tvs) {
 		t.Fatalf("overwrite: got %v, len %d", v, ws.len())
 	}
-	if _, ok := ws.get(newTVar(0, false)); ok {
+	if _, ok := ws.get(newTVar(kindWord, vword{})); ok {
 		t.Fatal("get of absent variable succeeded")
 	}
 }
@@ -57,7 +60,7 @@ func TestWriteSetSortAndMembership(t *testing.T) {
 		var ws writeSet
 		ws.init(0)
 		for i := len(tvs) - 1; i >= 0; i-- { // reverse insertion
-			ws.put(tvs[i], i)
+			ws.put(tvs[i], intWord(i))
 		}
 		ws.sortByID()
 		for i := 1; i < len(ws.entries); i++ {
@@ -69,11 +72,11 @@ func TestWriteSetSortAndMembership(t *testing.T) {
 			if !ws.containsSorted(tv) {
 				t.Fatalf("n=%d: containsSorted missed member %d", n, i)
 			}
-			if v, ok := ws.get(tv); !ok || v.(int) != i {
+			if v, ok := ws.get(tv); !ok || v.w0 != uint64(i) {
 				t.Fatalf("n=%d: get(%d) after sort = %v, %v", n, i, v, ok)
 			}
 		}
-		if ws.containsSorted(newTVar(0, false)) {
+		if ws.containsSorted(newTVar(kindWord, vword{})) {
 			t.Fatalf("n=%d: containsSorted accepted non-member", n)
 		}
 	}
@@ -86,19 +89,19 @@ func TestWriteSetTruncateRestoresOverwrites(t *testing.T) {
 	var ws writeSet
 	ws.init(0)
 	for i, tv := range tvs {
-		ws.put(tv, i)
+		ws.put(tv, intWord(i))
 	}
 	// Snapshot, then overwrite an early entry and add nothing new.
 	n := ws.len()
 	saved := make([]writeEntry, n)
 	copy(saved, ws.entries)
-	ws.put(tvs[2], 222)
-	ws.put(newTVar(0, false), 999)
+	ws.put(tvs[2], intWord(222))
+	ws.put(newTVar(kindWord, vword{}), intWord(999))
 	ws.truncate(n, saved)
 	if ws.len() != n {
 		t.Fatalf("len after truncate = %d, want %d", ws.len(), n)
 	}
-	if v, _ := ws.get(tvs[2]); v.(int) != 2 {
+	if v, _ := ws.get(tvs[2]); v.w0 != 2 {
 		t.Fatalf("overwritten pre-mark value not restored: %v", v)
 	}
 	ws.reset()
