@@ -23,6 +23,12 @@ type Record struct {
 	Retries     uint64   `json:"retries"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
+	// Structure, Partitions and Skew identify the E7 structure cells
+	// (tmap/store workloads); they are empty/zero on raw-TVar cells, so
+	// pre-structure baselines join unchanged.
+	Structure  string `json:"structure"`
+	Partitions int    `json:"partitions"`
+	Skew       string `json:"skew"`
 }
 
 // Key identifies a measurement cell across runs. The int value kind is
@@ -31,6 +37,15 @@ func (r Record) Key() string {
 	key := fmt.Sprintf("%s/%s/w%d", r.Engine, r.Pattern, r.Workers)
 	if r.Values != "" && r.Values != "int" {
 		key += "/" + r.Values
+	}
+	if r.Structure != "" {
+		key += "/" + r.Structure
+		if r.Partitions > 0 {
+			key += fmt.Sprintf("/p%d", r.Partitions)
+		}
+		if r.Skew != "" {
+			key += "/" + r.Skew
+		}
 	}
 	return key
 }

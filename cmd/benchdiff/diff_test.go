@@ -162,6 +162,47 @@ func TestDiffValuesDimension(t *testing.T) {
 	}
 }
 
+// TestDiffStructureDimension: the E7 structure fields join cells —
+// raw-TVar records (empty structure) keep their bare keys, map cells
+// key on structure+skew, store cells additionally on partition count,
+// and distinct partition counts never cross-join.
+func TestDiffStructureDimension(t *testing.T) {
+	old := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Throughput: 100000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "tmap", Skew: "uniform", Throughput: 90000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 1, Skew: "uniform", Throughput: 80000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", Throughput: 120000},
+	}
+	new := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Throughput: 100000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "tmap", Skew: "uniform", Throughput: 89000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 1, Skew: "uniform", Throughput: 81000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", Throughput: 60000},
+	}
+	deltas := Diff(old, new, 0.10, 0)
+	if len(deltas) != 4 {
+		t.Fatalf("compared %d cells, want 4: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	for _, want := range []string{
+		"tl2s/keyed/w4",
+		"tl2s/keyed/w4/tmap/uniform",
+		"tl2s/keyed/w4/store/p1/uniform",
+		"tl2s/keyed/w4/store/p4/uniform",
+	} {
+		if _, ok := byKey[want]; !ok {
+			t.Fatalf("missing cell key %q in %+v", want, byKey)
+		}
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Key != "tl2s/keyed/w4/store/p4/uniform" {
+		t.Fatalf("regressions = %+v, want exactly the p4 store cell", regs)
+	}
+}
+
 // TestGeomean: the geometric mean of the matched ratios, with missing
 // cells excluded; no matches means no geomean.
 func TestGeomean(t *testing.T) {

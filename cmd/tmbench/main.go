@@ -13,21 +13,30 @@
 // counts, base-object contentions and strict-DAP violations — the
 // machine-level view of the same tradeoff.
 //
-// Engines, patterns and protocols are enumerated through
+// Structure modes (-mode map, -mode store) are the E7 experiment: keyed
+// get/increment traffic against the transactional map (tstructs.TMap on
+// one engine) or the partitioned store (store.Store, one engine instance
+// per partition), swept over key skew (uniform = disjoint-dominated,
+// zipf = hot-key contention) and — for the store — partition counts, so
+// one run records the partitions-vs-throughput curve.
+//
+// Engines, patterns, skews and protocols are enumerated through
 // internal/registry, so a newly registered engine appears in the sweep
 // without touching this file.
 //
 // Usage:
 //
-//	tmbench [-mode real|sim] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
+//	tmbench [-mode real|sim|map|store] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
 //	        [-engine tl2,tl2s,twopl,glock,adaptive] [-pattern disjoint,uniform,zipf,phase]
-//	        [-values int,string,struct,any] [-orec-shards N] [-json results.json] [-txns 6]
+//	        [-values int,string,struct,any] [-keys 1024] [-partitions 1,2,4]
+//	        [-skew uniform,zipf] [-orec-shards N] [-json results.json] [-txns 6]
 //
 // -values selects the payload kind(s) each transaction carries (the
 // value-representation dimension: int/string/struct ride the engines'
 // raw-word path, any is the boxed fallback); the default sweeps only
 // int, so trajectory comparisons against pre-value-kind baselines stay
-// cell-compatible.
+// cell-compatible. -keys, -partitions and -skew shape the structure
+// modes only.
 //
 // The adaptive engine's rows carry an extra per-regime breakdown (which
 // delegate ran, how many switches) both in the table and in the JSON.
@@ -62,6 +71,10 @@ func main() {
 	valuesFlag := flag.String("values", "int",
 		"payload value kinds to sweep: int,string,struct,any (real mode)")
 	jsonPath := flag.String("json", "", "also write real-mode results as JSON to this file (\"-\" = stdout)")
+	keys := flag.Int("keys", 1024, "keyspace size (map/store modes)")
+	partitionsFlag := flag.String("partitions", "1,2,4", "comma-separated partition counts (store mode)")
+	skewFlag := flag.String("skew", strings.Join(registry.SkewNames(), ","),
+		"key distributions to sweep: uniform,zipf (map/store modes)")
 	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -74,9 +87,12 @@ func main() {
 		realMode(parseInts(*workersFlag), *ops, *vars,
 			parseEngines(*enginesFlag), parsePatterns(*patternsFlag),
 			parseValueKinds(*valuesFlag), *seed, *jsonPath)
+	case "map", "store":
+		structMode(*mode, parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
+			parseEngines(*enginesFlag), parseSkews(*skewFlag), *seed, *jsonPath)
 	case "sim":
 		if *jsonPath != "" {
-			fmt.Fprintln(os.Stderr, "tmbench: -json only applies to -mode real")
+			fmt.Fprintln(os.Stderr, "tmbench: -json does not apply to -mode sim")
 			os.Exit(2)
 		}
 		simMode(*txns, *seed)
@@ -166,6 +182,13 @@ type benchRecord struct {
 	// Adaptive is the per-regime breakdown, present only for the
 	// adaptive engine.
 	Adaptive *stm.AdaptiveStats `json:"adaptive,omitempty"`
+	// Structure, Partitions and Skew are the E7 dimensions, present only
+	// for structure-mode records ("tmap" on one engine, "store" across
+	// Partitions engine instances); cmd/benchdiff folds them into the
+	// cell key when present, so raw-TVar baselines stay cell-compatible.
+	Structure  string `json:"structure,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	Skew       string `json:"skew,omitempty"`
 }
 
 func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
@@ -203,6 +226,83 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
 						Adaptive: res.Adaptive,
 					})
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		writeJSON(jsonPath, records)
+	}
+}
+
+func parseSkews(s string) []workload.Skew {
+	var out []workload.Skew
+	for _, part := range strings.Split(s, ",") {
+		k, err := registry.SkewByName(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// structMode is the E7 experiment: keyed get/increment traffic against
+// the transactional map ("map": tstructs.TMap on one engine) or the
+// partitioned store ("store": one engine instance per partition),
+// sweeping engines × skews × workers, and — for the store — partition
+// counts, so the partitions-vs-throughput curve of uniform (mostly
+// disjoint) traffic is one sweep.
+func structMode(mode string, workers, partitions []int, ops, keys int,
+	engines []stm.EngineKind, skews []workload.Skew, seed int64, jsonPath string) {
+	var records []benchRecord
+	fmt.Printf("E7 — transactional structures under real parallelism (%s)\n", mode)
+	fmt.Printf("%-8s %-8s %-6s %-8s %12s %10s %10s %10s %10s\n",
+		"engine", "skew", "parts", "workers", "tx/s", "commits", "retries", "allocs/op", "B/op")
+	if mode == "map" {
+		partitions = []int{0}
+	}
+	for _, sk := range skews {
+		for _, parts := range partitions {
+			for _, w := range workers {
+				for _, kind := range engines {
+					cfg := workload.StoreConfig{
+						Keys: keys, Partitions: parts, Workers: w,
+						OpsPerWorker: ops, Skew: sk, Seed: seed,
+					}
+					var res workload.StoreResult
+					if mode == "map" {
+						res = workload.RunMap(kind, cfg)
+					} else {
+						res = workload.RunStore(kind, cfg)
+					}
+					if res.Sum != res.Writes {
+						fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
+							kind, sk, res.Sum, res.Writes)
+						os.Exit(1)
+					}
+					partsLabel := res.Config.Partitions
+					if mode == "map" {
+						partsLabel = 0
+					}
+					fmt.Printf("%-8s %-8s %-6d %-8d %12.0f %10d %10d %10.2f %10.1f\n",
+						kind, sk, partsLabel, w, res.Throughput, res.Commits, res.Retries,
+						res.AllocsPerOp, res.BytesPerOp)
+					rec := benchRecord{
+						Engine: kind.String(), Pattern: "keyed", Workers: w,
+						OpsPerWkr: ops, Vars: keys, Seed: seed,
+						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
+						Structure: "tmap", Skew: sk.String(),
+					}
+					if mode == "store" {
+						rec.Structure = "store"
+						rec.Partitions = res.Config.Partitions
+					}
+					records = append(records, rec)
 				}
 			}
 		}

@@ -216,10 +216,37 @@ func runLive(episodes int, seed int64, enginesCSV, patternsCSV string) {
 	fmt.Printf("\ntotal: %d episodes, %d checked, %d skipped (oversized), %d inconclusive (budget)\n",
 		sum.Episodes, sum.Checked, sum.Skipped, sum.Inconclusive)
 
-	if len(sum.Failures) > 0 {
-		fmt.Printf("\n%d VIOLATION(S):\n", len(sum.Failures))
-		for _, f := range sum.Failures {
-			fmt.Println(f)
+	// The structure layer: the same checkers over histories of the
+	// transactional data structures (tstructs.TMap) and the partitioned
+	// store — keyspace-level operation histories plus every partition's
+	// own TVar-level history — with the planted aliased-TMap fixture as
+	// the layer's self-test.
+	ssum, err := conformance.StressStructures(conformance.StructStressConfig{
+		Episodes: max(1, episodes/2), Seed: seed, Engines: cfg.Engines})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: live structures: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nconformance of transactional structures (TMap + partitioned store)\n")
+	fmt.Printf("histories: %d map-level, %d store-level, %d per-partition; %d checked, %d skipped, %d inconclusive\n",
+		ssum.MapHistories, ssum.StoreHistories, ssum.PartitionHistories,
+		ssum.Checked, ssum.Skipped, ssum.Inconclusive)
+	if ssum.AliasedConvicted {
+		fmt.Println("planted aliased-TMap fixture: convicted (self-test passed)")
+	} else {
+		fmt.Println("planted aliased-TMap fixture: NOT convicted — the structure harness is vacuous")
+	}
+
+	failures := len(sum.Failures) + len(ssum.Failures)
+	if failures > 0 || !ssum.AliasedConvicted {
+		if failures > 0 {
+			fmt.Printf("\n%d VIOLATION(S):\n", failures)
+			for _, f := range sum.Failures {
+				fmt.Println(f)
+			}
+			for _, f := range ssum.Failures {
+				fmt.Println(f)
+			}
 		}
 		os.Exit(1)
 	}

@@ -1,9 +1,15 @@
-// Bank: concurrent transfers over shared accounts, run against every
-// engine, with the conservation invariant checked at the end — the
-// classic STM correctness demo, and a small-scale version of the E1
-// experiment (watch the retry counts differ between engines).
+// Bank: concurrent transfers over shared accounts, rebuilt on the
+// partitioned store — the classic STM correctness demo, restated at the
+// store layer. Accounts are keyed into a store.Store whose partitions
+// each run their own engine instance; a transfer whose two accounts
+// land in the same partition commits entirely inside that partition's
+// engine (the fast path the partitioning exists for), and a transfer
+// that straddles partitions escalates through store.Cross, the
+// test-only 2PC-shaped seam. The conservation invariant is audited at
+// the end under Cross, so the sum is a consistent cut across every
+// partition.
 //
-//	go run ./examples/bank [-accounts 32] [-goroutines 8] [-transfers 2000]
+//	go run ./examples/bank [-accounts 32] [-goroutines 8] [-transfers 2000] [-partitions 4]
 package main
 
 import (
@@ -12,25 +18,30 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcltm/stm"
+	"pcltm/store"
 )
 
 func main() {
 	accounts := flag.Int("accounts", 32, "number of accounts")
 	goroutines := flag.Int("goroutines", 8, "concurrent transferrers")
 	transfers := flag.Int("transfers", 2000, "transfers per goroutine")
+	partitions := flag.Int("partitions", 4, "store partitions (each its own engine instance)")
 	flag.Parse()
 
 	const initial = 1000
 	for _, kind := range stm.EngineKinds() {
-		eng := stm.NewEngine(kind)
-		vars := make([]*stm.TVar[int64], *accounts)
-		for i := range vars {
-			vars[i] = stm.NewTVar[int64](initial)
+		s := store.New[int64, int64](store.Config{
+			Partitions: *partitions, Engine: kind,
+		})
+		for a := int64(0); a < int64(*accounts); a++ {
+			s.Put(a, initial)
 		}
 
+		var fastPath, crossPath atomic.Int64
 		start := time.Now()
 		var wg sync.WaitGroup
 		for g := 0; g < *goroutines; g++ {
@@ -39,18 +50,37 @@ func main() {
 				defer wg.Done()
 				r := rand.New(rand.NewSource(seed))
 				for i := 0; i < *transfers; i++ {
-					from, to := r.Intn(*accounts), r.Intn(*accounts)
+					from, to := int64(r.Intn(*accounts)), int64(r.Intn(*accounts))
 					if from == to {
 						continue
 					}
 					amount := int64(r.Intn(50) + 1)
-					_ = eng.Atomically(func(tx *stm.Tx) error {
-						f := stm.Get(tx, vars[from])
+					if s.PartitionOf(from) == s.PartitionOf(to) {
+						// Both accounts share a partition: one ordinary
+						// transaction inside that partition's engine.
+						fastPath.Add(1)
+						_ = s.Atomically(s.PartitionOf(from), func(tx *stm.Tx, p *store.Part[int64, int64]) error {
+							f, _ := p.Get(tx, from)
+							if f < amount {
+								return nil // declined, still consistent
+							}
+							p.Put(tx, from, f-amount)
+							t, _ := p.Get(tx, to)
+							p.Put(tx, to, t+amount)
+							return nil
+						})
+						continue
+					}
+					// The accounts straddle partitions: escalate.
+					crossPath.Add(1)
+					_ = s.Cross(func(cx *store.CrossTx[int64, int64]) error {
+						f, _ := cx.Get(from)
 						if f < amount {
-							return nil // declined, still consistent
+							return nil
 						}
-						stm.Set(tx, vars[from], f-amount)
-						stm.Set(tx, vars[to], stm.Get(tx, vars[to])+amount)
+						cx.Put(from, f-amount)
+						t, _ := cx.Get(to)
+						cx.Put(to, t+amount)
 						return nil
 					})
 				}
@@ -59,11 +89,13 @@ func main() {
 		wg.Wait()
 		elapsed := time.Since(start)
 
+		// Audit under Cross: a consistent cut of every partition at once.
 		var total int64
-		_ = eng.Atomically(func(tx *stm.Tx) error {
+		_ = s.Cross(func(cx *store.CrossTx[int64, int64]) error {
 			total = 0
-			for _, v := range vars {
-				total += stm.Get(tx, v)
+			for a := int64(0); a < int64(*accounts); a++ {
+				v, _ := cx.Get(a)
+				total += v
 			}
 			return nil
 		})
@@ -73,9 +105,14 @@ func main() {
 		if total != want {
 			status = fmt.Sprintf("BROKEN (want %d)", want)
 		}
-		s := eng.Stats()
-		fmt.Printf("%-6s total=%-8d %-6s %8.1fms  commits=%-7d retries=%d\n",
-			kind, total, status, float64(elapsed.Microseconds())/1000, s.Commits, s.Retries)
+		var commits, retries uint64
+		for _, st := range s.Stats() {
+			commits += st.Commits
+			retries += st.Retries
+		}
+		fmt.Printf("%-6s total=%-8d %-6s %8.1fms  commits=%-7d retries=%-5d same-partition=%d cross=%d\n",
+			kind, total, status, float64(elapsed.Microseconds())/1000, commits, retries,
+			fastPath.Load(), crossPath.Load())
 		if total != want {
 			os.Exit(1)
 		}

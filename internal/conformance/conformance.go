@@ -209,11 +209,12 @@ func RequiredConditions(engine string) []string {
 	switch engine {
 	case "tl2", "tl2s", "adaptive", "glock":
 		return all
-	case "broken", "leaky", "corrupt":
+	case "broken", "leaky", "corrupt", "aliased":
 		// The test fixtures impersonate glock, so they owe everything —
 		// that the harness flags them is the harness's own self-test
 		// (stale read cache for "broken", pooled undo-log leak for
-		// "leaky", raw-word truncation for "corrupt").
+		// "leaky", raw-word truncation for "corrupt", dropped bucket
+		// chains for the structure layer's "aliased" TMap).
 		return all
 	case "twopl":
 		var out []string

@@ -16,6 +16,7 @@ package conformance
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 
 	"pcltm/internal/core"
@@ -55,6 +56,26 @@ type moment struct {
 // observed values are consistent with stamp order. A condition that holds
 // on the stamped history therefore held in the machine.
 func Stamp(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, bool), nprocs int) (*core.Execution, error) {
+	return stamp(attempts, itemOf, nprocs, convertOp)
+}
+
+// StampInterned is Stamp for histories whose recorded values are not all
+// integers — the transactional data structures record chain-link TVars
+// holding entry pointers. Integer payloads pass through unchanged;
+// nil-ish values (typed nil links: the empty chain, which is also every
+// link TVar's initial value) map to 0; every other distinct value gets a
+// unique negative integer, assigned on first sight. The mapping is
+// injective, so it preserves exactly the equality structure reads-from
+// depends on: a read maps to a write's value iff the machine really
+// returned that write's pointer. (Two link writes of the same pointer map
+// to the same integer, as they must — they are the same value.)
+func StampInterned(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, bool), nprocs int) (*core.Execution, error) {
+	in := &interner{seen: make(map[any]core.Value)}
+	return stamp(attempts, itemOf, nprocs, in.convert)
+}
+
+func stamp(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, bool), nprocs int,
+	convert func(stm.RecordedOp, func(uint64) (core.Item, bool)) (core.Item, core.Value, error)) (*core.Execution, error) {
 	byBegin := make([]*stm.AttemptRecord, len(attempts))
 	copy(byBegin, attempts)
 	sort.Slice(byBegin, func(i, j int) bool { return byBegin[i].BeginSeq < byBegin[j].BeginSeq })
@@ -73,7 +94,7 @@ func Stamp(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, b
 		// The static spec: the attempt's completed code.
 		spec := core.TxSpec{ID: txn, Proc: core.ProcID(a.Proc)}
 		for _, op := range a.Ops {
-			item, v, err := convertOp(op, itemOf)
+			item, v, err := convert(op, itemOf)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +114,7 @@ func Stamp(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, b
 		case momentBegin:
 			b.Begin(p, m.txn)
 		case momentOp:
-			item, v, err := convertOp(m.op, itemOf)
+			item, v, err := convert(m.op, itemOf)
 			if err != nil {
 				return nil, err
 			}
@@ -113,6 +134,49 @@ func Stamp(attempts []*stm.AttemptRecord, itemOf func(tvar uint64) (core.Item, b
 		}
 	}
 	return b.Exec(), nil
+}
+
+// interner maps arbitrary recorded values to core.Values for
+// StampInterned: integers pass through, nil-ish values become 0,
+// anything else gets the next negative integer on first sight.
+type interner struct {
+	seen map[any]core.Value
+	next core.Value
+}
+
+func (in *interner) convert(op stm.RecordedOp, itemOf func(uint64) (core.Item, bool)) (core.Item, core.Value, error) {
+	item, ok := itemOf(op.TVar)
+	if !ok {
+		return "", 0, fmt.Errorf("conformance: recorded op on unknown tvar id %d", op.TVar)
+	}
+	switch v := op.Value.(type) {
+	case nil:
+		return item, 0, nil
+	case int64:
+		return item, core.Value(v), nil
+	case int:
+		return item, core.Value(v), nil
+	}
+	rv := reflect.ValueOf(op.Value)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func, reflect.Slice, reflect.Interface:
+		if rv.IsNil() {
+			// A typed-nil link is the structures' empty marker and every
+			// link TVar's initial value; it must intern to the checkers'
+			// initial value 0 or every first chain read would look like a
+			// read of an unwritten value.
+			return item, 0, nil
+		}
+	}
+	if !reflect.TypeOf(op.Value).Comparable() {
+		return "", 0, fmt.Errorf("conformance: recorded value of %s has non-comparable type %T; cannot intern", item, op.Value)
+	}
+	if id, ok := in.seen[op.Value]; ok {
+		return item, id, nil
+	}
+	in.next--
+	in.seen[op.Value] = in.next
+	return item, in.next, nil
 }
 
 // convertOp resolves a recorded op's item and value.

@@ -1,0 +1,154 @@
+package conformance
+
+import (
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/stm"
+)
+
+// TestStructTMapHistoriesConform records structure-level TMap histories
+// on every engine and checks each against the engine's required
+// conditions — a correct map over a correct engine linearizes its
+// operations, so every history must pass.
+func TestStructTMapHistoriesConform(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				ep := structShape(7, kind.String(), i)
+				exec := RunTMapEpisode(kind, ep)
+				rep := Evaluate(kind.String(), Episode{Seed: ep.Seed}, exec)
+				if fails := rep.Failures(); len(fails) > 0 {
+					t.Fatalf("TMap history #%d violated %v\n%s", i, fails, rep.DumpHistory())
+				}
+			}
+		})
+	}
+}
+
+// TestStructStoreHistoriesConform records store episodes on every
+// engine and checks the structure-level history AND every partition's
+// TVar-level history — the per-partition opacity assertion of the
+// partitioned-store design.
+func TestStructStoreHistoriesConform(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			checkedPartitions := 0
+			for i := 0; i < 3; i++ {
+				ep := structShape(11, kind.String(), i)
+				res, err := RunStoreEpisode(kind, ep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := Evaluate(kind.String(), Episode{Seed: ep.Seed}, res.StoreLevel)
+				if fails := rep.Failures(); len(fails) > 0 {
+					t.Fatalf("store-level history #%d violated %v\n%s", i, fails, rep.DumpHistory())
+				}
+				if len(res.Partitions) != ep.withDefaults().Partitions {
+					t.Fatalf("episode recorded %d partition histories, want %d",
+						len(res.Partitions), ep.withDefaults().Partitions)
+				}
+				for p, pexec := range res.Partitions {
+					prep := Evaluate(kind.String(), Episode{Seed: ep.Seed}, pexec)
+					if fails := prep.Failures(); len(fails) > 0 {
+						t.Fatalf("partition %d TVar history #%d violated %v\n%s",
+							p, i, fails, prep.DumpHistory())
+					}
+					if !prep.Skipped {
+						checkedPartitions++
+					}
+				}
+			}
+			if checkedPartitions == 0 {
+				t.Fatalf("every partition history skipped as oversized; the per-partition assertion is vacuous")
+			}
+		})
+	}
+}
+
+// TestConvictAliasedTMap is the structure layer's planted-bug
+// self-test: the checkers must flag the aliased chain-dropping TMap, or
+// the harness could not catch a real structure bug of the same shape.
+func TestConvictAliasedTMap(t *testing.T) {
+	rep := ConvictAliasedTMap()
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatalf("aliased TMap fixture passed every checker; harness self-test failed\n%s", rep.DumpHistory())
+	}
+	// The conviction must include a real-time condition: the lost key is
+	// serializable (read moved first) but never strictly serializable.
+	seen := map[string]bool{}
+	for _, f := range fails {
+		seen[f] = true
+	}
+	t.Logf("aliased fixture convicted of: %v", fails)
+}
+
+// TestStressStructures runs the full seeded structure sweep — the same
+// entry point tmcheck -live uses — and requires a clean bill for the
+// real engines plus a conviction of the planted fixture.
+func TestStressStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("structure sweep is the long self-test; run without -short")
+	}
+	sum, err := StressStructures(StructStressConfig{Episodes: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failures) > 0 {
+		t.Fatalf("structure sweep recorded %d violation(s):\n%s", len(sum.Failures), sum.Failures[0])
+	}
+	if !sum.AliasedConvicted {
+		t.Fatal("planted aliased fixture was not convicted; the sweep's self-test failed")
+	}
+	if sum.PartitionHistories == 0 || sum.Checked == 0 {
+		t.Fatalf("sweep checked %d histories (%d per-partition); expected real coverage",
+			sum.Checked, sum.PartitionHistories)
+	}
+	t.Logf("structures sweep: %d histories (%d map, %d store, %d partition), %d checked, %d skipped, %d inconclusive",
+		sum.Episodes, sum.MapHistories, sum.StoreHistories, sum.PartitionHistories,
+		sum.Checked, sum.Skipped, sum.Inconclusive)
+}
+
+// TestStampInterned pins the interner's contract directly: integers
+// pass through, typed-nil pointers map to the initial value 0, distinct
+// pointers get distinct negative ids, equal pointers the same id.
+func TestStampInterned(t *testing.T) {
+	rec := stm.NewRecorder()
+	eng := stm.NewEngine(stm.EngineGlobalLock, stm.WithRecorder(rec))
+	type node struct{ v int }
+	n1, n2 := &node{1}, &node{2}
+	link := stm.NewTVar[*node](nil)
+	payload := stm.NewTVar[int64](0)
+	_ = eng.Atomically(func(tx *stm.Tx) error {
+		if stm.Get(tx, link) != nil { // reads typed nil → must intern to 0
+			t.Error("fresh link TVar not nil")
+		}
+		stm.Set(tx, link, n1)
+		stm.Set(tx, payload, 42)
+		return nil
+	})
+	_ = eng.Atomically(func(tx *stm.Tx) error {
+		if stm.Get(tx, link) != n1 { // reads n1 → same id as the write of n1
+			t.Error("link did not hold n1")
+		}
+		stm.Set(tx, link, n2)
+		return nil
+	})
+	exec, err := StampInterned(rec.Take(), func(id uint64) (core.Item, bool) {
+		switch id {
+		case link.ID():
+			return "link", true
+		case payload.ID():
+			return "payload", true
+		}
+		return "", false
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate("glock", Episode{Seed: 1}, exec)
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("interned pointer history violated %v\n%s", fails, rep.DumpHistory())
+	}
+}

@@ -103,3 +103,26 @@ func ValueKindByName(name string) (workload.ValueKind, error) {
 	return 0, fmt.Errorf("registry: unknown value kind %q (known: %s)",
 		name, strings.Join(ValueKindNames(), ", "))
 }
+
+// Skews lists the structure workloads' key distributions (the E7
+// dimension).
+func Skews() []workload.Skew { return workload.Skews() }
+
+// SkewNames lists the skew names in presentation order.
+func SkewNames() []string {
+	skews := Skews()
+	names := make([]string, len(skews))
+	for i, s := range skews {
+		names[i] = s.String()
+	}
+	return names
+}
+
+// SkewByName resolves a skew name; the error names the known skews.
+func SkewByName(name string) (workload.Skew, error) {
+	if s, ok := workload.SkewByName(name); ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("registry: unknown skew %q (known: %s)",
+		name, strings.Join(SkewNames(), ", "))
+}

@@ -187,6 +187,43 @@ func TestZeroAllocValueKindPair(t *testing.T) {
 	}
 }
 
+// TestZeroAllocValueKindPtrScalar: mixed pointer+scalar structs (both
+// field orders) ride the three vword words — pointer in the GC slot,
+// scalars in a data word — so Set/Get of e.g. {*T; int} allocates
+// nothing. Before the mixed kinds these types took the boxed fallback
+// at one allocation per Set.
+func TestZeroAllocValueKindPtrScalar(t *testing.T) {
+	type ptrInt struct {
+		P *int
+		N int64
+	}
+	type intPtr struct {
+		N int64
+		P *int
+	}
+	vals := [2]*int{new(int), new(int)}
+	for _, kind := range EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			x := NewTVar[ptrInt](ptrInt{P: vals[0]})
+			y := NewTVar[intPtr](intPtr{P: vals[0]})
+			i := 0
+			fn := func(tx *Tx) error {
+				vx := Get(tx, x)
+				vy := Get(tx, y)
+				i++
+				Set(tx, x, ptrInt{P: vals[i%2], N: vx.N + 1})
+				Set(tx, y, intPtr{N: vy.N + 1, P: vals[i%2]})
+				return nil
+			}
+			if got := measureAllocs(t, e, fn); got > allocBudget(kind) {
+				t.Errorf("%s: mixed pointer+scalar transaction allocates %.2f allocs/op in steady state, budget %.1f",
+					kind, got, allocBudget(kind))
+			}
+		})
+	}
+}
+
 // TestZeroAllocOrElse: the OrElse bracket — mark, abandoned first
 // alternative, rollback, fallback — allocates nothing in steady state.
 // The mark is a by-value txMark (no interface boxing) and its write-set

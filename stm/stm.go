@@ -59,10 +59,14 @@
 //   - pair kinds: pointer-free types of 9..16 bytes (two-word structs,
 //     complex128);
 //   - strings (data pointer + length, no copy of the bytes);
-//   - pointer kinds: *T, unsafe.Pointer, map, chan, func.
+//   - pointer kinds: *T, unsafe.Pointer, map, chan, func;
+//   - mixed pointer+scalar structs up to 16 bytes whose pointer map is
+//     exactly one pointer word (e.g. struct{P *T; N int}, either field
+//     order): the pointer rides the GC slot, the scalars ride a data
+//     word.
 //
 // The boxed fallback — interface-kind element types (TVar[any],
-// TVar[error]) and types the words cannot carry (pointer-containing or
+// TVar[error]) and types the words cannot carry (multi-pointer or
 // >16-byte structs, slices) — keeps exactly the pre-word semantics and
 // allocates one box per Set; it is the contract's only exemption, and it
 // is per-TVar-type, never per engine. stm/alloc_test.go pins the
@@ -318,7 +322,7 @@ func (tv *tvar) storeWords(w vword) {
 	case kindPair:
 		tv.w0.Store(w.w0)
 		tv.w1.Store(w.w1)
-	case kindString:
+	case kindString, kindPtrLo, kindPtrHi:
 		tv.p.Store((*byte)(w.p))
 		tv.w0.Store(w.w0)
 	default: // kindPointer, kindBoxed
@@ -334,7 +338,7 @@ func (tv *tvar) loadWords() vword {
 		return vword{w0: tv.w0.Load()}
 	case kindPair:
 		return vword{w0: tv.w0.Load(), w1: tv.w1.Load()}
-	case kindString:
+	case kindString, kindPtrLo, kindPtrHi:
 		return vword{w0: tv.w0.Load(), p: unsafe.Pointer(tv.p.Load())}
 	default:
 		return vword{p: unsafe.Pointer(tv.p.Load())}

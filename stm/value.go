@@ -35,14 +35,23 @@ const (
 	// kindPointer: exactly one pointer word (*T, unsafe.Pointer, map,
 	// chan, func). The pointer slot alone.
 	kindPointer
+	// kindPtrLo: a mixed pointer+scalar struct with the pointer word at
+	// offset 0 and pointer-free bytes at [8,size) — e.g. struct{P *T;
+	// N int}. The pointer rides the GC-visible slot, the scalar bytes
+	// ride w0: all three vword words in use, no box. 64-bit only.
+	kindPtrLo
+	// kindPtrHi: the mirrored layout — pointer-free bytes at [0,8) and
+	// the single pointer word at offset 8 (e.g. struct{N int; P *T},
+	// size exactly 16). Scalar in w0, pointer in the slot.
+	kindPtrHi
 	// kindBoxed: everything the words cannot carry — interface kinds
-	// (TVar[any], TVar[error]), pointer-containing or >16-byte
-	// non-interface types, slices. The pointer slot holds a *any box;
-	// Set allocates, exactly as before the word representation.
+	// (TVar[any], TVar[error]), multi-pointer or >16-byte non-interface
+	// types, slices. The pointer slot holds a *any box; Set allocates,
+	// exactly as before the word representation.
 	kindBoxed
 )
 
-var valueKindNames = [...]string{"word", "pair", "string", "pointer", "boxed"}
+var valueKindNames = [...]string{"word", "pair", "string", "pointer", "ptr+word", "word+ptr", "boxed"}
 
 func (k valueKind) String() string {
 	if int(k) >= len(valueKindNames) {
@@ -54,7 +63,9 @@ func (k valueKind) String() string {
 // wide reports whether the kind spreads a value over more than one
 // storage word, so an in-place publish must bracket the stores with the
 // tvar's seqlock for unlocked readers (see tvar.publish).
-func (k valueKind) wide() bool { return k == kindPair || k == kindString }
+func (k valueKind) wide() bool {
+	return k == kindPair || k == kindString || k == kindPtrLo || k == kindPtrHi
+}
 
 // vword is one value in raw-word form. w0/w1 carry pointer-free bytes;
 // p is the single GC-visible pointer slot (string data, pointer value,
@@ -85,7 +96,75 @@ func classify(t reflect.Type) valueKind {
 			return kindPair
 		}
 	}
+	if k, ok := classifyMixed(t); ok {
+		return k
+	}
 	return kindBoxed
+}
+
+// classifyMixed detects the pointer+scalar layouts the three vword words
+// can carry without boxing: a type of at most 16 bytes whose pointer map
+// is exactly one pointer-sized word, with every other byte pointer-free.
+// The pointer word rides the GC-visible slot and the scalar bytes ride
+// w0, so structs like {*T; int} take the raw-word path. Only meaningful
+// where a pointer fills a whole 8-byte word (64-bit); elsewhere the
+// boxed fallback stands.
+func classifyMixed(t reflect.Type) (valueKind, bool) {
+	if unsafe.Sizeof(uintptr(0)) != 8 || t.Size() > 16 {
+		return 0, false
+	}
+	offs := ptrWordOffsets(t, 0, nil)
+	if offs == nil || len(*offs) != 1 {
+		return 0, false
+	}
+	switch off := (*offs)[0]; {
+	case off == 0 && t.Size() == 8:
+		// A bare pointer in a wrapper struct: layout-identical to the
+		// pointer kind, no scalar word at all.
+		return kindPointer, true
+	case off == 0:
+		return kindPtrLo, true
+	case off == 8 && t.Size() == 16:
+		return kindPtrHi, true
+	default:
+		return 0, false
+	}
+}
+
+// ptrWordOffsets collects the offsets of single-word pointer fields
+// (pointer, unsafe.Pointer, map, chan, func) reachable in t at base.
+// It returns nil when t contains a pointer shape that is not one clean
+// word (string, interface, slice) — those types cannot ride the mixed
+// kinds. Pointer-free leaves contribute nothing.
+func ptrWordOffsets(t reflect.Type, base uintptr, acc *[]uintptr) *[]uintptr {
+	if acc == nil {
+		acc = new([]uintptr)
+	}
+	switch t.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		*acc = append(*acc, base)
+		return acc
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if acc = ptrWordOffsets(f.Type, base+f.Offset, acc); acc == nil {
+				return nil
+			}
+		}
+		return acc
+	case reflect.Array:
+		for i := 0; i < t.Len(); i++ {
+			if acc = ptrWordOffsets(t.Elem(), base+uintptr(i)*t.Elem().Size(), acc); acc == nil {
+				return nil
+			}
+		}
+		return acc
+	default:
+		if pointerFree(t) {
+			return acc
+		}
+		return nil
+	}
 }
 
 // pointerFree reports whether values of t contain no pointer words, so
@@ -148,6 +227,19 @@ func encode[T any](kind valueKind, v *T) vword {
 		return vword{w0: uint64(h.len), p: h.data}
 	case kindPointer:
 		return vword{p: *(*unsafe.Pointer)(unsafe.Pointer(v))}
+	case kindPtrLo:
+		// Pointer word at [0,8), scalar bytes at [8,size). The base is
+		// 8-aligned (the type contains a pointer), so the sub-load at +8
+		// is naturally aligned for its width.
+		return vword{
+			p:  *(*unsafe.Pointer)(unsafe.Pointer(v)),
+			w0: loadWordBytes(unsafe.Add(unsafe.Pointer(v), 8), unsafe.Sizeof(*v)-8, true),
+		}
+	case kindPtrHi:
+		return vword{
+			w0: loadWordBytes(unsafe.Pointer(v), 8, true),
+			p:  *(*unsafe.Pointer)(unsafe.Add(unsafe.Pointer(v), 8)),
+		}
 	default:
 		b := new(any)
 		*b = *v
@@ -173,6 +265,12 @@ func decode[T any](kind valueKind, w vword) T {
 		h.len = int(w.w0)
 	case kindPointer:
 		*(*unsafe.Pointer)(unsafe.Pointer(&v)) = w.p
+	case kindPtrLo:
+		*(*unsafe.Pointer)(unsafe.Pointer(&v)) = w.p
+		storeWordBytes(unsafe.Add(unsafe.Pointer(&v), 8), w.w0, unsafe.Sizeof(v)-8, true)
+	case kindPtrHi:
+		storeWordBytes(unsafe.Pointer(&v), w.w0, 8, true)
+		*(*unsafe.Pointer)(unsafe.Add(unsafe.Pointer(&v), 8)) = w.p
 	default:
 		v = (*(*any)(w.p)).(T)
 	}

@@ -23,6 +23,20 @@ func TestClassify(t *testing.T) {
 		P *int
 		N int
 	}
+	type mixedHi struct {
+		N int
+		P *int
+	}
+	type mixedSmall struct {
+		P *int
+		B uint16
+	}
+	type ptrOnly struct{ P *int }
+	type twoPtr struct{ P, Q *int }
+	type nestedMixed struct {
+		Inner ptrOnly
+		N     uint32
+	}
 	type small3 struct{ A, B, C uint8 }
 	type int32x3 struct{ A, B, C int32 }
 	cases := []struct {
@@ -46,10 +60,22 @@ func TestClassify(t *testing.T) {
 		{reflect.TypeFor[map[string]int](), kindPointer},
 		{reflect.TypeFor[chan int](), kindPointer},
 		{reflect.TypeFor[func()](), kindPointer},
+		{reflect.TypeFor[mixed](), kindPtrLo},
+		{reflect.TypeFor[mixedHi](), kindPtrHi},
+		{reflect.TypeFor[mixedSmall](), kindPtrLo},
+		{reflect.TypeFor[nestedMixed](), kindPtrLo},
+		{reflect.TypeFor[ptrOnly](), kindPointer},
+		{reflect.TypeFor[[1]*int](), kindPointer},
 		{reflect.TypeFor[any](), kindBoxed},
 		{reflect.TypeFor[error](), kindBoxed},
 		{reflect.TypeFor[[]int](), kindBoxed},
-		{reflect.TypeFor[mixed](), kindBoxed},
+		{reflect.TypeFor[twoPtr](), kindBoxed},
+		{reflect.TypeFor[struct{ S string }](), kindBoxed},
+		{reflect.TypeFor[struct {
+			P *int
+			N uint64
+			M uint64
+		}](), kindBoxed},
 		{reflect.TypeFor[triple](), kindBoxed},
 		{reflect.TypeFor[[3]string](), kindBoxed},
 	}
@@ -139,6 +165,30 @@ func TestValueRoundTrips(t *testing.T) {
 	checkRoundTrip(t, "complex128", kindPair, func(s int64) complex128 {
 		return complex(float64(s), -float64(s))
 	})
+	type ptrInt struct {
+		P *int
+		N int64
+	}
+	type intPtr struct {
+		N int64
+		P *int
+	}
+	type ptrSmall struct {
+		P *int
+		B uint16
+	}
+	checkRoundTrip(t, "ptr-lo-struct", kindPtrLo, func(s int64) ptrInt {
+		return ptrInt{P: ptrs[uint64(s)%8], N: s}
+	})
+	checkRoundTrip(t, "ptr-hi-struct", kindPtrHi, func(s int64) intPtr {
+		return intPtr{N: ^s, P: ptrs[uint64(s+3)%8]}
+	})
+	checkRoundTrip(t, "ptr-small-scalar-struct", kindPtrLo, func(s int64) ptrSmall {
+		return ptrSmall{P: ptrs[uint64(s)%8], B: uint16(s)}
+	})
+	checkRoundTrip(t, "single-ptr-struct", kindPointer, func(s int64) struct{ P *int } {
+		return struct{ P *int }{P: ptrs[uint64(s)%8]}
+	})
 	checkRoundTrip(t, "interface-fallback", kindBoxed, func(s int64) any { return s })
 	checkRoundTrip(t, "slice-fallback", kindBoxed, func(s int64) [3]string {
 		return [3]string{fmt.Sprint(s), "mid", fmt.Sprint(-s)}
@@ -168,9 +218,19 @@ func TestWideValueSeqlockStress(t *testing.T) {
 	}
 	for _, kind := range EngineKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
+			type mixed struct {
+				P *uint64
+				N uint64
+			}
+			mkMixed := func(i uint64) mixed {
+				p := new(uint64)
+				*p = i
+				return mixed{P: p, N: i}
+			}
 			e := NewEngine(kind)
 			xp := NewTVar[pair](pair{0, ^uint64(0)})
 			xs := NewTVar[string](strs[0])
+			xm := NewTVar[mixed](mkMixed(0))
 			stop := make(chan struct{})
 			var torn sync.Map
 			var wg sync.WaitGroup
@@ -186,9 +246,11 @@ func TestWideValueSeqlockStress(t *testing.T) {
 						default:
 						}
 						i++
+						m := mkMixed(i)
 						_ = e.Atomically(func(tx *Tx) error {
 							Set(tx, xp, pair{A: i, B: ^i})
 							Set(tx, xs, strs[i%uint64(len(strs))])
+							Set(tx, xm, m)
 							return nil
 						})
 					}
@@ -209,6 +271,9 @@ func TestWideValueSeqlockStress(t *testing.T) {
 						}
 						if s := xs.Peek(); !legal[s] {
 							torn.Store(fmt.Sprintf("string %q", s), true)
+						}
+						if m := xm.Peek(); *m.P != m.N {
+							torn.Store(fmt.Sprintf("mixed *P=%d N=%d", *m.P, m.N), true)
 						}
 					}
 				}(r)

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"sync"
+
+	"pcltm/stm"
+)
+
+// rwMutexPadded is a sync.RWMutex on its own cache line so partitions'
+// escalation locks never false-share — a partition's RLock traffic must
+// stay partition-local or the whole disjoint-commit design leaks
+// coherence misses.
+type rwMutexPadded struct {
+	sync.RWMutex
+	_ [64]byte
+}
+
+// fibMul and mix64 mirror tstructs' spreading pipeline; see
+// PartitionOf for why routing re-scrambles the key hash.
+const fibMul = 0x9E3779B97F4A7C15
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CrossTx is the handle Cross passes to its body: reads go to the
+// owning partition's engine, writes buffer until the body succeeds, and
+// the buffered writes then apply under the full exclusive sweep. The
+// body sees its own writes (read-your-writes through the buffer).
+type CrossTx[K comparable, V any] struct {
+	s   *Store[K, V]
+	buf map[K]crossWrite[V]
+}
+
+// crossWrite is one buffered intent: a pending value or a deletion.
+type crossWrite[V any] struct {
+	v   V
+	del bool
+}
+
+// Get reads k — from the buffer when the body already wrote it, else
+// from k's partition.
+func (ct *CrossTx[K, V]) Get(k K) (V, bool) {
+	if w, ok := ct.buf[k]; ok {
+		if w.del {
+			var zero V
+			return zero, false
+		}
+		return w.v, true
+	}
+	part := ct.s.parts[ct.s.PartitionOf(k)]
+	var v V
+	var ok bool
+	_ = part.engine.Atomically(func(tx *stm.Tx) error {
+		v, ok = part.m.Get(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// Put buffers a write of v under k.
+func (ct *CrossTx[K, V]) Put(k K, v V) {
+	ct.buf[k] = crossWrite[V]{v: v}
+}
+
+// Delete buffers a deletion of k, reporting whether k was visible at
+// this point of the body.
+func (ct *CrossTx[K, V]) Delete(k K) bool {
+	_, ok := ct.Get(k)
+	ct.buf[k] = crossWrite[V]{del: true}
+	return ok
+}
+
+// Cross runs fn as one atomic cross-partition transaction — the store's
+// escalation path, shaped like a degenerate single-node two-phase
+// commit:
+//
+//  1. Lock phase: every partition's escalation lock is taken exclusive
+//     in partition-id order (the total order that makes concurrent
+//     Cross calls deadlock-free), draining all in-flight
+//     single-partition transactions and blocking new ones.
+//  2. Read/compute phase: fn reads committed state through per-
+//     partition read transactions and buffers its writes.
+//  3. Apply phase ("commit"): on success the buffer is flushed, one
+//     write transaction per touched partition. Nothing else runs, so
+//     the multi-transaction flush is externally atomic. On error the
+//     buffer is discarded and no partition changed — all-or-nothing.
+//
+// The cost is global: a Cross call serializes against every
+// single-partition transaction in the store. That asymmetry is the
+// design — the common case (single-partition) pays one shared-mode
+// lock, and only genuine cross-partition atomicity pays the sweep. A
+// distributed deployment would replace step 1/3 with prepare/commit
+// votes per partition; the seam is deliberately the same shape.
+func (s *Store[K, V]) Cross(fn func(ct *CrossTx[K, V]) error) error {
+	for _, p := range s.parts {
+		p.mu.Lock()
+	}
+	defer func() {
+		for i := len(s.parts) - 1; i >= 0; i-- {
+			s.parts[i].mu.Unlock()
+		}
+	}()
+
+	ct := &CrossTx[K, V]{s: s, buf: make(map[K]crossWrite[V])}
+	if err := fn(ct); err != nil {
+		return err
+	}
+
+	// Apply: group buffered intents by partition, flush each group as
+	// one transaction on the owning engine.
+	byPart := make(map[int][]K)
+	for k := range ct.buf {
+		part := s.PartitionOf(k)
+		byPart[part] = append(byPart[part], k)
+	}
+	for part, keys := range byPart {
+		sp := s.parts[part]
+		_ = sp.engine.Atomically(func(tx *stm.Tx) error {
+			for _, k := range keys {
+				if w := ct.buf[k]; w.del {
+					sp.m.Delete(tx, k)
+				} else {
+					sp.m.Put(tx, k, w.v)
+				}
+			}
+			return nil
+		})
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package store is the partitioned transactional key-value store: the
+// keyspace is split across N partitions, each owning its own stm.Engine
+// instance — private version clock, orec table, striped counters,
+// adaptive regime — and its own sharded tstructs.TMap. A transaction
+// that touches keys of one partition runs entirely inside that
+// partition's engine, so transactions on different partitions share no
+// concurrency-control state at all: no clock ticks to rendezvous on, no
+// orec table to alias in, no adaptive regime dragged serial by someone
+// else's contention. Disjoint-key workloads therefore commit in
+// parallel with machine-level independence, not just algorithm-level
+// independence.
+//
+// This is the store-level reading of the PCL trade-off: parallelism is
+// bought by partitioning the keyspace, and the price is that
+// cross-partition atomicity needs an escalation protocol. The seam for
+// that protocol is Cross (cross.go): a buffered read/compute phase
+// followed by an apply phase under an ordered exclusive sweep of every
+// partition lock — the degenerate, single-node shape of two-phase
+// commit, with the partition locks standing in for participant votes.
+// Single-partition operations hold their partition's read lock only, so
+// they never coordinate with each other; they coordinate with Cross
+// exactly when a cross-partition transaction is in flight.
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+
+	"pcltm/stm"
+	"pcltm/tstructs"
+)
+
+// Config sizes and wires a Store.
+type Config struct {
+	// Partitions is the partition count; 0 means runtime.GOMAXPROCS(0),
+	// matching one engine instance per core. Rounded up to a power of
+	// two so routing is a shift.
+	Partitions int
+	// Engine is the concurrency-control algorithm every partition runs.
+	// The zero value selects stm.EngineTL2; set stm.EngineAdaptive to
+	// let each partition pick its own regime from its own contention.
+	Engine stm.EngineKind
+	// Buckets is each partition's TMap bucket count; 0 means
+	// tstructs.DefaultBuckets.
+	Buckets int
+	// EngineOptions, when non-nil, supplies extra options for the given
+	// partition's engine — the test seam the conformance harness uses to
+	// attach one recorder per partition.
+	EngineOptions func(part int) []stm.Option
+}
+
+// partition is one keyspace shard: an engine, its map, and the
+// escalation lock single-partition work holds shared and Cross holds
+// exclusive.
+type partition[K comparable, V any] struct {
+	mu     rwMutexPadded
+	engine *stm.Engine
+	m      *tstructs.TMap[K, V]
+}
+
+// Store is the partitioned transactional map. All methods are safe for
+// concurrent use.
+type Store[K comparable, V any] struct {
+	parts []*partition[K, V]
+	hash  func(K) uint64
+	shift uint // 64 - log2(len(parts)), for fibIndex-style routing
+}
+
+// New builds a store whose key hash is derived from K's layout (the
+// same derivation as tstructs.NewTMap); it panics for key types with no
+// canonical byte image — use NewFunc with an explicit hash for those.
+func New[K comparable, V any](cfg Config) *Store[K, V] {
+	hash := tstructs.KeyHash[K]()
+	if hash == nil {
+		panic(fmt.Sprintf("store: key type %v has no derivable hash; use NewFunc",
+			reflect.TypeFor[K]()))
+	}
+	return NewFunc[K, V](cfg, hash)
+}
+
+// NewFunc builds a store with an explicit key hash (deterministic,
+// agreeing with ==). The hash is shared with each partition's TMap;
+// routing decorrelates it first so partition and bucket selection use
+// independent bits.
+func NewFunc[K comparable, V any](cfg Config, hash func(K) uint64) *Store[K, V] {
+	if hash == nil {
+		panic("store: NewFunc: nil hash")
+	}
+	n := cfg.Partitions
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pow, log := 1, uint(0)
+	for pow < n {
+		pow <<= 1
+		log++
+	}
+	s := &Store[K, V]{
+		parts: make([]*partition[K, V], pow),
+		hash:  hash,
+		shift: 64 - log,
+	}
+	for i := range s.parts {
+		var opts []stm.Option
+		if cfg.EngineOptions != nil {
+			opts = cfg.EngineOptions(i)
+		}
+		s.parts[i] = &partition[K, V]{
+			engine: stm.NewEngine(cfg.Engine, opts...),
+			m:      tstructs.NewTMapFunc[K, V](cfg.Buckets, hash),
+		}
+	}
+	return s
+}
+
+// Partitions returns the partition count (a power of two).
+func (s *Store[K, V]) Partitions() int { return len(s.parts) }
+
+// PartitionOf returns the partition owning k. Routing scrambles the key
+// hash with a finalizer before the Fibonacci spread so the bits it
+// consumes are independent of the bits each partition's TMap consumes
+// for bucket selection (both would otherwise read the top bits of the
+// same product, collapsing every partition onto a fraction of its
+// buckets).
+func (s *Store[K, V]) PartitionOf(k K) int {
+	if s.shift == 64 {
+		return 0
+	}
+	return int((mix64(s.hash(k)) * fibMul) >> s.shift)
+}
+
+// Engine exposes partition part's engine — for stats, conformance
+// recording and benchmarks, not for running transactions behind the
+// store's locking discipline.
+func (s *Store[K, V]) Engine(part int) *stm.Engine { return s.parts[part].engine }
+
+// Part is the handle Atomically passes to its body: the partition's map
+// plus routing enforcement, so a same-partition transaction cannot
+// silently file a key under the wrong partition.
+type Part[K comparable, V any] struct {
+	s    *Store[K, V]
+	part int
+	m    *tstructs.TMap[K, V]
+}
+
+// check panics when k is not owned by this handle's partition — a
+// routing violation that would corrupt the store (the key would exist
+// in a partition no lookup ever searches).
+func (p *Part[K, V]) check(k K) {
+	if got := p.s.PartitionOf(k); got != p.part {
+		panic(fmt.Sprintf("store: key routed to partition %d used inside partition %d's transaction",
+			got, p.part))
+	}
+}
+
+// Get reads k inside the partition transaction.
+func (p *Part[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	p.check(k)
+	return p.m.Get(tx, k)
+}
+
+// Contains tests k inside the partition transaction.
+func (p *Part[K, V]) Contains(tx *stm.Tx, k K) bool {
+	p.check(k)
+	return p.m.Contains(tx, k)
+}
+
+// Put stores v under k inside the partition transaction.
+func (p *Part[K, V]) Put(tx *stm.Tx, k K, v V) {
+	p.check(k)
+	p.m.Put(tx, k, v)
+}
+
+// Delete removes k inside the partition transaction.
+func (p *Part[K, V]) Delete(tx *stm.Tx, k K) bool {
+	p.check(k)
+	return p.m.Delete(tx, k)
+}
+
+// Update applies fn to k's current value (ok reports presence) and
+// stores the result — the read-modify-write primitive.
+func (p *Part[K, V]) Update(tx *stm.Tx, k K, fn func(v V, ok bool) V) {
+	p.check(k)
+	cur, ok := p.m.Get(tx, k)
+	p.m.Put(tx, k, fn(cur, ok))
+}
+
+// Atomically runs fn as one transaction on partition part's engine,
+// under the partition's shared escalation lock. Every key fn touches
+// must route to part (enforced per operation); transactions on other
+// partitions proceed concurrently with no shared state.
+func (s *Store[K, V]) Atomically(part int, fn func(tx *stm.Tx, p *Part[K, V]) error) error {
+	sp := s.parts[part]
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	h := Part[K, V]{s: s, part: part, m: sp.m}
+	return sp.engine.Atomically(func(tx *stm.Tx) error { return fn(tx, &h) })
+}
+
+// AtomicallyAs is Atomically with an explicit process id for an
+// attached recorder — the conformance harness's entry point.
+func (s *Store[K, V]) AtomicallyAs(part, proc int, fn func(tx *stm.Tx, p *Part[K, V]) error) error {
+	sp := s.parts[part]
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	h := Part[K, V]{s: s, part: part, m: sp.m}
+	return sp.engine.AtomicallyAs(proc, func(tx *stm.Tx) error { return fn(tx, &h) })
+}
+
+// Get reads k as a single-key transaction on its partition.
+func (s *Store[K, V]) Get(k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = s.Atomically(s.PartitionOf(k), func(tx *stm.Tx, p *Part[K, V]) error {
+		v, ok = p.Get(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// Put stores v under k as a single-key transaction on its partition.
+func (s *Store[K, V]) Put(k K, v V) {
+	_ = s.Atomically(s.PartitionOf(k), func(tx *stm.Tx, p *Part[K, V]) error {
+		p.Put(tx, k, v)
+		return nil
+	})
+}
+
+// Delete removes k as a single-key transaction on its partition.
+func (s *Store[K, V]) Delete(k K) bool {
+	var ok bool
+	_ = s.Atomically(s.PartitionOf(k), func(tx *stm.Tx, p *Part[K, V]) error {
+		ok = p.Delete(tx, k)
+		return nil
+	})
+	return ok
+}
+
+// Update applies fn to k read-modify-write as one transaction on k's
+// partition.
+func (s *Store[K, V]) Update(k K, fn func(v V, ok bool) V) {
+	_ = s.Atomically(s.PartitionOf(k), func(tx *stm.Tx, p *Part[K, V]) error {
+		p.Update(tx, k, fn)
+		return nil
+	})
+}
+
+// Len sums the partition sizes, one read transaction per partition. The
+// partitions are read at slightly different times, so under concurrent
+// cross-partition movement the sum is approximate; run it inside Cross
+// for an exact count.
+func (s *Store[K, V]) Len() int {
+	var n int
+	for part := range s.parts {
+		_ = s.Atomically(part, func(tx *stm.Tx, p *Part[K, V]) error {
+			n += p.m.Len(tx)
+			return nil
+		})
+	}
+	return n
+}
+
+// Stats snapshots every partition engine's counters, indexed by
+// partition.
+func (s *Store[K, V]) Stats() []stm.Stats {
+	out := make([]stm.Stats, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.engine.Stats()
+	}
+	return out
+}
+
+// AdaptiveStats snapshots every partition's regime breakdown; ok is
+// false when the partitions do not run the adaptive engine. Partitions
+// switch regimes independently — one hot partition can go serial while
+// the rest stay speculative, which is the point of per-partition
+// engines.
+func (s *Store[K, V]) AdaptiveStats() ([]stm.AdaptiveStats, bool) {
+	out := make([]stm.AdaptiveStats, len(s.parts))
+	for i, p := range s.parts {
+		st, ok := p.engine.AdaptiveStats()
+		if !ok {
+			return nil, false
+		}
+		out[i] = st
+	}
+	return out, true
+}

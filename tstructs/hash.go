@@ -1,0 +1,165 @@
+package tstructs
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// fibMul is the 64-bit Fibonacci hashing constant (2^64/φ), the same
+// multiplier the engines' orec table uses: a multiply-shift by it
+// spreads sequential and low-entropy hash values evenly over a
+// power-of-two table.
+const fibMul = 0x9E3779B97F4A7C15
+
+// fibIndex maps a hash to a table index with shift = 64 - log2(size).
+// For a one-entry table the shift is 64, which Go defines as shifting
+// everything out: index 0.
+func fibIndex(h uint64, shift uint) uint64 {
+	return (h * fibMul) >> shift
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche scrambler so that
+// nearby key words (sequential ints, pointers from one allocation span)
+// produce unrelated hashes before the Fibonacci spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a over the string bytes, finalized with mix64. It
+// walks the bytes in place — no copy, no allocation.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// KeyHash exposes the derived key hash for a type — nil when the type
+// has no canonical byte image — so layered packages (the partitioned
+// store) can route on the same hash their TMaps bucket on.
+func KeyHash[K comparable]() func(K) uint64 {
+	return hasherFor[K]()
+}
+
+// hasherFor builds the allocation-free hash function for a key type:
+// string kinds hash their bytes, single-pointer-word kinds hash the
+// pointer bits, and pointer-free types hash their data bytes through a
+// padding-aware range plan computed once from the type's layout (so
+// struct padding, whose content Go does not define, never reaches the
+// hash). Key types with no canonical byte image — interfaces, or
+// structs mixing pointers and data — require an explicit hash via
+// NewTMapFunc; hasherFor returns nil for them and constructors panic
+// with that advice.
+//
+// Caveat shared with any byte-image hash: float keys hash by bit
+// pattern, so 0.0 and -0.0 (which compare equal) land in different
+// buckets. Use integer or string keys, or NewTMapFunc with a
+// normalizing hash, for float-keyed maps.
+func hasherFor[K comparable]() func(K) uint64 {
+	t := reflect.TypeFor[K]()
+	switch t.Kind() {
+	case reflect.String:
+		return func(k K) uint64 {
+			return hashString(*(*string)(unsafe.Pointer(&k)))
+		}
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return func(k K) uint64 {
+			return mix64(uint64(*(*uintptr)(unsafe.Pointer(&k))))
+		}
+	}
+	ranges, ok := keyRanges(t, 0, nil)
+	if !ok {
+		return nil
+	}
+	plan := mergeRanges(ranges)
+	return func(k K) uint64 {
+		h := uint64(fibMul)
+		p := unsafe.Pointer(&k)
+		for _, r := range plan {
+			for off, end := r.off, r.off+r.n; off < end; off += 8 {
+				n := end - off
+				if n > 8 {
+					n = 8
+				}
+				h = mix64(h ^ loadKeyWord(unsafe.Add(p, off), n))
+			}
+		}
+		return h
+	}
+}
+
+// byteRange is one run of meaningful (non-padding) key bytes.
+type byteRange struct {
+	off, n uintptr
+}
+
+// keyRanges collects the data-byte ranges of a pointer-free type in
+// layout order, skipping struct padding. ok=false means the type has no
+// canonical byte image (it contains pointers, strings, interfaces or
+// slices).
+func keyRanges(t reflect.Type, base uintptr, acc []byteRange) ([]byteRange, bool) {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return append(acc, byteRange{off: base, n: t.Size()}), true
+	case reflect.Array:
+		elem := t.Elem()
+		for i := 0; i < t.Len(); i++ {
+			var ok bool
+			if acc, ok = keyRanges(elem, base+uintptr(i)*elem.Size(), acc); !ok {
+				return nil, false
+			}
+		}
+		return acc, true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			var ok bool
+			if acc, ok = keyRanges(f.Type, base+f.Offset, acc); !ok {
+				return nil, false
+			}
+		}
+		return acc, true
+	default:
+		return nil, false
+	}
+}
+
+// mergeRanges coalesces adjacent ranges (already in layout order) so a
+// padding-free struct hashes as one run of words.
+func mergeRanges(rs []byteRange) []byteRange {
+	var out []byteRange
+	for _, r := range rs {
+		if r.n == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].off+out[len(out)-1].n == r.off {
+			out[len(out)-1].n += r.n
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// loadKeyWord reads the n (≤8) bytes at p into one word, byte-copying
+// so no alignment or trailing-byte assumption is made.
+func loadKeyWord(p unsafe.Pointer, n uintptr) uint64 {
+	var w uint64
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&w)), n), unsafe.Slice((*byte)(p), n))
+	return w
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tstructs
+
+// raceEnabled mirrors stm's race_test.go: the race detector randomizes
+// sync.Pool reuse, so steady-state allocation counts are meaningless
+// and the zero-alloc gates skip. CI runs them in a non-race step.
+const raceEnabled = true

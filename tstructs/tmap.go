@@ -1,0 +1,243 @@
+package tstructs
+
+import (
+	"fmt"
+	"reflect"
+
+	"pcltm/stm"
+)
+
+// DefaultBuckets is the bucket-table size a TMap gets when the
+// constructor is passed 0. 64 buckets keep a few hundred keys at short
+// chain lengths while costing one TVar pair per bucket up front.
+const DefaultBuckets = 64
+
+// maxBuckets caps the table where the up-front TVar allocation would
+// start to matter (2^16 buckets ≈ a few MiB of chain heads).
+const maxBuckets = 1 << 16
+
+// entry is one key's cell in a bucket chain. The key is immutable node
+// data; the value and the chain link are transactional, so an overwrite
+// of an existing key touches exactly one TVar (val) and a structural
+// change (insert, delete) touches only the links of its own bucket.
+type entry[K comparable, V any] struct {
+	key  K
+	val  *stm.TVar[V]
+	next *stm.TVar[*entry[K, V]]
+}
+
+// TMap is a sharded transactional hash map: a fixed power-of-two table
+// of bucket chains, one chain-head TVar per bucket, keys spread by
+// Fibonacci multiply-shift of the key hash. Transactions on keys in
+// different buckets read and write disjoint TVar sets, so they commit
+// in parallel with no false conflicts on any engine; the residual false
+// conflict — two distinct keys hashing to one bucket — shrinks with the
+// bucket count, exactly like orec aliasing in the 2PL engine.
+//
+// All operations take the caller's transaction and compose with any
+// other transactional work. TMap holds no engine: run its operations
+// under whichever engine owns the surrounding Atomically (the store
+// package runs one engine instance per partition this way).
+//
+// A TMap is safe for concurrent use by transactions of one engine;
+// like TVars, its internals must not be shared between engines.
+type TMap[K comparable, V any] struct {
+	buckets []*stm.TVar[*entry[K, V]]
+	counts  []*stm.TVar[int64]
+	hash    func(K) uint64
+	shift   uint
+	// brokenChain is the planted-bug switch of NewAliasedTMapForTest:
+	// Put replaces the chain head instead of walking it — the
+	// cross-bucket-aliasing bug the conformance harness must convict.
+	brokenChain bool
+}
+
+// NewTMap builds a map with the given bucket count (0 = DefaultBuckets,
+// otherwise rounded up to a power of two and clamped). The key type's
+// hash function is derived from its layout (see hasherFor); key types
+// without a canonical byte image panic with advice to use NewTMapFunc.
+func NewTMap[K comparable, V any](buckets int) *TMap[K, V] {
+	hash := hasherFor[K]()
+	if hash == nil {
+		panic(fmt.Sprintf("tstructs: key type %v has no derivable hash; use NewTMapFunc",
+			reflect.TypeFor[K]()))
+	}
+	return NewTMapFunc[K, V](buckets, hash)
+}
+
+// NewTMapFunc builds a map with an explicit key hash. The hash must be
+// deterministic and agree with == (equal keys, equal hashes); quality
+// matters only for spread, not correctness — the table applies its own
+// Fibonacci finalizer.
+func NewTMapFunc[K comparable, V any](buckets int, hash func(K) uint64) *TMap[K, V] {
+	if hash == nil {
+		panic("tstructs: NewTMapFunc: nil hash")
+	}
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	if buckets > maxBuckets {
+		buckets = maxBuckets
+	}
+	n, log := 1, uint(0)
+	for n < buckets {
+		n <<= 1
+		log++
+	}
+	m := &TMap[K, V]{
+		buckets: make([]*stm.TVar[*entry[K, V]], n),
+		counts:  make([]*stm.TVar[int64], n),
+		hash:    hash,
+		shift:   64 - log,
+	}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewTVar[*entry[K, V]](nil)
+		m.counts[i] = stm.NewTVar[int64](0)
+	}
+	return m
+}
+
+// Buckets returns the bucket-table size (a power of two).
+func (m *TMap[K, V]) Buckets() int { return len(m.buckets) }
+
+// bucketOf returns the chain-head index covering k.
+func (m *TMap[K, V]) bucketOf(k K) int {
+	return int(fibIndex(m.hash(k), m.shift))
+}
+
+// BucketOf exposes the bucket index covering k — for sharding
+// diagnostics and the store's routing-independence tests; two
+// transactions conflict falsely in the map exactly when their keys
+// share a BucketOf value.
+func (m *TMap[K, V]) BucketOf(k K) int { return m.bucketOf(k) }
+
+// locate walks k's bucket chain inside tx, returning the TVar holding
+// the link to k's entry (the bucket head or a predecessor's next) and
+// the entry itself, nil if absent.
+func (m *TMap[K, V]) locate(tx *stm.Tx, k K) (*stm.TVar[*entry[K, V]], *entry[K, V]) {
+	prev := m.buckets[m.bucketOf(k)]
+	cur := stm.Get(tx, prev)
+	for cur != nil && cur.key != k {
+		prev = cur.next
+		cur = stm.Get(tx, prev)
+	}
+	return prev, cur
+}
+
+// Get reads k's value inside tx; ok reports presence. The read set is
+// the bucket chain walked plus the entry's value — disjoint from every
+// other bucket.
+func (m *TMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	_, cur := m.locate(tx, k)
+	if cur == nil {
+		var zero V
+		return zero, false
+	}
+	return stm.Get(tx, cur.val), true
+}
+
+// Contains reports whether k is present, without reading the value.
+func (m *TMap[K, V]) Contains(tx *stm.Tx, k K) bool {
+	_, cur := m.locate(tx, k)
+	return cur != nil
+}
+
+// Put stores v under k inside tx. Overwriting an existing key writes
+// only that entry's value TVar; inserting links a fresh entry at the
+// chain head. Freshly created TVars are written through stm.Set inside
+// tx (not seeded via NewTVar), so the whole insert is visible to an
+// attached recorder — see the package's conformance discipline.
+func (m *TMap[K, V]) Put(tx *stm.Tx, k K, v V) {
+	if m.brokenChain {
+		m.putBroken(tx, k, v)
+		return
+	}
+	_, cur := m.locate(tx, k)
+	if cur != nil {
+		stm.Set(tx, cur.val, v)
+		return
+	}
+	b := m.bucketOf(k)
+	head := m.buckets[b]
+	e := &entry[K, V]{
+		key:  k,
+		val:  stm.NewTVar[V](*new(V)),
+		next: stm.NewTVar[*entry[K, V]](nil),
+	}
+	stm.Set(tx, e.val, v)
+	stm.Set(tx, e.next, stm.Get(tx, head))
+	stm.Set(tx, head, e)
+	stm.Update(tx, m.counts[b], func(n int64) int64 { return n + 1 })
+}
+
+// Delete removes k inside tx, reporting whether the map changed. A miss
+// leaves the transaction read-only for this op.
+func (m *TMap[K, V]) Delete(tx *stm.Tx, k K) bool {
+	prev, cur := m.locate(tx, k)
+	if cur == nil {
+		return false
+	}
+	stm.Set(tx, prev, stm.Get(tx, cur.next))
+	b := m.bucketOf(k)
+	stm.Update(tx, m.counts[b], func(n int64) int64 { return n - 1 })
+	return true
+}
+
+// Len returns the entry count inside tx. It reads every bucket's
+// counter (not every chain), so it is O(buckets) and conflicts with all
+// concurrent inserts and deletes — an inherently global question.
+func (m *TMap[K, V]) Len(tx *stm.Tx) int {
+	var n int64
+	for _, c := range m.counts {
+		n += stm.Get(tx, c)
+	}
+	return int(n)
+}
+
+// ForEach visits every entry inside tx, in unspecified order, until fn
+// returns false. The read set is the whole table; use it for snapshots
+// and administration, not hot paths.
+func (m *TMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
+	for _, head := range m.buckets {
+		for cur := stm.Get(tx, head); cur != nil; cur = stm.Get(tx, cur.next) {
+			if !fn(cur.key, stm.Get(tx, cur.val)) {
+				return
+			}
+		}
+	}
+}
+
+// putBroken is the planted chain-handling bug: it replaces the bucket
+// head outright, dropping whatever chain hung off it, so a key that
+// aliases into the bucket silently deletes its neighbors.
+func (m *TMap[K, V]) putBroken(tx *stm.Tx, k K, v V) {
+	b := m.bucketOf(k)
+	head := m.buckets[b]
+	e := &entry[K, V]{
+		key:  k,
+		val:  stm.NewTVar[V](*new(V)),
+		next: stm.NewTVar[*entry[K, V]](nil),
+	}
+	stm.Set(tx, e.val, v)
+	stm.Set(tx, head, e)
+	stm.Update(tx, m.counts[b], func(n int64) int64 { return n + 1 })
+}
+
+// NewAliasedTMapForTest builds the conformance harness's planted-bug
+// fixture: a single-bucket table (every key aliases onto one chain-head
+// TVar) whose Put mishandles the chain — it replaces the head instead
+// of walking it, so putting key B destroys key A's entry. Recorded
+// store histories over this map read values that were never written to
+// the keys they came from; the consistency checkers must convict it,
+// which is the harness's self-test for the structure layer (mirroring
+// stm.NewBrokenEngineForTest at the engine layer). Not registered, not
+// for production use.
+func NewAliasedTMapForTest[K comparable, V any]() *TMap[K, V] {
+	hash := hasherFor[K]()
+	if hash == nil {
+		hash = func(K) uint64 { return 0 }
+	}
+	m := NewTMapFunc[K, V](1, hash)
+	m.brokenChain = true
+	return m
+}

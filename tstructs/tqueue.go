@@ -1,0 +1,94 @@
+package tstructs
+
+import (
+	"pcltm/stm"
+)
+
+// qnode is one queued cell. The value is immutable node data (written
+// before the node is published, read after it is observed through a
+// TVar — the STM's atomic publish/load pair carries the happens-before);
+// only the link is transactional.
+type qnode[T any] struct {
+	v    T
+	next *stm.TVar[*qnode[T]]
+}
+
+// TQueue is an unbounded transactional FIFO queue — the retry-based
+// blocking channel of the structure library. Put appends at the tail,
+// Take pops the head and blocks with stm.Retry while the queue is
+// empty, waking exactly when a producer's commit publishes a write.
+// Both ends are single TVars, so producers conflict with producers and
+// (on a short queue) with consumers: a queue is a deliberate
+// contention point, the opposite trade-off from TMap — use it where
+// ordering is the point, not as a work-spreading device.
+//
+// All operations take the caller's transaction and compose: a Take and
+// the processing of the taken value can be one atomic block, giving
+// exactly-once hand-off even when the processing aborts and retries.
+type TQueue[T any] struct {
+	head *stm.TVar[*qnode[T]]
+	tail *stm.TVar[*qnode[T]]
+	size *stm.TVar[int64]
+}
+
+// NewTQueue builds an empty queue.
+func NewTQueue[T any]() *TQueue[T] {
+	return &TQueue[T]{
+		head: stm.NewTVar[*qnode[T]](nil),
+		tail: stm.NewTVar[*qnode[T]](nil),
+		size: stm.NewTVar[int64](0),
+	}
+}
+
+// Put appends v inside tx.
+func (q *TQueue[T]) Put(tx *stm.Tx, v T) {
+	n := &qnode[T]{v: v, next: stm.NewTVar[*qnode[T]](nil)}
+	t := stm.Get(tx, q.tail)
+	if t == nil {
+		stm.Set(tx, q.head, n)
+	} else {
+		stm.Set(tx, t.next, n)
+	}
+	stm.Set(tx, q.tail, n)
+	stm.Update(tx, q.size, func(s int64) int64 { return s + 1 })
+}
+
+// Take pops the oldest value inside tx, blocking the transaction with
+// stm.Retry while the queue is empty. Steady-state takes from a
+// non-empty queue allocate nothing.
+func (q *TQueue[T]) Take(tx *stm.Tx) T {
+	h := stm.Get(tx, q.head)
+	if h == nil {
+		stm.Retry(tx)
+	}
+	q.unlink(tx, h)
+	return h.v
+}
+
+// TryTake pops the oldest value inside tx without blocking; ok reports
+// whether the queue was non-empty.
+func (q *TQueue[T]) TryTake(tx *stm.Tx) (T, bool) {
+	h := stm.Get(tx, q.head)
+	if h == nil {
+		var zero T
+		return zero, false
+	}
+	q.unlink(tx, h)
+	return h.v, true
+}
+
+// unlink advances the head past h (the current head), emptying the
+// tail pointer when h was the last node.
+func (q *TQueue[T]) unlink(tx *stm.Tx, h *qnode[T]) {
+	next := stm.Get(tx, h.next)
+	stm.Set(tx, q.head, next)
+	if next == nil {
+		stm.Set(tx, q.tail, nil)
+	}
+	stm.Update(tx, q.size, func(s int64) int64 { return s - 1 })
+}
+
+// Len returns the queued count inside tx.
+func (q *TQueue[T]) Len(tx *stm.Tx) int {
+	return int(stm.Get(tx, q.size))
+}

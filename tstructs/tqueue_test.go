@@ -1,0 +1,259 @@
+package tstructs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pcltm/stm"
+)
+
+// TestTQueueFIFO checks strict FIFO order through mixed Put/Take on
+// every engine.
+func TestTQueueFIFO(t *testing.T) {
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			q := NewTQueue[int]()
+			for i := 0; i < 10; i++ {
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					q.Put(tx, i)
+					return nil
+				})
+			}
+			var n int
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				n = q.Len(tx)
+				return nil
+			})
+			if n != 10 {
+				t.Fatalf("Len = %d, want 10", n)
+			}
+			for i := 0; i < 10; i++ {
+				var got int
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					got = q.Take(tx)
+					return nil
+				})
+				if got != i {
+					t.Fatalf("Take #%d = %d, want %d", i, got, i)
+				}
+			}
+			var ok bool
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				_, ok = q.TryTake(tx)
+				return nil
+			})
+			if ok {
+				t.Fatal("TryTake on drained queue reported a value")
+			}
+		})
+	}
+}
+
+// TestTQueueInterleavedDrain refills while draining so the queue passes
+// through empty repeatedly, exercising the tail-reset path.
+func TestTQueueInterleavedDrain(t *testing.T) {
+	e := stm.NewEngine(stm.EngineTL2)
+	q := NewTQueue[int]()
+	next := 0
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 3; i++ {
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				q.Put(tx, next)
+				return nil
+			})
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			var got int
+			var ok bool
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				got, ok = q.TryTake(tx)
+				return nil
+			})
+			if !ok || got != round*3+i {
+				t.Fatalf("round %d TryTake = %d,%v want %d,true", round, got, ok, round*3+i)
+			}
+		}
+	}
+}
+
+// TestTQueueBlockingTake checks Take blocks via stm.Retry on an empty
+// queue and wakes when a producer's commit publishes, on every engine.
+func TestTQueueBlockingTake(t *testing.T) {
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			q := NewTQueue[string]()
+			got := make(chan string, 1)
+			go func() {
+				var v string
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					v = q.Take(tx)
+					return nil
+				})
+				got <- v
+			}()
+			// Give the consumer a moment to park in Retry; the wakeup
+			// must come from the producer commit, not from polling.
+			time.Sleep(10 * time.Millisecond)
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				q.Put(tx, "wake")
+				return nil
+			})
+			select {
+			case v := <-got:
+				if v != "wake" {
+					t.Fatalf("blocked Take woke with %q", v)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("blocked Take never woke after producer commit")
+			}
+		})
+	}
+}
+
+// TestTQueueProducersConsumers runs a multi-producer multi-consumer
+// hand-off and checks every value crosses exactly once.
+func TestTQueueProducersConsumers(t *testing.T) {
+	const producers, consumers, perProducer = 3, 3, 100
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			q := NewTQueue[int]()
+			var wg sync.WaitGroup
+			results := make(chan int, producers*perProducer)
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						var v int
+						_ = e.Atomically(func(tx *stm.Tx) error {
+							v = q.Take(tx)
+							return nil
+						})
+						if v < 0 {
+							return
+						}
+						results <- v
+					}
+				}()
+			}
+			for p := 0; p < producers; p++ {
+				go func(p int) {
+					for i := 0; i < perProducer; i++ {
+						v := p*perProducer + i
+						_ = e.Atomically(func(tx *stm.Tx) error {
+							q.Put(tx, v)
+							return nil
+						})
+					}
+				}(p)
+			}
+			seen := make(map[int]bool, producers*perProducer)
+			for i := 0; i < producers*perProducer; i++ {
+				select {
+				case v := <-results:
+					if seen[v] {
+						t.Fatalf("value %d delivered twice", v)
+					}
+					seen[v] = true
+				case <-time.After(10 * time.Second):
+					t.Fatalf("stalled after %d of %d deliveries", i, producers*perProducer)
+				}
+			}
+			// Poison pills stop the consumers.
+			for c := 0; c < consumers; c++ {
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					q.Put(tx, -1)
+					return nil
+				})
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestTSetOrdered drives the ordered set against a model and checks
+// order-sensitive queries.
+func TestTSetOrdered(t *testing.T) {
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			s := NewTSet[int]()
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				for _, k := range []int{5, 1, 9, 3, 7, 1, 5} {
+					s.Insert(tx, k)
+				}
+				return nil
+			})
+			_ = e.Atomically(func(tx *stm.Tx) error {
+				if got := s.Len(tx); got != 5 {
+					t.Errorf("Len = %d, want 5", got)
+				}
+				if min, ok := s.Min(tx); !ok || min != 1 {
+					t.Errorf("Min = %d,%v want 1,true", min, ok)
+				}
+				want := []int{1, 3, 5, 7, 9}
+				got := s.Snapshot(tx)
+				if len(got) != len(want) {
+					t.Fatalf("Snapshot = %v, want %v", got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("Snapshot = %v, want %v", got, want)
+					}
+				}
+				var ranged []int
+				s.Ascend(tx, 3, 9, func(k int) bool {
+					ranged = append(ranged, k)
+					return true
+				})
+				if len(ranged) != 3 || ranged[0] != 3 || ranged[1] != 5 || ranged[2] != 7 {
+					t.Errorf("Ascend[3,9) = %v, want [3 5 7]", ranged)
+				}
+				if !s.Remove(tx, 5) || s.Remove(tx, 5) {
+					t.Errorf("Remove(5) twice: want true then false")
+				}
+				if s.Contains(tx, 5) || !s.Contains(tx, 7) {
+					t.Errorf("membership wrong after Remove(5)")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestTSetConcurrentInserts inserts disjoint ranges from parallel
+// workers and checks the final chain is exactly the sorted union.
+func TestTSetConcurrentInserts(t *testing.T) {
+	const workers, perWorker = 4, 100
+	e := stm.NewEngine(stm.EngineAdaptive)
+	s := NewTSet[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := i*workers + w // interleaved, so inserts collide positionally
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					s.Insert(tx, k)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = e.Atomically(func(tx *stm.Tx) error {
+		snap := s.Snapshot(tx)
+		if len(snap) != workers*perWorker {
+			t.Errorf("Len = %d, want %d", len(snap), workers*perWorker)
+		}
+		for i, k := range snap {
+			if k != i {
+				t.Errorf("Snapshot[%d] = %d; chain out of order or missing keys", i, k)
+				break
+			}
+		}
+		return nil
+	})
+}

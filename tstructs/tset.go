@@ -1,0 +1,117 @@
+package tstructs
+
+import (
+	"cmp"
+
+	"pcltm/stm"
+)
+
+// snode is one cell of the sorted chain; the key is immutable node
+// data, the link is transactional.
+type snode[K cmp.Ordered] struct {
+	key  K
+	next *stm.TVar[*snode[K]]
+}
+
+// TSet is the ordered-set index of the structure library: a sorted
+// singly-linked set over transactional links, grown from
+// examples/orderedset into a composable, engine-free structure. Unlike
+// TMap it supports ordered queries — minimum, in-order iteration, range
+// scans — at the cost of O(position) walks; a transaction's read set is
+// the prefix it walked, so conflicts concentrate where insertions
+// actually interleave rather than across the whole structure.
+//
+// All operations take the caller's transaction and compose with other
+// transactional work under whichever engine runs the atomic block.
+type TSet[K cmp.Ordered] struct {
+	head *stm.TVar[*snode[K]]
+	size *stm.TVar[int64]
+}
+
+// NewTSet builds an empty ordered set.
+func NewTSet[K cmp.Ordered]() *TSet[K] {
+	return &TSet[K]{
+		head: stm.NewTVar[*snode[K]](nil),
+		size: stm.NewTVar[int64](0),
+	}
+}
+
+// locate finds the insertion window for k inside tx: the TVar holding
+// the link where k is or would be, and the node at that link (nil at
+// the end of the chain or when the next key is greater).
+func (s *TSet[K]) locate(tx *stm.Tx, k K) (*stm.TVar[*snode[K]], *snode[K]) {
+	prev := s.head
+	cur := stm.Get(tx, prev)
+	for cur != nil && cur.key < k {
+		prev = cur.next
+		cur = stm.Get(tx, prev)
+	}
+	return prev, cur
+}
+
+// Insert adds k inside tx, reporting whether the set changed.
+func (s *TSet[K]) Insert(tx *stm.Tx, k K) bool {
+	prev, cur := s.locate(tx, k)
+	if cur != nil && cur.key == k {
+		return false
+	}
+	n := &snode[K]{key: k, next: stm.NewTVar[*snode[K]](nil)}
+	stm.Set(tx, n.next, cur)
+	stm.Set(tx, prev, n)
+	stm.Update(tx, s.size, func(v int64) int64 { return v + 1 })
+	return true
+}
+
+// Remove deletes k inside tx, reporting whether the set changed.
+func (s *TSet[K]) Remove(tx *stm.Tx, k K) bool {
+	prev, cur := s.locate(tx, k)
+	if cur == nil || cur.key != k {
+		return false
+	}
+	stm.Set(tx, prev, stm.Get(tx, cur.next))
+	stm.Update(tx, s.size, func(v int64) int64 { return v - 1 })
+	return true
+}
+
+// Contains tests membership inside tx; a miss leaves the transaction's
+// write set untouched.
+func (s *TSet[K]) Contains(tx *stm.Tx, k K) bool {
+	_, cur := s.locate(tx, k)
+	return cur != nil && cur.key == k
+}
+
+// Min returns the smallest key inside tx; ok is false when empty.
+func (s *TSet[K]) Min(tx *stm.Tx) (K, bool) {
+	cur := stm.Get(tx, s.head)
+	if cur == nil {
+		var zero K
+		return zero, false
+	}
+	return cur.key, true
+}
+
+// Len returns the element count inside tx.
+func (s *TSet[K]) Len(tx *stm.Tx) int {
+	return int(stm.Get(tx, s.size))
+}
+
+// Ascend visits keys in [from, to) in order inside tx until fn returns
+// false. The read set is the chain prefix up to the last visited node.
+func (s *TSet[K]) Ascend(tx *stm.Tx, from, to K, fn func(K) bool) {
+	_, cur := s.locate(tx, from)
+	for cur != nil && cur.key < to {
+		if !fn(cur.key) {
+			return
+		}
+		cur = stm.Get(tx, cur.next)
+	}
+}
+
+// Snapshot returns all keys in order inside tx.
+func (s *TSet[K]) Snapshot(tx *stm.Tx) []K {
+	var keys []K
+	for cur := stm.Get(tx, s.head); cur != nil; cur = stm.Get(tx, cur.next) {
+		keys = append(keys, cur.key)
+	}
+	return keys
+}
