@@ -190,6 +190,14 @@ func benchEngine(b *testing.B, kind stm.EngineKind, pattern workload.Pattern) {
 							return tvs[base+(n*7+i*13)%span]
 						}
 						return tvs[(n*7+i*13)%4]
+					case workload.RateLimit:
+						// The admission-control shape: disjoint reads, but
+						// every transaction's write funnels through one
+						// shared variable — the token bucket's footprint.
+						if i < 2 {
+							return tvs[base+(n*7+i*13)%span]
+						}
+						return tvs[0]
 					default:
 						return tvs[(n*7+i*13)%vars]
 					}

@@ -29,6 +29,17 @@ type Record struct {
 	Structure  string `json:"structure"`
 	Partitions int    `json:"partitions"`
 	Skew       string `json:"skew"`
+	// RateRPS and the latency quantiles are the open-loop served cells
+	// cmd/tmload writes; the quantiles are pointers so throughput-only
+	// records read as carrying no latency rather than a zero one.
+	RateRPS float64 `json:"rate_rps"`
+	P99NS   *int64  `json:"p99_ns"`
+	P999NS  *int64  `json:"p999_ns"`
+	// RunnerClass is the machine class that produced the record
+	// ($BENCH_RUNNER_CLASS). Empty means unknown — pre-metadata
+	// baselines — and compares as if same-class; two differing non-empty
+	// classes downgrade the cell's verdict to advisory.
+	RunnerClass string `json:"runner_class"`
 }
 
 // Key identifies a measurement cell across runs. The int value kind is
@@ -46,6 +57,9 @@ func (r Record) Key() string {
 		if r.Skew != "" {
 			key += "/" + r.Skew
 		}
+	}
+	if r.RateRPS > 0 {
+		key += fmt.Sprintf("/r%g", r.RateRPS)
 	}
 	return key
 }
@@ -72,6 +86,22 @@ type Delta struct {
 	// registering, a renamed pattern) used to pass unnoticed; it is a
 	// regression on its own.
 	Missing bool
+	// HasLatency is set when both sides carry a p99 latency quantile
+	// (open-loop served cells); LatencyChange is then the relative p99
+	// movement and LatencyRegression marks inflation beyond the latency
+	// threshold.
+	HasLatency         bool
+	OldP99NS, NewP99NS int64
+	LatencyChange      float64
+	LatencyRegression  bool
+	// CrossRunner marks a cell whose two sides were produced by
+	// different (known) runner classes; OldClass/NewClass name them.
+	// Wall-clock numbers across machine classes are weather, not signal,
+	// so every flag on such a cell is advisory: Regressions excludes it
+	// and Geomean skips its ratio. Missing cells stay blocking — whether
+	// a measurement exists does not depend on the machine it ran on.
+	CrossRunner        bool
+	OldClass, NewClass string
 }
 
 // allocEpsilon absorbs float jitter in the per-op averages so an
@@ -80,15 +110,19 @@ type Delta struct {
 const allocEpsilon = 1e-6
 
 // Diff joins two record sets on their cell key and flags throughput
-// drops beyond threshold (a fraction: 0.1 = 10%) plus allocs/op
-// increases beyond allocThreshold (absolute allocs per op: 0 flags any
-// steady-state increase). Cells only in the candidate are skipped — a
-// new engine or pattern is not a regression — but a baseline cell
-// missing from the candidate is flagged: a measurement that silently
-// vanishes is exactly the kind of rot -threshold exists to catch. Alloc
-// cells are only compared when both files carry them, so diffing against
-// a pre-alloc-schema baseline degrades to throughput-only.
-func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
+// drops beyond threshold (a fraction: 0.1 = 10%), allocs/op increases
+// beyond allocThreshold (absolute allocs per op: 0 flags any
+// steady-state increase), and p99 latency inflation beyond
+// latencyThreshold (a fraction: 0.5 = p99 may grow 50%). Cells only in
+// the candidate are skipped — a new engine or pattern is not a
+// regression — but a baseline cell missing from the candidate is
+// flagged: a measurement that silently vanishes is exactly the kind of
+// rot -threshold exists to catch. Alloc and latency cells are only
+// compared when both files carry them, so diffing against an older
+// baseline degrades to throughput-only. Cells whose two sides carry
+// differing known runner classes are marked CrossRunner: their flags
+// still compute (for the report) but they never block.
+func Diff(old, new []Record, threshold, allocThreshold, latencyThreshold float64) []Delta {
 	oldBy := make(map[string]Record, len(old))
 	for _, r := range old {
 		oldBy[r.Key()] = r
@@ -111,6 +145,16 @@ func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
 			d.OldAllocs, d.NewAllocs = *o.AllocsPerOp, *n.AllocsPerOp
 			d.AllocRegression = d.NewAllocs > d.OldAllocs+allocThreshold+allocEpsilon
 		}
+		if o.P99NS != nil && n.P99NS != nil && *o.P99NS > 0 {
+			d.HasLatency = true
+			d.OldP99NS, d.NewP99NS = *o.P99NS, *n.P99NS
+			d.LatencyChange = float64(d.NewP99NS-d.OldP99NS) / float64(d.OldP99NS)
+			d.LatencyRegression = d.LatencyChange > latencyThreshold
+		}
+		if o.RunnerClass != "" && n.RunnerClass != "" && o.RunnerClass != n.RunnerClass {
+			d.CrossRunner = true
+			d.OldClass, d.NewClass = o.RunnerClass, n.RunnerClass
+		}
 		deltas = append(deltas, d)
 	}
 	for _, o := range old {
@@ -129,13 +173,14 @@ func Diff(old, new []Record, threshold, allocThreshold float64) []Delta {
 // Geomean returns the benchstat-style geometric mean of the matched
 // cells' throughput ratios (new/old) — one number for "did this run get
 // faster or slower overall", robust to cells living on wildly different
-// absolute scales. Missing cells are excluded (they have no ratio);
-// ok=false when nothing was matched.
+// absolute scales. Missing cells are excluded (they have no ratio), and
+// so are cross-runner cells (their ratio measures the machines, not the
+// code); ok=false when nothing was matched.
 func Geomean(deltas []Delta) (ratio float64, ok bool) {
 	var logSum float64
 	n := 0
 	for _, d := range deltas {
-		if d.Missing || d.Old <= 0 || d.New <= 0 {
+		if d.Missing || d.CrossRunner || d.Old <= 0 || d.New <= 0 {
 			continue
 		}
 		logSum += math.Log(d.New / d.Old)
@@ -147,11 +192,30 @@ func Geomean(deltas []Delta) (ratio float64, ok bool) {
 	return math.Exp(logSum / float64(n)), true
 }
 
-// Regressions filters the deltas flagged on either axis.
+// Regressions filters the deltas that should block: flagged on any
+// axis, except cross-runner cells, whose wall-clock flags are advisory
+// only (their Missing case never arises here — a missing cell has no
+// candidate side to disagree on class).
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regression || d.AllocRegression {
+		if d.CrossRunner {
+			continue
+		}
+		if d.Regression || d.AllocRegression || d.LatencyRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Advisories filters the cross-runner deltas that would have been
+// regressions on a same-class comparison — reported with the
+// incomparable-runner-class note, never blocking.
+func Advisories(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.CrossRunner && (d.Regression || d.AllocRegression || d.LatencyRegression) {
 			out = append(out, d)
 		}
 	}

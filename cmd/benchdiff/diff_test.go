@@ -38,7 +38,7 @@ func mustParse(t *testing.T, s string) []Record {
 // missing from either side (adaptive is new, zero-throughput old tl2/zipf)
 // are skipped rather than compared.
 func TestDiffFlagsRegressions(t *testing.T) {
-	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.10, 0)
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.10, 0, 0.5)
 	if len(deltas) != 3 {
 		t.Fatalf("compared %d cells, want 3: %+v", len(deltas), deltas)
 	}
@@ -57,7 +57,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 
 // TestDiffThreshold: the same data at a 30% threshold is clean.
 func TestDiffThreshold(t *testing.T) {
-	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0)
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0, 0.5)
 	if regs := Regressions(deltas); len(regs) != 0 {
 		t.Fatalf("no regression expected at 30%%: %+v", regs)
 	}
@@ -68,7 +68,7 @@ func TestDiffThreshold(t *testing.T) {
 // (twopl/disjoint has them only in the new file, glock in neither), and
 // a flat allocs/op is not a regression even at threshold 0.
 func TestDiffAllocCells(t *testing.T) {
-	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0)
+	deltas := Diff(mustParse(t, oldJSON), mustParse(t, newJSON), 0.30, 0, 0.5)
 	byKey := map[string]Delta{}
 	for _, d := range deltas {
 		byKey[d.Key] = d
@@ -96,11 +96,11 @@ func TestDiffAllocRegression(t *testing.T) {
 		AllocsPerOp: f(0.0), BytesPerOp: f(0)}}
 	worse := []Record{{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 105000,
 		AllocsPerOp: f(2.0), BytesPerOp: f(32)}}
-	regs := Regressions(Diff(old, worse, 0.10, 0))
+	regs := Regressions(Diff(old, worse, 0.10, 0, 0.5))
 	if len(regs) != 1 || !regs[0].AllocRegression || regs[0].Regression {
 		t.Fatalf("allocs/op 0→2 at threshold 0 should be exactly an alloc regression: %+v", regs)
 	}
-	if regs := Regressions(Diff(old, worse, 0.10, 2.5)); len(regs) != 0 {
+	if regs := Regressions(Diff(old, worse, 0.10, 2.5, 0.5)); len(regs) != 0 {
 		t.Fatalf("allocs/op 0→2 within threshold 2.5 flagged: %+v", regs)
 	}
 }
@@ -120,7 +120,7 @@ func TestDiffMissingCells(t *testing.T) {
 		{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000},
 		{Engine: "fresh", Pattern: "disjoint", Workers: 4, Throughput: 50000},
 	}
-	deltas := Diff(old, new, 0.10, 0)
+	deltas := Diff(old, new, 0.10, 0, 0.5)
 	if len(deltas) != 2 {
 		t.Fatalf("compared %d cells, want 2 (one matched, one missing): %+v", len(deltas), deltas)
 	}
@@ -146,7 +146,7 @@ func TestDiffValuesDimension(t *testing.T) {
 		{Engine: "tl2", Pattern: "uniform", Workers: 4, Values: "int", Throughput: 99000},
 		{Engine: "tl2", Pattern: "uniform", Workers: 4, Values: "any", Throughput: 30000},
 	}
-	deltas := Diff(old, new, 0.10, 0)
+	deltas := Diff(old, new, 0.10, 0, 0.5)
 	if len(deltas) != 2 {
 		t.Fatalf("compared %d cells, want 2: %+v", len(deltas), deltas)
 	}
@@ -179,7 +179,7 @@ func TestDiffStructureDimension(t *testing.T) {
 		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 1, Skew: "uniform", Throughput: 81000},
 		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", Throughput: 60000},
 	}
-	deltas := Diff(old, new, 0.10, 0)
+	deltas := Diff(old, new, 0.10, 0, 0.5)
 	if len(deltas) != 4 {
 		t.Fatalf("compared %d cells, want 4: %+v", len(deltas), deltas)
 	}
@@ -218,6 +218,117 @@ func TestGeomean(t *testing.T) {
 	}
 	if _, ok := Geomean([]Delta{{Old: 100, Missing: true}}); ok {
 		t.Fatal("geomean of only-missing deltas should not exist")
+	}
+}
+
+// fixture JSON with runner metadata and open-loop latency cells, as
+// cmd/tmload writes them: the baseline ran on ubuntu-latest, the
+// candidate's tl2 cell on a larger runner (cross-class) and its glock
+// cell on the same class.
+const oldRunnerJSON = `[
+  {"engine":"tl2","pattern":"openloop","workers":4,"structure":"served","partitions":4,
+   "rate_rps":500,"tx_per_sec":500,"p50_ns":1000000,"p99_ns":4000000,"p999_ns":9000000,
+   "runner_class":"ubuntu-latest","gomaxprocs":4,"num_cpu":4},
+  {"engine":"glock","pattern":"openloop","workers":4,"structure":"served","partitions":4,
+   "rate_rps":500,"tx_per_sec":500,"p99_ns":2000000,"runner_class":"ubuntu-latest"},
+  {"engine":"tl2","pattern":"disjoint","workers":4,"tx_per_sec":100000,"commits":4000}
+]`
+
+const newRunnerJSON = `[
+  {"engine":"tl2","pattern":"openloop","workers":4,"structure":"served","partitions":4,
+   "rate_rps":500,"tx_per_sec":300,"p50_ns":2000000,"p99_ns":40000000,"p999_ns":90000000,
+   "runner_class":"ubuntu-latest-8-cores","gomaxprocs":8,"num_cpu":8},
+  {"engine":"glock","pattern":"openloop","workers":4,"structure":"served","partitions":4,
+   "rate_rps":500,"tx_per_sec":495,"p99_ns":8000000,"runner_class":"ubuntu-latest"},
+  {"engine":"tl2","pattern":"disjoint","workers":4,"tx_per_sec":99000,"commits":4000}
+]`
+
+// TestDiffCrossRunnerAdvisory: a cell whose sides were produced by
+// different known runner classes has its flags (here both a 40%
+// throughput drop and a 10× p99 inflation) downgraded to advisory —
+// reported, but never blocking and never in the geomean — while the
+// same-class latency cell still blocks.
+func TestDiffCrossRunnerAdvisory(t *testing.T) {
+	deltas := Diff(mustParse(t, oldRunnerJSON), mustParse(t, newRunnerJSON), 0.10, 0, 0.5)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d cells, want 3: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+
+	cross := byKey["tl2/openloop/w4/served/p4/r500"]
+	if !cross.CrossRunner || cross.OldClass != "ubuntu-latest" || cross.NewClass != "ubuntu-latest-8-cores" {
+		t.Fatalf("cross-runner cell not marked: %+v", cross)
+	}
+	if !cross.Regression || !cross.LatencyRegression {
+		t.Fatalf("cross-runner flags should still compute for the report: %+v", cross)
+	}
+
+	same := byKey["glock/openloop/w4/served/p4/r500"]
+	if same.CrossRunner {
+		t.Fatalf("same-class cell marked cross-runner: %+v", same)
+	}
+	if !same.HasLatency || !same.LatencyRegression || same.Regression {
+		t.Fatalf("same-class 4x p99 inflation should flag latency only: %+v", same)
+	}
+
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Key != same.Key {
+		t.Fatalf("regressions = %+v, want exactly the same-class latency cell", regs)
+	}
+	advs := Advisories(deltas)
+	if len(advs) != 1 || advs[0].Key != cross.Key {
+		t.Fatalf("advisories = %+v, want exactly the cross-runner cell", advs)
+	}
+
+	// Geomean over the remaining comparable cells only: glock 495/500 and
+	// the bare tl2 throughput cell 99000/100000 — the cross-runner 0.6
+	// ratio must not drag it down.
+	if g, ok := Geomean(deltas); !ok || g < 0.98 || g > 1.0 {
+		t.Fatalf("geomean = %v, %v; want ≈0.99 excluding the cross-runner cell", g, ok)
+	}
+}
+
+// TestDiffLatencyThreshold: p99 inflation within the latency threshold
+// is clean, and one-sided latency cells never compare (the old
+// throughput-only cell joined with a latency-carrying candidate).
+func TestDiffLatencyThreshold(t *testing.T) {
+	p := func(v int64) *int64 { return &v }
+	old := []Record{
+		{Engine: "tl2", Pattern: "openloop", Workers: 4, Structure: "served",
+			RateRPS: 500, Throughput: 500, RunnerClass: "ubuntu-latest", P99NS: p(4000000)},
+		{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000},
+	}
+	new := []Record{
+		{Engine: "tl2", Pattern: "openloop", Workers: 4, Structure: "served",
+			RateRPS: 500, Throughput: 500, RunnerClass: "ubuntu-latest", P99NS: p(5000000)},
+		{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000, P99NS: p(1)},
+	}
+	deltas := Diff(old, new, 0.10, 0, 0.5)
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("p99 +25%% within a 50%% threshold flagged: %+v", regs)
+	}
+	for _, d := range deltas {
+		if d.Key == "tl2/disjoint/w4" && d.HasLatency {
+			t.Fatalf("one-sided latency cell should not compare: %+v", d)
+		}
+	}
+	if regs := Regressions(Diff(old, new, 0.10, 0, 0.2)); len(regs) != 1 || !regs[0].LatencyRegression {
+		t.Fatalf("p99 +25%% beyond a 20%% threshold should flag: %+v", regs)
+	}
+}
+
+// TestDiffEmptyRunnerClassComparable: empty classes (pre-metadata
+// baselines) keep their blocking power against stamped candidates.
+func TestDiffEmptyRunnerClassComparable(t *testing.T) {
+	old := []Record{{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 100000}}
+	new := []Record{{Engine: "tl2", Pattern: "disjoint", Workers: 4, Throughput: 50000,
+		RunnerClass: "ubuntu-latest"}}
+	regs := Regressions(Diff(old, new, 0.10, 0, 0.5))
+	if len(regs) != 1 || regs[0].CrossRunner {
+		t.Fatalf("unknown-class baseline must still block: %+v", regs)
 	}
 }
 

@@ -1,31 +1,39 @@
 // Command benchdiff compares two BENCH_*.json files (the schema
-// cmd/tmbench -json writes and CI uploads as BENCH_ci.json) and flags
-// regressions beyond thresholds — the perf-trajectory tool of
-// ROADMAP.md. Two axes are compared per cell:
+// cmd/tmbench and cmd/tmload write via internal/benchfmt, and CI
+// uploads as BENCH_ci.json) and flags regressions beyond thresholds —
+// the perf-trajectory tool of ROADMAP.md. Three axes are compared per
+// cell:
 //
 //   - throughput: a relative drop beyond -threshold;
 //   - allocations: an allocs/op increase beyond -alloc-threshold
 //     (absolute; the default 0 flags any steady-state increase, since
 //     the stm engines' contract is zero allocations on the warmed hot
-//     path).
+//     path);
+//   - latency: a relative p99 inflation beyond -latency-threshold on
+//     the open-loop served cells cmd/tmload writes.
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.10] [-alloc-threshold 0] [-all] OLD.json NEW.json
+//	benchdiff [-threshold 0.10] [-alloc-threshold 0] [-latency-threshold 0.5]
+//	          [-all] OLD.json NEW.json
 //
-// Cells (engine × pattern × workers × value kind) are joined by key; any
+// Cells (engine × pattern × workers × value kind, plus the structure
+// and offered-rate dimensions when present) are joined by key; any
 // flagged cell makes the exit status non-zero. A baseline cell missing
 // from the candidate is itself a failure — a measurement that silently
-// vanishes is rot, not a pass. Alloc cells are compared only when both
-// files carry them, so old baselines degrade to throughput-only, and a
-// missing "values" field reads as the int kind. The summary ends with a
-// benchstat-style geometric-mean line over the matched cells' throughput
-// ratios (CI surfaces it in the step summary).
+// vanishes is rot, not a pass. Alloc and latency cells are compared
+// only when both files carry them, so old baselines degrade to
+// throughput-only, and a missing "values" field reads as the int kind.
+// The summary ends with a benchstat-style geometric-mean line over the
+// matched cells' throughput ratios (CI surfaces it in the step summary).
 // -all prints every matched cell, not just the regressions.
-// Single-core runners are noisy — compare runs from the same class of
-// machine, and treat small throughput deltas as weather (the alloc
-// cells are far more stable: per-op averages of deterministic counts
-// plus a fixed harness overhead).
+//
+// Wall-clock numbers are only comparable within a runner class: when
+// the two sides of a cell carry differing runner_class stamps, every
+// flag on it is downgraded to advisory — printed with an explicit
+// "incomparable runner class" note, excluded from the geomean, and
+// never failing the exit status. Empty classes (pre-metadata baselines)
+// compare as same-class, so old files keep their blocking power.
 package main
 
 import (
@@ -37,9 +45,10 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative throughput drop that counts as a regression")
 	allocThreshold := flag.Float64("alloc-threshold", 0, "absolute allocs/op increase that counts as a regression (0 = any increase)")
+	latencyThreshold := flag.Float64("latency-threshold", 0.5, "relative p99 latency inflation that counts as a regression")
 	all := flag.Bool("all", false, "print every matched cell, not just regressions")
 	flag.Usage = func() {
-		fmt.Fprintln(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-alloc-threshold 0] [-all] OLD.json NEW.json")
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-alloc-threshold 0] [-latency-threshold 0.5] [-all] OLD.json NEW.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,21 +72,22 @@ func main() {
 	}
 	oldRecs, newRecs := read(flag.Arg(0)), read(flag.Arg(1))
 
-	deltas := Diff(oldRecs, newRecs, *threshold, *allocThreshold)
+	deltas := Diff(oldRecs, newRecs, *threshold, *allocThreshold, *latencyThreshold)
 	if len(deltas) == 0 {
 		fmt.Println("benchdiff: no common cells to compare")
 		return
 	}
-	regs := Regressions(deltas)
+	regs, advisories := Regressions(deltas), Advisories(deltas)
 
-	fmt.Printf("%-24s %14s %14s %8s %11s %11s\n",
+	fmt.Printf("%-28s %14s %14s %8s %11s %11s\n",
 		"cell", "old tx/s", "new tx/s", "change", "old alloc/op", "new alloc/op")
 	for _, d := range deltas {
-		if !*all && !d.Regression && !d.AllocRegression {
+		flagged := d.Regression || d.AllocRegression || d.LatencyRegression
+		if !*all && !flagged {
 			continue
 		}
 		if d.Missing {
-			fmt.Printf("%-24s %14.0f %14s %8s %11s %11s  MISSING-IN-CANDIDATE\n",
+			fmt.Printf("%-28s %14.0f %14s %8s %11s %11s  MISSING-IN-CANDIDATE\n",
 				d.Key, d.Old, "-", "-", "-", "-")
 			continue
 		}
@@ -88,14 +98,23 @@ func main() {
 		if d.AllocRegression {
 			mark += "  ALLOC-REGRESSION"
 		}
+		if d.LatencyRegression {
+			mark += fmt.Sprintf("  P99-REGRESSION(%+.0f%%)", d.LatencyChange*100)
+		}
+		if d.CrossRunner && flagged {
+			mark += fmt.Sprintf("  [ADVISORY: incomparable runner class %s vs %s]", d.OldClass, d.NewClass)
+		}
 		allocs := fmt.Sprintf("%11s %11s", "-", "-")
 		if d.HasAllocs {
 			allocs = fmt.Sprintf("%11.2f %11.2f", d.OldAllocs, d.NewAllocs)
 		}
-		fmt.Printf("%-24s %14.0f %14.0f %+7.1f%% %s%s\n", d.Key, d.Old, d.New, d.Change*100, allocs, mark)
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%% %s%s\n", d.Key, d.Old, d.New, d.Change*100, allocs, mark)
 	}
-	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%% throughput / %.2f allocs/op\n",
-		len(deltas), len(regs), *threshold*100, *allocThreshold)
+	fmt.Printf("\n%d cell(s) compared, %d regression(s) beyond %.0f%% throughput / %.2f allocs/op / %.0f%% p99\n",
+		len(deltas), len(regs), *threshold*100, *allocThreshold, *latencyThreshold*100)
+	if len(advisories) > 0 {
+		fmt.Printf("%d advisory cell(s) downgraded: incomparable runner class\n", len(advisories))
+	}
 	if g, ok := Geomean(deltas); ok {
 		fmt.Printf("geomean throughput ratio (new/old): %.3f (%+.1f%%)\n", g, (g-1)*100)
 	}

@@ -27,7 +27,8 @@
 // Usage:
 //
 //	tmbench [-mode real|sim|map|store] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
-//	        [-engine tl2,tl2s,twopl,glock,adaptive] [-pattern disjoint,uniform,zipf,phase]
+//	        [-engine tl2,tl2s,twopl,glock,adaptive]
+//	        [-pattern disjoint,uniform,zipf,phase,ratelimit]
 //	        [-values int,string,struct,any] [-keys 1024] [-partitions 1,2,4]
 //	        [-skew uniform,zipf] [-orec-shards N] [-json results.json] [-txns 6]
 //
@@ -40,10 +41,13 @@
 //
 // The adaptive engine's rows carry an extra per-regime breakdown (which
 // delegate ran, how many switches) both in the table and in the JSON.
+//
+// Every JSON record is stamped with the producing machine's runner
+// class ($BENCH_RUNNER_CLASS, or "local") and CPU shape, so benchdiff
+// can refuse blocking verdicts across runner classes.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +55,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pcltm/internal/benchfmt"
 	"pcltm/internal/core"
 	"pcltm/internal/dap"
 	"pcltm/internal/registry"
@@ -154,47 +159,10 @@ func parseValueKinds(s string) []workload.ValueKind {
 	return out
 }
 
-// benchRecord is one real-mode measurement in the machine-readable
-// output (the BENCH_*.json schema).
-type benchRecord struct {
-	Engine  string `json:"engine"`
-	Pattern string `json:"pattern"`
-	Workers int    `json:"workers"`
-	// Values is the payload kind dimension ("int", "string", "struct",
-	// "any"); cmd/benchdiff treats an absent field as "int", so baselines
-	// written before the schema carried it stay cell-compatible.
-	Values     string  `json:"values,omitempty"`
-	OpsPerWkr  int     `json:"ops_per_worker"`
-	Vars       int     `json:"vars"`
-	Seed       int64   `json:"seed"`
-	ElapsedNS  int64   `json:"elapsed_ns"`
-	Throughput float64 `json:"tx_per_sec"`
-	Commits    uint64  `json:"commits"`
-	Aborts     uint64  `json:"aborts"`
-	Retries    uint64  `json:"retries"`
-	// AllocsPerOp and BytesPerOp are heap allocations per committed
-	// transaction over the run (see workload.Result); the alloc cells
-	// cmd/benchdiff compares. Steady-state engine work is pooled and
-	// contributes zero, so these track harness overhead plus any
-	// regression of the zero-alloc contract.
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	// Adaptive is the per-regime breakdown, present only for the
-	// adaptive engine.
-	Adaptive *stm.AdaptiveStats `json:"adaptive,omitempty"`
-	// Structure, Partitions and Skew are the E7 dimensions, present only
-	// for structure-mode records ("tmap" on one engine, "store" across
-	// Partitions engine instances); cmd/benchdiff folds them into the
-	// cell key when present, so raw-TVar baselines stay cell-compatible.
-	Structure  string `json:"structure,omitempty"`
-	Partitions int    `json:"partitions,omitempty"`
-	Skew       string `json:"skew,omitempty"`
-}
-
 func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 	patterns []workload.Pattern, valueKinds []workload.ValueKind,
 	seed int64, jsonPath string) {
-	var records []benchRecord
+	var records []benchfmt.Record
 	fmt.Println("E1 — production engines under real parallelism")
 	fmt.Printf("%-8s %-9s %-7s %-8s %12s %10s %10s %10s %10s %10s\n",
 		"engine", "pattern", "values", "workers", "tx/s", "commits", "aborts", "retries", "allocs/op", "B/op")
@@ -218,14 +186,16 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 					if res.Adaptive != nil {
 						printRegimes(res.Adaptive)
 					}
-					records = append(records, benchRecord{
+					rec := benchfmt.Record{
 						Engine: kind.String(), Pattern: pat.String(), Values: vk.String(),
 						Workers: w, OpsPerWkr: ops, Vars: vars, Seed: seed,
 						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
 						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
 						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
 						Adaptive: res.Adaptive,
-					})
+					}
+					benchfmt.StampRunner(&rec)
+					records = append(records, rec)
 				}
 			}
 		}
@@ -257,7 +227,7 @@ func parseSkews(s string) []workload.Skew {
 // disjoint) traffic is one sweep.
 func structMode(mode string, workers, partitions []int, ops, keys int,
 	engines []stm.EngineKind, skews []workload.Skew, seed int64, jsonPath string) {
-	var records []benchRecord
+	var records []benchfmt.Record
 	fmt.Printf("E7 — transactional structures under real parallelism (%s)\n", mode)
 	fmt.Printf("%-8s %-8s %-6s %-8s %12s %10s %10s %10s %10s\n",
 		"engine", "skew", "parts", "workers", "tx/s", "commits", "retries", "allocs/op", "B/op")
@@ -290,7 +260,7 @@ func structMode(mode string, workers, partitions []int, ops, keys int,
 					fmt.Printf("%-8s %-8s %-6d %-8d %12.0f %10d %10d %10.2f %10.1f\n",
 						kind, sk, partsLabel, w, res.Throughput, res.Commits, res.Retries,
 						res.AllocsPerOp, res.BytesPerOp)
-					rec := benchRecord{
+					rec := benchfmt.Record{
 						Engine: kind.String(), Pattern: "keyed", Workers: w,
 						OpsPerWkr: ops, Vars: keys, Seed: seed,
 						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
@@ -302,6 +272,7 @@ func structMode(mode string, workers, partitions []int, ops, keys int,
 						rec.Structure = "store"
 						rec.Partitions = res.Config.Partitions
 					}
+					benchfmt.StampRunner(&rec)
 					records = append(records, rec)
 				}
 			}
@@ -327,18 +298,8 @@ func printRegimes(as *stm.AdaptiveStats) {
 	}
 }
 
-func writeJSON(path string, records []benchRecord) {
-	data, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tmbench: encoding JSON: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if path == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+func writeJSON(path string, records []benchfmt.Record) {
+	if err := benchfmt.WriteJSON(path, records); err != nil {
 		fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
 		os.Exit(1)
 	}

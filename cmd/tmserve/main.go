@@ -1,0 +1,69 @@
+// Command tmserve boots the network front end: the partitioned
+// transactional store behind the server package's HTTP surface.
+//
+//	tmserve [-addr :7070] [-partitions N] [-engine tl2|tl2s|twopl|glock|adaptive]
+//	        [-buckets N] [-batch-max 64] [-rate-limit 0] [-rate-burst 0]
+//
+// Endpoints:
+//
+//	POST /tx       {"cmds":[{"op":"incr","key":7},...]} — batched commands
+//	GET  /kv/{key}                                      — single-key query
+//	GET  /healthz                                       — liveness
+//	GET  /stats                                         — engine + applier counters
+//
+// -rate-limit caps admitted commands per second through the
+// transactional token bucket (0 = unlimited); -batch-max caps how many
+// queued command groups one applier transaction absorbs. Drive it with
+// cmd/tmload for open-loop latency numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pcltm/internal/registry"
+	"pcltm/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	partitions := flag.Int("partitions", 0, "store partitions (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "tl2", "engine kind every partition runs")
+	buckets := flag.Int("buckets", 0, "per-partition TMap buckets (0 = default)")
+	batchMax := flag.Int("batch-max", 64, "max command groups per applier transaction")
+	rateLimit := flag.Float64("rate-limit", 0, "admitted commands per second (0 = unlimited)")
+	rateBurst := flag.Int64("rate-burst", 0, "admission burst capacity (0 = one second of rate)")
+	flag.Parse()
+
+	kind, err := registry.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
+		os.Exit(2)
+	}
+	s := server.New(server.Config{
+		Partitions: *partitions, Engine: kind, Buckets: *buckets,
+		BatchMax: *batchMax, RateLimit: *rateLimit, RateBurst: *rateBurst,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "tmserve: shutting down")
+		_ = httpSrv.Close()
+		s.Close()
+	}()
+
+	st := s.StatsSnapshot()
+	fmt.Printf("tmserve: %s, %d partitions, batch-max %d, listening on %s\n",
+		st.Engine, st.Partitions, *batchMax, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Package benchfmt is the single definition of the BENCH_*.json cell
+// schema — the machine-readable perf trajectory every tool in this repo
+// speaks. cmd/tmbench (closed-loop throughput cells) and cmd/tmload
+// (open-loop latency cells) write it; cmd/benchdiff reads it (with its
+// own loose decode-side struct, so old baselines keep parsing); CI
+// uploads it as artifacts.
+//
+// Every record is stamped with the runner metadata of the machine that
+// produced it (RunnerClass from $BENCH_RUNNER_CLASS, GOMAXPROCS,
+// NumCPU), because the repo's standing caveat — wall-clock numbers are
+// only comparable within a runner class — belongs in the data, not in
+// prose next to it. benchdiff downgrades any cross-runner-class
+// comparison to advisory.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"pcltm/stm"
+)
+
+// RunnerClassEnv names the environment variable CI sets to its runner
+// label; unset means an uncontrolled local machine.
+const RunnerClassEnv = "BENCH_RUNNER_CLASS"
+
+// Record is one measurement cell. Fields added over the trajectory's
+// life are omitempty, so baselines written before a schema change stay
+// cell-compatible with candidates written after it.
+type Record struct {
+	Engine  string `json:"engine"`
+	Pattern string `json:"pattern"`
+	Workers int    `json:"workers"`
+	// Values is the payload kind dimension ("int", "string", "struct",
+	// "any"); cmd/benchdiff treats an absent field as "int", so baselines
+	// written before the schema carried it stay cell-compatible.
+	Values     string  `json:"values,omitempty"`
+	OpsPerWkr  int     `json:"ops_per_worker,omitempty"`
+	Vars       int     `json:"vars,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"tx_per_sec"`
+	Commits    uint64  `json:"commits"`
+	Aborts     uint64  `json:"aborts"`
+	Retries    uint64  `json:"retries"`
+	// AllocsPerOp and BytesPerOp are heap allocations per committed
+	// transaction over the run (see workload.Result); the alloc cells
+	// cmd/benchdiff compares. Steady-state engine work is pooled and
+	// contributes zero, so these track harness overhead plus any
+	// regression of the zero-alloc contract.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Adaptive is the per-regime breakdown, present only for the
+	// adaptive engine.
+	Adaptive *stm.AdaptiveStats `json:"adaptive,omitempty"`
+	// Structure, Partitions and Skew are the E7 dimensions, present only
+	// for structure-mode records ("tmap" on one engine, "store" across
+	// Partitions engine instances, "served" through the network front
+	// end); cmd/benchdiff folds them into the cell key when present, so
+	// raw-TVar baselines stay cell-compatible.
+	Structure  string `json:"structure,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	Skew       string `json:"skew,omitempty"`
+	// RateRPS is the open-loop target arrival rate of a served cell
+	// (cmd/tmload); zero on closed-loop cells. Part of the cell key —
+	// latency is only comparable at equal offered load.
+	RateRPS float64 `json:"rate_rps,omitempty"`
+	// P50NS/P99NS/P999NS are open-loop latency quantiles in nanoseconds,
+	// measured from scheduled arrival (coordinated-omission-safe; see
+	// internal/hist). Present only on served cells, so throughput-only
+	// baselines stay comparable.
+	P50NS  int64 `json:"p50_ns,omitempty"`
+	P99NS  int64 `json:"p99_ns,omitempty"`
+	P999NS int64 `json:"p999_ns,omitempty"`
+	// Non2xx counts failed requests of a served cell.
+	Non2xx uint64 `json:"non2xx,omitempty"`
+	// RunnerClass, GOMAXPROCS and NumCPU identify the machine class that
+	// produced the cell. benchdiff refuses a blocking verdict across
+	// differing non-empty runner classes.
+	RunnerClass string `json:"runner_class,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
+	NumCPU      int    `json:"num_cpu,omitempty"`
+}
+
+// RunnerClass reports this process's runner class: $BENCH_RUNNER_CLASS
+// when set (CI), else "local".
+func RunnerClass() string {
+	if c := os.Getenv(RunnerClassEnv); c != "" {
+		return c
+	}
+	return "local"
+}
+
+// StampRunner fills r's runner metadata in place.
+func StampRunner(r *Record) {
+	r.RunnerClass = RunnerClass()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.NumCPU = runtime.NumCPU()
+}
+
+// WriteJSON writes records as indented JSON to path ("-" = stdout).
+func WriteJSON(path string, records []Record) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

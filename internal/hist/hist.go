@@ -1,0 +1,215 @@
+// Package hist is the latency accounting of the serving tier: an
+// HDR-style log-linear histogram plus an open-loop request pacer
+// (openloop.go) that records latencies the coordinated-omission-safe
+// way — from each request's *scheduled* arrival time, not from when a
+// lagging client finally got around to sending it.
+//
+// The histogram buckets non-negative int64 values (nanoseconds, in this
+// repo) on a log-linear grid: exact below 2^subBits, then subCount
+// linear sub-buckets per power of two. Worst-case relative quantile
+// error is 2^-subBits (~3%), memory is a fixed ~15KB array, Record is
+// two adds and a shift — cheap enough to sit on the load generator's
+// hot path without becoming the thing measured. Histograms merge by
+// bucket-wise addition, so per-worker recording needs no locks.
+package hist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+)
+
+const (
+	// subBits sets the precision: subCount linear sub-buckets per power
+	// of two, so quantiles are exact to a relative 2^-subBits.
+	subBits  = 5
+	subCount = 1 << subBits
+	// numBuckets covers every non-negative int64: values below subCount
+	// map one-to-one, and each of the remaining (63-subBits) value
+	// magnitudes contributes subCount buckets.
+	numBuckets = (63 - subBits + 1) * subCount
+)
+
+// H is a log-linear histogram of non-negative int64 samples. The zero
+// value is ready to use. It is not safe for concurrent use; give each
+// recorder its own H and Merge.
+type H struct {
+	counts   [numBuckets]uint64
+	total    uint64
+	min, max int64
+}
+
+// New returns an empty histogram.
+func New() *H { return &H{} }
+
+// bucketIndex maps v (>= 0) to its bucket. Values below subCount map to
+// themselves; a larger v with top bit at position msb lands in linear
+// sub-bucket v>>(msb-subBits) of magnitude msb, and the grid is
+// continuous across magnitude boundaries (31 -> 31, 32 -> 32, 64 -> 64).
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	shift := msb - subBits
+	return shift*subCount + int(v>>uint(shift))
+}
+
+// bucketUpper returns the largest value mapping to bucket idx — the
+// quantile estimate, so reported quantiles never understate the true
+// value by more than the bucket they share.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	shift := idx/subCount - 1
+	m := int64(idx - shift*subCount) // in [subCount, 2*subCount)
+	return m<<uint(shift) + (1 << uint(shift)) - 1
+}
+
+// Record adds one sample. Negative samples clamp to zero (a scheduled
+// send that completed before its official arrival instant — clock
+// steps; they are latency zero, not data loss).
+func (h *H) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n occurrences of sample v.
+func (h *H) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)] += n
+	h.total += n
+}
+
+// Count returns the number of recorded samples.
+func (h *H) Count() uint64 { return h.total }
+
+// Min and Max are the exact extremes of the recorded samples (0 when
+// empty).
+func (h *H) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+func (h *H) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper estimate of the q-quantile (q in [0,1]):
+// the upper bound of the bucket holding the sample of rank ceil(q*n),
+// clamped to the exact observed [min, max]. The estimate is never below
+// the true quantile and overstates it by at most a relative 2^-subBits.
+// An empty histogram reports 0.
+func (h *H) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's samples into h (bucket-wise; exact min/max preserved).
+func (h *H) Merge(o *H) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.total == 0 {
+		h.min = o.min
+	} else if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// histJSON is the wire form: sparse bucket counts keyed by index, plus
+// enough metadata (sub_bits) for a reader to reconstruct bucket bounds.
+type histJSON struct {
+	SubBits int               `json:"sub_bits"`
+	Total   uint64            `json:"total"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Counts  map[string]uint64 `json:"counts"`
+}
+
+// MarshalJSON encodes the histogram sparsely (only occupied buckets).
+func (h *H) MarshalJSON() ([]byte, error) {
+	out := histJSON{
+		SubBits: subBits, Total: h.total, Min: h.Min(), Max: h.Max(),
+		Counts: make(map[string]uint64),
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			out.Counts[strconv.Itoa(i)] = c
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the sparse wire form. Histograms written with a
+// different precision are rejected rather than silently re-bucketed.
+func (h *H) UnmarshalJSON(data []byte) error {
+	var in histJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.SubBits != subBits {
+		return fmt.Errorf("hist: sub_bits %d != %d", in.SubBits, subBits)
+	}
+	*h = H{total: in.Total, min: in.Min, max: in.Max}
+	for k, c := range in.Counts {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= numBuckets {
+			return fmt.Errorf("hist: bad bucket index %q", k)
+		}
+		h.counts[i] = c
+	}
+	return nil
+}

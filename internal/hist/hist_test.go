@@ -1,0 +1,218 @@
+package hist
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestBucketMapping pins the log-linear grid: monotone, continuous
+// across magnitude boundaries, exact below subCount, and bucketUpper is
+// a true upper bound with relative width 2^-subBits.
+func TestBucketMapping(t *testing.T) {
+	for v := int64(0); v < subCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Fatalf("bucketUpper(%d) = %d, want exact", v, got)
+		}
+	}
+	check := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			return false
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			return false
+		}
+		// Bucket width is at most a relative 2^-subBits.
+		if up-v > v>>subBits {
+			return false
+		}
+		// Monotone: the previous bucket's upper bound is below v.
+		return idx == 0 || bucketUpper(idx-1) < v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary spot checks: continuity where the linear grid changes pitch.
+	for _, v := range []int64{31, 32, 33, 63, 64, 65, 1 << 20, (1 << 62) + 12345} {
+		idx := bucketIndex(v)
+		if prev := bucketIndex(v - 1); prev > idx {
+			t.Fatalf("bucketIndex not monotone at %d: %d then %d", v, prev, idx)
+		}
+	}
+}
+
+// quantileOracle is the sorted-slice ground truth matching Quantile's
+// rank convention (ceil(q*n), 1-based).
+func quantileOracle(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q*float64(n) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAccuracy drives random sample sets through the histogram
+// and checks every reported quantile against the oracle within the
+// bucket-width bound: never below the true value, never more than a
+// relative 2^-subBits (plus one) above it.
+func TestQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(2000)
+		samples := make([]int64, n)
+		h := New()
+		for i := range samples {
+			// Mix magnitudes: exact region, mid, and huge values.
+			var v int64
+			switch rr.Intn(3) {
+			case 0:
+				v = int64(rr.Intn(subCount))
+			case 1:
+				v = rr.Int63n(1 << 20)
+			default:
+				v = rr.Int63()
+			}
+			samples[i] = v
+			h.Record(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+		for i := 0; i < 5; i++ {
+			qs = append(qs, rr.Float64())
+		}
+		for _, q := range qs {
+			want := quantileOracle(samples, q)
+			got := h.Quantile(q)
+			if got < want {
+				t.Logf("seed %d q=%g: estimate %d below true %d", seed, q, got, want)
+				return false
+			}
+			if got-want > (want>>subBits)+1 {
+				t.Logf("seed %d q=%g: estimate %d exceeds bound for true %d", seed, q, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: r}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomHist(r *rand.Rand, n int) *H {
+	h := New()
+	for i := 0; i < n; i++ {
+		h.Record(r.Int63n(1 << 40))
+	}
+	return h
+}
+
+// TestMergeAssociativity pins that merge order cannot change the
+// result: (a+b)+c == a+(b+c), and merging equals recording everything
+// into one histogram.
+func TestMergeAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		a := randomHist(r, 1+r.Intn(500))
+		b := randomHist(r, r.Intn(500))
+		c := randomHist(r, r.Intn(500))
+
+		left := New()
+		left.Merge(a)
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := New()
+		bc.Merge(b)
+		bc.Merge(c)
+		right := New()
+		right.Merge(a)
+		right.Merge(bc)
+
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("round %d: merge not associative", round)
+		}
+		if left.Count() != a.Count()+b.Count()+c.Count() {
+			t.Fatalf("round %d: merged count %d", round, left.Count())
+		}
+	}
+}
+
+// TestMergeEmpty pins the identity element: merging an empty histogram
+// changes nothing, merging into an empty histogram copies.
+func TestMergeEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randomHist(r, 100)
+	before := *a
+	a.Merge(New())
+	if !reflect.DeepEqual(&before, a) {
+		t.Fatal("merge of empty changed histogram")
+	}
+	into := New()
+	into.Merge(a)
+	if !reflect.DeepEqual(into, a) {
+		t.Fatal("merge into empty is not a copy")
+	}
+}
+
+// TestJSONRoundTrip pins the artifact format CI parses: marshal,
+// unmarshal, identical histogram (quantiles included).
+func TestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	h := randomHist(r, 1000)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back H
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, &back) {
+		t.Fatal("JSON round trip changed histogram")
+	}
+	if h.Quantile(0.99) != back.Quantile(0.99) {
+		t.Fatal("round-tripped quantile differs")
+	}
+	// A precision mismatch must be rejected, not silently re-bucketed.
+	var bad H
+	if err := json.Unmarshal([]byte(`{"sub_bits":4,"total":1,"counts":{"0":1}}`), &bad); err == nil {
+		t.Fatal("want error for mismatched sub_bits")
+	}
+}
+
+// TestRecordEdges pins clamping and extremes.
+func TestRecordEdges(t *testing.T) {
+	h := New()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(1<<62 + 999)
+	if h.Min() != 0 {
+		t.Fatalf("min = %d", h.Min())
+	}
+	if h.Max() != 1<<62+999 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Fatalf("q=1 gives %d, want clamped max %d", got, h.Max())
+	}
+}

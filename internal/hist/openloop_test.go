@@ -1,0 +1,105 @@
+package hist
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopBasics drives a fast responder and checks the accounting:
+// every scheduled arrival completes, errors are counted, and the run
+// spans roughly the configured duration.
+func TestOpenLoopBasics(t *testing.T) {
+	var calls atomic.Int64
+	res := OpenLoop(OpenLoopConfig{
+		Rate: 500, Duration: 300 * time.Millisecond, Workers: 4,
+		Send: func() error {
+			if calls.Add(1)%10 == 0 {
+				return errors.New("planted")
+			}
+			return nil
+		},
+	})
+	if res.Scheduled != 150 {
+		t.Fatalf("scheduled %d arrivals, want 150", res.Scheduled)
+	}
+	if res.Done != res.Scheduled {
+		t.Fatalf("done %d != scheduled %d", res.Done, res.Scheduled)
+	}
+	if res.Errors != 15 {
+		t.Fatalf("errors %d, want 15", res.Errors)
+	}
+	if res.Hist.Count() != res.Done {
+		t.Fatalf("histogram count %d != done %d", res.Hist.Count(), res.Done)
+	}
+	if res.Elapsed < 250*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than the schedule", res.Elapsed)
+	}
+}
+
+// TestOpenLoopZeroConfig pins the degenerate inputs.
+func TestOpenLoopZeroConfig(t *testing.T) {
+	res := OpenLoop(OpenLoopConfig{})
+	if res.Done != 0 || res.Hist.Count() != 0 {
+		t.Fatal("zero config must do nothing")
+	}
+}
+
+// TestCoordinatedOmission is the regression test for the measurement
+// discipline itself: a responder that stalls once must inflate the
+// recorded tail, not hide it. The open-loop latencies are measured from
+// each request's scheduled arrival, so every arrival that queued behind
+// the stall carries the wait; a closed-loop view (timing only the Send
+// call bodies) sees one slow call and a healthy tail — the coordinated
+// omission this harness exists to avoid.
+func TestCoordinatedOmission(t *testing.T) {
+	const stall = 400 * time.Millisecond
+	var calls atomic.Int64
+	var mu sync.Mutex
+	closed := New() // per-call service times: the misleading view
+
+	res := OpenLoop(OpenLoopConfig{
+		Rate: 200, Duration: time.Second, Workers: 1,
+		Send: func() error {
+			begin := time.Now()
+			if calls.Add(1) == 1 {
+				time.Sleep(stall)
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+			mu.Lock()
+			closed.Record(time.Since(begin).Nanoseconds())
+			mu.Unlock()
+			return nil
+		},
+	})
+	if res.Done != res.Scheduled {
+		t.Fatalf("done %d != scheduled %d", res.Done, res.Scheduled)
+	}
+
+	open := res.Hist
+	// The tail must carry the stall: requests scheduled during the
+	// 400ms stall waited most of it.
+	if p999 := open.Quantile(0.999); p999 < (stall / 2).Nanoseconds() {
+		t.Fatalf("open-loop p999 = %v hides the %v stall",
+			time.Duration(p999), stall)
+	}
+	// The stall's queue also drags the body of the distribution:
+	// many non-stalled requests waited.
+	if p90 := open.Quantile(0.90); p90 < (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("open-loop p90 = %v shows no queueing", time.Duration(p90))
+	}
+	// The closed-loop view of the same run is the lie: its median is
+	// the 1ms service time, far below the open-loop tail.
+	closedP50 := closed.Quantile(0.5)
+	if closedP50 > (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("closed-loop p50 = %v, expected a healthy-looking median",
+			time.Duration(closedP50))
+	}
+	if open.Quantile(0.999) < 4*closedP50 {
+		t.Fatalf("open-loop tail %v not inflated vs closed-loop median %v",
+			time.Duration(open.Quantile(0.999)), time.Duration(closedP50))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pcltm/stm"
+	"pcltm/tstructs"
 )
 
 // Pattern selects how workers pick variables.
@@ -35,9 +36,18 @@ const (
 	// a handful of shared hot variables — the workload the adaptive
 	// engine's regime switch exists for.
 	PhaseShift
+	// RateLimit models the server package's admission control: each
+	// worker's data accesses are disjoint (zero data conflicts), but
+	// every transaction also spends a token from one shared
+	// tstructs.TBucket — N workers serializing on a single two-word
+	// TVar. It is the maximal-contention regime with the minimal
+	// footprint: the conflict window is one read-modify-write, so it
+	// measures pure conflict-resolution cost rather than long-footprint
+	// validation.
+	RateLimit
 )
 
-var patternNames = [...]string{"disjoint", "uniform", "zipf", "phase"}
+var patternNames = [...]string{"disjoint", "uniform", "zipf", "phase", "ratelimit"}
 
 // phaseHotVars is the hot-set size of PhaseShift's contended phase.
 const phaseHotVars = 4
@@ -50,7 +60,7 @@ func (p Pattern) String() string {
 }
 
 // Patterns lists all patterns.
-func Patterns() []Pattern { return []Pattern{Disjoint, Uniform, Zipf, PhaseShift} }
+func Patterns() []Pattern { return []Pattern{Disjoint, Uniform, Zipf, PhaseShift, RateLimit} }
 
 // PatternByName resolves a pattern name.
 func PatternByName(s string) (Pattern, bool) {
@@ -186,6 +196,8 @@ type Result struct {
 // draws uniformly, Zipf skews toward low indices with skew zipfS, and
 // PhaseShift plays Disjoint for the first half of opsPerWorker ordinals
 // and hammers the phaseHotVars lowest variables for the second half.
+// RateLimit picks like Disjoint — its contention comes from the shared
+// token bucket Run threads through every transaction, not from data.
 func Picker(p Pattern, r *rand.Rand, zipfS float64, vars, workers, opsPerWorker, worker int) func(op int) int {
 	if zipfS <= 1 {
 		zipfS = 1.2
@@ -204,7 +216,10 @@ func Picker(p Pattern, r *rand.Rand, zipfS float64, vars, workers, opsPerWorker,
 	}
 	return func(op int) int {
 		switch p {
-		case Disjoint:
+		case Disjoint, RateLimit:
+			// RateLimit's data accesses are disjoint on purpose: the only
+			// conflict the pattern allows is the shared token bucket Run
+			// threads through every transaction.
 			return disjointPick()
 		case Zipf:
 			return int(z.Uint64())
@@ -302,6 +317,14 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 		vars[i] = stm.NewTVar[int64](0)
 	}
 	payload := makePayload(cfg.Values, cfg.Vars)
+	// The RateLimit pattern threads one shared admission bucket through
+	// every transaction. Capacity and rate are effectively unbounded:
+	// the measurand is the serialization on the bucket's TVar, not
+	// rejected work — the sum invariant stays exactly ExpectedSum.
+	var limiter *tstructs.TBucket
+	if cfg.Pattern == RateLimit {
+		limiter = tstructs.NewTBucket(1<<40, 1e12)
+	}
 
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -314,7 +337,14 @@ func Run(kind stm.EngineKind, cfg Config) Result {
 			r := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
 			pick := Picker(cfg.Pattern, r, cfg.ZipfS, cfg.Vars, cfg.Workers, cfg.OpsPerWorker, worker)
 			for op := 0; op < cfg.OpsPerWorker; op++ {
+				var now int64
+				if limiter != nil {
+					now = time.Now().UnixNano()
+				}
 				_ = eng.Atomically(func(tx *stm.Tx) error {
+					if limiter != nil {
+						limiter.TryTake(tx, now, 1)
+					}
 					var acc int64
 					for i := 0; i < cfg.ReadsPerTx; i++ {
 						acc += stm.Get(tx, vars[pick(op)])

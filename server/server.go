@@ -1,0 +1,440 @@
+// Package server is the network front end of the partitioned store —
+// the first storey of this repo that serves traffic instead of
+// simulating it. It exposes store.Store[int64,int64] over HTTP with a
+// command/query split:
+//
+//   - POST /tx   — commands: a batch of read-modify-write operations
+//     (get/put/incr/delete), routed by key to per-partition appliers;
+//   - GET /kv/{key} — queries: one single-partition read transaction,
+//     no queue, no batching;
+//   - GET /healthz, GET /stats — liveness and introspection.
+//
+// The command path is where the PCL trade-off meets a wire: instead of
+// paying one Atomically per command, each partition runs an applier
+// goroutine fed by a tstructs.TQueue. Handlers enqueue pending command
+// groups; the applier drains up to Config.BatchMax groups and applies
+// them in ONE store.Atomically, so the per-commit cost (clock ticks,
+// lock traffic, validation) is amortized across the batch exactly when
+// load is high enough for it to matter — at low load batches are size
+// one and latency is untouched. Queue hand-off and batch application
+// are transactions on the partition's own engine, so the network tier
+// inherits the store's isolation rather than reimplementing it.
+//
+// Admission is a tstructs.TBucket — the transactional token bucket —
+// spent inside a transaction per request batch: over-rate commands get
+// 429 before they touch a queue. The applier never parks holding its
+// partition's escalation lock (waiting happens in a queue-only
+// transaction), so Cross and the exact store.Len keep working while
+// the server idles.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcltm/stm"
+	"pcltm/store"
+	"pcltm/tstructs"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Partitions, Engine, Buckets configure the underlying store (see
+	// store.Config; zero values mean GOMAXPROCS partitions, TL2).
+	Partitions int
+	Engine     stm.EngineKind
+	Buckets    int
+	// BatchMax caps how many pending command groups one applier
+	// transaction drains (default 64). Batching is opportunistic: an
+	// idle server applies singletons immediately.
+	BatchMax int
+	// RateLimit, when positive, caps admitted commands per second with
+	// burst capacity RateBurst (default: one second's worth). Zero
+	// disables admission control.
+	RateLimit float64
+	RateBurst int64
+}
+
+// Command is one operation of a POST /tx batch.
+type Command struct {
+	// Op is one of "get", "put", "incr", "delete".
+	Op string `json:"op"`
+	// Key routes the command to its partition.
+	Key int64 `json:"key"`
+	// Value is stored by put and added by incr (incr of 0 means 1, so
+	// `{"op":"incr","key":k}` is a plain counter bump).
+	Value int64 `json:"value,omitempty"`
+}
+
+// CmdResult is one command's outcome, index-aligned with the request.
+type CmdResult struct {
+	// Value: get returns the read value, incr the post-increment value;
+	// put and delete return the stored/removed value.
+	Value int64 `json:"value"`
+	// Found: whether the key existed before the command (get/delete) or
+	// at all (put/incr report true — the key exists afterwards).
+	Found bool `json:"found"`
+}
+
+// TxRequest and TxResponse are the /tx wire format.
+type TxRequest struct {
+	Cmds []Command `json:"cmds"`
+}
+
+type TxResponse struct {
+	Results []CmdResult `json:"results"`
+}
+
+// KVResponse is the /kv/{key} wire format.
+type KVResponse struct {
+	Value int64 `json:"value"`
+	Found bool  `json:"found"`
+}
+
+// Stats is the /stats wire format.
+type Stats struct {
+	Engine     string `json:"engine"`
+	Partitions int    `json:"partitions"`
+	// Batches and Cmds count applier transactions and the commands they
+	// carried; Cmds/Batches is the realized amortization factor.
+	Batches uint64 `json:"batches"`
+	Cmds    uint64 `json:"cmds"`
+	// Rejected counts 429s from the admission bucket.
+	Rejected uint64 `json:"rejected"`
+	// Store aggregates every partition engine's counters.
+	Store []stm.Stats `json:"store"`
+}
+
+// pending is one partition's share of a /tx request: commands plus the
+// response slots they fill. It crosses from handler to applier through
+// the partition's TQueue; done is the only synchronization of res —
+// the handler must not read res before receiving on done.
+type pending struct {
+	cmds []Command
+	idx  []int // position of each cmd in the request's result slice
+	res  []CmdResult
+	done chan error
+}
+
+// ErrClosed is reported for commands caught in a server shutdown.
+var ErrClosed = errors.New("server: closed")
+
+// Server routes HTTP traffic onto the store. Create with New, attach
+// via Handler, stop with Close.
+type Server struct {
+	store    *store.Store[int64, int64]
+	queues   []*tstructs.TQueue[*pending]
+	stopped  []*stm.TVar[bool]
+	batchMax int
+
+	limiter *tstructs.TBucket // nil = unlimited
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	batches atomic.Uint64
+	cmds    atomic.Uint64
+	reject  atomic.Uint64
+}
+
+// New builds the store, starts one applier per partition, and returns
+// the server.
+func New(cfg Config) *Server {
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	s := &Server{
+		store: store.New[int64, int64](store.Config{
+			Partitions: cfg.Partitions, Engine: cfg.Engine, Buckets: cfg.Buckets,
+		}),
+		batchMax: cfg.BatchMax,
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int64(cfg.RateLimit)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.limiter = tstructs.NewTBucket(burst, cfg.RateLimit)
+	}
+	n := s.store.Partitions()
+	s.queues = make([]*tstructs.TQueue[*pending], n)
+	s.stopped = make([]*stm.TVar[bool], n)
+	for p := 0; p < n; p++ {
+		s.queues[p] = tstructs.NewTQueue[*pending]()
+		s.stopped[p] = stm.NewTVar(false)
+		s.wg.Add(1)
+		go s.applier(p)
+	}
+	return s
+}
+
+// Store exposes the underlying store (tests, embedding).
+func (s *Server) Store() *store.Store[int64, int64] { return s.store }
+
+// applier is partition part's consumer: it blocks on the queue in a
+// queue-only transaction (holding no partition lock while parked — a
+// parked RLock would deadlock Cross and the exact Len), then drains up
+// to batchMax pending groups and applies them in one store.Atomically.
+func (s *Server) applier(part int) {
+	defer s.wg.Done()
+	eng := s.store.Engine(part)
+	q := s.queues[part]
+	stopTV := s.stopped[part]
+	batch := make([]*pending, 0, s.batchMax)
+	for {
+		// Wait for work. This transaction touches only the queue and the
+		// stop flag, so parking in Retry holds no store lock.
+		var first *pending
+		var stopping bool
+		_ = eng.Atomically(func(tx *stm.Tx) error {
+			first, stopping = nil, false
+			if p, ok := q.TryTake(tx); ok {
+				first = p
+				return nil
+			}
+			if stm.Get(tx, stopTV) {
+				stopping = true
+				return nil
+			}
+			stm.Retry(tx)
+			return nil
+		})
+		if stopping {
+			// Drain stragglers that beat the stop flag, then exit. Any
+			// enqueue serialized after the stop flag was set has been
+			// rejected by the handler's same-transaction check, so after
+			// this drain the queue stays empty forever.
+			for {
+				var p *pending
+				_ = eng.Atomically(func(tx *stm.Tx) error {
+					p, _ = q.TryTake(tx)
+					return nil
+				})
+				if p == nil {
+					return
+				}
+				p.done <- ErrClosed
+			}
+		}
+
+		// Apply a batch in one store transaction: first plus whatever
+		// else queued meanwhile, at most batchMax groups. On conflict
+		// retry the drains re-run, so batch is rebuilt from scratch.
+		_ = s.store.Atomically(part, func(tx *stm.Tx, ph *store.Part[int64, int64]) error {
+			batch = append(batch[:0], first)
+			for len(batch) < s.batchMax {
+				p, ok := q.TryTake(tx)
+				if !ok {
+					break
+				}
+				batch = append(batch, p)
+			}
+			for _, p := range batch {
+				applyCmds(tx, ph, p)
+			}
+			return nil
+		})
+		s.batches.Add(1)
+		for _, p := range batch {
+			s.cmds.Add(uint64(len(p.cmds)))
+			p.done <- nil
+		}
+	}
+}
+
+// applyCmds runs one pending group's commands inside the applier's
+// transaction, filling the response slots.
+func applyCmds(tx *stm.Tx, ph *store.Part[int64, int64], p *pending) {
+	for i, c := range p.cmds {
+		switch c.Op {
+		case "get":
+			v, ok := ph.Get(tx, c.Key)
+			p.res[i] = CmdResult{Value: v, Found: ok}
+		case "put":
+			ph.Put(tx, c.Key, c.Value)
+			p.res[i] = CmdResult{Value: c.Value, Found: true}
+		case "incr":
+			delta := c.Value
+			if delta == 0 {
+				delta = 1
+			}
+			v, _ := ph.Get(tx, c.Key)
+			v += delta
+			ph.Put(tx, c.Key, v)
+			p.res[i] = CmdResult{Value: v, Found: true}
+		case "delete":
+			v, ok := ph.Get(tx, c.Key)
+			if ok {
+				ph.Delete(tx, c.Key)
+			}
+			p.res[i] = CmdResult{Value: v, Found: ok}
+		}
+	}
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tx", s.handleTx)
+	mux.HandleFunc("GET /kv/{key}", s.handleKV)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		return
+	}
+	var req TxRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Cmds) == 0 {
+		http.Error(w, "empty command batch", http.StatusBadRequest)
+		return
+	}
+	for _, c := range req.Cmds {
+		switch c.Op {
+		case "get", "put", "incr", "delete":
+		default:
+			http.Error(w, fmt.Sprintf("unknown op %q", c.Op), http.StatusBadRequest)
+			return
+		}
+	}
+	if !s.admit(int64(len(req.Cmds))) {
+		s.reject.Add(1)
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+
+	// Group commands by partition, preserving request order per slot.
+	results := make([]CmdResult, len(req.Cmds))
+	groups := make(map[int]*pending)
+	for i, c := range req.Cmds {
+		part := s.store.PartitionOf(c.Key)
+		g := groups[part]
+		if g == nil {
+			g = &pending{done: make(chan error, 1)}
+			groups[part] = g
+		}
+		g.cmds = append(g.cmds, c)
+		g.idx = append(g.idx, i)
+	}
+
+	// Enqueue each group onto its partition's queue. The stop flag is
+	// checked inside the same transaction, so an enqueue can never
+	// commit after the applier's final drain (both orders of the two
+	// commits are handled: flag-first rejects here, enqueue-first is
+	// caught by the drain).
+	for part, g := range groups {
+		g.res = make([]CmdResult, len(g.cmds))
+		var closed bool
+		_ = s.store.Engine(part).Atomically(func(tx *stm.Tx) error {
+			closed = stm.Get(tx, s.stopped[part])
+			if !closed {
+				s.queues[part].Put(tx, g)
+			}
+			return nil
+		})
+		if closed {
+			http.Error(w, "server closed", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	for _, g := range groups {
+		if err := <-g.done; err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		for j, i := range g.idx {
+			results[i] = g.res[j]
+		}
+	}
+	writeJSON(w, TxResponse{Results: results})
+}
+
+// admit spends n tokens from the admission bucket (one transaction on
+// partition 0's engine — admission is global, its serialization point
+// deliberate; see tstructs.TBucket).
+func (s *Server) admit(n int64) bool {
+	if s.limiter == nil {
+		return true
+	}
+	now := time.Now().UnixNano()
+	ok := false
+	_ = s.store.Engine(0).Atomically(func(tx *stm.Tx) error {
+		ok = s.limiter.TryTake(tx, now, n)
+		return nil
+	})
+	return ok
+}
+
+func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		return
+	}
+	key, err := strconv.ParseInt(r.PathValue("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.admit(1) {
+		s.reject.Add(1)
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	v, ok := s.store.Get(key)
+	writeJSON(w, KVResponse{Value: v, Found: ok})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.StatsSnapshot())
+}
+
+// StatsSnapshot returns the server's counters.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		Engine:     s.store.Engine(0).Kind().String(),
+		Partitions: s.store.Partitions(),
+		Batches:    s.batches.Load(),
+		Cmds:       s.cmds.Load(),
+		Rejected:   s.reject.Load(),
+		Store:      s.store.Stats(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Close stops accepting requests, wakes every applier, fails whatever
+// was still queued with ErrClosed, and waits for the appliers to exit.
+// Safe to call more than once.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	for p := range s.stopped {
+		_ = s.store.Engine(p).Atomically(func(tx *stm.Tx) error {
+			stm.Set(tx, s.stopped[p], true)
+			return nil
+		})
+	}
+	s.wg.Wait()
+}

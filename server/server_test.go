@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pcltm/stm"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postTx(t *testing.T, url string, cmds []Command) (*http.Response, TxResponse) {
+	t.Helper()
+	body, _ := json.Marshal(TxRequest{Cmds: cmds})
+	resp, err := http.Post(url+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out TxResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, out
+}
+
+func getKV(t *testing.T, url string, key int64) (int, KVResponse) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/kv/%d", url, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out KVResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, out
+}
+
+// TestCommandQueryRoundTrip drives every op through /tx and reads the
+// results back through both paths, on every engine.
+func TestCommandQueryRoundTrip(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, ts := startServer(t, Config{Partitions: 4, Engine: kind, Buckets: 16})
+
+			resp, out := postTx(t, ts.URL, []Command{
+				{Op: "put", Key: 1, Value: 10},
+				{Op: "put", Key: 2, Value: 20},
+				{Op: "incr", Key: 1, Value: 5},
+				{Op: "get", Key: 2},
+				{Op: "incr", Key: 3}, // zero delta means 1
+				{Op: "delete", Key: 2},
+				{Op: "get", Key: 2},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			want := []CmdResult{
+				{Value: 10, Found: true},
+				{Value: 20, Found: true},
+				{Value: 15, Found: true},
+				{Value: 20, Found: true},
+				{Value: 1, Found: true},
+				{Value: 20, Found: true},
+				{Value: 0, Found: false},
+			}
+			for i, w := range want {
+				if out.Results[i] != w {
+					t.Fatalf("result[%d] = %+v, want %+v", i, out.Results[i], w)
+				}
+			}
+
+			if code, kv := getKV(t, ts.URL, 1); code != 200 || kv.Value != 15 || !kv.Found {
+				t.Fatalf("GET /kv/1 = %d %+v", code, kv)
+			}
+			if code, kv := getKV(t, ts.URL, 2); code != 200 || kv.Found {
+				t.Fatalf("GET /kv/2 = %d %+v, want found=false", code, kv)
+			}
+		})
+	}
+}
+
+// TestBadRequests pins the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := startServer(t, Config{Partitions: 2})
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "explode", Key: 1}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d", resp.StatusCode)
+	}
+	if resp, _ := postTx(t, ts.URL, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/kv/not-a-number")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchAmortization pins the tentpole's mechanism: one /tx request
+// whose commands land on one partition is applied by exactly one
+// store transaction, whatever its size — Cmds/Batches > 1 is the
+// amortization the applier exists for.
+func TestBatchAmortization(t *testing.T) {
+	s, ts := startServer(t, Config{Partitions: 1, Engine: stm.EngineTL2, BatchMax: 64})
+	const k = 32
+	cmds := make([]Command, k)
+	for i := range cmds {
+		cmds[i] = Command{Op: "incr", Key: int64(i)}
+	}
+	if resp, _ := postTx(t, ts.URL, cmds); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	st := s.StatsSnapshot()
+	if st.Batches != 1 || st.Cmds != k {
+		t.Fatalf("batches=%d cmds=%d, want one batch of %d", st.Batches, st.Cmds, k)
+	}
+}
+
+// TestRateLimiter pins the admission guard: a bucket with no refill
+// admits exactly its capacity and 429s the rest.
+func TestRateLimiter(t *testing.T) {
+	s, ts := startServer(t, Config{Partitions: 2, RateLimit: 1e-9, RateBurst: 3})
+	ok, limited := 0, 0
+	for i := 0; i < 6; i++ {
+		resp, _ := postTx(t, ts.URL, []Command{{Op: "incr", Key: int64(i)}})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			limited++
+		default:
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	if ok != 3 || limited != 3 {
+		t.Fatalf("ok=%d limited=%d, want 3/3", ok, limited)
+	}
+	if st := s.StatsSnapshot(); st.Rejected != 3 {
+		t.Fatalf("rejected=%d, want 3", st.Rejected)
+	}
+}
+
+// TestConcurrentLoad is the end-to-end invariant: concurrent clients
+// incrementing through /tx must sum exactly, read back through /kv.
+func TestConcurrentLoad(t *testing.T) {
+	const (
+		clients = 8
+		opsEach = 40
+		keys    = 16
+	)
+	s, ts := startServer(t, Config{Partitions: 4, Engine: stm.EngineAdaptive, BatchMax: 8})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				body, _ := json.Marshal(TxRequest{Cmds: []Command{
+					{Op: "incr", Key: int64((c + i) % keys)},
+					{Op: "incr", Key: int64((c + i + 7) % keys)},
+				}})
+				resp, err := http.Post(ts.URL+"/tx", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var sum int64
+	for k := int64(0); k < keys; k++ {
+		_, kv := getKV(t, ts.URL, k)
+		sum += kv.Value
+	}
+	if want := int64(clients * opsEach * 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	st := s.StatsSnapshot()
+	if st.Cmds != uint64(clients*opsEach*2) {
+		t.Fatalf("cmds = %d, want %d", st.Cmds, clients*opsEach*2)
+	}
+	if st.Batches == 0 || st.Batches > st.Cmds {
+		t.Fatalf("batches = %d vs cmds = %d", st.Batches, st.Cmds)
+	}
+	// The exact Len must agree with what the traffic created, while the
+	// server (with idle parked appliers) is still running — the
+	// no-parked-lock design under test.
+	if got := s.Store().Len(); got != keys {
+		t.Fatalf("store.Len = %d, want %d", got, keys)
+	}
+}
+
+// TestCloseFailsPending pins shutdown: post-close requests get 503 and
+// the server quiesces without leaking appliers.
+func TestCloseFailsPending(t *testing.T) {
+	s, ts := startServer(t, Config{Partitions: 2})
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: 1, Value: 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-close status %d", resp.StatusCode)
+	}
+	s.Close()
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: 2, Value: 2}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status %d", resp.StatusCode)
+	}
+	if code, _ := getKV(t, ts.URL, 1); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close query status %d", code)
+	}
+	s.Close() // idempotent
+}
+
+// TestStatsEndpoint sanity-checks the JSON surface.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := startServer(t, Config{Partitions: 2, Engine: stm.EngineTL2Striped})
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine != "tl2s" || st.Partitions != 2 || len(st.Store) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp2.StatusCode)
+	}
+}

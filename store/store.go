@@ -246,11 +246,35 @@ func (s *Store[K, V]) Update(k K, fn func(v V, ok bool) V) {
 	})
 }
 
-// Len sums the partition sizes, one read transaction per partition. The
-// partitions are read at slightly different times, so under concurrent
-// cross-partition movement the sum is approximate; run it inside Cross
-// for an exact count.
+// Len returns the exact entry count: it takes every partition's
+// escalation lock exclusive in partition order (the same total order
+// Cross uses, so the two never deadlock), which drains all in-flight
+// transactions store-wide, then sums the quiesced per-partition bucket
+// counters. The count is therefore a true instantaneous snapshot even
+// against concurrent Cross transactions moving keys between partitions.
+// The price mirrors Cross's: a Len serializes against every transaction
+// in the store — it is an administration operation, not a hot path. For
+// cheap monitoring, LenApprox reads without any exclusion.
 func (s *Store[K, V]) Len() int {
+	for _, p := range s.parts {
+		p.mu.Lock()
+	}
+	var n int
+	for _, p := range s.parts {
+		n += p.m.LenQuiesced()
+	}
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		s.parts[i].mu.Unlock()
+	}
+	return n
+}
+
+// LenApprox sums the partition sizes with one read transaction per
+// partition, excluding nothing. The partitions are read at slightly
+// different times, so under concurrent key movement the sum can be off
+// by the number of in-flight movers — fine for dashboards, wrong for
+// invariant checks; use Len for those.
+func (s *Store[K, V]) LenApprox() int {
 	var n int
 	for part := range s.parts {
 		_ = s.Atomically(part, func(tx *stm.Tx, p *Part[K, V]) error {

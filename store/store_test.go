@@ -389,3 +389,83 @@ func TestStoreEngineOptionsSeam(t *testing.T) {
 			recs[0].Len(), recs[1].Len())
 	}
 }
+
+// TestLenExactUnderConcurrentWriters pins the PR 6 follow-up: Len must
+// be a true instantaneous count, not a time-skewed sum. Movers use
+// Cross to atomically delete one key and insert another — the total is
+// invariant at every instant — while single-partition writers churn
+// overwrites underneath. The old per-partition-transaction Len could
+// read one partition before a move and another after it, reporting
+// N±1; the exclusive-sweep Len must report exactly N on every call.
+func TestLenExactUnderConcurrentWriters(t *testing.T) {
+	const (
+		keys    = 256
+		movers  = 3
+		writers = 2
+		rounds  = 60
+	)
+	s := New[int64, int64](Config{Partitions: 4, Engine: stm.EngineTL2, Buckets: 16})
+	for k := int64(0); k < keys; k++ {
+		s.Put(k, 0)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Movers: atomically replace one owned key with a fresh one. Each
+	// mover owns a disjoint key range so movers never collide on keys,
+	// and the store's total count never changes.
+	for mv := 0; mv < movers; mv++ {
+		wg.Add(1)
+		go func(mv int) {
+			defer wg.Done()
+			cur := int64(mv) // current live key of this mover's slot
+			next := int64(keys + mv)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Cross(func(ct *CrossTx[int64, int64]) error {
+					if !ct.Delete(cur) {
+						t.Errorf("mover %d: key %d vanished", mv, cur)
+					}
+					ct.Put(next, 1)
+					return nil
+				})
+				cur, next = next, cur
+			}
+		}(mv)
+	}
+	// Writers: single-partition overwrites — Len must coexist with the
+	// shared-lock fast path, not just with Cross.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := int64(movers + w*13)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Update(k%keys, func(v int64, ok bool) int64 { return v + 1 })
+				k += 7
+			}
+		}(w)
+	}
+
+	for i := 0; i < rounds; i++ {
+		if got := s.Len(); got != keys {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: Len = %d, want exactly %d", i, got, keys)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Len(); got != keys {
+		t.Fatalf("quiesced Len = %d, want %d", got, keys)
+	}
+}

@@ -1,0 +1,100 @@
+package tstructs
+
+import (
+	"pcltm/stm"
+)
+
+// tbucketScale is the fixed-point resolution of the token count:
+// micro-tokens, so slow refill rates still accrue between closely
+// spaced takes without floating point living in the transactional
+// state.
+const tbucketScale = 1_000_000
+
+// TBucket is a transactional token bucket: capacity tokens, refilled
+// continuously at a fixed rate, spent by TryTake. The entire state is
+// one two-word pointer-free struct behind a single TVar, so it rides
+// the engines' raw-word path — a steady-state TryTake allocates
+// nothing — and every taker conflicts with every other taker on that
+// one TVar. That concentration is the point twice over: as the
+// admission guard of the server package (admit or 429 is one tiny
+// transaction, composable with whatever else the admission decision
+// needs), and as the deliberately maximal-contention "ratelimit"
+// workload pattern of internal/workload, where N workers hammering one
+// bucket is the high-contention regime the adaptive engine's policy
+// must survive.
+//
+// Time is the caller's: every operation takes now in nanoseconds
+// (monotonic, e.g. time.Now().UnixNano() captured once before the
+// surrounding Atomically), keeping the transactional code deterministic
+// across conflict retries. Clock steps backwards are treated as zero
+// elapsed time.
+type TBucket struct {
+	state *stm.TVar[tbucketState]
+	// capacity is the burst ceiling in micro-tokens; perNS the refill in
+	// micro-tokens per nanosecond. Both are immutable after New.
+	capacity float64
+	perNS    float64
+}
+
+// tbucketState is the mutable bucket state: two int64 words,
+// pointer-free, so Set never boxes.
+type tbucketState struct {
+	// MicroTokens is the current balance in micro-tokens.
+	MicroTokens int64
+	// LastNS is the instant of the last refill.
+	LastNS int64
+}
+
+// NewTBucket builds a bucket holding (and capped at) capacity tokens,
+// refilling at perSec tokens per second. A non-positive capacity is
+// clamped to 1; a negative rate to 0 (a bucket that never refills —
+// a quota, not a limiter).
+func NewTBucket(capacity int64, perSec float64) *TBucket {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if perSec < 0 {
+		perSec = 0
+	}
+	return &TBucket{
+		state:    stm.NewTVar(tbucketState{MicroTokens: capacity * tbucketScale}),
+		capacity: float64(capacity) * tbucketScale,
+		perNS:    perSec * tbucketScale / 1e9,
+	}
+}
+
+// refill returns the balance advanced to now, clamped to capacity.
+func (b *TBucket) refill(s tbucketState, now int64) tbucketState {
+	if now > s.LastNS {
+		added := float64(now-s.LastNS) * b.perNS
+		balance := float64(s.MicroTokens) + added
+		if balance > b.capacity {
+			balance = b.capacity
+		}
+		s.MicroTokens = int64(balance)
+	}
+	s.LastNS = now
+	return s
+}
+
+// TryTake spends n tokens inside tx if the balance (refilled to now)
+// covers them, reporting whether it did. A rejected take still writes
+// the refilled state, so rejection is not free of conflicts — admission
+// control is itself a serialization point, which is exactly what the
+// ratelimit workload pattern measures.
+func (b *TBucket) TryTake(tx *stm.Tx, now int64, n int64) bool {
+	s := b.refill(stm.Get(tx, b.state), now)
+	need := n * tbucketScale
+	ok := s.MicroTokens >= need
+	if ok {
+		s.MicroTokens -= need
+	}
+	stm.Set(tx, b.state, s)
+	return ok
+}
+
+// Tokens reports the whole tokens available at now, without spending.
+func (b *TBucket) Tokens(tx *stm.Tx, now int64) int64 {
+	s := b.refill(stm.Get(tx, b.state), now)
+	return s.MicroTokens / tbucketScale
+}

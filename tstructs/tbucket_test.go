@@ -1,0 +1,150 @@
+package tstructs
+
+import (
+	"sync"
+	"testing"
+
+	"pcltm/stm"
+)
+
+// take runs one TryTake transaction at a fixed instant.
+func take(t *testing.T, e *stm.Engine, b *TBucket, now, n int64) bool {
+	t.Helper()
+	var ok bool
+	if err := e.Atomically(func(tx *stm.Tx) error {
+		ok = b.TryTake(tx, now, n)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+// TestTBucketDeterministic drives the bucket with a hand-rolled clock:
+// burst drains the capacity, rejection at zero, refill accrues at the
+// configured rate and clamps at capacity.
+func TestTBucketDeterministic(t *testing.T) {
+	e := stm.NewEngine(stm.EngineTL2)
+	b := NewTBucket(10, 1000) // 10 tokens, 1000/s = 1 per ms
+	now := int64(1_000_000_000)
+
+	for i := 0; i < 10; i++ {
+		if !take(t, e, b, now, 1) {
+			t.Fatalf("take %d rejected with tokens left", i)
+		}
+	}
+	if take(t, e, b, now, 1) {
+		t.Fatal("take accepted on an empty bucket")
+	}
+
+	// 5ms refills 5 tokens.
+	now += 5 * 1_000_000
+	for i := 0; i < 5; i++ {
+		if !take(t, e, b, now, 1) {
+			t.Fatalf("refilled take %d rejected", i)
+		}
+	}
+	if take(t, e, b, now, 1) {
+		t.Fatal("take accepted beyond the refill")
+	}
+
+	// A long idle clamps at capacity, not beyond.
+	now += 60 * 1_000_000_000
+	if take(t, e, b, now, 11) {
+		t.Fatal("burst beyond capacity accepted")
+	}
+	if !take(t, e, b, now, 10) {
+		t.Fatal("full-capacity burst rejected after idle")
+	}
+
+	// Clock stepping backwards adds nothing.
+	if take(t, e, b, now-1_000_000_000, 1) {
+		t.Fatal("backwards clock minted tokens")
+	}
+}
+
+// TestTBucketQuota pins the zero-rate bucket: a spend-down quota that
+// never refills.
+func TestTBucketQuota(t *testing.T) {
+	e := stm.NewEngine(stm.EngineGlobalLock)
+	b := NewTBucket(3, 0)
+	now := int64(1)
+	if !take(t, e, b, now, 3) {
+		t.Fatal("quota rejected its capacity")
+	}
+	if take(t, e, b, now+1<<40, 1) {
+		t.Fatal("zero-rate bucket refilled")
+	}
+	var left int64
+	_ = e.Atomically(func(tx *stm.Tx) error {
+		left = b.Tokens(tx, now)
+		return nil
+	})
+	if left != 0 {
+		t.Fatalf("tokens = %d, want 0", left)
+	}
+}
+
+// TestTBucketConcurrent hammers one bucket from many goroutines on
+// every engine: the admitted total must never exceed capacity plus what
+// the elapsed time could have refilled (here: nothing — the clock is
+// frozen), and the bucket must end exactly drained.
+func TestTBucketConcurrent(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := stm.NewEngine(kind)
+			const capacity = 64
+			b := NewTBucket(capacity, 0) // frozen clock: admissions are bounded by capacity alone
+			now := int64(1_000)
+			var admitted int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					local := int64(0)
+					for i := 0; i < 100; i++ {
+						var ok bool
+						_ = e.Atomically(func(tx *stm.Tx) error {
+							ok = b.TryTake(tx, now, 1)
+							return nil
+						})
+						if ok {
+							local++
+						}
+					}
+					mu.Lock()
+					admitted += local
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			if admitted != capacity {
+				t.Fatalf("admitted %d, want exactly %d", admitted, capacity)
+			}
+		})
+	}
+}
+
+// TestZeroAllocTBucketTryTake: the admission path — refill arithmetic,
+// one Get, one Set of a two-word struct — allocates nothing in steady
+// state; the guard can sit in front of every request without feeding
+// the GC.
+func TestZeroAllocTBucketTryTake(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := stm.NewEngine(kind)
+			b := NewTBucket(1<<40, 1e9)
+			now := int64(1_000_000_000)
+			allocs := measureAllocs(t, e, func(tx *stm.Tx) error {
+				now += 1000
+				b.TryTake(tx, now, 1)
+				return nil
+			})
+			if budget := allocBudget(kind); allocs > budget {
+				t.Fatalf("TryTake allocates %.2f/op, budget %.2f", allocs, budget)
+			}
+		})
+	}
+}

@@ -194,6 +194,21 @@ func (m *TMap[K, V]) Len(tx *stm.Tx) int {
 	return int(n)
 }
 
+// LenQuiesced returns the entry count without a transaction, by
+// peeking every bucket counter. Each peek is individually consistent,
+// so the sum is exact only when the caller excludes all concurrent
+// transactions on the map's engine for the duration — the contract
+// store.Len provides by holding every partition's escalation lock
+// exclusive. Without that exclusion the sum is a monitoring
+// approximation, like summing sharded counters anywhere.
+func (m *TMap[K, V]) LenQuiesced() int {
+	var n int64
+	for _, c := range m.counts {
+		n += c.Peek()
+	}
+	return int(n)
+}
+
 // ForEach visits every entry inside tx, in unspecified order, until fn
 // returns false. The read set is the whole table; use it for snapshots
 // and administration, not hot paths.
