@@ -7,6 +7,7 @@
 //	T4.1   — the full verdict matrix over the protocol portfolio
 //	E1     — production engine throughput across contention patterns
 //	E2     — decision-procedure cost of the consistency conditions
+//	E9     — polynomial certification cost vs history size
 //
 // Run with: go test -bench=. -benchmem .
 package pcltm
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pcltm/internal/certify"
 	"pcltm/internal/consistency"
 	"pcltm/internal/core"
 	"pcltm/internal/exectest"
@@ -384,6 +386,28 @@ func BenchmarkE2Checkers(b *testing.B) {
 			c := c
 			b.Run(fmt.Sprintf("%s/txns=%d", c.Name, m), func(b *testing.B) {
 				benchChecker(b, m, c.Name, c.Check)
+			})
+		}
+	}
+}
+
+// BenchmarkE9Certify sweeps condition × history size on the polynomial
+// certifier (experiment E9): the second checker tier's cost on honest
+// overlapping-interval histories orders of magnitude past what the
+// exhaustive E2 tier can touch. The per-iteration work scales with the
+// history, so compare ns/op across sizes for the growth curve.
+func BenchmarkE9Certify(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		h := certify.Synth(n, 64, 8, 1)
+		for _, cond := range certify.Conditions() {
+			b.Run(fmt.Sprintf("%s/txns=%d", cond, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rep := certify.Check(h, cond)
+					if rep.Verdict != certify.Certified {
+						b.Fatalf("synthetic history not certified: %s", rep)
+					}
+				}
 			})
 		}
 	}

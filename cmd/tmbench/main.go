@@ -54,8 +54,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pcltm/internal/benchfmt"
+	"pcltm/internal/certify"
 	"pcltm/internal/core"
 	"pcltm/internal/dap"
 	"pcltm/internal/registry"
@@ -83,6 +85,7 @@ func main() {
 	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	sizesFlag := flag.String("sizes", "1000,10000,100000", "history sizes to certify (certify mode)")
 	flag.Parse()
 
 	stm.OrecShards = *orecShards
@@ -95,6 +98,8 @@ func main() {
 	case "map", "store":
 		structMode(*mode, parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
 			parseEngines(*enginesFlag), parseSkews(*skewFlag), *seed, *jsonPath)
+	case "certify":
+		certifyMode(parseInts(*sizesFlag), *vars, *seed, *jsonPath)
 	case "sim":
 		if *jsonPath != "" {
 			fmt.Fprintln(os.Stderr, "tmbench: -json does not apply to -mode sim")
@@ -276,6 +281,43 @@ func structMode(mode string, workers, partitions []int, ops, keys int,
 					records = append(records, rec)
 				}
 			}
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		writeJSON(jsonPath, records)
+	}
+}
+
+// certifyMode is the E9 experiment: the polynomial certifier's cost
+// against history size, on the honest path (certify.Synth generates
+// deterministic overlapping-interval read-modify-write histories that
+// certify by construction; a non-Certified verdict fails the run). The
+// history size rides in the pattern label, so every (condition, size)
+// pair is its own benchdiff cell.
+func certifyMode(sizes []int, items int, seed int64, jsonPath string) {
+	var records []benchfmt.Record
+	fmt.Println("E9 — polynomial certification cost vs history size")
+	fmt.Printf("%-24s %-10s %14s %14s %s\n", "condition", "txns", "elapsed", "txns/s", "method")
+	for _, n := range sizes {
+		h := certify.Synth(n, items, 8, seed)
+		for _, cond := range certify.Conditions() {
+			rep := certify.Check(h, cond)
+			if rep.Verdict != certify.Certified {
+				fmt.Fprintf(os.Stderr, "tmbench: synthetic E9 history not certified: %s\n", rep)
+				os.Exit(1)
+			}
+			tput := float64(n) / rep.Elapsed.Seconds()
+			fmt.Printf("%-24s %-10d %14s %14.0f %s\n",
+				cond, n, rep.Elapsed.Round(time.Microsecond), tput, rep.Method)
+			rec := benchfmt.Record{
+				Engine: cond, Pattern: fmt.Sprintf("synthetic-%d", n),
+				Vars: items, Seed: seed, Structure: "certify",
+				ElapsedNS: rep.Elapsed.Nanoseconds(), Throughput: tput,
+				Commits: uint64(rep.Com),
+			}
+			benchfmt.StampRunner(&rec)
+			records = append(records, rec)
 		}
 		fmt.Println()
 	}

@@ -6,14 +6,23 @@
 // Usage:
 //
 //	tmcheck [-check all|<name>] [-dap] trace.json
+//	tmcheck -certify trace.json  # polynomial certifier instead of the exhaustive checkers
 //	tmcheck -demo [protocol]     # generate a demo trace on stdout
-//	tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...]
+//	tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...] [-dump DIR]
+//
+// Certify mode runs the polynomial consistency certifier
+// (internal/certify) on the trace: it scales to load-test-sized
+// histories the exhaustive checkers cannot touch, answering Certified,
+// Violated (with a witness) or Unknown per condition. Exit status: 0
+// all certified, 1 any violated, 3 none violated but some unknown.
 //
 // Live mode is the conformance harness (internal/conformance) from the
 // CLI: every selected engine runs seeded concurrent episodes across the
 // selected contention patterns, each recorded history is checked against
 // the engine's required conditions, and any violation is dumped in the
-// paper's x:v notation with a non-zero exit.
+// paper's x:v notation with a non-zero exit. With -dump DIR every
+// violating history is additionally written to DIR as a trace JSON
+// file, replayable through either checking mode.
 //
 // The known checkers, simulated protocols and production engines are
 // enumerated at runtime (run tmcheck -h); nothing here maintains a list
@@ -24,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"pcltm/internal/certify"
 	"pcltm/internal/conformance"
 	"pcltm/internal/consistency"
 	"pcltm/internal/core"
@@ -50,17 +61,20 @@ func checkerNames() []string {
 func main() {
 	check := flag.String("check", "all", "checker name or 'all'")
 	dapFlag := flag.Bool("dap", true, "also run the disjoint-access-parallelism analysis")
+	certifyFlag := flag.Bool("certify", false, "run the polynomial certifier on the trace instead of the exhaustive checkers")
 	demo := flag.Bool("demo", false, "emit a demo trace (optionally: protocol name as arg) and exit")
 	live := flag.Bool("live", false, "run conformance against the real stm/ engines instead of a trace")
 	episodes := flag.Int("episodes", 8, "episodes per engine × pattern cell (live mode)")
 	seed := flag.Int64("seed", 1, "sweep seed; episode shapes and op plans derive from it (live mode)")
 	enginesFlag := flag.String("engine", "", "comma-separated engines to sweep (live mode; default all)")
 	patternsFlag := flag.String("pattern", "", "comma-separated contention patterns (live mode; default all)")
+	dumpDir := flag.String("dump", "", "directory for violating histories as trace JSON (live mode)")
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintln(o, "usage: tmcheck [-check all|<name>] [-dap] trace.json")
+		fmt.Fprintln(o, "       tmcheck -certify trace.json")
 		fmt.Fprintln(o, "       tmcheck -demo [protocol]")
-		fmt.Fprintln(o, "       tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...]")
+		fmt.Fprintln(o, "       tmcheck -live [-episodes N] [-seed S] [-engine tl2,...] [-pattern disjoint,...] [-dump DIR]")
 		fmt.Fprintln(o)
 		flag.PrintDefaults()
 		// Everything below comes from the registries, so a newly added
@@ -79,7 +93,7 @@ func main() {
 		return
 	}
 	if *live {
-		runLive(*episodes, *seed, *enginesFlag, *patternsFlag)
+		runLive(*episodes, *seed, *enginesFlag, *patternsFlag, *dumpDir)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -91,10 +105,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
 		os.Exit(1)
 	}
-	exec, err := trace.Decode(data)
+	exec, meta, err := trace.DecodeFile(data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tmcheck: %v\n", err)
 		os.Exit(1)
+	}
+	if meta != nil {
+		fmt.Printf("trace: source=%s engine=%s partitions=%d\n", meta.Source, meta.Engine, meta.Partitions)
+	}
+	if *certifyFlag {
+		runCertify(exec, *check)
+		return
 	}
 
 	if werr := history.CheckWellFormed(exec); werr != nil {
@@ -142,10 +163,80 @@ func main() {
 	}
 }
 
+// runCertify judges the trace with the polynomial certifier: per
+// condition one line — verdict, method and cost — plus the violation
+// witness when there is one. Exit codes: 0 every selected condition
+// certified, 1 any violated, 3 none violated but some undecided.
+func runCertify(exec *core.Execution, check string) {
+	h := certify.FromExecution(exec)
+	fmt.Printf("transactions: %d\n", len(h.Txns))
+	ran, violated, unknown := false, false, false
+	for _, cond := range certify.Conditions() {
+		if check != "all" && cond != check {
+			continue
+		}
+		ran = true
+		rep := certify.Check(h, cond)
+		fmt.Println(rep)
+		switch rep.Verdict {
+		case certify.Violated:
+			violated = true
+			if len(rep.Witness) > 0 {
+				fmt.Printf("    witness: %v\n", rep.Witness)
+			}
+		case certify.Unknown:
+			unknown = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tmcheck: unknown condition %q (certifier knows: %s)\n",
+			check, strings.Join(certify.Conditions(), ", "))
+		os.Exit(2)
+	}
+	switch {
+	case violated:
+		os.Exit(1)
+	case unknown:
+		os.Exit(3)
+	}
+}
+
+// dumpViolations writes every violating report's history to dir as a
+// trace JSON file; the returned count excludes reports without an
+// execution. Dump failures are fatal: live mode's whole point under
+// -dump is leaving the repro behind.
+func dumpViolations(dir string, reports []*conformance.Report) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheck: -dump: %v\n", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, rep := range reports {
+		if len(rep.Failures()) == 0 || rep.Exec == nil {
+			continue
+		}
+		data, err := trace.EncodeWithMeta(rep.Exec, &trace.Meta{
+			Source: "tmcheck -live", Engine: rep.Engine,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmcheck: -dump: %v\n", err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("violation-%03d-%s-%s-seed%d.json",
+			n, rep.Engine, rep.Episode.Pattern, rep.Episode.Seed)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tmcheck: -dump: %v\n", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	return n
+}
+
 // runLive sweeps the conformance harness over the real engines: episodes
 // per engine × pattern, each recorded, stamped and checked. Violations
 // are dumped in the paper's notation and fail the process.
-func runLive(episodes int, seed int64, enginesCSV, patternsCSV string) {
+func runLive(episodes int, seed int64, enginesCSV, patternsCSV, dumpDir string) {
 	cfg := conformance.StressConfig{Episodes: episodes, Seed: seed}
 	if enginesCSV != "" {
 		for _, part := range strings.Split(enginesCSV, ",") {
@@ -235,6 +326,11 @@ func runLive(episodes int, seed int64, enginesCSV, patternsCSV string) {
 		fmt.Println("planted aliased-TMap fixture: convicted (self-test passed)")
 	} else {
 		fmt.Println("planted aliased-TMap fixture: NOT convicted — the structure harness is vacuous")
+	}
+
+	if dumpDir != "" {
+		dumped := dumpViolations(dumpDir, append(append([]*conformance.Report(nil), sum.Reports...), ssum.Reports...))
+		fmt.Printf("dumped %d violating histor(ies) to %s\n", dumped, dumpDir)
 	}
 
 	failures := len(sum.Failures) + len(ssum.Failures)

@@ -2,7 +2,7 @@
 // transactional store behind the server package's HTTP surface.
 //
 //	tmserve [-addr :7070] [-partitions N] [-engine tl2|tl2s|twopl|glock|adaptive]
-//	        [-buckets N] [-batch-max 64] [-rate-limit 0] [-rate-burst 0]
+//	        [-buckets N] [-batch-max 64] [-rate-limit 0] [-rate-burst 0] [-record]
 //
 // Endpoints:
 //
@@ -10,11 +10,21 @@
 //	GET  /kv/{key}                                      — single-key query
 //	GET  /healthz                                       — liveness
 //	GET  /stats                                         — engine + applier counters
+//	GET  /history  (with -record)                       — recorded execution as trace JSON
 //
 // -rate-limit caps admitted commands per second through the
 // transactional token bucket (0 = unlimited); -batch-max caps how many
 // queued command groups one applier transaction absorbs. Drive it with
 // cmd/tmload for open-loop latency numbers.
+//
+// -record attaches one shared recorder to every partition engine;
+// GET /history then serves everything recorded since boot as a trace
+// file for `tmcheck -certify` — a load test becomes a consistency
+// certificate:
+//
+//	tmserve -record &  tmload -duration 5s
+//	curl -s localhost:7070/history > hist.json
+//	tmcheck -certify hist.json
 package main
 
 import (
@@ -37,6 +47,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 64, "max command groups per applier transaction")
 	rateLimit := flag.Float64("rate-limit", 0, "admitted commands per second (0 = unlimited)")
 	rateBurst := flag.Int64("rate-burst", 0, "admission burst capacity (0 = one second of rate)")
+	record := flag.Bool("record", false, "record the execution; GET /history serves it as trace JSON")
 	flag.Parse()
 
 	kind, err := registry.EngineByName(*engine)
@@ -47,6 +58,7 @@ func main() {
 	s := server.New(server.Config{
 		Partitions: *partitions, Engine: kind, Buckets: *buckets,
 		BatchMax: *batchMax, RateLimit: *rateLimit, RateBurst: *rateBurst,
+		Record: *record,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

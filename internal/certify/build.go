@@ -1,0 +1,181 @@
+package certify
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"pcltm/internal/core"
+	"pcltm/internal/history"
+	"pcltm/stm"
+)
+
+// FromView converts the exhaustive checkers' input into a certifiable
+// history, preserving exactly the coordinates their semantics use:
+// BeginIndex for real-time precedence, IntervalLo/IntervalHi for SI
+// windows.
+func FromView(v *history.View) *History {
+	h := &History{}
+	idx := make(map[core.Item]int32)
+	intern := func(x core.Item) int32 {
+		if i, ok := idx[x]; ok {
+			return i
+		}
+		i := int32(len(h.Items))
+		idx[x] = i
+		h.Items = append(h.Items, string(x))
+		return i
+	}
+	for _, t := range v.Txns {
+		nt := Txn{
+			ID: t.ID, Proc: int(t.Proc), Status: t.Status,
+			Lo: int64(t.IntervalLo), Begin: int64(t.BeginIndex), End: int64(t.IntervalHi),
+			Ops: make([]Op, 0, len(t.Ops)),
+		}
+		for _, op := range t.Ops {
+			nt.Ops = append(nt.Ops, Op{
+				Write:  op.Kind == core.OpWrite,
+				Global: op.Global,
+				Item:   intern(op.Item),
+				Value:  int64(op.Value),
+			})
+		}
+		h.Txns = append(h.Txns, nt)
+	}
+	return h
+}
+
+// FromExecution certifies over a stamped execution (trace files, the
+// conformance harness).
+func FromExecution(e *core.Execution) *History {
+	return FromView(history.FromExecution(e))
+}
+
+// Builder accumulates recorder attempt logs directly into a History —
+// the streaming path for server-scale histories, skipping the
+// core.Execution materialization (three events per op) the small tier
+// uses. Attempts may come from any number of engines as long as they
+// share one stm.Recorder: the shared stamp counter is what makes their
+// begin/op/end tickets mutually ordered, so a partitioned store's
+// per-partition engines merge into one certifiable history.
+//
+// Value handling mirrors conformance.StampInterned: integers pass
+// through, nil-ish values (typed nil chain links, every link TVar's
+// initial value) map to the initial value 0, and every other distinct
+// comparable value is interned to a unique negative integer.
+type Builder struct {
+	txns     []Txn
+	items    map[uint64]int32
+	names    []string
+	interned map[any]int64
+	nextNeg  int64
+	written  map[int32]bool
+	err      error
+}
+
+// NewBuilder returns an empty streaming builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		items:    make(map[uint64]int32),
+		interned: make(map[any]int64),
+		written:  make(map[int32]bool),
+	}
+}
+
+// Add appends a batch of drained attempts; call it after each
+// Recorder.Take. The first conversion error sticks and fails Finish.
+func (b *Builder) Add(attempts []*stm.AttemptRecord) {
+	for _, a := range attempts {
+		b.add(a)
+	}
+}
+
+func (b *Builder) add(a *stm.AttemptRecord) {
+	status := core.TxAborted
+	if a.Outcome == stm.AttemptCommitted {
+		status = core.TxCommitted
+	}
+	t := Txn{
+		Proc: a.Proc, Status: status,
+		Lo: int64(a.BeginSeq), Begin: int64(a.BeginSeq), End: int64(a.EndSeq),
+		Ops: make([]Op, 0, len(a.Ops)),
+	}
+	clear(b.written)
+	for _, op := range a.Ops {
+		item := b.internItem(op.TVar)
+		v, err := b.internValue(op.Value)
+		if err != nil && b.err == nil {
+			b.err = err
+		}
+		t.Ops = append(t.Ops, Op{
+			Write:  op.Write,
+			Global: !op.Write && !b.written[item],
+			Item:   item,
+			Value:  v,
+		})
+		if op.Write {
+			b.written[item] = true
+		}
+	}
+	b.txns = append(b.txns, t)
+}
+
+func (b *Builder) internItem(tvar uint64) int32 {
+	if i, ok := b.items[tvar]; ok {
+		return i
+	}
+	i := int32(len(b.names))
+	b.items[tvar] = i
+	b.names = append(b.names, fmt.Sprintf("t%d", tvar))
+	return i
+}
+
+func (b *Builder) internValue(v any) (int64, error) {
+	switch x := v.(type) {
+	case nil:
+		return 0, nil
+	case int64:
+		return x, nil
+	case int:
+		return int64(x), nil
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func, reflect.Slice, reflect.Interface:
+		if rv.IsNil() {
+			return 0, nil
+		}
+	}
+	if rv.IsZero() {
+		// Zero values of non-pointer types (a bool stop flag, an int64
+		// queue size) are how control TVars start life; like typed nils
+		// they must intern to the initial value 0, mirroring
+		// conformance.StampInterned.
+		return 0, nil
+	}
+	if !reflect.TypeOf(v).Comparable() {
+		return 0, fmt.Errorf("certify: recorded value of type %T is not comparable; cannot intern", v)
+	}
+	if id, ok := b.interned[v]; ok {
+		return id, nil
+	}
+	b.nextNeg--
+	b.interned[v] = b.nextNeg
+	return b.nextNeg, nil
+}
+
+// Len reports the number of attempts added so far.
+func (b *Builder) Len() int { return len(b.txns) }
+
+// Finish freezes the history: transactions sorted by begin stamp with
+// IDs assigned in that order, matching conformance.Stamp's convention.
+func (b *Builder) Finish() (*History, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	sort.SliceStable(b.txns, func(i, j int) bool { return b.txns[i].Begin < b.txns[j].Begin })
+	for i := range b.txns {
+		b.txns[i].ID = core.TxID(i + 1)
+	}
+	return &History{Txns: b.txns, Items: b.names}, nil
+}

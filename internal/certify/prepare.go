@@ -1,0 +1,242 @@
+package certify
+
+import (
+	"fmt"
+	"sort"
+
+	"pcltm/internal/core"
+)
+
+// violation is a precheck failure that holds in every com choice.
+type violation struct {
+	reason string
+	txns   []core.TxID
+}
+
+// readRef is one resolved global read of a com transaction.
+type readRef struct {
+	// reader and writer are com positions; writer is -1 for a read of
+	// the initial value.
+	reader, writer int32
+	// item is the item read.
+	item int32
+	// ambiguous marks reads whose justifying writer is not uniquely
+	// determined by the value (several com writers wrote it, or the value
+	// is 0 and some com writer wrote 0). Ambiguous reads contribute no
+	// forced edges and disable the exact small-history fallback.
+	ambiguous bool
+}
+
+// prep is the condition-independent analysis of a history: the com set,
+// reads-from resolution, per-item writer lists and the precheck verdicts.
+type prep struct {
+	h *History
+	// com holds the indices (into h.Txns) of the certified transaction
+	// set — all committed transactions plus the commit-pending ones some
+	// com read forces in — sorted by End stamp.
+	com []int32
+	// pos maps a txn index to its com position, -1 if excluded.
+	pos []int32
+	// reads are the global reads of com transactions.
+	reads []readRef
+	// writers lists, per item, the com positions writing it (any value),
+	// in com (End-stamp) order.
+	writers [][]int32
+	// internal is the first read-your-own-writes mismatch (SER-family
+	// violation; SI leaves local reads unconstrained).
+	internal *violation
+	// unjust is the first committed read of a value no com candidate
+	// wrote (violation of every condition).
+	unjust *violation
+	// ambiguous notes that at least one read could not be uniquely
+	// resolved; ambiguousReads counts them.
+	ambiguous      bool
+	ambiguousReads int
+}
+
+type wkey struct {
+	item int32
+	val  int64
+}
+
+// prepare analyzes the history once for all conditions.
+//
+// The com choice: the exhaustive checkers try every subset of the
+// commit-pending transactions. Under unambiguous reads-from the single
+// choice "committed plus the least fixpoint of pending writers whose
+// values some included transaction read" is exact: a pending transaction
+// nobody reads from can be dropped from any justifying serialization
+// without breaking legality (its writes were never the last write before
+// a read, or the reader would have read its value and forced it in), and
+// one a committed transaction reads from must appear in every choice
+// that justifies the history. Ambiguity is recorded and downgrades
+// decisions to Unknown rather than risking a wrong verdict.
+func prepare(h *History) *prep {
+	n := len(h.Txns)
+	p := &prep{h: h, pos: make([]int32, n)}
+
+	// Writer candidates: committed and commit-pending transactions, by
+	// (item, value). Only a transaction's FINAL write per item counts —
+	// block semantics publish the block's last value, so an intermediate
+	// write overwritten inside its own block can never justify another
+	// transaction's read (it serves same-block local reads only, which
+	// the inclusion walk below checks separately).
+	writersVal := make(map[wkey][]int32)
+	candidate := func(t *Txn) bool {
+		return t.Status == core.TxCommitted || t.Status == core.TxCommitPending
+	}
+	finals := make(map[int32]int64)
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !candidate(t) {
+			continue
+		}
+		clear(finals)
+		for _, op := range t.Ops {
+			if op.Write {
+				finals[op.Item] = op.Value
+			}
+		}
+		for item, val := range finals {
+			writersVal[wkey{item, val}] = append(writersVal[wkey{item, val}], int32(i))
+		}
+	}
+
+	// Inclusion fixpoint. Committed transactions seed the set; a read of
+	// a pending transaction's (unique) value forces it in, and its own
+	// reads are then processed too.
+	include := make([]bool, n)
+	var queue []int32
+	for i := range h.Txns {
+		if h.Txns[i].Status == core.TxCommitted {
+			include[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+
+	type rawRead struct {
+		reader, writer int32 // txn indices; writer -1 for initial
+		item           int32
+		ambiguous      bool
+	}
+	var raws []rawRead
+	local := make(map[int32]int64)
+	for len(queue) > 0 {
+		ti := queue[0]
+		queue = queue[1:]
+		t := &h.Txns[ti]
+		clear(local)
+		for _, op := range t.Ops {
+			if op.Write {
+				local[op.Item] = op.Value
+				continue
+			}
+			if want, ok := local[op.Item]; ok {
+				// Local read: legality forces the transaction's own last
+				// write to the item.
+				if op.Value != want && p.internal == nil {
+					p.internal = &violation{
+						reason: fmt.Sprintf("%s read %s:%d after writing %d",
+							t.ID, h.Items[op.Item], op.Value, want),
+						txns: []core.TxID{t.ID},
+					}
+				}
+				continue
+			}
+			// Global read.
+			ws := writersVal[wkey{op.Item, op.Value}]
+			// A transaction's own write can never justify its own global
+			// read (the write, if any, comes later in program order).
+			self := false
+			for _, w := range ws {
+				if w == ti {
+					self = true
+				}
+			}
+			nOthers := len(ws)
+			if self {
+				nOthers--
+			}
+			r := rawRead{reader: ti, writer: -1, item: op.Item}
+			switch {
+			case op.Value == int64(core.InitialValue) && nOthers == 0:
+				// Read of the initial value, no com candidate wrote 0.
+			case op.Value == int64(core.InitialValue):
+				// 0 was also written by a candidate: initial-or-writer, not
+				// uniquely resolvable.
+				r.ambiguous = true
+			case nOthers == 0:
+				if p.unjust == nil {
+					p.unjust = &violation{
+						reason: fmt.Sprintf("%s read %s:%d, a value no committed or commit-pending transaction wrote",
+							t.ID, h.Items[op.Item], op.Value),
+						txns: []core.TxID{t.ID},
+					}
+				}
+				continue
+			case nOthers == 1:
+				for _, w := range ws {
+					if w != ti {
+						r.writer = w
+					}
+				}
+				if !include[r.writer] {
+					include[r.writer] = true
+					queue = append(queue, r.writer)
+				}
+			default:
+				r.ambiguous = true
+			}
+			if r.ambiguous {
+				p.ambiguous = true
+				p.ambiguousReads++
+			}
+			raws = append(raws, r)
+		}
+	}
+
+	// Freeze the com set in End-stamp order and project txn indices to
+	// com positions.
+	for i := range h.Txns {
+		if include[i] {
+			p.com = append(p.com, int32(i))
+		}
+	}
+	sort.Slice(p.com, func(a, b int) bool {
+		ta, tb := &h.Txns[p.com[a]], &h.Txns[p.com[b]]
+		if ta.End != tb.End {
+			return ta.End < tb.End
+		}
+		return ta.ID < tb.ID
+	})
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	for ci, ti := range p.com {
+		p.pos[ti] = int32(ci)
+	}
+
+	p.reads = make([]readRef, 0, len(raws))
+	for _, r := range raws {
+		rr := readRef{reader: p.pos[r.reader], writer: -1, item: r.item, ambiguous: r.ambiguous}
+		if r.writer >= 0 {
+			rr.writer = p.pos[r.writer]
+		}
+		p.reads = append(p.reads, rr)
+	}
+
+	p.writers = make([][]int32, len(h.Items))
+	for ci, ti := range p.com {
+		t := &h.Txns[ti]
+		clear(finals)
+		for _, op := range t.Ops {
+			if op.Write {
+				finals[op.Item] = op.Value
+			}
+		}
+		for item := range finals {
+			p.writers[item] = append(p.writers[item], int32(ci))
+		}
+	}
+	return p
+}

@@ -1,0 +1,181 @@
+package certify
+
+import (
+	"pcltm/internal/core"
+)
+
+// The exact fallback: on small histories with unambiguous reads-from,
+// the remaining freedom after the forced edges is exactly one binary
+// choice per (read, other-writer) pair — the classic polygraph: for T
+// reading x from W, every other com writer W′ of x sits either before W
+// or after T. A depth-first search over those choices with an
+// incrementally maintained transitive closure decides the condition
+// outright, so on conformance-episode-sized inputs the certifier never
+// answers Unknown and can be compared verdict-for-verdict against the
+// exhaustive checkers.
+
+// smallMaxCom bounds the com size the exact search accepts; SI doubles
+// the node count, and both fit single-word bitmasks.
+const smallMaxCom = 12
+
+// smallBudget bounds search nodes.
+const smallBudget = 2_000_000
+
+type smallVerdict int
+
+const (
+	smallSAT smallVerdict = iota
+	smallUNSAT
+	smallAbort
+)
+
+type smallChoice struct {
+	// a and b are the two admissible orientations (edges), as node pairs.
+	a, b [2]int32
+}
+
+// smallState maintains the transitive closure of ≤64 nodes as one
+// bitmask per node (closure, not reflexive).
+type smallState struct {
+	n     int
+	reach []uint64
+}
+
+// implied reports whether u→v already holds in every linearization.
+func (s *smallState) implied(e [2]int32) bool {
+	return s.reach[e[0]]&(1<<uint(e[1])) != 0
+}
+
+// add inserts u→v, updating the closure; false if it closes a cycle
+// (the state is unchanged in that case).
+func (s *smallState) add(e [2]int32) bool {
+	u, v := e[0], e[1]
+	if u == v || s.reach[v]&(1<<uint(u)) != 0 {
+		return false
+	}
+	grow := s.reach[v] | 1<<uint(v)
+	s.reach[u] |= grow
+	for w := 0; w < s.n; w++ {
+		if s.reach[w]&(1<<uint(u)) != 0 {
+			s.reach[w] |= grow
+		}
+	}
+	return true
+}
+
+// solveSmall decides the condition exactly over the com set. Callers
+// gate on len(p.com) ≤ smallMaxCom and !p.ambiguous.
+func solveSmall(p *prep, condition string) smallVerdict {
+	si := condition == SnapshotIsolation
+	strict := condition == StrictSerializability
+	m := len(p.com)
+	n := m
+	rNode := func(ci int32) int32 { return ci }
+	wNode := func(ci int32) int32 { return ci }
+	if si {
+		n = 2 * m
+		rNode = func(ci int32) int32 { return 2 * ci }
+		wNode = func(ci int32) int32 { return 2*ci + 1 }
+	}
+
+	st := &smallState{n: n, reach: make([]uint64, n)}
+	addBase := func(u, v int32) bool {
+		if u == v {
+			return true
+		}
+		if st.implied([2]int32{u, v}) {
+			return true
+		}
+		return st.add([2]int32{u, v})
+	}
+
+	// Base forced edges, direct (no virtual nodes at this size).
+	if si {
+		for ci := int32(0); int(ci) < m; ci++ {
+			if !addBase(rNode(ci), wNode(ci)) {
+				return smallUNSAT
+			}
+		}
+	}
+	for _, r := range p.reads {
+		if r.writer >= 0 {
+			if !addBase(wNode(r.writer), rNode(r.reader)) {
+				return smallUNSAT
+			}
+			continue
+		}
+		for _, w := range p.writers[r.item] {
+			if w != r.reader && !addBase(rNode(r.reader), wNode(w)) {
+				return smallUNSAT
+			}
+		}
+	}
+	for i := int32(0); int(i) < m; i++ {
+		a := &p.h.Txns[p.com[i]]
+		for j := int32(0); int(j) < m; j++ {
+			if i == j {
+				continue
+			}
+			b := &p.h.Txns[p.com[j]]
+			switch {
+			case strict && a.Status == core.TxCommitted && a.End < b.Begin:
+				if !addBase(i, j) {
+					return smallUNSAT
+				}
+			case si && a.End <= b.Lo:
+				if !addBase(wNode(i), rNode(j)) {
+					return smallUNSAT
+				}
+			}
+		}
+	}
+
+	var choices []smallChoice
+	for _, r := range p.reads {
+		if r.writer < 0 {
+			continue
+		}
+		for _, w2 := range p.writers[r.item] {
+			if w2 == r.writer || w2 == r.reader {
+				continue
+			}
+			choices = append(choices, smallChoice{
+				a: [2]int32{wNode(w2), wNode(r.writer)},
+				b: [2]int32{rNode(r.reader), wNode(w2)},
+			})
+		}
+	}
+
+	budget := smallBudget
+	snapshot := make([]uint64, n*(len(choices)+1))
+	var dfs func(i int) smallVerdict
+	dfs = func(i int) smallVerdict {
+		budget--
+		if budget < 0 {
+			return smallAbort
+		}
+		if i == len(choices) {
+			return smallSAT
+		}
+		c := choices[i]
+		if st.implied(c.a) || st.implied(c.b) {
+			return dfs(i + 1)
+		}
+		saved := snapshot[i*n : (i+1)*n]
+		copy(saved, st.reach)
+		if st.add(c.a) {
+			if v := dfs(i + 1); v != smallUNSAT {
+				return v
+			}
+			copy(st.reach, saved)
+		}
+		if st.add(c.b) {
+			if v := dfs(i + 1); v != smallUNSAT {
+				return v
+			}
+			copy(st.reach, saved)
+		}
+		return smallUNSAT
+	}
+	return dfs(0)
+}

@@ -1,0 +1,38 @@
+package certify
+
+import (
+	"testing"
+	"time"
+)
+
+// The synthetic E9 workload must certify under every condition — it is
+// honest by construction — at bench-relevant sizes, quickly.
+func TestSynthCertifies(t *testing.T) {
+	for _, n := range []int{10, 1000, 20000} {
+		h := Synth(n, 32, 8, 1)
+		if len(h.Txns) != n {
+			t.Fatalf("Synth(%d): %d txns", n, len(h.Txns))
+		}
+		start := time.Now()
+		for cond, rep := range All(h) {
+			if rep.Verdict != Certified {
+				t.Errorf("n=%d %s: %s", n, cond, rep)
+			}
+		}
+		if el := time.Since(start); el > 20*time.Second {
+			t.Errorf("n=%d: certification took %v", n, el)
+		}
+	}
+}
+
+// Synth is deterministic: the same parameters give the same history.
+func TestSynthDeterministic(t *testing.T) {
+	a, b := Synth(500, 16, 4, 7), Synth(500, 16, 4, 7)
+	for i := range a.Txns {
+		x, y := a.Txns[i], b.Txns[i]
+		if x.ID != y.ID || x.Begin != y.Begin || x.End != y.End ||
+			x.Ops[0].Item != y.Ops[0].Item || x.Ops[1].Value != y.Ops[1].Value {
+			t.Fatalf("txn %d differs between identical Synth calls", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pcltm/internal/certify"
 	"pcltm/internal/consistency"
 	"pcltm/internal/core"
 	"pcltm/internal/history"
@@ -244,6 +245,15 @@ type Report struct {
 	WellFormed error
 	// Results maps checker name to its verdict (nil when Skipped).
 	Results map[string]consistency.Result
+	// Certify maps condition name to the polynomial certifier's verdict.
+	// Unlike Results it is always populated: oversized episodes that skip
+	// the exhaustive tier are still certified by the second tier — that
+	// is the certifier's whole point.
+	Certify map[string]certify.Report
+	// Disagreements lists conditions where both tiers reached a decision
+	// and the decisions differ — a bug in one of the checkers, always a
+	// failure.
+	Disagreements []string
 	// Exec is the stamped execution, kept for dumping violations.
 	Exec *core.Execution
 }
@@ -257,17 +267,27 @@ func (r *Report) Failures() []string {
 	if r.WellFormed != nil {
 		out = append(out, fmt.Sprintf("history not well-formed: %v", r.WellFormed))
 	}
-	if r.Skipped {
-		return out
+	if !r.Skipped {
+		for _, name := range RequiredConditions(r.Engine) {
+			res, ok := r.Results[name]
+			if !ok {
+				continue
+			}
+			if !res.Satisfied && !res.Exhausted {
+				out = append(out, name)
+			}
+		}
 	}
+	// The certifier's convictions count whatever the episode size — its
+	// Violated verdicts rest on forced constraints only. Unknown is
+	// inconclusive, never a failure.
 	for _, name := range RequiredConditions(r.Engine) {
-		res, ok := r.Results[name]
-		if !ok {
-			continue
+		if cr, ok := r.Certify[name]; ok && cr.Verdict == certify.Violated {
+			out = append(out, "certify:"+name)
 		}
-		if !res.Satisfied && !res.Exhausted {
-			out = append(out, name)
-		}
+	}
+	for _, d := range r.Disagreements {
+		out = append(out, "tier disagreement: "+d)
 	}
 	return out
 }
@@ -317,9 +337,11 @@ func Check(factory EngineFactory, engineName string, ep Episode) (*Report, error
 	return Evaluate(engineName, ep, exec), nil
 }
 
-// Evaluate judges an already-stamped execution: well-formedness, the full
-// checker battery (unless oversized), counts. Split from Check so tests
-// can drive an engine by hand and still get a Report.
+// Evaluate judges an already-stamped execution: well-formedness, the
+// polynomial certifier (always — it scales to load-test histories), the
+// exhaustive checker battery (unless oversized), counts, and the
+// cross-tier comparison. Split from Check so tests can drive an engine
+// by hand and still get a Report.
 func Evaluate(engineName string, ep Episode, exec *core.Execution) *Report {
 	r := &Report{Engine: engineName, Episode: ep, Exec: exec}
 	if werr := history.CheckWellFormed(exec); werr != nil {
@@ -334,10 +356,29 @@ func Evaluate(engineName string, ep Episode, exec *core.Execution) *Report {
 			r.Aborted++
 		}
 	}
+	r.Certify = certify.All(certify.FromView(v))
 	if r.Txns > maxCheckedTxns {
 		r.Skipped = true
 		return r
 	}
 	r.Results = consistency.CheckAll(v)
+	// Small episodes run both tiers; where both decided, the verdicts
+	// must agree (the certifier's Unknown and an exhausted search are the
+	// legitimate abstentions).
+	for _, name := range certify.Conditions() {
+		res, ok := r.Results[name]
+		if !ok || res.Exhausted {
+			continue
+		}
+		cr := r.Certify[name]
+		if cr.Verdict == certify.Unknown {
+			continue
+		}
+		if res.Satisfied != (cr.Verdict == certify.Certified) {
+			r.Disagreements = append(r.Disagreements, fmt.Sprintf(
+				"%s: exhaustive says satisfied=%v, certifier says %s via %s",
+				name, res.Satisfied, cr.Verdict, cr.Method))
+		}
+	}
 	return r
 }

@@ -1,0 +1,133 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcltm/internal/trace"
+	"pcltm/internal/workload"
+	"pcltm/stm"
+)
+
+// dumpDisagreement writes the episode's stamped execution as trace JSON
+// to a persistent path and returns it, so a tier disagreement leaves a
+// repro behind: `tmcheck -certify <path>` replays the certifier,
+// `tmcheck <path>` the exhaustive tier.
+func dumpDisagreement(t *testing.T, rep *Report) string {
+	t.Helper()
+	data, err := trace.Encode(rep.Exec)
+	if err != nil {
+		t.Fatalf("encoding disagreement repro: %v", err)
+	}
+	path := filepath.Join(os.TempDir(), fmt.Sprintf(
+		"certify-disagreement-%s-%s-seed%d.json", rep.Engine, rep.Episode.Pattern, rep.Episode.Seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing disagreement repro: %v", err)
+	}
+	return path
+}
+
+// requireAgreement fails the test if the two checker tiers disagreed on
+// the episode, dumping the repro trace first.
+func requireAgreement(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Disagreements) == 0 {
+		return
+	}
+	path := dumpDisagreement(t, rep)
+	t.Errorf("%s/%s seed=%d: tier disagreement %v\nrepro: %s\n%s",
+		rep.Engine, rep.Episode.Pattern, rep.Episode.Seed,
+		rep.Disagreements, path, rep.DumpHistory())
+}
+
+// TestCertifierDifferentialSweep runs the seeded conformance sweep over
+// every engine × pattern cell and asserts the polynomial certifier and
+// the exhaustive checkers never contradict each other — and that on the
+// honest engines the certifier never abstains into Unknown on an
+// episode the exhaustive tier could decide.
+func TestCertifierDifferentialSweep(t *testing.T) {
+	episodes := 3
+	if testing.Short() {
+		episodes = 1
+	}
+	for _, kind := range stm.EngineKinds() {
+		for _, pat := range workload.Patterns() {
+			for i := 0; i < episodes; i++ {
+				for _, seed := range []int64{1, 17, 4242} {
+					ep := episodeShape(seed, kind.String(), pat, i)
+					rep, err := Check(Factory(kind), kind.String(), ep)
+					if err != nil {
+						t.Fatalf("%s/%s #%d: %v", kind, pat, i, err)
+					}
+					requireAgreement(t, rep)
+					if fails := rep.Failures(); len(fails) > 0 {
+						t.Errorf("%s/%s seed=%d: %v\n%s",
+							kind, pat, ep.Seed, fails, rep.DumpHistory())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCertifierDifferentialBrokenEngine sweeps the planted-bug engine:
+// whatever each tier concludes per episode, they must not contradict
+// each other (the certifier may abstain; it may not acquit what the
+// exhaustive tier convicts, nor convict what it acquits). Episodes are
+// kept tiny on purpose — proving a violation exhaustively means
+// enumerating every serialization, which already takes tens of seconds
+// at six transactions (the measurement behind this PR's certifier).
+func TestCertifierDifferentialBrokenEngine(t *testing.T) {
+	for _, pat := range workload.Patterns() {
+		for _, seed := range []int64{1, 7, 99} {
+			ep := Episode{
+				Pattern: pat, Workers: 2, TxnsPerWorker: 1,
+				OpsPerTxn: 3, Vars: 3, WriteFrac: 50, Seed: seed,
+			}
+			rep, err := Check(stm.NewBrokenEngineForTest, "broken", ep)
+			if err != nil {
+				t.Fatalf("broken/%s seed=%d: %v", pat, seed, err)
+			}
+			requireAgreement(t, rep)
+		}
+	}
+}
+
+// FuzzCertifyDifferential lets the fuzzer drive the episode shape and
+// seed directly. The property is the sweep's: both tiers decided ⇒ same
+// verdict, on every engine including the planted-bug fixture. The shape
+// caps (two workers, one transaction each) keep the exhaustive tier's
+// enumeration cheap even when the fixture violates — the certifier
+// itself is flat-rate either way.
+func FuzzCertifyDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(3), uint8(6), false)
+	f.Add(int64(7), uint8(1), uint8(4), uint8(4), true)
+	f.Add(int64(99), uint8(2), uint8(2), uint8(8), false)
+	f.Fuzz(func(t *testing.T, seed int64, patByte, ops, vars uint8, boxed bool) {
+		pats := workload.Patterns()
+		ep := Episode{
+			Pattern:       pats[int(patByte)%len(pats)],
+			Workers:       2,
+			TxnsPerWorker: 1,
+			OpsPerTxn:     1 + int(ops)%4,
+			Vars:          1 + int(vars)%10,
+			Boxed:         boxed,
+			Seed:          seed,
+		}
+		kinds := append([]stm.EngineKind(nil), stm.EngineKinds()...)
+		for _, kind := range kinds {
+			rep, err := Check(Factory(kind), kind.String(), ep)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			requireAgreement(t, rep)
+		}
+		rep, err := Check(stm.NewBrokenEngineForTest, "broken", ep)
+		if err != nil {
+			t.Fatalf("broken: %v", err)
+		}
+		requireAgreement(t, rep)
+	})
+}

@@ -1,0 +1,51 @@
+//go:build !race
+
+package conformance
+
+import (
+	"testing"
+
+	"pcltm/internal/certify"
+	"pcltm/stm"
+)
+
+// Full-size scale tier: the ISSUE's acceptance numbers (~10k-txn
+// convictions, a ≥100k-txn certification in seconds). The race detector
+// multiplies both the drivers' and the certifier's constants, so these
+// run only in the plain test matrix; scale_test.go keeps -race-sized
+// variants of the same drivers.
+
+func TestCertifierConvictsBrokenEngineFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale conviction is not -short sized")
+	}
+	rep := runBrokenAtScale(t, 8, 1250) // ~10k committed transactions
+	if rep.Txns < 10_000 {
+		t.Fatalf("history too small: %d txns", rep.Txns)
+	}
+	requireCertifyConviction(t, rep,
+		certify.Serializability, certify.StrictSerializability, certify.SnapshotIsolation)
+}
+
+func TestCertifierConvictsAliasedTMapFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale conviction is not -short sized")
+	}
+	rep := runAliasedTMapAtScale(t, 10_001)
+	if rep.Txns < 10_000 {
+		t.Fatalf("history too small: %d txns", rep.Txns)
+	}
+	requireCertifyConviction(t, rep,
+		certify.StrictSerializability, certify.SnapshotIsolation)
+}
+
+func TestCertifierHonestEngineHundredK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-txn certification is not -short sized")
+	}
+	reps, n := runHonestAtScale(t, stm.EngineTL2, 8, 12_500, 16)
+	if n < 100_000 {
+		t.Fatalf("history too small: %d txns", n)
+	}
+	requireAllCertified(t, reps)
+}

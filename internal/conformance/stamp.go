@@ -168,6 +168,14 @@ func (in *interner) convert(op stm.RecordedOp, itemOf func(uint64) (core.Item, b
 			return item, 0, nil
 		}
 	}
+	if rv.IsZero() {
+		// Same reasoning for non-pointer control TVars (a server's bool
+		// stop flag, a queue's int64 size): they start at their type's
+		// zero value, so the zero value must intern to the checkers'
+		// initial 0 or a pre-write read would look unjustifiable. A TVar
+		// holds one static type, so the per-item mapping stays injective.
+		return item, 0, nil
+	}
 	if !reflect.TypeOf(op.Value).Comparable() {
 		return "", 0, fmt.Errorf("conformance: recorded value of %s has non-comparable type %T; cannot intern", item, op.Value)
 	}

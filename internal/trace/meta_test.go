@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+	"pcltm/internal/history"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	orig := recordedExecution(t)
+	meta := &Meta{Source: "tmserve", Engine: "tl2s", Partitions: 4}
+	data, err := EncodeWithMeta(orig, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, gotMeta, err := DecodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta == nil || *gotMeta != *meta {
+		t.Fatalf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	if len(back.Steps) != len(orig.Steps) {
+		t.Fatalf("steps = %d, want %d", len(back.Steps), len(orig.Steps))
+	}
+	// The plain Decode path must keep working on a metadata-carrying file.
+	back2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back2.Steps) != len(orig.Steps) {
+		t.Fatalf("Decode on meta file: steps = %d, want %d", len(back2.Steps), len(orig.Steps))
+	}
+}
+
+func TestMetaAbsentOnLegacyFiles(t *testing.T) {
+	orig := recordedExecution(t)
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode without meta must not emit the key at all (old readers see
+	// byte-identical framing) and DecodeFile must report nil.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["meta"]; ok {
+		t.Errorf("meta key present on metadata-free encode")
+	}
+	_, gotMeta, err := DecodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != nil {
+		t.Errorf("meta on legacy file: %+v", gotMeta)
+	}
+}
+
+func TestLargeHistoryRoundTrip(t *testing.T) {
+	// A few thousand transactions with interleaved intervals — the size
+	// class the certifier path ships through trace files.
+	const n = 3000
+	b := exectest.New().NProcs(4)
+	for i := 0; i < n; i++ {
+		item := core.Item(fmt.Sprintf("x%d", i%17))
+		b.SeqTxn(core.ProcID(i%4), core.TxID(i+1),
+			exectest.RV(item, 0), exectest.WV(item, core.Value(i+1)))
+	}
+	orig := b.Exec()
+	data, err := EncodeWithMeta(orig, &Meta{Source: "test", Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, meta, err := DecodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.Partitions != 2 {
+		t.Fatalf("meta lost on large file: %+v", meta)
+	}
+	if err := history.CheckWellFormed(back); err != nil {
+		t.Fatalf("round-tripped large history ill-formed: %v", err)
+	}
+	v1, v2 := history.FromExecution(orig), history.FromExecution(back)
+	if len(v1.Txns) != n || len(v2.Txns) != n {
+		t.Fatalf("txn counts: %d and %d, want %d", len(v1.Txns), len(v2.Txns), n)
+	}
+	for i := range v1.Txns {
+		a, c := v1.Txns[i], v2.Txns[i]
+		if a.ID != c.ID || a.Status != c.Status ||
+			a.BeginIndex != c.BeginIndex || a.IntervalLo != c.IntervalLo || a.IntervalHi != c.IntervalHi ||
+			len(a.Ops) != len(c.Ops) {
+			t.Fatalf("txn %v differs after round trip", a.ID)
+		}
+	}
+}
+
+func TestDecodeFileRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"truncated":        `{"meta":{"source":"x"},"steps":[{"prim":"rea`,
+		"bad meta type":    `{"meta":"tmserve","steps":[]}`,
+		"bad status":       `{"steps":[{"prim":"event","event":{"op":"begin","status":"Z"}}]}`,
+		"bad spec op kind": `{"specs":[{"id":1,"ops":[{"kind":"increment"}]}]}`,
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeFile([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

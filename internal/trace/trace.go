@@ -15,12 +15,31 @@ import (
 
 // File is the on-disk representation of an execution.
 type File struct {
+	// Meta describes the trace's provenance; optional, absent from
+	// pre-metadata files.
+	Meta *Meta `json:"meta,omitempty"`
 	// NProcs is the machine width.
 	NProcs int `json:"nprocs"`
 	// Specs are the static transactions.
 	Specs []SpecJSON `json:"specs"`
 	// Steps is the full step sequence.
 	Steps []StepJSON `json:"steps"`
+}
+
+// Meta is a trace's provenance: which tool recorded it, over which
+// engine, and — for histories stitched from a partitioned store's
+// per-partition recorders — how many partitions fed it. Checkers ignore
+// it; tmcheck prints it, and the stitching fields let a reader of a
+// server-recorded artifact know the history merges several engines'
+// logs over one shared stamp counter.
+type Meta struct {
+	// Source names the producer ("tmserve", "tmcheck -live", a test).
+	Source string `json:"source,omitempty"`
+	// Engine is the engine kind's short name.
+	Engine string `json:"engine,omitempty"`
+	// Partitions counts the per-partition recorders stitched into the
+	// trace; 0 or 1 means a single unpartitioned log.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // SpecJSON is a static transaction.
@@ -77,7 +96,13 @@ var statusByName = map[string]core.Status{
 
 // Encode marshals an execution to JSON.
 func Encode(e *core.Execution) ([]byte, error) {
-	f := File{NProcs: e.NProcs}
+	return EncodeWithMeta(e, nil)
+}
+
+// EncodeWithMeta marshals an execution with provenance metadata; nil
+// meta encodes identically to Encode.
+func EncodeWithMeta(e *core.Execution, meta *Meta) ([]byte, error) {
+	f := File{Meta: meta, NProcs: e.NProcs}
 	for _, id := range sortedSpecIDs(e) {
 		spec := e.Specs[id]
 		sj := SpecJSON{ID: int(spec.ID), Proc: int(spec.Proc)}
@@ -123,9 +148,16 @@ func Encode(e *core.Execution) ([]byte, error) {
 // Decode unmarshals an execution from JSON. Object ids are reassigned in
 // first-appearance order of the names, which preserves identity.
 func Decode(data []byte) (*core.Execution, error) {
+	e, _, err := DecodeFile(data)
+	return e, err
+}
+
+// DecodeFile unmarshals an execution plus its provenance metadata (nil
+// when the file carries none).
+func DecodeFile(data []byte) (*core.Execution, *Meta, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, nil, fmt.Errorf("trace: %w", err)
 	}
 	e := &core.Execution{
 		NProcs: f.NProcs,
@@ -140,7 +172,7 @@ func Decode(data []byte) (*core.Execution, error) {
 			case "write":
 				spec.Ops = append(spec.Ops, core.W(core.Item(oj.Item), core.Value(oj.Value)))
 			default:
-				return nil, fmt.Errorf("trace: unknown spec op kind %q", oj.Kind)
+				return nil, nil, fmt.Errorf("trace: unknown spec op kind %q", oj.Kind)
 			}
 		}
 		e.Specs[spec.ID] = spec
@@ -149,7 +181,7 @@ func Decode(data []byte) (*core.Execution, error) {
 	for i, sj := range f.Steps {
 		prim, ok := primByName[sj.Prim]
 		if !ok {
-			return nil, fmt.Errorf("trace: step %d has unknown primitive %q", i, sj.Prim)
+			return nil, nil, fmt.Errorf("trace: step %d has unknown primitive %q", i, sj.Prim)
 		}
 		step := core.Step{
 			Index:   i,
@@ -177,11 +209,11 @@ func Decode(data []byte) (*core.Execution, error) {
 		if sj.Event != nil {
 			op, ok := opByName[sj.Event.Op]
 			if !ok {
-				return nil, fmt.Errorf("trace: step %d has unknown event op %q", i, sj.Event.Op)
+				return nil, nil, fmt.Errorf("trace: step %d has unknown event op %q", i, sj.Event.Op)
 			}
 			st, ok := statusByName[sj.Event.Status]
 			if !ok {
-				return nil, fmt.Errorf("trace: step %d has unknown status %q", i, sj.Event.Status)
+				return nil, nil, fmt.Errorf("trace: step %d has unknown status %q", i, sj.Event.Status)
 			}
 			step.Event = &core.Event{
 				StepIndex: i,
@@ -196,7 +228,7 @@ func Decode(data []byte) (*core.Execution, error) {
 		}
 		e.Steps = append(e.Steps, step)
 	}
-	return e, nil
+	return e, f.Meta, nil
 }
 
 func sortedSpecIDs(e *core.Execution) []core.TxID {

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"pcltm/internal/certify"
+	"pcltm/internal/trace"
+)
+
+func getHistory(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHistoryDisabledWithoutRecord(t *testing.T) {
+	_, ts := startServer(t, Config{Partitions: 1})
+	code, _ := getHistory(t, ts.URL)
+	if code != http.StatusConflict {
+		t.Fatalf("GET /history without Record: status %d, want %d", code, http.StatusConflict)
+	}
+}
+
+// TestHistoryEndpoint drives traffic through every handler path on a
+// recording server — including rate-limited admission, which must NOT
+// appear in the history (its token TVar lives on a private engine) —
+// and then asks the certifier to judge the artifact end to end, the
+// same judgment CI's serve-smoke passes with tmcheck -certify.
+func TestHistoryEndpoint(t *testing.T) {
+	_, ts := startServer(t, Config{
+		Partitions: 2, Record: true,
+		RateLimit: 1e9, RateBurst: 1 << 40, // limiter active, never rejecting
+	})
+
+	for i := int64(0); i < 20; i++ {
+		resp, _ := postTx(t, ts.URL, []Command{
+			{Op: "incr", Key: i % 5},
+			{Op: "put", Key: 100 + i, Value: i},
+			{Op: "get", Key: i % 5},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tx %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if code, _ := getKV(t, ts.URL, 0); code != http.StatusOK {
+		t.Fatalf("kv read: status %d", code)
+	}
+
+	code, body := getHistory(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("GET /history: status %d: %s", code, body)
+	}
+	exec, meta, err := trace.DecodeFile(body)
+	if err != nil {
+		t.Fatalf("decoding history artifact: %v", err)
+	}
+	if meta == nil || meta.Source != "tmserve" || meta.Partitions != 2 {
+		t.Fatalf("artifact meta = %+v, want source tmserve over 2 partitions", meta)
+	}
+
+	h := certify.FromExecution(exec)
+	if len(h.Txns) == 0 {
+		t.Fatal("recorded history is empty")
+	}
+	for cond, rep := range certify.All(h) {
+		if rep.Verdict == certify.Violated {
+			t.Errorf("%s: server history convicted: %s", cond, rep)
+		}
+		if rep.Verdict != certify.Certified {
+			t.Logf("%s: %s", cond, rep)
+		}
+	}
+
+	// The artifact is cumulative: more traffic, then a second fetch,
+	// must yield a strictly larger history.
+	n1 := len(h.Txns)
+	for i := int64(0); i < 5; i++ {
+		postTx(t, ts.URL, []Command{{Op: "incr", Key: i}})
+	}
+	code, body = getHistory(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("second GET /history: status %d", code)
+	}
+	exec2, _, err := trace.DecodeFile(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 := len(certify.FromExecution(exec2).Txns); n2 <= n1 {
+		t.Fatalf("history not cumulative: %d txns then %d", n1, n2)
+	}
+}
+
+// TestHistoryCertifiedSequential pins the strongest claim on a
+// deterministic schedule: strictly sequential requests must certify
+// (not merely escape conviction) under every condition.
+func TestHistoryCertifiedSequential(t *testing.T) {
+	_, ts := startServer(t, Config{Partitions: 1, Record: true})
+	for i := int64(0); i < 10; i++ {
+		postTx(t, ts.URL, []Command{{Op: "incr", Key: 1}, {Op: "get", Key: 1}})
+	}
+	code, body := getHistory(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("GET /history: status %d", code)
+	}
+	exec, _, err := trace.DecodeFile(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cond, rep := range certify.All(certify.FromExecution(exec)) {
+		if rep.Verdict != certify.Certified {
+			t.Errorf("%s: sequential server history not certified: %s", cond, rep)
+		}
+	}
+}

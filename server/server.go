@@ -7,7 +7,18 @@
 //     (get/put/incr/delete), routed by key to per-partition appliers;
 //   - GET /kv/{key} — queries: one single-partition read transaction,
 //     no queue, no batching;
-//   - GET /healthz, GET /stats — liveness and introspection.
+//   - GET /healthz, GET /stats — liveness and introspection;
+//   - GET /history — with Config.Record, the recorded execution as a
+//     trace file for cmd/tmcheck to judge (see below).
+//
+// Recording (Config.Record) attaches ONE stm.Recorder to every
+// partition engine. The recorder owns the stamp counter, so sharing it
+// makes the per-partition logs one totally ordered history — exactly
+// the precondition the certifier's stitching relies on — and GET
+// /history serves that history, stamped into the paper's vocabulary,
+// as a trace JSON artifact that `tmcheck -certify` can pass judgment
+// on. The artifact is cumulative: each /history call drains the
+// recorder and re-serves everything observed since boot.
 //
 // The command path is where the PCL trade-off meets a wire: instead of
 // paying one Atomically per command, each partition runs an applier
@@ -38,6 +49,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pcltm/internal/conformance"
+	"pcltm/internal/core"
+	"pcltm/internal/trace"
 	"pcltm/stm"
 	"pcltm/store"
 	"pcltm/tstructs"
@@ -59,6 +73,11 @@ type Config struct {
 	// disables admission control.
 	RateLimit float64
 	RateBurst int64
+	// Record attaches a shared recorder to every partition engine and
+	// enables GET /history, which serves the recorded execution as a
+	// trace artifact for `tmcheck -certify`. Recording costs one log
+	// append per transaction; leave it off for latency benchmarks.
+	Record bool
 }
 
 // Command is one operation of a POST /tx batch.
@@ -133,7 +152,15 @@ type Server struct {
 	stopped  []*stm.TVar[bool]
 	batchMax int
 
-	limiter *tstructs.TBucket // nil = unlimited
+	limiter  *tstructs.TBucket // nil = unlimited
+	admitEng *stm.Engine       // engine admission transactions run on
+
+	// recorder is the shared per-partition-engine recorder when
+	// Config.Record is set; attempts accumulates everything drained so
+	// far, so /history responses are cumulative. histMu guards both.
+	recorder *stm.Recorder
+	histMu   sync.Mutex
+	attempts []*stm.AttemptRecord
 
 	closed  atomic.Bool
 	wg      sync.WaitGroup
@@ -148,11 +175,26 @@ func New(cfg Config) *Server {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 64
 	}
+	sc := store.Config{Partitions: cfg.Partitions, Engine: cfg.Engine, Buckets: cfg.Buckets}
+	var rec *stm.Recorder
+	if cfg.Record {
+		rec = stm.NewRecorder()
+		sc.EngineOptions = func(int) []stm.Option { return []stm.Option{stm.WithRecorder(rec)} }
+	}
 	s := &Server{
-		store: store.New[int64, int64](store.Config{
-			Partitions: cfg.Partitions, Engine: cfg.Engine, Buckets: cfg.Buckets,
-		}),
+		store:    store.New[int64, int64](sc),
+		recorder: rec,
 		batchMax: cfg.BatchMax,
+	}
+	// Admission normally serializes on partition 0's engine. When
+	// recording it moves to a private, unrecorded engine: the token
+	// bucket's TVar starts at full capacity — a non-zero initial value
+	// the checkers' vocabulary cannot express (reads of it would look
+	// unjustifiable) — and admission state is not store data, so the
+	// history is cleaner without it.
+	s.admitEng = s.store.Engine(0)
+	if cfg.Record {
+		s.admitEng = stm.NewEngine(cfg.Engine)
 	}
 	if cfg.RateLimit > 0 {
 		burst := cfg.RateBurst
@@ -289,7 +331,46 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /history", s.handleHistory)
 	return mux
+}
+
+// handleHistory drains the shared recorder into the accumulated attempt
+// log, stamps the whole log into the paper's vocabulary, and serves it
+// as a trace file. Answers 409 when the server was built without
+// Config.Record.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		http.Error(w, "history recording disabled; start the server with Record set (tmserve -record)",
+			http.StatusConflict)
+		return
+	}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.attempts = append(s.attempts, s.recorder.Take()...)
+	nprocs := 1
+	for _, a := range s.attempts {
+		if a.Proc+1 > nprocs {
+			nprocs = a.Proc + 1
+		}
+	}
+	exec, err := conformance.StampInterned(s.attempts,
+		func(id uint64) (core.Item, bool) { return core.Item(fmt.Sprintf("t%d", id)), true }, nprocs)
+	if err != nil {
+		http.Error(w, "stamping history: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := trace.EncodeWithMeta(exec, &trace.Meta{
+		Source:     "tmserve",
+		Engine:     s.store.Engine(0).Kind().String(),
+		Partitions: s.store.Partitions(),
+	})
+	if err != nil {
+		http.Error(w, "encoding history: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +456,7 @@ func (s *Server) admit(n int64) bool {
 	}
 	now := time.Now().UnixNano()
 	ok := false
-	_ = s.store.Engine(0).Atomically(func(tx *stm.Tx) error {
+	_ = s.admitEng.Atomically(func(tx *stm.Tx) error {
 		ok = s.limiter.TryTake(tx, now, n)
 		return nil
 	})
