@@ -8,6 +8,7 @@
 //	E1     — production engine throughput across contention patterns
 //	E2     — decision-procedure cost of the consistency conditions
 //	E9     — polynomial certification cost vs history size
+//	E10    — durability cost across wal acknowledgement modes
 //
 // Run with: go test -bench=. -benchmem .
 package pcltm
@@ -25,6 +26,7 @@ import (
 	"pcltm/internal/pcl"
 	"pcltm/internal/registry"
 	"pcltm/internal/stms"
+	"pcltm/internal/wal"
 	"pcltm/internal/workload"
 	"pcltm/stm"
 )
@@ -406,6 +408,36 @@ func BenchmarkE9Certify(b *testing.B) {
 					rep := certify.Check(h, cond)
 					if rep.Verdict != certify.Certified {
 						b.Fatalf("synthetic history not certified: %s", rep)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE10Durability sweeps the durable store's acknowledgement
+// modes (experiment E10): the same keyed store workload, paying for a
+// commit log at three contracts — sync (one fsync per commit), group
+// (one fsync per concurrent batch), async (acknowledge before the
+// fsync). The in-memory backend isolates the protocol's cost from the
+// disk's; cmd/tmbench -mode wal -wal-dir adds the disk.
+func BenchmarkE10Durability(b *testing.B) {
+	for _, ack := range wal.AckModes() {
+		for _, workers := range []int{2, 8} {
+			b.Run(fmt.Sprintf("ack=%s/w=%d", ack, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunDurableStore(stm.EngineTL2, workload.DurableStoreConfig{
+						StoreConfig: workload.StoreConfig{
+							Keys: 256, Partitions: 4, Workers: workers, OpsPerWorker: 400,
+						},
+						Ack: ack,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Sum != res.Writes {
+						b.Fatalf("sum invariant broken: %d != %d writes", res.Sum, res.Writes)
 					}
 				}
 			})

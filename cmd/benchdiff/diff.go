@@ -35,6 +35,10 @@ type Record struct {
 	RateRPS float64 `json:"rate_rps"`
 	P99NS   *int64  `json:"p99_ns"`
 	P999NS  *int64  `json:"p999_ns"`
+	// WalAck and WalBackend are the E10 durability dimensions; empty on
+	// non-durable cells, so pre-durability baselines join unchanged.
+	WalAck     string `json:"wal_ack"`
+	WalBackend string `json:"wal_backend"`
 	// RunnerClass is the machine class that produced the record
 	// ($BENCH_RUNNER_CLASS). Empty means unknown — pre-metadata
 	// baselines — and compares as if same-class; two differing non-empty
@@ -60,6 +64,12 @@ func (r Record) Key() string {
 	}
 	if r.RateRPS > 0 {
 		key += fmt.Sprintf("/r%g", r.RateRPS)
+	}
+	if r.WalAck != "" {
+		key += "/" + r.WalAck
+		if r.WalBackend != "" {
+			key += "-" + r.WalBackend
+		}
 	}
 	return key
 }

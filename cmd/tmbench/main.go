@@ -20,17 +20,25 @@
 // zipf = hot-key contention) and — for the store — partition counts, so
 // one run records the partitions-vs-throughput curve.
 //
+// Wal mode (-mode wal) is the E10 experiment: the same store workload
+// over a durable store (internal/wal commit log), swept across
+// acknowledgement modes (-ack sync,group,async) — what the durability
+// contract costs, and how much group commit buys back. -wal-dir runs
+// the log on real files with real fsync; the default in-memory backend
+// prices the protocol alone.
+//
 // Engines, patterns, skews and protocols are enumerated through
 // internal/registry, so a newly registered engine appears in the sweep
 // without touching this file.
 //
 // Usage:
 //
-//	tmbench [-mode real|sim|map|store] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
+//	tmbench [-mode real|sim|map|store|wal|certify] [-workers 1,2,4,8] [-ops 2000] [-vars 256]
 //	        [-engine tl2,tl2s,twopl,glock,adaptive]
 //	        [-pattern disjoint,uniform,zipf,phase,ratelimit]
 //	        [-values int,string,struct,any] [-keys 1024] [-partitions 1,2,4]
-//	        [-skew uniform,zipf] [-orec-shards N] [-json results.json] [-txns 6]
+//	        [-skew uniform,zipf] [-ack sync,group,async] [-wal-dir DIR]
+//	        [-orec-shards N] [-json results.json] [-txns 6]
 //
 // -values selects the payload kind(s) each transaction carries (the
 // value-representation dimension: int/string/struct ride the engines'
@@ -62,6 +70,7 @@ import (
 	"pcltm/internal/dap"
 	"pcltm/internal/registry"
 	"pcltm/internal/stms"
+	"pcltm/internal/wal"
 	"pcltm/internal/workload"
 	"pcltm/stm"
 )
@@ -82,6 +91,8 @@ func main() {
 	partitionsFlag := flag.String("partitions", "1,2,4", "comma-separated partition counts (store mode)")
 	skewFlag := flag.String("skew", strings.Join(registry.SkewNames(), ","),
 		"key distributions to sweep: uniform,zipf (map/store modes)")
+	acksFlag := flag.String("ack", "sync,group,async", "wal acknowledgement modes to sweep (wal mode)")
+	walDir := flag.String("wal-dir", "", "run the commit log on files under this directory (wal mode; empty = in-memory backend)")
 	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -98,6 +109,9 @@ func main() {
 	case "map", "store":
 		structMode(*mode, parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
 			parseEngines(*enginesFlag), parseSkews(*skewFlag), *seed, *jsonPath)
+	case "wal":
+		walMode(parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
+			parseEngines(*enginesFlag), parseAcks(*acksFlag), *walDir, *seed, *jsonPath)
 	case "certify":
 		certifyMode(parseInts(*sizesFlag), *vars, *seed, *jsonPath)
 	case "sim":
@@ -276,6 +290,92 @@ func structMode(mode string, workers, partitions []int, ops, keys int,
 					if mode == "store" {
 						rec.Structure = "store"
 						rec.Partitions = res.Config.Partitions
+					}
+					benchfmt.StampRunner(&rec)
+					records = append(records, rec)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		writeJSON(jsonPath, records)
+	}
+}
+
+func parseAcks(s string) []wal.AckMode {
+	var out []wal.AckMode
+	for _, part := range strings.Split(s, ",") {
+		m, ok := wal.AckByName(strings.TrimSpace(part))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tmbench: unknown ack mode %q (sync, group or async)\n", part)
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// walMode is the E10 experiment: the E7 store workload over a durable
+// store, sweeping acknowledgement modes so one run prices the
+// durability contract — and what group commit buys back at each worker
+// count. Cells carry the wal_ack/wal_backend stamps; benchdiff keys on
+// them, so durability cells never compare against non-durable
+// baselines.
+func walMode(workers, partitions []int, ops, keys int, engines []stm.EngineKind,
+	acks []wal.AckMode, dir string, seed int64, jsonPath string) {
+	var records []benchfmt.Record
+	backendName := "mem"
+	if dir != "" {
+		backendName = "file"
+	}
+	fmt.Printf("E10 — group-commit cost of durability (backend %s)\n", backendName)
+	fmt.Printf("%-8s %-6s %-6s %-8s %12s %10s %10s %10s %12s\n",
+		"engine", "ack", "parts", "workers", "tx/s", "commits", "appends", "fsyncs", "commits/sync")
+	for _, ack := range acks {
+		for _, parts := range partitions {
+			for _, w := range workers {
+				for _, kind := range engines {
+					cfg := workload.DurableStoreConfig{
+						StoreConfig: workload.StoreConfig{
+							Keys: keys, Partitions: parts, Workers: w,
+							OpsPerWorker: ops, Seed: seed,
+						},
+						Ack: ack,
+					}
+					if dir != "" {
+						cfg.Dir = fmt.Sprintf("%s/e10-%s-%s-p%d-w%d", dir, kind, ack, parts, w)
+					}
+					res, err := workload.RunDurableStore(kind, cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+						os.Exit(1)
+					}
+					if res.Sum != res.Writes {
+						fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
+							kind, ack, res.Sum, res.Writes)
+						os.Exit(1)
+					}
+					var appends, syncs uint64
+					perSync := 0.0
+					if res.Wal != nil {
+						appends, syncs = res.Wal.Appends, res.Wal.Syncs
+						if syncs > 0 {
+							perSync = float64(appends) / float64(syncs)
+						}
+					}
+					fmt.Printf("%-8s %-6s %-6d %-8d %12.0f %10d %10d %10d %12.2f\n",
+						kind, ack, res.Config.Partitions, w, res.Throughput, res.Commits,
+						appends, syncs, perSync)
+					rec := benchfmt.Record{
+						Engine: kind.String(), Pattern: "keyed", Workers: w,
+						OpsPerWkr: ops, Vars: keys, Seed: seed,
+						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
+						Structure: "store", Partitions: res.Config.Partitions,
+						Skew:   res.Config.Skew.String(),
+						WalAck: res.WalAck, WalBackend: res.WalBackend,
 					}
 					benchfmt.StampRunner(&rec)
 					records = append(records, rec)

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Retry policy for transient connection errors: capped exponential
+// backoff with jitter. During a crash-recovery load test the server
+// disappears for a restart window; without retries every arrival in
+// that window reports a transport error and the run reads as a server
+// failure. The budget is per arrival (-retry-for), so the open-loop
+// latency of a retried request honestly includes the outage — the
+// coordinated-omission discipline extends to downtime.
+const (
+	retryBase = 20 * time.Millisecond
+	retryCap  = 1 * time.Second
+)
+
+// statusError is a non-2xx response — a server answer, never retried
+// and never counted as transport noise.
+type statusError struct {
+	code int
+}
+
+func (e statusError) Error() string { return fmt.Sprintf("status %d", e.code) }
+
+// transientErr reports whether err is transport noise worth retrying:
+// the connection-level failures a restarting server produces (dial
+// refused, reset, a connection dying mid-response). Server answers
+// (statusError) and everything else are final.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se statusError
+	if errors.As(err, &se) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// backoff yields the retry delay sequence: exponential from base,
+// capped, each delay jittered uniformly over [d/2, d] so a fleet of
+// workers retrying into a restart does not thunder in lockstep. The
+// jitter stream is seeded per arrival (splitmix64 of the arrival
+// number), keeping the measured path free of shared RNG state.
+type backoff struct {
+	base, cap time.Duration
+	attempt   uint
+	rng       uint64
+}
+
+func (b *backoff) next() time.Duration {
+	d := b.cap
+	if b.attempt < 32 {
+		if e := b.base << b.attempt; e < b.cap {
+			d = e
+		}
+		b.attempt++
+	}
+	b.rng = splitmix64(b.rng)
+	half := d / 2
+	return half + time.Duration(b.rng%uint64(half+1))
+}
+
+// retrier wraps one arrival's send with the retry policy. Counters are
+// shared across a rate point: retries counts every transient error that
+// was retried, giveups every arrival whose budget ran out mid-outage.
+type retrier struct {
+	budget           time.Duration
+	sleep            func(time.Duration) // time.Sleep; swappable in tests
+	retries, giveups *atomic.Uint64
+}
+
+// do runs send, retrying transient errors until the budget is spent.
+// The returned error is send's final answer: nil, a non-transient
+// failure, or the last transient error after giving up.
+func (r *retrier) do(send func() error, seed uint64) error {
+	bo := backoff{base: retryBase, cap: retryCap, rng: seed}
+	var waited time.Duration
+	for {
+		err := send()
+		if !transientErr(err) {
+			return err
+		}
+		if waited >= r.budget {
+			r.giveups.Add(1)
+			return err
+		}
+		d := bo.next()
+		if waited+d > r.budget {
+			d = r.budget - waited
+		}
+		waited += d
+		r.retries.Add(1)
+		r.sleep(d)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBackoffShape pins the delay sequence: exponential from base,
+// jittered within [d/2, d], never above cap, and deterministic for a
+// given seed.
+func TestBackoffShape(t *testing.T) {
+	bo := backoff{base: retryBase, cap: retryCap, rng: 7}
+	want := retryBase
+	var prevSeq []time.Duration
+	for i := 0; i < 12; i++ {
+		d := bo.next()
+		if d < want/2 || d > want {
+			t.Fatalf("delay %d = %v, want within [%v, %v]", i, d, want/2, want)
+		}
+		prevSeq = append(prevSeq, d)
+		if want < retryCap {
+			want *= 2
+			if want > retryCap {
+				want = retryCap
+			}
+		}
+	}
+	bo2 := backoff{base: retryBase, cap: retryCap, rng: 7}
+	for i, d := range prevSeq {
+		if d2 := bo2.next(); d2 != d {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, d, d2)
+		}
+	}
+	bo3 := backoff{base: retryBase, cap: retryCap, rng: 8}
+	same := true
+	for _, d := range prevSeq {
+		if bo3.next() != d {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestTransientErr pins the classification: connection-level failures
+// retry, server answers and everything else are final.
+func TestTransientErr(t *testing.T) {
+	refused := &url.Error{Op: "Post", URL: "http://x/tx",
+		Err: &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}}
+	reset := &net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)}
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{refused, true},
+		{reset, true},
+		{syscall.EPIPE, true},
+		{statusError{code: 500}, false},
+		{fmt.Errorf("wrapped: %w", statusError{code: 503}), false},
+		{errors.New("bad json"), false},
+	} {
+		if got := transientErr(tc.err); got != tc.want {
+			t.Errorf("transientErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRetrierRidesThroughOutage pins the satellite's point: a send that
+// fails with connection errors for a while (a server restart) and then
+// answers must come back nil, with the transient errors counted as
+// retries, not surfaced.
+func TestRetrierRidesThroughOutage(t *testing.T) {
+	var retries, giveups atomic.Uint64
+	var slept time.Duration
+	rt := &retrier{
+		budget:  time.Minute,
+		sleep:   func(d time.Duration) { slept += d },
+		retries: &retries, giveups: &giveups,
+	}
+	fails := 3
+	err := rt.do(func() error {
+		if fails > 0 {
+			fails--
+			return &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+		}
+		return nil
+	}, 42)
+	if err != nil {
+		t.Fatalf("send after outage = %v, want nil", err)
+	}
+	if retries.Load() != 3 || giveups.Load() != 0 {
+		t.Fatalf("retries=%d giveups=%d, want 3/0", retries.Load(), giveups.Load())
+	}
+	if slept <= 0 {
+		t.Fatal("no backoff slept")
+	}
+}
+
+// TestRetrierGivesUpOnBudget pins the bound: a dead server exhausts the
+// per-arrival budget and the last transport error comes back, counted
+// as a giveup. Total sleep never exceeds the budget.
+func TestRetrierGivesUpOnBudget(t *testing.T) {
+	var retries, giveups atomic.Uint64
+	var slept time.Duration
+	rt := &retrier{
+		budget:  50 * time.Millisecond,
+		sleep:   func(d time.Duration) { slept += d },
+		retries: &retries, giveups: &giveups,
+	}
+	dead := &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+	err := rt.do(func() error { return dead }, 99)
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("exhausted budget = %v, want the transport error", err)
+	}
+	if giveups.Load() != 1 {
+		t.Fatalf("giveups = %d, want 1", giveups.Load())
+	}
+	if retries.Load() == 0 {
+		t.Fatal("no retries before giving up")
+	}
+	if slept > rt.budget {
+		t.Fatalf("slept %v, over the %v budget", slept, rt.budget)
+	}
+}
+
+// TestRetrierNon2xxNotRetried pins the separation: a server answer —
+// even a 5xx — is never transport noise.
+func TestRetrierNon2xxNotRetried(t *testing.T) {
+	var retries, giveups atomic.Uint64
+	rt := &retrier{budget: time.Minute, sleep: func(time.Duration) {},
+		retries: &retries, giveups: &giveups}
+	calls := 0
+	err := rt.do(func() error { calls++; return statusError{code: 500} }, 1)
+	var se statusError
+	if !errors.As(err, &se) || se.code != 500 {
+		t.Fatalf("err = %v, want statusError 500", err)
+	}
+	if calls != 1 || retries.Load() != 0 || giveups.Load() != 0 {
+		t.Fatalf("calls=%d retries=%d giveups=%d, want 1/0/0", calls, retries.Load(), giveups.Load())
+	}
+}
+
+// TestRetrierZeroBudget pins -retry-for's default: no retries, the
+// first transient error surfaces immediately as a giveup.
+func TestRetrierZeroBudget(t *testing.T) {
+	var retries, giveups atomic.Uint64
+	rt := &retrier{budget: 0, sleep: func(time.Duration) { t.Fatal("slept with zero budget") },
+		retries: &retries, giveups: &giveups}
+	calls := 0
+	err := rt.do(func() error {
+		calls++
+		return &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+	}, 5)
+	if !errors.Is(err, syscall.ECONNREFUSED) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate transport error", err, calls)
+	}
+	if retries.Load() != 0 || giveups.Load() != 1 {
+		t.Fatalf("retries=%d giveups=%d, want 0/1", retries.Load(), giveups.Load())
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	tmload -url http://127.0.0.1:7070 [-rate 200,500,1000] [-duration 5s]
 //	       [-conns 4] [-keys 1024] [-read-frac 0.5] [-batch 4]
-//	       [-json BENCH_serve.json] [-hist latency.json] [-strict]
+//	       [-retry-for 0] [-json BENCH_serve.json] [-hist latency.json] [-strict]
 //
 // Each arrival is one HTTP request: a GET /kv/{key} query with
 // probability -read-frac, else a POST /tx carrying -batch incr
@@ -18,11 +18,21 @@
 // (one per rate point) so CI can archive full distributions, not just
 // three quantiles. -strict exits nonzero if any response was non-2xx —
 // the serve-smoke gate.
+//
+// -retry-for gives each arrival a retry budget for transient connection
+// errors (dial refused, reset, a connection dying mid-response): capped
+// exponential backoff with per-arrival jitter, so a crash-recovery load
+// test rides through the server's restart window instead of reporting
+// the outage as failures. Transport errors are counted separately from
+// non-2xx — the transp column and the transport_errs benchfmt field —
+// and do not trip -strict; a retried arrival's latency still runs from
+// its scheduled instant, so downtime shows up in the tail, honestly.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +59,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write benchfmt records to this file (\"-\" = stdout)")
 	histPath := flag.String("hist", "", "write per-rate latency histograms to this file")
 	strict := flag.Bool("strict", false, "exit nonzero if any response was non-2xx")
+	retryFor := flag.Duration("retry-for", 0, "per-arrival retry budget for transient connection errors (0 = no retries)")
 	flag.Parse()
 
 	base := strings.TrimRight(*url, "/")
@@ -69,17 +80,17 @@ func main() {
 
 	var records []benchfmt.Record
 	var hists []ratePoint
-	var anyErrors uint64
+	var anyNon2xx uint64
 	fmt.Printf("tmload — open-loop against %s (%s, %d partitions)\n", base, engine, partitions)
-	fmt.Printf("%-10s %10s %10s %8s %10s %10s %10s\n",
-		"rate", "done", "non2xx", "ach/s", "p50", "p99", "p999")
+	fmt.Printf("%-10s %10s %10s %10s %8s %10s %10s %10s\n",
+		"rate", "done", "non2xx", "transp", "ach/s", "p50", "p99", "p999")
 	for _, rate := range parseRates(*rates) {
-		res := runPoint(client, base, rate, *duration, *conns, *keys, *readFrac, *batch)
-		anyErrors += res.Errors
+		res := runPoint(client, base, rate, *duration, *conns, *keys, *readFrac, *batch, *retryFor)
+		anyNon2xx += res.Non2xx
 		achieved := float64(res.Done) / res.Elapsed.Seconds()
 		p50, p99, p999 := res.Hist.Quantile(0.50), res.Hist.Quantile(0.99), res.Hist.Quantile(0.999)
-		fmt.Printf("%-10.0f %10d %10d %8.0f %10s %10s %10s\n",
-			rate, res.Done, res.Errors, achieved,
+		fmt.Printf("%-10.0f %10d %10d %10d %8.0f %10s %10s %10s\n",
+			rate, res.Done, res.Non2xx, res.Transport, achieved,
 			time.Duration(p50), time.Duration(p99), time.Duration(p999))
 
 		rec := benchfmt.Record{
@@ -90,13 +101,15 @@ func main() {
 			Commits:    res.Done - res.Errors,
 			RateRPS:    rate,
 			P50NS:      p50, P99NS: p99, P999NS: p999,
-			Non2xx: res.Errors,
+			Non2xx:        res.Non2xx,
+			TransportErrs: res.Transport,
 		}
 		benchfmt.StampRunner(&rec)
 		records = append(records, rec)
 		hists = append(hists, ratePoint{
 			RateRPS: rate, Scheduled: res.Scheduled, Done: res.Done,
-			Errors: res.Errors, Hist: res.Hist,
+			Errors: res.Errors, Non2xx: res.Non2xx, TransportErrs: res.Transport,
+			Hist: res.Hist,
 		})
 	}
 
@@ -116,20 +129,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *strict && anyErrors > 0 {
-		fmt.Fprintf(os.Stderr, "tmload: %d non-2xx responses under -strict\n", anyErrors)
+	if *strict && anyNon2xx > 0 {
+		fmt.Fprintf(os.Stderr, "tmload: %d non-2xx responses under -strict\n", anyNon2xx)
 		os.Exit(1)
 	}
 }
 
 // ratePoint is one entry of the -hist artifact: the full latency
-// distribution at one offered rate.
+// distribution at one offered rate. Errors is the total failed
+// arrivals; Non2xx and TransportErrs break it down by blame (server
+// answer vs. connection noise; TransportErrs also counts retried
+// errors that eventually succeeded).
 type ratePoint struct {
-	RateRPS   float64 `json:"rate_rps"`
-	Scheduled uint64  `json:"scheduled"`
-	Done      uint64  `json:"done"`
-	Errors    uint64  `json:"errors"`
-	Hist      *hist.H `json:"hist"`
+	RateRPS       float64 `json:"rate_rps"`
+	Scheduled     uint64  `json:"scheduled"`
+	Done          uint64  `json:"done"`
+	Errors        uint64  `json:"errors"`
+	Non2xx        uint64  `json:"non2xx"`
+	TransportErrs uint64  `json:"transport_errs"`
+	Hist          *hist.H `json:"hist"`
 }
 
 func parseRates(s string) []float64 {
@@ -195,35 +213,60 @@ func postTx(client *http.Client, base string, cmds []server.Command) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("/tx: status %d", resp.StatusCode)
+		return statusError{code: resp.StatusCode}
 	}
 	return nil
+}
+
+// pointResult is one rate point's outcome: the open-loop measurement
+// plus the error breakdown. Non2xx counts server answers outside 2xx;
+// Transport counts transient connection errors (retried or given up).
+type pointResult struct {
+	hist.OpenLoopResult
+	Non2xx    uint64
+	Transport uint64
 }
 
 // runPoint drives one rate point through hist.OpenLoop. The Send
 // closure is called from cfg.Workers goroutines concurrently, so key
 // picking uses an atomic sequence hashed through splitmix64 — no shared
-// rand.Rand lock on the measured path.
+// rand.Rand lock on the measured path; the same hash seeds each
+// arrival's retry jitter.
 func runPoint(client *http.Client, base string, rate float64, duration time.Duration,
-	conns, keys int, readFrac float64, batch int) hist.OpenLoopResult {
+	conns, keys int, readFrac float64, batch int, retryFor time.Duration) pointResult {
 	var seq atomic.Uint64
+	var non2xx, retries, giveups atomic.Uint64
+	rt := &retrier{budget: retryFor, sleep: time.Sleep, retries: &retries, giveups: &giveups}
 	readCut := uint64(readFrac * (1 << 32))
-	return hist.OpenLoop(hist.OpenLoopConfig{
+	res := hist.OpenLoop(hist.OpenLoopConfig{
 		Rate:     rate,
 		Duration: duration,
 		Workers:  conns,
 		Send: func() error {
 			h := splitmix64(seq.Add(1))
-			if h>>32 < readCut {
-				return getKV(client, base, int64(h%uint64(keys)))
+			send := func() error {
+				if h>>32 < readCut {
+					return getKV(client, base, int64(h%uint64(keys)))
+				}
+				cmds := make([]server.Command, batch)
+				for i := range cmds {
+					cmds[i] = server.Command{Op: "incr", Key: int64(splitmix64(h+uint64(i)) % uint64(keys))}
+				}
+				return postTx(client, base, cmds)
 			}
-			cmds := make([]server.Command, batch)
-			for i := range cmds {
-				cmds[i] = server.Command{Op: "incr", Key: int64(splitmix64(h+uint64(i)) % uint64(keys))}
+			err := rt.do(send, h)
+			var se statusError
+			if errors.As(err, &se) {
+				non2xx.Add(1)
 			}
-			return postTx(client, base, cmds)
+			return err
 		},
 	})
+	return pointResult{
+		OpenLoopResult: res,
+		Non2xx:         non2xx.Load(),
+		Transport:      retries.Load() + giveups.Load(),
+	}
 }
 
 func getKV(client *http.Client, base string, key int64) error {
@@ -234,7 +277,7 @@ func getKV(client *http.Client, base string, key int64) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("/kv: status %d", resp.StatusCode)
+		return statusError{code: resp.StatusCode}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@
 //
 //	tmserve [-addr :7070] [-partitions N] [-engine tl2|tl2s|twopl|glock|adaptive]
 //	        [-buckets N] [-batch-max 64] [-rate-limit 0] [-rate-burst 0] [-record]
+//	        [-wal DIR] [-wal-ack group|sync|async] [-history-cap N]
 //
 // Endpoints:
 //
@@ -25,6 +26,17 @@
 //	tmserve -record &  tmload -duration 5s
 //	curl -s localhost:7070/history > hist.json
 //	tmcheck -certify hist.json
+//
+// -wal DIR makes the store durable: boot recovers whatever the commit
+// log in DIR certifies (after a crash, the per-partition acknowledged
+// prefixes; after a clean shutdown, everything), and every commit is
+// appended and acknowledged per -wal-ack before the client sees 200 —
+// "sync" fsyncs per commit, "group" (default) batches concurrent
+// commits into one fsync, "async" acknowledges before the fsync and is
+// allowed to lose the unflushed tail. SIGTERM/SIGINT shut down
+// gracefully: the tail segment is flushed and sealed, so the next boot
+// reports a clean recovery. `tmcheck -recover DIR` judges a log
+// offline.
 package main
 
 import (
@@ -36,18 +48,22 @@ import (
 	"syscall"
 
 	"pcltm/internal/registry"
+	"pcltm/internal/wal"
 	"pcltm/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
-	partitions := flag.Int("partitions", 0, "store partitions (0 = GOMAXPROCS)")
+	partitions := flag.Int("partitions", 0, "store partitions (0 = GOMAXPROCS, or adopted from -wal)")
 	engine := flag.String("engine", "tl2", "engine kind every partition runs")
 	buckets := flag.Int("buckets", 0, "per-partition TMap buckets (0 = default)")
 	batchMax := flag.Int("batch-max", 64, "max command groups per applier transaction")
 	rateLimit := flag.Float64("rate-limit", 0, "admitted commands per second (0 = unlimited)")
 	rateBurst := flag.Int64("rate-burst", 0, "admission burst capacity (0 = one second of rate)")
 	record := flag.Bool("record", false, "record the execution; GET /history serves it as trace JSON")
+	historyCap := flag.Int("history-cap", 0, "max recorded attempts retained for /history (0 = default)")
+	walDir := flag.String("wal", "", "durable commit log directory (empty = not durable)")
+	walAck := flag.String("wal-ack", "group", "WAL acknowledgement mode: group, sync or async")
 	flag.Parse()
 
 	kind, err := registry.EngineByName(*engine)
@@ -55,20 +71,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
 		os.Exit(2)
 	}
-	s := server.New(server.Config{
+	cfg := server.Config{
 		Partitions: *partitions, Engine: kind, Buckets: *buckets,
 		BatchMax: *batchMax, RateLimit: *rateLimit, RateBurst: *rateBurst,
-		Record: *record,
-	})
+		Record: *record, HistoryCap: *historyCap,
+	}
+	if *walDir != "" {
+		ack, ok := wal.AckByName(*walAck)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tmserve: unknown -wal-ack %q (group, sync or async)\n", *walAck)
+			os.Exit(2)
+		}
+		backend, err := wal.NewFileBackend(*walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.WAL = backend
+		cfg.WALAck = ack
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
+		os.Exit(1)
+	}
+	if rec := s.Recovery(); rec != nil {
+		if rec.Segments == 0 {
+			fmt.Printf("tmserve: fresh log in %s, ack %s\n", *walDir, *walAck)
+		} else {
+			var replayed uint64
+			for _, h := range rec.Horizon {
+				replayed += h
+			}
+			fmt.Printf("tmserve: recovered %s from %s: %d segments, %d commits replayed, %d dropped past gaps, %d torn tails, ack %s\n",
+				map[bool]string{true: "clean", false: "crashed"}[rec.Clean],
+				*walDir, rec.Segments, replayed, rec.DroppedRecords(), len(rec.Torn), *walAck)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// sealed closes only after s.Close() returns: main must not exit
+	// before the WAL tail is flushed and sealed, or a graceful shutdown
+	// would race its own durability.
+	sealed := make(chan struct{})
 	go func() {
 		<-stop
 		fmt.Fprintln(os.Stderr, "tmserve: shutting down")
 		_ = httpSrv.Close()
-		s.Close()
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tmserve: sealing wal: %v\n", err)
+		}
+		close(sealed)
 	}()
 
 	st := s.StatsSnapshot()
@@ -78,4 +133,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
 		os.Exit(1)
 	}
+	<-sealed
 }

@@ -75,6 +75,18 @@ type Record struct {
 	P999NS int64 `json:"p999_ns,omitempty"`
 	// Non2xx counts failed requests of a served cell.
 	Non2xx uint64 `json:"non2xx,omitempty"`
+	// TransportErrs counts transient connection errors (dial refused,
+	// reset, EOF) a served cell's client saw — retried or given up.
+	// Separate from Non2xx so a crash-recovery load test's transport
+	// noise is not read as server failures.
+	TransportErrs uint64 `json:"transport_errs,omitempty"`
+	// WalAck and WalBackend are the E10 durability dimensions: the
+	// commit log's acknowledgement mode ("sync", "group", "async") and
+	// backing ("mem", "file"). Empty on non-durable cells; part of the
+	// cell key when present — throughput is only comparable at equal
+	// durability contract.
+	WalAck     string `json:"wal_ack,omitempty"`
+	WalBackend string `json:"wal_backend,omitempty"`
 	// RunnerClass, GOMAXPROCS and NumCPU identify the machine class that
 	// produced the cell. benchdiff refuses a blocking verdict across
 	// differing non-empty runner classes.

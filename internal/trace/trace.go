@@ -40,6 +40,11 @@ type Meta struct {
 	// Partitions counts the per-partition recorders stitched into the
 	// trace; 0 or 1 means a single unpartitioned log.
 	Partitions int `json:"partitions,omitempty"`
+	// HistoryDropped counts attempts rotated out of a bounded history
+	// accumulator before this trace was cut. When non-zero the trace is
+	// a suffix, not the full run: certification verdicts over it speak
+	// only for the retained window.
+	HistoryDropped uint64 `json:"history_dropped,omitempty"`
 }
 
 // SpecJSON is a static transaction.

@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Log is an open write-ahead log: one writer goroutine owns the current
+// segment, concurrent committers enqueue records through Append, and
+// every flush round writes the whole queue before (at most) one fsync —
+// group commit. Acknowledgement order is the partially-constrained part:
+// a record is acked only once every lower sequence of its own partition
+// is durable, and records of different partitions never wait for each
+// other.
+type Log struct {
+	backend Backend
+	opts    Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*appendReq
+	closed  bool
+	sealed  chan struct{} // closed when the writer has sealed and exited
+	failure error         // non-nil once poisoned; wrapped into FailedError
+
+	// acks is the per-partition release state: next[p] is the lowest
+	// sequence of p not yet durable, parked[p] holds durable records
+	// (and their waiters) stuck behind a lower in-flight sequence.
+	next   []uint64
+	parked []map[uint64]chan error
+
+	// writer-only state (no lock needed).
+	seg     Segment
+	segSize int64
+	segIdx  uint64
+
+	stats struct {
+		sync.Mutex
+		Stats
+	}
+
+	reqPool sync.Pool
+}
+
+type appendReq struct {
+	part    int
+	seq     uint64
+	scratch []byte     // payload build space, reused across pool cycles
+	frame   []byte     // complete record: header + payload
+	done    chan error // nil for async appends
+}
+
+// Start opens the log for appending on top of a completed Scan: it
+// validates the partition count against the logged meta, creates a
+// fresh segment (recovery never reopens a tail in place — the torn
+// bytes stay where they fell, unreferenced), writes the meta record
+// and one cut per partition whose post-gap stragglers the scan
+// dropped, syncs, and launches the writer.
+func Start(backend Backend, opts Options, scan *ScanResult) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.Partitions <= 0 {
+		return nil, fmt.Errorf("wal: Start: Partitions must be set")
+	}
+	if scan.Partitions > 0 && scan.Partitions != opts.Partitions {
+		return nil, fmt.Errorf("wal: Start: log recorded %d partitions, store wants %d — routing would corrupt the keyspace",
+			scan.Partitions, opts.Partitions)
+	}
+	l := &Log{
+		backend: backend,
+		opts:    opts,
+		sealed:  make(chan struct{}),
+		next:    make([]uint64, opts.Partitions),
+		parked:  make([]map[uint64]chan error, opts.Partitions),
+		segIdx:  scan.nextSegIdx,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	for p := 0; p < opts.Partitions; p++ {
+		l.next[p] = 1
+		l.parked[p] = make(map[uint64]chan error)
+		if p < len(scan.Horizon) {
+			l.next[p] = scan.Horizon[p] + 1
+		}
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	// Void every sequence past a gap so the new generation can reuse it
+	// without tripping the duplicate check on the next recovery.
+	for p, dropped := range scan.DroppedByPart {
+		if dropped > 0 {
+			if err := l.writeFrame(appendFrame(nil, cutPayload(p, scan.Horizon[p]+1))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := l.seg.Sync(); err != nil {
+		return nil, err
+	}
+	l.bumpStat(func(s *Stats) { s.Syncs++ })
+	go l.writer()
+	return l, nil
+}
+
+// Open is Scan + Start: the one-call path when the caller also wants
+// the scan result for replay.
+func Open(backend Backend, opts Options) (*Log, *ScanResult, error) {
+	scan, err := Scan(backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Partitions <= 0 {
+		opts.Partitions = scan.Partitions
+	}
+	l, err := Start(backend, opts, scan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, scan, nil
+}
+
+// Ack returns the log's acknowledgement mode.
+func (l *Log) Ack() AckMode { return l.opts.Ack }
+
+// Partitions returns the partition count the log is locked to.
+func (l *Log) Partitions() int { return l.opts.Partitions }
+
+// Append hands one committed transaction's record to the log: partition
+// part's seq'th logged commit, carrying nops ops in the encoded ops
+// section (AppendOp). The bytes are copied before return. Depending on
+// the ack mode, Append returns when the record is individually fsynced
+// (AckSync), when a group fsync covers it and all lower sequences of
+// its partition (AckGroup), or immediately after enqueue (AckAsync).
+// A non-nil error means durability is NOT guaranteed; the error wraps
+// the storage fault (FailedError) or ErrClosed.
+func (l *Log) Append(part int, seq uint64, nops int, ops []byte) error {
+	if part < 0 || part >= l.opts.Partitions {
+		return fmt.Errorf("wal: Append: partition %d out of range", part)
+	}
+	req, _ := l.reqPool.Get().(*appendReq)
+	if req == nil {
+		req = &appendReq{done: make(chan error, 1)}
+	}
+	req.part, req.seq = part, seq
+	req.scratch = appendTxnPayload(req.scratch[:0], part, seq, nops, ops)
+	req.frame = appendFrame(req.frame[:0], req.scratch)
+
+	async := l.opts.Ack == AckAsync
+	l.mu.Lock()
+	if l.closed || l.failure != nil {
+		err := l.failure
+		l.mu.Unlock()
+		if err != nil {
+			return &FailedError{Cause: err}
+		}
+		return ErrClosed
+	}
+	done := req.done
+	if async {
+		req.done = nil
+	}
+	l.queue = append(l.queue, req)
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.bumpStat(func(s *Stats) { s.Appends++ })
+	if async {
+		return nil
+	}
+	err := <-done
+	req.done = done
+	l.reqPool.Put(req)
+	return err
+}
+
+// Close flushes everything queued, writes the seal record, syncs and
+// closes the tail segment — the graceful-shutdown path recovery
+// recognizes as clean. Idempotent; Append after Close returns ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.sealed
+		return l.failure
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.sealed
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failure
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.stats.Lock()
+	defer l.stats.Unlock()
+	return l.stats.Stats
+}
+
+func (l *Log) bumpStat(fn func(*Stats)) {
+	l.stats.Lock()
+	fn(&l.stats.Stats)
+	l.stats.Unlock()
+}
+
+// writer is the group-commit loop: take whatever the queue holds, write
+// every frame, rotate if the segment overflowed, fsync once, then
+// release acknowledgements in per-partition sequence order. AckSync
+// narrows the batch to one record per fsync.
+func (l *Log) writer() {
+	defer close(l.sealed)
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed && l.failure == nil {
+			l.cond.Wait()
+		}
+		if l.failure != nil {
+			l.failQueueLocked()
+			l.mu.Unlock()
+			return
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			l.sealAndExit()
+			return
+		}
+		var batch []*appendReq
+		if l.opts.Ack == AckSync {
+			batch = l.queue[:1:1]
+			l.queue = l.queue[1:]
+		} else {
+			batch = l.queue
+			l.queue = nil
+		}
+		l.mu.Unlock()
+
+		if err := l.flush(batch); err != nil {
+			l.poison(err, batch)
+			return
+		}
+	}
+}
+
+// flush writes one batch and syncs once, then releases acks.
+func (l *Log) flush(batch []*appendReq) error {
+	for _, req := range batch {
+		if err := l.writeFrame(req.frame); err != nil {
+			return err
+		}
+	}
+	if l.segSize > l.opts.SegmentBytes {
+		// Rotate at a flush boundary: sync the full segment first so a
+		// non-final segment can never legitimately end mid-record.
+		if err := l.seg.Sync(); err != nil {
+			return err
+		}
+		l.bumpStat(func(s *Stats) { s.Syncs++ })
+		_ = l.seg.Close()
+		l.segIdx++
+		if err := l.openSegment(); err != nil {
+			return err
+		}
+	}
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	l.bumpStat(func(s *Stats) {
+		s.Syncs++
+		s.Batches++
+		if uint64(len(batch)) > s.MaxBatch {
+			s.MaxBatch = uint64(len(batch))
+		}
+	})
+	l.release(batch)
+	return nil
+}
+
+// release marks the batch durable and acks every waiter whose partition
+// prefix is now complete — including waiters parked by earlier batches.
+func (l *Log) release(batch []*appendReq) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, req := range batch {
+		p := req.part
+		if req.seq == l.next[p] {
+			l.ackLocked(req.done)
+			l.next[p]++
+			for {
+				done, ok := l.parked[p][l.next[p]]
+				if !ok {
+					break
+				}
+				delete(l.parked[p], l.next[p])
+				l.ackLocked(done)
+				l.next[p]++
+			}
+		} else if req.seq > l.next[p] {
+			l.parked[p][req.seq] = req.done
+		} else {
+			// A sequence below next is a store-layer bug (duplicate
+			// stamp); ack it rather than wedge the caller.
+			l.ackLocked(req.done)
+		}
+	}
+}
+
+func (l *Log) ackLocked(done chan error) {
+	if done != nil {
+		done <- nil
+	}
+}
+
+// poison records the storage fault, fails the triggering batch, every
+// parked waiter and everything queued, and exits the writer.
+func (l *Log) poison(err error, batch []*appendReq) {
+	l.bumpStat(func(s *Stats) { s.Failed = 1 })
+	l.mu.Lock()
+	l.failure = err
+	for _, req := range batch {
+		if req.done != nil {
+			req.done <- &FailedError{Cause: err}
+		}
+	}
+	l.failQueueLocked()
+	l.mu.Unlock()
+}
+
+// failQueueLocked drains queue and parked waiters with the failure.
+func (l *Log) failQueueLocked() {
+	for _, req := range l.queue {
+		if req.done != nil {
+			req.done <- &FailedError{Cause: l.failure}
+		}
+	}
+	l.queue = nil
+	for p := range l.parked {
+		for seq, done := range l.parked[p] {
+			if done != nil {
+				done <- &FailedError{Cause: l.failure}
+			}
+			delete(l.parked[p], seq)
+		}
+	}
+}
+
+// sealAndExit writes the clean-shutdown marker.
+func (l *Log) sealAndExit() {
+	if err := l.writeFrame(appendFrame(nil, sealPayload())); err != nil {
+		l.poison(err, nil)
+		return
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.poison(err, nil)
+		return
+	}
+	l.bumpStat(func(s *Stats) { s.Syncs++ })
+	_ = l.seg.Close()
+}
+
+// openSegment creates the segIdx'th segment and writes its meta record.
+func (l *Log) openSegment() error {
+	seg, err := l.backend.Create(segName(l.segIdx))
+	if err != nil {
+		return err
+	}
+	l.seg, l.segSize = seg, 0
+	l.bumpStat(func(s *Stats) { s.Segments++ })
+	if err := l.seg.Append([]byte(Magic)); err != nil {
+		return err
+	}
+	l.segSize += int64(len(Magic))
+	return l.writeFrame(appendFrame(nil, metaPayload(l.opts.Partitions)))
+}
+
+// writeFrame appends one framed record to the current segment.
+func (l *Log) writeFrame(frame []byte) error {
+	if err := l.seg.Append(frame); err != nil {
+		return err
+	}
+	l.segSize += int64(len(frame))
+	l.bumpStat(func(s *Stats) {
+		s.Records++
+		s.Bytes += uint64(len(frame))
+	})
+	return nil
+}

@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// The on-disk grammar. A segment is the 8-byte magic followed by
+// records; a record is an 8-byte header — little-endian payload length,
+// then CRC-32C of the payload — followed by the payload bytes. The
+// first payload byte is the record kind:
+//
+//	txn  — part uvarint, seq uvarint, nops uvarint, then per op one
+//	       flag byte (bit0 = delete), key length+bytes and, for
+//	       non-deletes, value length+bytes;
+//	cut  — part uvarint, from uvarint: every earlier record of part
+//	       with seq >= from is void. Written on reopen after a gap
+//	       truncation so a later generation can reuse the sequence
+//	       numbers the truncation dropped;
+//	seal — no payload: a clean shutdown flushed everything before this
+//	       point. Only meaningful as the last record of the log;
+//	meta — format version uvarint, partitions uvarint: opens every
+//	       segment, making each self-describing and pinning the
+//	       partition count routing depends on.
+//
+// Checksums cover the payload only; the length field is validated by
+// the extent check (a record must fit inside its segment). The split of
+// decode failures into "torn" and "corrupt" lives in scan.go.
+
+// Magic opens every segment.
+const Magic = "pclwal01"
+
+// formatVersion is bumped on any grammar change.
+const formatVersion = 1
+
+// Record kinds.
+const (
+	kindTxn byte = iota + 1
+	kindCut
+	kindSeal
+	kindMeta
+)
+
+// headerSize is the fixed record header: uint32 length + uint32 CRC.
+const headerSize = 8
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Op is one logical store operation inside a txn record. Key and Val
+// are the codec's byte images (store/durable.go); Del distinguishes
+// deletions, whose Val is empty.
+type Op struct {
+	Del      bool
+	Key, Val []byte
+}
+
+// Record is one decoded txn record: partition part committed the ops as
+// its seq'th logged transaction.
+type Record struct {
+	Part int
+	Seq  uint64
+	Ops  []Op
+}
+
+// appendUvarint appends x in unsigned varint form.
+func appendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// appendFrame appends a complete record (header + payload) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendTxnPayload builds a txn record payload: the caller supplies the
+// already-encoded ops section (nops ops) produced by store/durable.go.
+func appendTxnPayload(dst []byte, part int, seq uint64, nops int, ops []byte) []byte {
+	dst = append(dst, kindTxn)
+	dst = appendUvarint(dst, uint64(part))
+	dst = appendUvarint(dst, seq)
+	dst = appendUvarint(dst, uint64(nops))
+	return append(dst, ops...)
+}
+
+// AppendOp appends one op to an ops section under construction — the
+// encoding half the store's capture buffer uses, kept next to decodeOps
+// so the two halves cannot drift.
+func AppendOp(dst []byte, del bool, key, val []byte) []byte {
+	var flag byte
+	if del {
+		flag = 1
+	}
+	dst = append(dst, flag)
+	dst = appendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	if !del {
+		dst = appendUvarint(dst, uint64(len(val)))
+		dst = append(dst, val...)
+	}
+	return dst
+}
+
+func cutPayload(part int, from uint64) []byte {
+	dst := []byte{kindCut}
+	dst = appendUvarint(dst, uint64(part))
+	return appendUvarint(dst, from)
+}
+
+func sealPayload() []byte { return []byte{kindSeal} }
+
+func metaPayload(partitions int) []byte {
+	dst := []byte{kindMeta}
+	dst = appendUvarint(dst, formatVersion)
+	return appendUvarint(dst, uint64(partitions))
+}
+
+// uvarint reads one uvarint, reporting failure instead of panicking.
+func uvarint(b []byte) (uint64, []byte, bool) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return x, b[n:], true
+}
+
+// decodeTxn parses a txn payload (kind byte already consumed).
+func decodeTxn(b []byte) (Record, bool) {
+	var r Record
+	part, b, ok := uvarint(b)
+	if !ok {
+		return r, false
+	}
+	seq, b, ok := uvarint(b)
+	if !ok {
+		return r, false
+	}
+	nops, b, ok := uvarint(b)
+	if !ok || nops > uint64(len(b)) { // each op is ≥1 byte
+		return r, false
+	}
+	r.Part, r.Seq = int(part), seq
+	r.Ops = make([]Op, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		if len(b) == 0 {
+			return r, false
+		}
+		op := Op{Del: b[0]&1 != 0}
+		b = b[1:]
+		klen, rest, ok := uvarint(b)
+		if !ok || klen > uint64(len(rest)) {
+			return r, false
+		}
+		op.Key, b = rest[:klen], rest[klen:]
+		if !op.Del {
+			vlen, rest, ok := uvarint(b)
+			if !ok || vlen > uint64(len(rest)) {
+				return r, false
+			}
+			op.Val, b = rest[:vlen], rest[vlen:]
+		}
+		r.Ops = append(r.Ops, op)
+	}
+	if len(b) != 0 {
+		return r, false // trailing garbage inside a checksummed payload
+	}
+	return r, true
+}
+
+func decodeCut(b []byte) (part int, from uint64, ok bool) {
+	p, b, ok := uvarint(b)
+	if !ok {
+		return 0, 0, false
+	}
+	f, b, ok := uvarint(b)
+	if !ok || len(b) != 0 {
+		return 0, 0, false
+	}
+	return int(p), f, true
+}
+
+func decodeMeta(b []byte) (version uint64, partitions int, ok bool) {
+	v, b, ok := uvarint(b)
+	if !ok {
+		return 0, 0, false
+	}
+	p, b, ok := uvarint(b)
+	if !ok || len(b) != 0 {
+		return 0, 0, false
+	}
+	return v, int(p), true
+}

@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// ScanResult is what recovery learned from the surviving segments.
+type ScanResult struct {
+	// Partitions is the partition count from the log's meta records
+	// (0 for an empty log).
+	Partitions int
+	// Records is the replay plan: for each partition its contiguous
+	// sequence prefix, ordered by (partition, seq).
+	Records []Record
+	// Horizon[p] is the highest replayable sequence of partition p —
+	// the contiguous prefix runs 1..Horizon[p] (0 = nothing survived).
+	Horizon []uint64
+	// DroppedByPart[p] counts live records of p discarded because they
+	// sat beyond the first sequence gap: durable bytes for commits that
+	// were never acknowledged contiguously. Always 0 under AckSync and
+	// AckGroup semantics for acked commits.
+	DroppedByPart []uint64
+	// Torn lists where torn tails were truncated (clean degradation —
+	// unsynced bytes at the end of a segment).
+	Torn []TornTail
+	// Clean reports a sealed log: the final surviving record is a seal,
+	// i.e. the previous process shut down gracefully.
+	Clean bool
+	// Segments is how many segments the scan read.
+	Segments int
+
+	// nextSegIdx is the index Start uses for the generation's first new
+	// segment.
+	nextSegIdx uint64
+}
+
+// TornTail records one truncation the scan performed.
+type TornTail struct {
+	Segment string `json:"segment"`
+	Offset  int64  `json:"offset"` // byte offset of the first discarded byte
+	Reason  string `json:"reason"`
+}
+
+// DroppedRecords sums DroppedByPart.
+func (r *ScanResult) DroppedRecords() uint64 {
+	var n uint64
+	for _, d := range r.DroppedByPart {
+		n += d
+	}
+	return n
+}
+
+// Scan reads every segment and computes the replayable state. The
+// policy separating degradation from damage:
+//
+//   - A record that runs off the end of its segment (or a partial
+//     header, or a segment too short for its magic) is a torn tail:
+//     append-only storage can only lose a suffix, so everything before
+//     the tear is intact and the tear itself only holds data no one was
+//     ever promised. The tail is truncated, noted in Torn, and the scan
+//     continues. This also covers a lying fsync tearing a non-final
+//     segment: the lost suffix becomes per-partition sequence gaps,
+//     handled below.
+//   - A fully-present record with a bad checksum is CorruptError: bytes
+//     in the middle of the log changed under us, and replaying around
+//     them could resurrect a state no linearization justifies. Scan
+//     refuses with a witness (segment, offset, reason).
+//   - Two live records claiming the same (partition, seq) are
+//     CorruptError too — a duplicated segment or a broken stamp, either
+//     way replay order is no longer well-defined.
+//   - Per-partition sequence gaps (from torn tails or group-commit
+//     reordering at the crash edge) truncate that partition at the gap:
+//     records past it were never contiguously acked, so dropping them
+//     keeps exactly the acked-⇒-survives contract. Start then writes a
+//     cut so the next generation can reuse the dropped numbers.
+func Scan(backend Backend) (*ScanResult, error) {
+	names, err := backend.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	res := &ScanResult{}
+	if len(names) == 0 {
+		return res, nil
+	}
+	res.Segments = len(names)
+	res.nextSegIdx = nextSegIdx(names)
+
+	byPart := map[int]map[uint64]Record{} // part -> seq -> live record
+	sealLast := false
+
+	for segNo, name := range names {
+		data, err := backend.Load(name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: scan: %w", err)
+		}
+		torn := func(off int64, reason string) {
+			res.Torn = append(res.Torn, TornTail{Segment: name, Offset: off, Reason: reason})
+		}
+		if len(data) < len(Magic) {
+			torn(0, "segment shorter than magic")
+			continue
+		}
+		if string(data[:len(Magic)]) != Magic {
+			return nil, &CorruptError{Segment: name, Offset: 0, Reason: "bad magic"}
+		}
+		off := int64(len(Magic))
+		first := true
+		for int(off) < len(data) {
+			rest := data[off:]
+			if len(rest) < headerSize {
+				torn(off, "partial record header")
+				break
+			}
+			plen := binary.LittleEndian.Uint32(rest[0:4])
+			want := binary.LittleEndian.Uint32(rest[4:8])
+			if int(off)+headerSize+int(plen) > len(data) {
+				torn(off, "record extends past end of segment")
+				break
+			}
+			payload := rest[headerSize : headerSize+int(plen)]
+			if crc32.Checksum(payload, castagnoli) != want {
+				return nil, &CorruptError{Segment: name, Offset: off,
+					Reason: fmt.Sprintf("checksum mismatch on %d-byte record", plen)}
+			}
+			if len(payload) == 0 {
+				return nil, &CorruptError{Segment: name, Offset: off, Reason: "empty payload"}
+			}
+			sealLast = false
+			kind, body := payload[0], payload[1:]
+			switch kind {
+			case kindMeta:
+				version, parts, ok := decodeMeta(body)
+				if !ok || !first {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "misplaced or malformed meta record"}
+				}
+				if version != formatVersion {
+					return nil, &CorruptError{Segment: name, Offset: off,
+						Reason: fmt.Sprintf("format version %d, this build reads %d", version, formatVersion)}
+				}
+				if parts <= 0 {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "non-positive partition count"}
+				}
+				if res.Partitions == 0 {
+					res.Partitions = parts
+				} else if res.Partitions != parts {
+					return nil, &CorruptError{Segment: name, Offset: off,
+						Reason: fmt.Sprintf("partition count changed mid-log: %d then %d", res.Partitions, parts)}
+				}
+			case kindTxn:
+				if first {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
+				}
+				rec, ok := decodeTxn(body)
+				if !ok {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "malformed txn record"}
+				}
+				if rec.Part < 0 || rec.Part >= res.Partitions || rec.Seq == 0 {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "txn record out of range"}
+				}
+				m := byPart[rec.Part]
+				if m == nil {
+					m = map[uint64]Record{}
+					byPart[rec.Part] = m
+				}
+				if _, ok := m[rec.Seq]; ok {
+					// A cut deletes every sequence it voids, so any
+					// collision with a still-live record is real.
+					return nil, &CorruptError{Segment: name, Offset: off,
+						Reason: fmt.Sprintf("duplicate record: partition %d seq %d", rec.Part, rec.Seq)}
+				}
+				m[rec.Seq] = rec
+			case kindCut:
+				if first {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
+				}
+				part, from, ok := decodeCut(body)
+				if !ok {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "malformed cut record"}
+				}
+				if part < 0 || part >= res.Partitions {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "cut record out of range"}
+				}
+				for seq := range byPart[part] {
+					if seq >= from {
+						delete(byPart[part], seq)
+					}
+				}
+			case kindSeal:
+				if first {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
+				}
+				if segNo == len(names)-1 {
+					sealLast = true
+				}
+				// Seals from earlier generations mid-log are inert.
+			default:
+				return nil, &CorruptError{Segment: name, Offset: off,
+					Reason: fmt.Sprintf("unknown record kind %d", kind)}
+			}
+			first = false
+			off += int64(headerSize) + int64(plen)
+		}
+	}
+	res.Clean = sealLast && len(res.Torn) == 0
+
+	if res.Partitions > 0 {
+		res.Horizon = make([]uint64, res.Partitions)
+		res.DroppedByPart = make([]uint64, res.Partitions)
+		for p := 0; p < res.Partitions; p++ {
+			m := byPart[p]
+			var seq uint64
+			for seq = 1; ; seq++ {
+				rec, ok := m[seq]
+				if !ok {
+					break
+				}
+				res.Records = append(res.Records, rec)
+				delete(m, seq)
+			}
+			res.Horizon[p] = seq - 1
+			res.DroppedByPart[p] = uint64(len(m))
+		}
+	}
+	return res, nil
+}
+
+// nextSegIdx picks the first unused segment index: one past the highest
+// parseable name (unparseable survivors are ignored by List's filter
+// shape, so the worst case is a collision error from Create, not silent
+// reuse).
+func nextSegIdx(names []string) uint64 {
+	var next uint64
+	for _, n := range names {
+		num := strings.TrimSuffix(strings.TrimPrefix(n, "wal-"), ".seg")
+		if idx, err := strconv.ParseUint(num, 10, 64); err == nil && idx+1 > next {
+			next = idx + 1
+		}
+	}
+	return next
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+
+	"pcltm/internal/wal"
+	"pcltm/stm"
+	"pcltm/store"
+)
+
+// The E10 experiment: what durability costs. The workload is the E7
+// store driver unchanged — keyed get/increment traffic — but the store
+// is opened over a commit log, so every increment pays the append and
+// waits for its acknowledgement. Sweeping the ack mode prices the
+// contract: sync = one fsync per commit, group = one fsync per batch of
+// concurrent commits, async = acknowledge before the fsync (bounded
+// loss). The backend dimension separates the protocol's cost (mem) from
+// the disk's (file).
+
+// DurableStoreConfig describes an E10 durable-store load run.
+type DurableStoreConfig struct {
+	StoreConfig
+	// Ack is the commit log's acknowledgement mode.
+	Ack wal.AckMode
+	// Dir is the file backend's directory; empty runs the in-memory
+	// backend (protocol cost only, no disk).
+	Dir string
+	// SegmentBytes caps segment size (0 = the log's default).
+	SegmentBytes int64
+}
+
+// RunDurableStore executes the structure workload against a durable
+// partitioned store. The returned result carries the wal stamp (ack
+// mode, backend kind, log counters); the log is sealed before
+// returning, so a run doubles as a recovery fixture when Dir is set.
+func RunDurableStore(kind stm.EngineKind, cfg DurableStoreConfig) (StoreResult, error) {
+	sc := cfg.StoreConfig.withDefaults()
+	var backend wal.Backend = wal.NewMemBackend()
+	backendName := "mem"
+	if cfg.Dir != "" {
+		fb, err := wal.NewFileBackend(cfg.Dir)
+		if err != nil {
+			return StoreResult{}, fmt.Errorf("workload: durable store: %w", err)
+		}
+		backend = fb
+		backendName = "file"
+	}
+	s, _, err := store.OpenDurable(store.DurableConfig[int64, int64]{
+		Store:        store.Config{Partitions: sc.Partitions, Engine: kind, Buckets: sc.Buckets},
+		Backend:      backend,
+		Ack:          cfg.Ack,
+		SegmentBytes: cfg.SegmentBytes,
+		Codec:        store.Int64Codec(),
+	})
+	if err != nil {
+		return StoreResult{}, fmt.Errorf("workload: durable store: %w", err)
+	}
+	for k := int64(0); k < int64(sc.Keys); k++ {
+		s.Put(k, 0)
+	}
+	res := runStructLoad(kind, sc, storeDriver{s: s})
+	if ws, ok := s.WALStats(); ok {
+		res.Wal = &ws
+	}
+	res.WalAck = cfg.Ack.String()
+	res.WalBackend = backendName
+	return res, s.CloseWAL()
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pcltm/internal/wal"
 	"pcltm/stm"
 	"pcltm/store"
 	"pcltm/tstructs"
@@ -137,6 +138,12 @@ type StoreResult struct {
 	// for the map driver) — the evidence that disjoint traffic committed
 	// in disjoint engines.
 	PerPartition []stm.Stats
+	// WalAck, WalBackend and Wal stamp a durable run (RunDurableStore):
+	// the acknowledgement mode, the backend kind ("mem"/"file") and the
+	// commit log's counters. Zero on non-durable runs.
+	WalAck     string
+	WalBackend string
+	Wal        *wal.Stats
 }
 
 // structDriver abstracts the structure under load so RunMap and

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pcltm/internal/trace"
+	"pcltm/internal/wal"
+	"pcltm/stm"
+	"pcltm/store"
+)
+
+// TestDurableServerRoundTrip pins graceful shutdown: Close seals the
+// WAL tail, and the next boot reports a clean recovery with every
+// committed key intact.
+func TestDurableServerRoundTrip(t *testing.T) {
+	b := wal.NewMemBackend()
+	s, err := New(Config{Partitions: 2, WAL: b, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	for i := int64(1); i <= 20; i++ {
+		resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: i, Value: i * 3}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %d: status %d", i, resp.StatusCode)
+		}
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := New(Config{Partitions: 2, WAL: b, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec == nil || !rec.Clean {
+		t.Fatalf("Recovery() = %+v, want clean scan", rec)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	for i := int64(1); i <= 20; i++ {
+		if code, kv := getKV(t, ts2.URL, i); code != 200 || !kv.Found || kv.Value != i*3 {
+			t.Fatalf("recovered key %d = %d %+v", i, code, kv)
+		}
+	}
+	st := s2.StatsSnapshot()
+	if st.WalAck != "group" || st.Wal == nil {
+		t.Fatalf("stats lack WAL fields: %+v", st)
+	}
+}
+
+// TestDurableServerCrashRecovery pins the crash path: every /tx the
+// server answered 200 survives a power cut that keeps only fsynced
+// bytes, and the next boot reports the recovery as not clean.
+func TestDurableServerCrashRecovery(t *testing.T) {
+	b := wal.NewMemBackend()
+	s, err := New(Config{Partitions: 2, WAL: b, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	for i := int64(1); i <= 15; i++ {
+		resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: i, Value: i}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %d: status %d", i, resp.StatusCode)
+		}
+	}
+	img := b.Clone(0) // power cut: no Close, only synced bytes survive
+	ts.Close()
+	defer s.Close()
+
+	s2, err := New(Config{Partitions: 2, WAL: img, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("crash recovery: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec == nil || rec.Clean {
+		t.Fatalf("Recovery() = %+v, want unclean crash scan", rec)
+	}
+	for i := int64(1); i <= 15; i++ {
+		if v, ok := s2.Store().Get(i); !ok || v != i {
+			t.Fatalf("acked key %d lost after crash (got %d,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestDurabilityErrorMapsTo500 pins the error surface: when the log
+// fails an fsync mid-commit the client gets 500 (applied in memory,
+// durability lost), not the 503 reserved for shutdown.
+func TestDurabilityErrorMapsTo500(t *testing.T) {
+	fb := wal.NewFailBackend(wal.NewMemBackend())
+	s, err := New(Config{Partitions: 1, WAL: fb, WALAck: wal.AckSync})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: 1, Value: 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy put: status %d", resp.StatusCode)
+	}
+	fb.Arm(wal.FailPoint{Kind: wal.FailSync, N: 2}) // next commit: append, then its fsync fails
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: 2, Value: 2}}); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("fsync-failed put: status %d, want 500", resp.StatusCode)
+	}
+	// The log is poisoned: later commits also refuse to acknowledge.
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "put", Key: 3, Value: 3}}); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("post-poison put: status %d, want 500", resp.StatusCode)
+	}
+	if st := s.StatsSnapshot(); st.Wal == nil || st.Wal.Failed == 0 {
+		t.Fatalf("stats after poison = %+v, want Wal.Failed set", st.Wal)
+	}
+}
+
+// TestHistoryRotation pins the bounded accumulator: with a tiny cap,
+// sustained recorded traffic rotates whole old segments out, the drop
+// count surfaces in /stats and the artifact's meta, and the surviving
+// suffix still stamps and serves.
+func TestHistoryRotation(t *testing.T) {
+	s, ts := startServer(t, Config{Partitions: 1, Record: true, HistoryCap: 1})
+	// Drive well past two rotation grains so at least one whole segment
+	// is dropped. Direct store transactions keep this fast.
+	const txns = 2*histSegMax + 512
+	for i := 0; i < txns; i++ {
+		i := i
+		if err := s.Store().Atomically(0, func(tx *stm.Tx, p *store.Part[int64, int64]) error {
+			p.Put(tx, int64(i%64), int64(i))
+			return nil
+		}); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	code, body := getHistory(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("GET /history: status %d: %s", code, body)
+	}
+	_, meta, err := trace.DecodeFile(body)
+	if err != nil {
+		t.Fatalf("decoding rotated history: %v", err)
+	}
+	if meta == nil || meta.HistoryDropped == 0 {
+		t.Fatalf("meta = %+v, want HistoryDropped > 0", meta)
+	}
+	st := s.StatsSnapshot()
+	if st.HistoryDropped == 0 {
+		t.Fatal("stats.HistoryDropped = 0 after rotation")
+	}
+	if st.HistoryDropped != meta.HistoryDropped {
+		t.Fatalf("stats drop count %d != meta drop count %d", st.HistoryDropped, meta.HistoryDropped)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"pcltm/internal/conformance"
 	"pcltm/internal/core"
 	"pcltm/internal/trace"
+	"pcltm/internal/wal"
 	"pcltm/stm"
 	"pcltm/store"
 	"pcltm/tstructs"
@@ -78,6 +79,24 @@ type Config struct {
 	// trace artifact for `tmcheck -certify`. Recording costs one log
 	// append per transaction; leave it off for latency benchmarks.
 	Record bool
+	// HistoryCap bounds the accumulated attempt log behind /history
+	// (default 1<<20 attempts). The log rotates in segments: when the
+	// total exceeds the cap, whole oldest segments are dropped and
+	// counted in Stats.HistoryDropped and the trace's meta — /history
+	// then serves a suffix of the run, which keeps a long-lived recorded
+	// server bounded at the price of whole-run certification.
+	HistoryCap int
+	// WAL, when non-nil, opens the store on a durable commit log: boot
+	// recovers whatever state the log certifies (see store.OpenDurable),
+	// and every applier commit is appended and acknowledged per WALAck
+	// before the client sees 200. A failed append surfaces as 500 — the
+	// commit applied in memory, durability is lost, and the log is
+	// poisoned.
+	WAL wal.Backend
+	// WALAck is the acknowledgement mode (default wal.AckGroup).
+	WALAck wal.AckMode
+	// WALSegmentBytes caps log segment size (0 = wal default).
+	WALSegmentBytes int64
 }
 
 // Command is one operation of a POST /tx batch.
@@ -126,6 +145,12 @@ type Stats struct {
 	Cmds    uint64 `json:"cmds"`
 	// Rejected counts 429s from the admission bucket.
 	Rejected uint64 `json:"rejected"`
+	// HistoryDropped counts recorded attempts rotated out of the bounded
+	// /history accumulator (0 unless the server outlived HistoryCap).
+	HistoryDropped uint64 `json:"history_dropped,omitempty"`
+	// WalAck and Wal describe the commit log on a durable server.
+	WalAck string     `json:"wal_ack,omitempty"`
+	Wal    *wal.Stats `json:"wal,omitempty"`
 	// Store aggregates every partition engine's counters.
 	Store []stm.Stats `json:"store"`
 }
@@ -156,11 +181,22 @@ type Server struct {
 	admitEng *stm.Engine       // engine admission transactions run on
 
 	// recorder is the shared per-partition-engine recorder when
-	// Config.Record is set; attempts accumulates everything drained so
-	// far, so /history responses are cumulative. histMu guards both.
-	recorder *stm.Recorder
-	histMu   sync.Mutex
-	attempts []*stm.AttemptRecord
+	// Config.Record is set. The accumulated attempt log is segmented so
+	// it can rotate: histSegs holds up to histSegMax attempts per
+	// segment, oldest first; histLen is the total retained; histDropped
+	// counts attempts rotated away. histMu guards all of them. A
+	// background ticker drains the recorder even when nobody polls
+	// /history, so the recorder's own buffer stays bounded too.
+	recorder    *stm.Recorder
+	histMu      sync.Mutex
+	histSegs    [][]*stm.AttemptRecord
+	histLen     int
+	histCap     int
+	histDropped uint64
+	drainStop   chan struct{}
+
+	// recovery is what boot found in the WAL (nil when not durable).
+	recovery *wal.ScanResult
 
 	closed  atomic.Bool
 	wg      sync.WaitGroup
@@ -169,11 +205,17 @@ type Server struct {
 	reject  atomic.Uint64
 }
 
-// New builds the store, starts one applier per partition, and returns
-// the server.
-func New(cfg Config) *Server {
+// histSegMax is the rotation grain: attempts per history segment.
+const histSegMax = 1 << 14
+
+// New builds the store — recovering it from the WAL when Config.WAL is
+// set — starts one applier per partition, and returns the server.
+func New(cfg Config) (*Server, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 64
+	}
+	if cfg.HistoryCap <= 0 {
+		cfg.HistoryCap = 1 << 20
 	}
 	sc := store.Config{Partitions: cfg.Partitions, Engine: cfg.Engine, Buckets: cfg.Buckets}
 	var rec *stm.Recorder
@@ -181,10 +223,32 @@ func New(cfg Config) *Server {
 		rec = stm.NewRecorder()
 		sc.EngineOptions = func(int) []stm.Option { return []stm.Option{stm.WithRecorder(rec)} }
 	}
+	var st *store.Store[int64, int64]
+	var recovery *wal.ScanResult
+	if cfg.WAL != nil {
+		// Recovery replays through recorded store transactions, so with
+		// Record set the served history begins with the replayed
+		// prefix — recovered state arrives pre-justified.
+		var err error
+		st, recovery, err = store.OpenDurable(store.DurableConfig[int64, int64]{
+			Store:        sc,
+			Backend:      cfg.WAL,
+			Ack:          cfg.WALAck,
+			SegmentBytes: cfg.WALSegmentBytes,
+			Codec:        store.Int64Codec(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening durable store: %w", err)
+		}
+	} else {
+		st = store.New[int64, int64](sc)
+	}
 	s := &Server{
-		store:    store.New[int64, int64](sc),
+		store:    st,
 		recorder: rec,
 		batchMax: cfg.BatchMax,
+		histCap:  cfg.HistoryCap,
+		recovery: recovery,
 	}
 	// Admission normally serializes on partition 0's engine. When
 	// recording it moves to a private, unrecorded engine: the token
@@ -215,11 +279,65 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.applier(p)
 	}
-	return s
+	if rec != nil {
+		s.drainStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.drainLoop()
+	}
+	return s, nil
 }
 
 // Store exposes the underlying store (tests, embedding).
 func (s *Server) Store() *store.Store[int64, int64] { return s.store }
+
+// Recovery returns what boot found in the WAL: nil for a non-durable
+// server, otherwise the scan result (horizons, torn tails, Clean).
+func (s *Server) Recovery() *wal.ScanResult { return s.recovery }
+
+// drainLoop moves recorder attempts into the rotating history
+// accumulator on a timer, so a recorded server that nobody polls stays
+// bounded.
+func (s *Server) drainLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.histMu.Lock()
+			s.drainLocked()
+			s.histMu.Unlock()
+		case <-s.drainStop:
+			return
+		}
+	}
+}
+
+// drainLocked pulls everything the recorder has and rotates whole
+// oldest segments out while the total exceeds the cap. Callers hold
+// histMu.
+func (s *Server) drainLocked() {
+	fresh := s.recorder.Take()
+	for len(fresh) > 0 {
+		if n := len(s.histSegs); n > 0 && len(s.histSegs[n-1]) < histSegMax {
+			room := histSegMax - len(s.histSegs[n-1])
+			if room > len(fresh) {
+				room = len(fresh)
+			}
+			s.histSegs[n-1] = append(s.histSegs[n-1], fresh[:room]...)
+			s.histLen += room
+			fresh = fresh[room:]
+			continue
+		}
+		s.histSegs = append(s.histSegs, make([]*stm.AttemptRecord, 0, histSegMax))
+	}
+	for s.histLen > s.histCap && len(s.histSegs) > 1 {
+		s.histDropped += uint64(len(s.histSegs[0]))
+		s.histLen -= len(s.histSegs[0])
+		s.histSegs[0] = nil
+		s.histSegs = s.histSegs[1:]
+	}
+}
 
 // applier is partition part's consumer: it blocks on the queue in a
 // queue-only transaction (holding no partition lock while parked — a
@@ -269,8 +387,12 @@ func (s *Server) applier(part int) {
 
 		// Apply a batch in one store transaction: first plus whatever
 		// else queued meanwhile, at most batchMax groups. On conflict
-		// retry the drains re-run, so batch is rebuilt from scratch.
-		_ = s.store.Atomically(part, func(tx *stm.Tx, ph *store.Part[int64, int64]) error {
+		// retry the drains re-run, so batch is rebuilt from scratch. On
+		// a durable store the transaction blocks here until the WAL
+		// acknowledges it; an append failure (DurabilityError) fails the
+		// whole batch — the writes applied in memory but the clients
+		// must not be told they are durable.
+		err := s.store.Atomically(part, func(tx *stm.Tx, ph *store.Part[int64, int64]) error {
 			batch = append(batch[:0], first)
 			for len(batch) < s.batchMax {
 				p, ok := q.TryTake(tx)
@@ -287,7 +409,7 @@ func (s *Server) applier(part int) {
 		s.batches.Add(1)
 		for _, p := range batch {
 			s.cmds.Add(uint64(len(p.cmds)))
-			p.done <- nil
+			p.done <- err
 		}
 	}
 }
@@ -347,23 +469,28 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	s.histMu.Lock()
 	defer s.histMu.Unlock()
-	s.attempts = append(s.attempts, s.recorder.Take()...)
+	s.drainLocked()
+	attempts := make([]*stm.AttemptRecord, 0, s.histLen)
+	for _, seg := range s.histSegs {
+		attempts = append(attempts, seg...)
+	}
 	nprocs := 1
-	for _, a := range s.attempts {
+	for _, a := range attempts {
 		if a.Proc+1 > nprocs {
 			nprocs = a.Proc + 1
 		}
 	}
-	exec, err := conformance.StampInterned(s.attempts,
+	exec, err := conformance.StampInterned(attempts,
 		func(id uint64) (core.Item, bool) { return core.Item(fmt.Sprintf("t%d", id)), true }, nprocs)
 	if err != nil {
 		http.Error(w, "stamping history: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	data, err := trace.EncodeWithMeta(exec, &trace.Meta{
-		Source:     "tmserve",
-		Engine:     s.store.Engine(0).Kind().String(),
-		Partitions: s.store.Partitions(),
+		Source:         "tmserve",
+		Engine:         s.store.Engine(0).Kind().String(),
+		Partitions:     s.store.Partitions(),
+		HistoryDropped: s.histDropped,
 	})
 	if err != nil {
 		http.Error(w, "encoding history: "+err.Error(), http.StatusInternalServerError)
@@ -437,6 +564,13 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, g := range groups {
 		if err := <-g.done; err != nil {
+			var de *store.DurabilityError
+			if errors.As(err, &de) {
+				// Applied in memory, not durable: the server's log is
+				// poisoned and this commit cannot be acknowledged.
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
@@ -488,7 +622,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // StatsSnapshot returns the server's counters.
 func (s *Server) StatsSnapshot() Stats {
-	return Stats{
+	st := Stats{
 		Engine:     s.store.Engine(0).Kind().String(),
 		Partitions: s.store.Partitions(),
 		Batches:    s.batches.Load(),
@@ -496,6 +630,17 @@ func (s *Server) StatsSnapshot() Stats {
 		Rejected:   s.reject.Load(),
 		Store:      s.store.Stats(),
 	}
+	if s.recorder != nil {
+		s.histMu.Lock()
+		st.HistoryDropped = s.histDropped
+		s.histMu.Unlock()
+	}
+	if ws, ok := s.store.WALStats(); ok {
+		ack, _ := s.store.WALAck()
+		st.WalAck = ack.String()
+		st.Wal = &ws
+	}
+	return st
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -504,12 +649,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // Close stops accepting requests, wakes every applier, fails whatever
-// was still queued with ErrClosed, and waits for the appliers to exit.
-// Safe to call more than once.
-func (s *Server) Close() {
+// was still queued with ErrClosed, waits for the appliers to exit, and
+// on a durable server flushes and seals the WAL's tail segment — the
+// graceful-shutdown path recovery recognizes as clean. The returned
+// error is the seal's (nil for a non-durable server). Safe to call more
+// than once.
+func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		s.wg.Wait()
-		return
+		return nil
 	}
 	for p := range s.stopped {
 		_ = s.store.Engine(p).Atomically(func(tx *stm.Tx) error {
@@ -517,5 +665,9 @@ func (s *Server) Close() {
 			return nil
 		})
 	}
+	if s.drainStop != nil {
+		close(s.drainStop)
+	}
 	s.wg.Wait()
+	return s.store.CloseWAL()
 }

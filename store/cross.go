@@ -113,24 +113,57 @@ func (s *Store[K, V]) Cross(fn func(ct *CrossTx[K, V]) error) error {
 	}
 
 	// Apply: group buffered intents by partition, flush each group as
-	// one transaction on the owning engine.
+	// one transaction on the owning engine. On a durable store each
+	// group is logged as its partition's record, stamped inside its
+	// apply transaction; the appends happen under the sweep, so the
+	// per-partition records of one Cross are contiguous in every
+	// partition's sequence. Crash-durability of a Cross is still
+	// per-partition — see the durability notes in durable.go.
 	byPart := make(map[int][]K)
 	for k := range ct.buf {
 		part := s.PartitionOf(k)
 		byPart[part] = append(byPart[part], k)
 	}
+	d := s.durable
+	var derr error
 	for part, keys := range byPart {
 		sp := s.parts[part]
+		var buf *walBuf
+		if d != nil {
+			buf = d.bufs.Get().(*walBuf)
+		}
 		_ = sp.engine.Atomically(func(tx *stm.Tx) error {
+			if buf != nil {
+				buf.reset()
+			}
 			for _, k := range keys {
 				if w := ct.buf[k]; w.del {
 					sp.m.Delete(tx, k)
+					if buf != nil {
+						captureDelete(buf, d.codec, k)
+					}
 				} else {
 					sp.m.Put(tx, k, w.v)
+					if buf != nil {
+						capturePut(buf, d.codec, k, w.v)
+					}
 				}
+			}
+			if buf != nil && buf.nops > 0 {
+				n := stm.Get(tx, d.seq[part]) + 1
+				stm.Set(tx, d.seq[part], n)
+				buf.seq = n
 			}
 			return nil
 		})
+		if buf != nil {
+			if buf.nops > 0 {
+				if aerr := d.log.Append(part, buf.seq, buf.nops, buf.ops); aerr != nil && derr == nil {
+					derr = &DurabilityError{Part: part, Seq: buf.seq, Err: aerr}
+				}
+			}
+			d.bufs.Put(buf)
+		}
 	}
-	return nil
+	return derr
 }

@@ -62,9 +62,10 @@ type partition[K comparable, V any] struct {
 // Store is the partitioned transactional map. All methods are safe for
 // concurrent use.
 type Store[K comparable, V any] struct {
-	parts []*partition[K, V]
-	hash  func(K) uint64
-	shift uint // 64 - log2(len(parts)), for fibIndex-style routing
+	parts   []*partition[K, V]
+	hash    func(K) uint64
+	shift   uint                // 64 - log2(len(parts)), for fibIndex-style routing
+	durable *durableState[K, V] // nil unless built by OpenDurable
 }
 
 // New builds a store whose key hash is derived from K's layout (the
@@ -142,6 +143,7 @@ type Part[K comparable, V any] struct {
 	s    *Store[K, V]
 	part int
 	m    *tstructs.TMap[K, V]
+	buf  *walBuf // non-nil on a durable store: captures the write set
 }
 
 // check panics when k is not owned by this handle's partition — a
@@ -170,12 +172,19 @@ func (p *Part[K, V]) Contains(tx *stm.Tx, k K) bool {
 func (p *Part[K, V]) Put(tx *stm.Tx, k K, v V) {
 	p.check(k)
 	p.m.Put(tx, k, v)
+	if p.buf != nil {
+		capturePut(p.buf, p.s.durable.codec, k, v)
+	}
 }
 
 // Delete removes k inside the partition transaction.
 func (p *Part[K, V]) Delete(tx *stm.Tx, k K) bool {
 	p.check(k)
-	return p.m.Delete(tx, k)
+	ok := p.m.Delete(tx, k)
+	if p.buf != nil {
+		captureDelete(p.buf, p.s.durable.codec, k)
+	}
+	return ok
 }
 
 // Update applies fn to k's current value (ok reports presence) and
@@ -183,29 +192,76 @@ func (p *Part[K, V]) Delete(tx *stm.Tx, k K) bool {
 func (p *Part[K, V]) Update(tx *stm.Tx, k K, fn func(v V, ok bool) V) {
 	p.check(k)
 	cur, ok := p.m.Get(tx, k)
-	p.m.Put(tx, k, fn(cur, ok))
+	next := fn(cur, ok)
+	p.m.Put(tx, k, next)
+	if p.buf != nil {
+		capturePut(p.buf, p.s.durable.codec, k, next)
+	}
 }
 
 // Atomically runs fn as one transaction on partition part's engine,
 // under the partition's shared escalation lock. Every key fn touches
 // must route to part (enforced per operation); transactions on other
-// partitions proceed concurrently with no shared state.
+// partitions proceed concurrently with no shared state. On a durable
+// store a writing transaction additionally stamps the partition's
+// commit sequence inside itself and appends its write set to the log
+// after commit, blocking per the log's ack mode; a failed append
+// returns a DurabilityError (state applied, durability lost).
 func (s *Store[K, V]) Atomically(part int, fn func(tx *stm.Tx, p *Part[K, V]) error) error {
-	sp := s.parts[part]
-	sp.mu.RLock()
-	defer sp.mu.RUnlock()
-	h := Part[K, V]{s: s, part: part, m: sp.m}
-	return sp.engine.Atomically(func(tx *stm.Tx) error { return fn(tx, &h) })
+	return s.run(part, -1, fn)
 }
 
 // AtomicallyAs is Atomically with an explicit process id for an
 // attached recorder — the conformance harness's entry point.
 func (s *Store[K, V]) AtomicallyAs(part, proc int, fn func(tx *stm.Tx, p *Part[K, V]) error) error {
+	return s.run(part, proc, fn)
+}
+
+// run is the shared transaction path; proc < 0 means no explicit
+// process id.
+func (s *Store[K, V]) run(part, proc int, fn func(tx *stm.Tx, p *Part[K, V]) error) error {
 	sp := s.parts[part]
 	sp.mu.RLock()
 	defer sp.mu.RUnlock()
 	h := Part[K, V]{s: s, part: part, m: sp.m}
-	return sp.engine.AtomicallyAs(proc, func(tx *stm.Tx) error { return fn(tx, &h) })
+	d := s.durable
+	if d != nil {
+		h.buf = d.bufs.Get().(*walBuf)
+	}
+	body := func(tx *stm.Tx) error {
+		if h.buf != nil {
+			// Reset per attempt: aborted speculation must not leak ops.
+			h.buf.reset()
+		}
+		if err := fn(tx, &h); err != nil {
+			return err
+		}
+		if h.buf != nil && h.buf.nops > 0 {
+			// The sequence stamp rides inside the transaction, so the
+			// engine's own serialization makes seq order a valid replay
+			// order for this partition. Read-only transactions skip it
+			// and pay nothing.
+			n := stm.Get(tx, d.seq[part]) + 1
+			stm.Set(tx, d.seq[part], n)
+			h.buf.seq = n
+		}
+		return nil
+	}
+	var err error
+	if proc < 0 {
+		err = sp.engine.Atomically(body)
+	} else {
+		err = sp.engine.AtomicallyAs(proc, body)
+	}
+	if h.buf != nil {
+		if err == nil && h.buf.nops > 0 {
+			if aerr := d.log.Append(part, h.buf.seq, h.buf.nops, h.buf.ops); aerr != nil {
+				err = &DurabilityError{Part: part, Seq: h.buf.seq, Err: aerr}
+			}
+		}
+		d.bufs.Put(h.buf)
+	}
+	return err
 }
 
 // Get reads k as a single-key transaction on its partition.
