@@ -29,6 +29,12 @@ type Record struct {
 	Structure  string `json:"structure"`
 	Partitions int    `json:"partitions"`
 	Skew       string `json:"skew"`
+	// CrossFrac and CrossPath are the E11 cross-partition dimensions
+	// (percent of ops that are two-key transfers, and the commit path —
+	// "scoped" or "sweep"). Zero/empty on single-key cells, so pre-E11
+	// baselines join unchanged.
+	CrossFrac int    `json:"cross_frac"`
+	CrossPath string `json:"cross_path"`
 	// RateRPS and the latency quantiles are the open-loop served cells
 	// cmd/tmload writes; the quantiles are pointers so throughput-only
 	// records read as carrying no latency rather than a zero one.
@@ -39,6 +45,10 @@ type Record struct {
 	// non-durable cells, so pre-durability baselines join unchanged.
 	WalAck     string `json:"wal_ack"`
 	WalBackend string `json:"wal_backend"`
+	// WalWindowUS is the group-commit batch window in microseconds; zero
+	// (no window — fsync as soon as the queue drains) is the unsuffixed
+	// spelling, so pre-window durability baselines join unchanged.
+	WalWindowUS int64 `json:"wal_window_us"`
 	// RunnerClass is the machine class that produced the record
 	// ($BENCH_RUNNER_CLASS). Empty means unknown — pre-metadata
 	// baselines — and compares as if same-class; two differing non-empty
@@ -62,6 +72,12 @@ func (r Record) Key() string {
 			key += "/" + r.Skew
 		}
 	}
+	if r.CrossFrac > 0 {
+		key += fmt.Sprintf("/x%d", r.CrossFrac)
+		if r.CrossPath != "" {
+			key += "-" + r.CrossPath
+		}
+	}
 	if r.RateRPS > 0 {
 		key += fmt.Sprintf("/r%g", r.RateRPS)
 	}
@@ -69,6 +85,9 @@ func (r Record) Key() string {
 		key += "/" + r.WalAck
 		if r.WalBackend != "" {
 			key += "-" + r.WalBackend
+		}
+		if r.WalWindowUS > 0 {
+			key += fmt.Sprintf("-win%dus", r.WalWindowUS)
 		}
 	}
 	return key

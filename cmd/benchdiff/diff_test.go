@@ -332,6 +332,69 @@ func TestDiffEmptyRunnerClassComparable(t *testing.T) {
 	}
 }
 
+// TestDiffCrossDimension: the E11 cross fields join cells — records
+// without transfers (cross_frac 0) keep their bare keys so pre-E11
+// baselines stay comparable, cross cells key on fraction+path, and the
+// scoped and sweep paths never cross-join.
+func TestDiffCrossDimension(t *testing.T) {
+	old := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", Throughput: 100000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", CrossFrac: 30, CrossPath: "sweep", Throughput: 40000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", CrossFrac: 30, CrossPath: "scoped", Throughput: 80000},
+	}
+	new := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", Throughput: 99000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", CrossFrac: 30, CrossPath: "sweep", Throughput: 41000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 4, Skew: "uniform", CrossFrac: 30, CrossPath: "scoped", Throughput: 50000},
+	}
+	deltas := Diff(old, new, 0.10, 0, 0.5)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d cells, want 3: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	for _, want := range []string{
+		"tl2s/keyed/w4/store/p4/uniform",
+		"tl2s/keyed/w4/store/p4/uniform/x30-sweep",
+		"tl2s/keyed/w4/store/p4/uniform/x30-scoped",
+	} {
+		if _, ok := byKey[want]; !ok {
+			t.Fatalf("missing cell key %q in %+v", want, byKey)
+		}
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Key != "tl2s/keyed/w4/store/p4/uniform/x30-scoped" {
+		t.Fatalf("regressions = %+v, want exactly the scoped cross cell", regs)
+	}
+}
+
+// TestDiffWalWindowDimension: the batch-window stamp keys E10 cells —
+// zero-window records (pre-window baselines) keep the bare ack-backend
+// key, windowed records get their own cell.
+func TestDiffWalWindowDimension(t *testing.T) {
+	old := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 2, Skew: "uniform", WalAck: "group", WalBackend: "mem", Throughput: 50000},
+	}
+	new := []Record{
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 2, Skew: "uniform", WalAck: "group", WalBackend: "mem", Throughput: 49000},
+		{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store", Partitions: 2, Skew: "uniform", WalAck: "group", WalBackend: "mem", WalWindowUS: 200, Throughput: 60000},
+	}
+	deltas := Diff(old, new, 0.10, 0, 0.5)
+	if len(deltas) != 1 {
+		t.Fatalf("compared %d cells, want 1 (the windowed cell is new): %+v", len(deltas), deltas)
+	}
+	if deltas[0].Key != "tl2s/keyed/w4/store/p2/uniform/group-mem" {
+		t.Fatalf("joined key = %q, want the bare group-mem cell", deltas[0].Key)
+	}
+	wantNew := Record{Engine: "tl2s", Pattern: "keyed", Workers: 4, Structure: "store",
+		Partitions: 2, Skew: "uniform", WalAck: "group", WalBackend: "mem", WalWindowUS: 200}
+	if got := wantNew.Key(); got != "tl2s/keyed/w4/store/p2/uniform/group-mem-win200us" {
+		t.Fatalf("windowed key = %q", got)
+	}
+}
+
 // TestParseRejectsGarbage: a malformed file is an error, not a silent
 // empty comparison.
 func TestParseRejectsGarbage(t *testing.T) {

@@ -38,6 +38,7 @@
 //	        [-pattern disjoint,uniform,zipf,phase,ratelimit]
 //	        [-values int,string,struct,any] [-keys 1024] [-partitions 1,2,4]
 //	        [-skew uniform,zipf] [-ack sync,group,async] [-wal-dir DIR]
+//	        [-wal-window 200us] [-cross-frac 0,10,30] [-cross-path scoped,sweep]
 //	        [-orec-shards N] [-json results.json] [-txns 6]
 //
 // -values selects the payload kind(s) each transaction carries (the
@@ -93,6 +94,9 @@ func main() {
 		"key distributions to sweep: uniform,zipf (map/store modes)")
 	acksFlag := flag.String("ack", "sync,group,async", "wal acknowledgement modes to sweep (wal mode)")
 	walDir := flag.String("wal-dir", "", "run the commit log on files under this directory (wal mode; empty = in-memory backend)")
+	walWindow := flag.Duration("wal-window", 0, "group-commit batch window: fsync at most every this often (wal mode; 0 = fsync as soon as the queue drains)")
+	crossFracFlag := flag.String("cross-frac", "0", "comma-separated percentages of ops that are two-key cross-partition transfers (store/wal modes)")
+	crossPathFlag := flag.String("cross-path", "scoped", "cross-commit paths to sweep: scoped (footprint locking) and/or sweep (whole-store) (store/wal modes)")
 	orecShards := flag.Int("orec-shards", 0, "ownership-record table size for twopl-based engines (0 = default, rounded up to a power of two)")
 	txns := flag.Int("txns", 6, "transactions per workload (sim mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -108,10 +112,12 @@ func main() {
 			parseValueKinds(*valuesFlag), *seed, *jsonPath)
 	case "map", "store":
 		structMode(*mode, parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
-			parseEngines(*enginesFlag), parseSkews(*skewFlag), *seed, *jsonPath)
+			parseEngines(*enginesFlag), parseSkews(*skewFlag),
+			parseFracs(*crossFracFlag), parseCrossPaths(*crossPathFlag), *seed, *jsonPath)
 	case "wal":
 		walMode(parseInts(*workersFlag), parseInts(*partitionsFlag), *ops, *keys,
-			parseEngines(*enginesFlag), parseAcks(*acksFlag), *walDir, *seed, *jsonPath)
+			parseEngines(*enginesFlag), parseAcks(*acksFlag), *walDir, *walWindow,
+			parseFracs(*crossFracFlag), parseCrossPaths(*crossPathFlag), *seed, *jsonPath)
 	case "certify":
 		certifyMode(parseInts(*sizesFlag), *vars, *seed, *jsonPath)
 	case "sim":
@@ -225,6 +231,34 @@ func realMode(workers []int, ops, vars int, engines []stm.EngineKind,
 	}
 }
 
+// parseFracs parses comma-separated percentages; unlike parseInts, zero
+// is a valid entry (the no-cross baseline cell).
+func parseFracs(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 || n > 100 {
+			fmt.Fprintf(os.Stderr, "tmbench: bad cross fraction %q (percent, 0..100)\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func parseCrossPaths(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		p := strings.TrimSpace(part)
+		if p != "scoped" && p != "sweep" {
+			fmt.Fprintf(os.Stderr, "tmbench: unknown cross path %q (scoped or sweep)\n", part)
+			os.Exit(2)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 func parseSkews(s string) []workload.Skew {
 	var out []workload.Skew
 	for _, part := range strings.Split(s, ",") {
@@ -243,56 +277,78 @@ func parseSkews(s string) []workload.Skew {
 // partitioned store ("store": one engine instance per partition),
 // sweeping engines × skews × workers, and — for the store — partition
 // counts, so the partitions-vs-throughput curve of uniform (mostly
-// disjoint) traffic is one sweep.
+// disjoint) traffic is one sweep. With -cross-frac the store cells mix
+// in two-key cross-partition transfers routed through the scoped
+// footprint commit or the whole-store sweep (-cross-path) — the E11
+// dimension.
 func structMode(mode string, workers, partitions []int, ops, keys int,
-	engines []stm.EngineKind, skews []workload.Skew, seed int64, jsonPath string) {
+	engines []stm.EngineKind, skews []workload.Skew,
+	crossFracs []int, crossPaths []string, seed int64, jsonPath string) {
 	var records []benchfmt.Record
 	fmt.Printf("E7 — transactional structures under real parallelism (%s)\n", mode)
-	fmt.Printf("%-8s %-8s %-6s %-8s %12s %10s %10s %10s %10s\n",
-		"engine", "skew", "parts", "workers", "tx/s", "commits", "retries", "allocs/op", "B/op")
+	fmt.Printf("%-8s %-8s %-6s %-10s %-8s %12s %10s %10s %10s %10s\n",
+		"engine", "skew", "parts", "cross", "workers", "tx/s", "commits", "retries", "allocs/op", "B/op")
 	if mode == "map" {
 		partitions = []int{0}
+		crossFracs = []int{0} // the cross dimension is a store experiment
 	}
 	for _, sk := range skews {
-		for _, parts := range partitions {
-			for _, w := range workers {
-				for _, kind := range engines {
-					cfg := workload.StoreConfig{
-						Keys: keys, Partitions: parts, Workers: w,
-						OpsPerWorker: ops, Skew: sk, Seed: seed,
+		for _, cf := range crossFracs {
+			paths := crossPaths
+			if cf == 0 {
+				paths = []string{""} // no transfers: the path is moot
+			}
+			for _, cp := range paths {
+				for _, parts := range partitions {
+					for _, w := range workers {
+						for _, kind := range engines {
+							cfg := workload.StoreConfig{
+								Keys: keys, Partitions: parts, Workers: w,
+								OpsPerWorker: ops, Skew: sk, Seed: seed,
+								CrossFrac: cf, CrossSweep: cp == "sweep",
+							}
+							var res workload.StoreResult
+							if mode == "map" {
+								res = workload.RunMap(kind, cfg)
+							} else {
+								res = workload.RunStore(kind, cfg)
+							}
+							if res.Sum != res.Writes {
+								fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
+									kind, sk, res.Sum, res.Writes)
+								os.Exit(1)
+							}
+							partsLabel := res.Config.Partitions
+							if mode == "map" {
+								partsLabel = 0
+							}
+							crossLabel := "-"
+							if cf > 0 {
+								crossLabel = fmt.Sprintf("%d%%/%s", cf, cp)
+							}
+							fmt.Printf("%-8s %-8s %-6d %-10s %-8d %12.0f %10d %10d %10.2f %10.1f\n",
+								kind, sk, partsLabel, crossLabel, w, res.Throughput, res.Commits,
+								res.Retries, res.AllocsPerOp, res.BytesPerOp)
+							rec := benchfmt.Record{
+								Engine: kind.String(), Pattern: "keyed", Workers: w,
+								OpsPerWkr: ops, Vars: keys, Seed: seed,
+								ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+								Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+								AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
+								Structure: "tmap", Skew: sk.String(),
+							}
+							if mode == "store" {
+								rec.Structure = "store"
+								rec.Partitions = res.Config.Partitions
+								if cf > 0 {
+									rec.CrossFrac = cf
+									rec.CrossPath = cp
+								}
+							}
+							benchfmt.StampRunner(&rec)
+							records = append(records, rec)
+						}
 					}
-					var res workload.StoreResult
-					if mode == "map" {
-						res = workload.RunMap(kind, cfg)
-					} else {
-						res = workload.RunStore(kind, cfg)
-					}
-					if res.Sum != res.Writes {
-						fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
-							kind, sk, res.Sum, res.Writes)
-						os.Exit(1)
-					}
-					partsLabel := res.Config.Partitions
-					if mode == "map" {
-						partsLabel = 0
-					}
-					fmt.Printf("%-8s %-8s %-6d %-8d %12.0f %10d %10d %10.2f %10.1f\n",
-						kind, sk, partsLabel, w, res.Throughput, res.Commits, res.Retries,
-						res.AllocsPerOp, res.BytesPerOp)
-					rec := benchfmt.Record{
-						Engine: kind.String(), Pattern: "keyed", Workers: w,
-						OpsPerWkr: ops, Vars: keys, Seed: seed,
-						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
-						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
-						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
-						Structure: "tmap", Skew: sk.String(),
-					}
-					if mode == "store" {
-						rec.Structure = "store"
-						rec.Partitions = res.Config.Partitions
-					}
-					benchfmt.StampRunner(&rec)
-					records = append(records, rec)
 				}
 			}
 		}
@@ -319,66 +375,88 @@ func parseAcks(s string) []wal.AckMode {
 // walMode is the E10 experiment: the E7 store workload over a durable
 // store, sweeping acknowledgement modes so one run prices the
 // durability contract — and what group commit buys back at each worker
-// count. Cells carry the wal_ack/wal_backend stamps; benchdiff keys on
-// them, so durability cells never compare against non-durable
-// baselines.
+// count. Cells carry the wal_ack/wal_backend stamps (and wal_window_us
+// when -wal-window widens the batch window); benchdiff keys on them, so
+// durability cells never compare against non-durable baselines.
+// -cross-frac mixes in durable cross-partition transfers, which pay the
+// decision-record protocol on top of the payload appends.
 func walMode(workers, partitions []int, ops, keys int, engines []stm.EngineKind,
-	acks []wal.AckMode, dir string, seed int64, jsonPath string) {
+	acks []wal.AckMode, dir string, window time.Duration,
+	crossFracs []int, crossPaths []string, seed int64, jsonPath string) {
 	var records []benchfmt.Record
 	backendName := "mem"
 	if dir != "" {
 		backendName = "file"
 	}
-	fmt.Printf("E10 — group-commit cost of durability (backend %s)\n", backendName)
-	fmt.Printf("%-8s %-6s %-6s %-8s %12s %10s %10s %10s %12s\n",
-		"engine", "ack", "parts", "workers", "tx/s", "commits", "appends", "fsyncs", "commits/sync")
+	fmt.Printf("E10 — group-commit cost of durability (backend %s, window %s)\n", backendName, window)
+	fmt.Printf("%-8s %-6s %-6s %-10s %-8s %12s %10s %10s %10s %12s\n",
+		"engine", "ack", "parts", "cross", "workers", "tx/s", "commits", "appends", "fsyncs", "commits/sync")
 	for _, ack := range acks {
-		for _, parts := range partitions {
-			for _, w := range workers {
-				for _, kind := range engines {
-					cfg := workload.DurableStoreConfig{
-						StoreConfig: workload.StoreConfig{
-							Keys: keys, Partitions: parts, Workers: w,
-							OpsPerWorker: ops, Seed: seed,
-						},
-						Ack: ack,
-					}
-					if dir != "" {
-						cfg.Dir = fmt.Sprintf("%s/e10-%s-%s-p%d-w%d", dir, kind, ack, parts, w)
-					}
-					res, err := workload.RunDurableStore(kind, cfg)
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
-						os.Exit(1)
-					}
-					if res.Sum != res.Writes {
-						fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
-							kind, ack, res.Sum, res.Writes)
-						os.Exit(1)
-					}
-					var appends, syncs uint64
-					perSync := 0.0
-					if res.Wal != nil {
-						appends, syncs = res.Wal.Appends, res.Wal.Syncs
-						if syncs > 0 {
-							perSync = float64(appends) / float64(syncs)
+		for _, cf := range crossFracs {
+			paths := crossPaths
+			if cf == 0 {
+				paths = []string{""}
+			}
+			for _, cp := range paths {
+				for _, parts := range partitions {
+					for _, w := range workers {
+						for _, kind := range engines {
+							cfg := workload.DurableStoreConfig{
+								StoreConfig: workload.StoreConfig{
+									Keys: keys, Partitions: parts, Workers: w,
+									OpsPerWorker: ops, Seed: seed,
+									CrossFrac: cf, CrossSweep: cp == "sweep",
+								},
+								Ack:    ack,
+								Window: window,
+							}
+							if dir != "" {
+								cfg.Dir = fmt.Sprintf("%s/e10-%s-%s-p%d-w%d-x%d%s", dir, kind, ack, parts, w, cf, cp)
+							}
+							res, err := workload.RunDurableStore(kind, cfg)
+							if err != nil {
+								fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+								os.Exit(1)
+							}
+							if res.Sum != res.Writes {
+								fmt.Fprintf(os.Stderr, "tmbench: %v/%v sum invariant broken: %d != %d writes\n",
+									kind, ack, res.Sum, res.Writes)
+								os.Exit(1)
+							}
+							var appends, syncs uint64
+							perSync := 0.0
+							if res.Wal != nil {
+								appends, syncs = res.Wal.Appends, res.Wal.Syncs
+								if syncs > 0 {
+									perSync = float64(appends) / float64(syncs)
+								}
+							}
+							crossLabel := "-"
+							if cf > 0 {
+								crossLabel = fmt.Sprintf("%d%%/%s", cf, cp)
+							}
+							fmt.Printf("%-8s %-6s %-6d %-10s %-8d %12.0f %10d %10d %10d %12.2f\n",
+								kind, ack, res.Config.Partitions, crossLabel, w, res.Throughput,
+								res.Commits, appends, syncs, perSync)
+							rec := benchfmt.Record{
+								Engine: kind.String(), Pattern: "keyed", Workers: w,
+								OpsPerWkr: ops, Vars: keys, Seed: seed,
+								ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
+								Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
+								AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
+								Structure: "store", Partitions: res.Config.Partitions,
+								Skew:   res.Config.Skew.String(),
+								WalAck: res.WalAck, WalBackend: res.WalBackend,
+								WalWindowUS: window.Microseconds(),
+							}
+							if cf > 0 {
+								rec.CrossFrac = cf
+								rec.CrossPath = cp
+							}
+							benchfmt.StampRunner(&rec)
+							records = append(records, rec)
 						}
 					}
-					fmt.Printf("%-8s %-6s %-6d %-8d %12.0f %10d %10d %10d %12.2f\n",
-						kind, ack, res.Config.Partitions, w, res.Throughput, res.Commits,
-						appends, syncs, perSync)
-					rec := benchfmt.Record{
-						Engine: kind.String(), Pattern: "keyed", Workers: w,
-						OpsPerWkr: ops, Vars: keys, Seed: seed,
-						ElapsedNS: res.Elapsed.Nanoseconds(), Throughput: res.Throughput,
-						Commits: res.Commits, Aborts: res.Aborts, Retries: res.Retries,
-						AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp,
-						Structure: "store", Partitions: res.Config.Partitions,
-						Skew:   res.Config.Skew.String(),
-						WalAck: res.WalAck, WalBackend: res.WalBackend,
-					}
-					benchfmt.StampRunner(&rec)
-					records = append(records, rec)
 				}
 			}
 		}

@@ -251,6 +251,10 @@ func runRecover(dir string) {
 	fmt.Printf("log: %d partition(s), %d segment(s), shutdown %s\n",
 		scan.Partitions, scan.Segments, shutdown)
 	fmt.Printf("replayable: %d commit(s); horizons %v\n", len(scan.Records), scan.Horizon)
+	if scan.CrossReplayed > 0 || scan.CrossVoided > 0 {
+		fmt.Printf("cross-partition: %d transaction(s) replayed whole, %d voided whole (undecided or incomplete)\n",
+			scan.CrossReplayed, scan.CrossVoided)
+	}
 	if dropped := scan.DroppedRecords(); dropped > 0 {
 		fmt.Printf("dropped past per-partition gaps: %d commit(s) %v\n", dropped, scan.DroppedByPart)
 	}
@@ -429,13 +433,18 @@ func runLive(episodes int, seed int64, enginesCSV, patternsCSV, dumpDir string) 
 		os.Exit(1)
 	}
 	fmt.Printf("\nconformance of transactional structures (TMap + partitioned store)\n")
-	fmt.Printf("histories: %d map-level, %d store-level, %d per-partition; %d checked, %d skipped, %d inconclusive\n",
-		ssum.MapHistories, ssum.StoreHistories, ssum.PartitionHistories,
+	fmt.Printf("histories: %d map-level, %d store-level, %d per-partition, %d stitched cross-partition; %d checked, %d skipped, %d inconclusive\n",
+		ssum.MapHistories, ssum.StoreHistories, ssum.PartitionHistories, ssum.StitchedHistories,
 		ssum.Checked, ssum.Skipped, ssum.Inconclusive)
 	if ssum.AliasedConvicted {
 		fmt.Println("planted aliased-TMap fixture: convicted (self-test passed)")
 	} else {
 		fmt.Println("planted aliased-TMap fixture: NOT convicted — the structure harness is vacuous")
+	}
+	if ssum.HalfCrossConvicted {
+		fmt.Println("planted half-applied-cross fixture: convicted (self-test passed)")
+	} else {
+		fmt.Println("planted half-applied-cross fixture: NOT convicted — the stitching checker is vacuous")
 	}
 
 	if dumpDir != "" {
@@ -444,7 +453,7 @@ func runLive(episodes int, seed int64, enginesCSV, patternsCSV, dumpDir string) 
 	}
 
 	failures := len(sum.Failures) + len(ssum.Failures)
-	if failures > 0 || !ssum.AliasedConvicted {
+	if failures > 0 || !ssum.AliasedConvicted || !ssum.HalfCrossConvicted {
 		if failures > 0 {
 			fmt.Printf("\n%d VIOLATION(S):\n", failures)
 			for _, f := range sum.Failures {

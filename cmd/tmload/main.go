@@ -6,14 +6,19 @@
 // silently throttling the measurement.
 //
 //	tmload -url http://127.0.0.1:7070 [-rate 200,500,1000] [-duration 5s]
-//	       [-conns 4] [-keys 1024] [-read-frac 0.5] [-batch 4]
+//	       [-conns 4] [-keys 1024] [-read-frac 0.5] [-batch 4] [-cross-frac 0]
 //	       [-retry-for 0] [-json BENCH_serve.json] [-hist latency.json] [-strict]
 //
 // Each arrival is one HTTP request: a GET /kv/{key} query with
 // probability -read-frac, else a POST /tx carrying -batch incr
-// commands. -rate takes a comma-separated sweep; each point runs for
-// -duration and emits one benchfmt record (Pattern "openloop",
-// Structure "served") with p50/p99/p999 from the latency histogram and
+// commands. A write normally aims all its commands at one key (one
+// partition — the applier fast path); with probability -cross-frac (a
+// percentage) it spreads them over -batch distinct random keys instead,
+// an atomic multi-key group that usually spans partitions and so
+// commits through the server's scoped cross-partition path. -rate takes
+// a comma-separated sweep; each point runs for -duration and emits one
+// benchfmt record (Pattern "openloop", Structure "served", stamped with
+// cross_frac when set) with p50/p99/p999 from the latency histogram and
 // the runner-class stamp. -hist additionally writes the raw histograms
 // (one per rate point) so CI can archive full distributions, not just
 // three quantiles. -strict exits nonzero if any response was non-2xx —
@@ -56,6 +61,7 @@ func main() {
 	keys := flag.Int("keys", 1024, "keyspace size; preloaded before measuring")
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of arrivals that are GET /kv queries")
 	batch := flag.Int("batch", 4, "incr commands per POST /tx write request")
+	crossFrac := flag.Int("cross-frac", 0, "percent of write requests that are atomic multi-key groups over distinct random keys (usually cross-partition)")
 	jsonPath := flag.String("json", "", "write benchfmt records to this file (\"-\" = stdout)")
 	histPath := flag.String("hist", "", "write per-rate latency histograms to this file")
 	strict := flag.Bool("strict", false, "exit nonzero if any response was non-2xx")
@@ -85,7 +91,7 @@ func main() {
 	fmt.Printf("%-10s %10s %10s %10s %8s %10s %10s %10s\n",
 		"rate", "done", "non2xx", "transp", "ach/s", "p50", "p99", "p999")
 	for _, rate := range parseRates(*rates) {
-		res := runPoint(client, base, rate, *duration, *conns, *keys, *readFrac, *batch, *retryFor)
+		res := runPoint(client, base, rate, *duration, *conns, *keys, *readFrac, *batch, *crossFrac, *retryFor)
 		anyNon2xx += res.Non2xx
 		achieved := float64(res.Done) / res.Elapsed.Seconds()
 		p50, p99, p999 := res.Hist.Quantile(0.50), res.Hist.Quantile(0.99), res.Hist.Quantile(0.999)
@@ -103,6 +109,7 @@ func main() {
 			P50NS:      p50, P99NS: p99, P999NS: p999,
 			Non2xx:        res.Non2xx,
 			TransportErrs: res.Transport,
+			CrossFrac:     *crossFrac,
 		}
 		benchfmt.StampRunner(&rec)
 		records = append(records, rec)
@@ -233,7 +240,7 @@ type pointResult struct {
 // rand.Rand lock on the measured path; the same hash seeds each
 // arrival's retry jitter.
 func runPoint(client *http.Client, base string, rate float64, duration time.Duration,
-	conns, keys int, readFrac float64, batch int, retryFor time.Duration) pointResult {
+	conns, keys int, readFrac float64, batch, crossFrac int, retryFor time.Duration) pointResult {
 	var seq atomic.Uint64
 	var non2xx, retries, giveups atomic.Uint64
 	rt := &retrier{budget: retryFor, sleep: time.Sleep, retries: &retries, giveups: &giveups}
@@ -249,8 +256,17 @@ func runPoint(client *http.Client, base string, rate float64, duration time.Dura
 					return getKV(client, base, int64(h%uint64(keys)))
 				}
 				cmds := make([]server.Command, batch)
-				for i := range cmds {
-					cmds[i] = server.Command{Op: "incr", Key: int64(splitmix64(h+uint64(i)) % uint64(keys))}
+				if int(splitmix64(h^0x5ca1ab1e)%100) < crossFrac {
+					// Atomic multi-key group: distinct random keys, almost
+					// always spanning partitions → the scoped cross path.
+					for i := range cmds {
+						cmds[i] = server.Command{Op: "incr", Key: int64(splitmix64(h+uint64(i)) % uint64(keys))}
+					}
+				} else {
+					// Single-key batch: one partition, the applier fast path.
+					for i := range cmds {
+						cmds[i] = server.Command{Op: "incr", Key: int64(h % uint64(keys))}
+					}
 				}
 				return postTx(client, base, cmds)
 			}

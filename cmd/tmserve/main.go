@@ -3,11 +3,13 @@
 //
 //	tmserve [-addr :7070] [-partitions N] [-engine tl2|tl2s|twopl|glock|adaptive]
 //	        [-buckets N] [-batch-max 64] [-rate-limit 0] [-rate-burst 0] [-record]
-//	        [-wal DIR] [-wal-ack group|sync|async] [-history-cap N]
+//	        [-wal DIR] [-wal-ack group|sync|async] [-wal-window 0] [-history-cap N]
 //
 // Endpoints:
 //
-//	POST /tx       {"cmds":[{"op":"incr","key":7},...]} — batched commands
+//	POST /tx       {"cmds":[{"op":"incr","key":7},...]} — batched commands;
+//	               a batch whose keys span partitions commits atomically
+//	               through the store's scoped cross-partition path
 //	GET  /kv/{key}                                      — single-key query
 //	GET  /healthz                                       — liveness
 //	GET  /stats                                         — engine + applier counters
@@ -33,7 +35,10 @@
 // appended and acknowledged per -wal-ack before the client sees 200 —
 // "sync" fsyncs per commit, "group" (default) batches concurrent
 // commits into one fsync, "async" acknowledges before the fsync and is
-// allowed to lose the unflushed tail. SIGTERM/SIGINT shut down
+// allowed to lose the unflushed tail. -wal-window widens group commit:
+// the log writer waits at most that long (e.g. 200us) to absorb more
+// concurrent commits into one fsync, trading a bounded latency floor
+// for fewer fsyncs. SIGTERM/SIGINT shut down
 // gracefully: the tail segment is flushed and sealed, so the next boot
 // reports a clean recovery. `tmcheck -recover DIR` judges a log
 // offline.
@@ -64,6 +69,7 @@ func main() {
 	historyCap := flag.Int("history-cap", 0, "max recorded attempts retained for /history (0 = default)")
 	walDir := flag.String("wal", "", "durable commit log directory (empty = not durable)")
 	walAck := flag.String("wal-ack", "group", "WAL acknowledgement mode: group, sync or async")
+	walWindow := flag.Duration("wal-window", 0, "group-commit batch window: fsync at most every this often (0 = fsync as soon as the queue drains)")
 	flag.Parse()
 
 	kind, err := registry.EngineByName(*engine)
@@ -89,6 +95,7 @@ func main() {
 		}
 		cfg.WAL = backend
 		cfg.WALAck = ack
+		cfg.WALWindow = *walWindow
 	}
 	s, err := server.New(cfg)
 	if err != nil {

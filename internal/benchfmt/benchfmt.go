@@ -62,6 +62,13 @@ type Record struct {
 	Structure  string `json:"structure,omitempty"`
 	Partitions int    `json:"partitions,omitempty"`
 	Skew       string `json:"skew,omitempty"`
+	// CrossFrac and CrossPath are the E11 dimensions: the percentage of
+	// ops that are two-key cross-partition transfers and the commit path
+	// they took ("scoped" footprint locking vs the whole-store "sweep").
+	// Zero/empty on single-key cells, so pre-E11 baselines stay
+	// cell-compatible.
+	CrossFrac int    `json:"cross_frac,omitempty"`
+	CrossPath string `json:"cross_path,omitempty"`
 	// RateRPS is the open-loop target arrival rate of a served cell
 	// (cmd/tmload); zero on closed-loop cells. Part of the cell key —
 	// latency is only comparable at equal offered load.
@@ -87,6 +94,11 @@ type Record struct {
 	// durability contract.
 	WalAck     string `json:"wal_ack,omitempty"`
 	WalBackend string `json:"wal_backend,omitempty"`
+	// WalWindowUS is the group-commit batch window in microseconds —
+	// how long the log writer waits to widen a batch before fsyncing.
+	// Zero means fsync as soon as the queue drains (the pre-window
+	// behaviour), so old E10 baselines stay cell-compatible.
+	WalWindowUS int64 `json:"wal_window_us,omitempty"`
 	// RunnerClass, GOMAXPROCS and NumCPU identify the machine class that
 	// produced the cell. benchdiff refuses a blocking verdict across
 	// differing non-empty runner classes.

@@ -210,12 +210,14 @@ func RequiredConditions(engine string) []string {
 	switch engine {
 	case "tl2", "tl2s", "adaptive", "glock":
 		return all
-	case "broken", "leaky", "corrupt", "aliased":
+	case "broken", "leaky", "corrupt", "aliased", "half-cross":
 		// The test fixtures impersonate glock, so they owe everything —
 		// that the harness flags them is the harness's own self-test
 		// (stale read cache for "broken", pooled undo-log leak for
 		// "leaky", raw-word truncation for "corrupt", dropped bucket
-		// chains for the structure layer's "aliased" TMap).
+		// chains for the structure layer's "aliased" TMap, dropped
+		// cross-partition shares for the stitching layer's "half-cross"
+		// store).
 		return all
 	case "twopl":
 		var out []string

@@ -1,0 +1,250 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pcltm/internal/core"
+	"pcltm/internal/exectest"
+	"pcltm/stm"
+	"pcltm/store"
+)
+
+// Stitching: the cross-partition extension of the structure layer.
+//
+// The per-partition histories of structures.go deliberately cannot see
+// a cross-partition atomicity bug — each partition's history shows its
+// own half of a cross transaction as a perfectly ordinary local
+// transaction. The stitched history closes that blind spot: every store
+// operation, single-partition get/put AND multi-partition Cross alike,
+// becomes ONE transaction over the whole keyspace, carrying all of its
+// reads (with observed values) and writes, bracketed in real time by
+// tickets. A correct store linearizes cross transactions against all
+// single-partition traffic (the footprint's exclusive locks), so the
+// stitched history must be strictly serializable. A store that applies
+// half a cross — the planted BreakCrossForTest bug — leaks a state in
+// which one participant's write is visible and another's is not, and no
+// real-time-respecting serial order of whole transactions justifies the
+// reads that observe it: the checkers convict.
+
+// CrossEpisode sizes one stitched episode: a StructEpisode plus the
+// cross-transaction mix.
+type CrossEpisode struct {
+	StructEpisode
+	// CrossFrac is the chance an op is a cross-partition transaction, in
+	// percent (default 30).
+	CrossFrac int
+}
+
+func (ep CrossEpisode) withDefaults() CrossEpisode {
+	ep.StructEpisode = ep.StructEpisode.withDefaults()
+	if ep.CrossFrac == 0 {
+		ep.CrossFrac = 30
+	}
+	return ep
+}
+
+// stitchOp is one completed keyspace-level transaction — single-key or
+// cross-partition — with its ticket bracket. Reads carry the values the
+// committed run observed.
+type stitchOp struct {
+	proc            int
+	begin, mid, end uint64
+	ops             []core.TxOp
+}
+
+// RunCrossEpisode records one stitched keyspace-level history of a
+// partitioned store driven by a mix of single-partition ops and
+// cross-partition transactions. Each cross transaction reads two keys
+// in distinct partitions and writes fresh unique values under both, and
+// is stitched into the history as one multi-key transaction.
+func RunCrossEpisode(kind stm.EngineKind, ep CrossEpisode) *core.Execution {
+	ep = ep.withDefaults()
+	s := store.New[int64, int64](store.Config{
+		Partitions: ep.Partitions,
+		Engine:     kind,
+		Buckets:    8,
+	})
+	return runStitchedOps(s, ep)
+}
+
+// runStitchedOps drives the episode's op mix concurrently against s,
+// ticketing each transaction's real-time bracket.
+func runStitchedOps(s *store.Store[int64, int64], ep CrossEpisode) *core.Execution {
+	var tickets atomic.Uint64
+	var values atomic.Int64 // unique positive write values; 0 stays "absent"
+	ops := make([][]stitchOp, ep.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < ep.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(ep.Seed + int64(w)*7919))
+			for i := 0; i < ep.OpsPerWorker; i++ {
+				op := stitchOp{proc: w}
+				if r.Intn(100) < ep.CrossFrac && ep.Keys >= 2 {
+					ka := 1 + int64(r.Intn(ep.Keys))
+					kb := 1 + int64(r.Intn(ep.Keys))
+					if kb == ka {
+						kb = 1 + ka%int64(ep.Keys)
+					}
+					va, vb := values.Add(1), values.Add(1)
+					op.begin = tickets.Add(1)
+					var ra, rb int64
+					if err := s.Cross(func(ct *store.CrossTx[int64, int64]) error {
+						// Re-executed per round; the committed run's
+						// reads overwrite the discovery run's.
+						ra, _ = ct.Get(ka)
+						rb, _ = ct.Get(kb)
+						ct.Put(ka, va)
+						ct.Put(kb, vb)
+						return nil
+					}); err != nil {
+						continue
+					}
+					op.ops = []core.TxOp{
+						core.R(stitchItem(ka)), core.R(stitchItem(kb)),
+						core.W(stitchItem(ka), core.Value(va)),
+						core.W(stitchItem(kb), core.Value(vb)),
+					}
+					op.ops[0].Value = core.Value(ra)
+					op.ops[1].Value = core.Value(rb)
+				} else {
+					k := 1 + int64(r.Intn(ep.Keys))
+					op.begin = tickets.Add(1)
+					if r.Intn(100) < ep.PutFrac {
+						v := values.Add(1)
+						s.Put(k, v)
+						op.ops = []core.TxOp{core.W(stitchItem(k), core.Value(v))}
+					} else {
+						v, _ := s.Get(k)
+						rd := core.R(stitchItem(k))
+						rd.Value = core.Value(v)
+						op.ops = []core.TxOp{rd}
+					}
+				}
+				op.mid = tickets.Add(1)
+				op.end = tickets.Add(1)
+				ops[w] = append(ops[w], op)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []stitchOp
+	for _, ws := range ops {
+		all = append(all, ws...)
+	}
+	return buildStitchedExecution(all, ep.Workers)
+}
+
+func stitchItem(k int64) core.Item { return core.Item(fmt.Sprintf("k%d", k)) }
+
+// buildStitchedExecution projects completed stitched transactions into
+// a core.Execution: one committed transaction per operation, all of its
+// reads and writes at the mid ticket, interval from the begin/end
+// bracket. Soundness mirrors buildStructExecution's: the bracket
+// tickets are taken outside the transaction, so every projected
+// real-time precedence actually happened.
+func buildStitchedExecution(sops []stitchOp, nprocs int) *core.Execution {
+	sort.Slice(sops, func(i, j int) bool { return sops[i].begin < sops[j].begin })
+	b := exectest.New().NProcs(nprocs)
+	type ev struct {
+		seq  uint64
+		kind momentKind
+		txn  core.TxID
+		op   stitchOp
+	}
+	var evs []ev
+	for i, op := range sops {
+		txn := core.TxID(i + 1)
+		spec := core.TxSpec{ID: txn, Proc: core.ProcID(op.proc), Ops: op.ops}
+		b.Spec(spec)
+		evs = append(evs,
+			ev{seq: op.begin, kind: momentBegin, txn: txn, op: op},
+			ev{seq: op.mid, kind: momentOp, txn: txn, op: op},
+			ev{seq: op.end, kind: momentEnd, txn: txn, op: op})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	for _, e := range evs {
+		p := core.ProcID(e.op.proc)
+		switch e.kind {
+		case momentBegin:
+			b.Begin(p, e.txn)
+		case momentOp:
+			for _, o := range e.op.ops {
+				if o.Kind == core.OpWrite {
+					b.Write(p, e.txn, o.Item, o.Value)
+				} else {
+					b.Read(p, e.txn, o.Item, o.Value)
+				}
+			}
+		case momentEnd:
+			b.Commit(p, e.txn)
+		}
+	}
+	return b.Exec()
+}
+
+// ConvictHalfAppliedCross is the stitching checker's self-test,
+// mirroring ConvictAliasedTMap: it drives a store broken with
+// BreakCrossForTest — every Cross silently drops the share routed to
+// one partition — through a deterministic sequential history and
+// returns the Evaluate report, which must convict. The history seeds
+// a=10 and b=20 (keys in distinct partitions), runs one cross
+// transaction claiming to write a=11 and b=21 (b's share vanishes),
+// then reads a (sees 11) and b (sees 20, the stale seed). Real time
+// forces the cross before the read of a, hence before the read of b —
+// which must then see 21. No serialization of whole transactions
+// justifies the stale read; a checker that cannot flag this fixture
+// would be vacuous on real half-applied-cross bugs.
+func ConvictHalfAppliedCross() *Report {
+	s := store.New[int64, int64](store.Config{Partitions: 2, Buckets: 8})
+	// Two keys in distinct partitions.
+	a := int64(1)
+	b := a + 1
+	for s.PartitionOf(b) == s.PartitionOf(a) {
+		b++
+	}
+	s.BreakCrossForTest(s.PartitionOf(b))
+
+	var tickets atomic.Uint64
+	var sops []stitchOp
+	rec := func(ops ...core.TxOp) *stitchOp {
+		sops = append(sops, stitchOp{begin: tickets.Add(1), ops: ops})
+		return &sops[len(sops)-1]
+	}
+	fin := func(op *stitchOp) {
+		op.mid = tickets.Add(1)
+		op.end = tickets.Add(1)
+	}
+
+	op := rec(core.W(stitchItem(a), 10))
+	s.Put(a, 10)
+	fin(op)
+	op = rec(core.W(stitchItem(b), 20))
+	s.Put(b, 20)
+	fin(op)
+	op = rec(core.W(stitchItem(a), 11), core.W(stitchItem(b), 21))
+	_ = s.Cross(func(ct *store.CrossTx[int64, int64]) error {
+		ct.Put(a, 11)
+		ct.Put(b, 21) // silently dropped by the planted bug
+		return nil
+	})
+	fin(op)
+	va, _ := s.Get(a)
+	rd := core.R(stitchItem(a))
+	rd.Value = core.Value(va)
+	op = rec(rd)
+	fin(op)
+	vb, _ := s.Get(b)
+	rd = core.R(stitchItem(b))
+	rd.Value = core.Value(vb)
+	op = rec(rd)
+	fin(op)
+
+	exec := buildStitchedExecution(sops, 1)
+	return Evaluate("half-cross", Episode{Seed: 1}, exec)
+}

@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"testing"
+
+	"pcltm/stm"
+)
+
+// TestStitchedHistoriesConform records stitched keyspace-level
+// histories — single-partition ops mixed with cross-partition
+// transactions — on every engine: a correct store linearizes cross
+// transactions against all other traffic, so every stitched history
+// must pass the checkers.
+func TestStitchedHistoriesConform(t *testing.T) {
+	for _, kind := range stm.EngineKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				ep := CrossEpisode{StructEpisode: structShape(13, kind.String(), i)}
+				exec := RunCrossEpisode(kind, ep)
+				rep := Evaluate(kind.String(), Episode{Seed: ep.Seed}, exec)
+				if fails := rep.Failures(); len(fails) > 0 {
+					t.Fatalf("stitched history #%d violated %v\n%s", i, fails, rep.DumpHistory())
+				}
+			}
+		})
+	}
+}
+
+// TestConvictHalfAppliedCross is the self-test's test: the planted
+// half-applied-cross store must be convicted, and the conviction must
+// come from a checked (not skipped) history.
+func TestConvictHalfAppliedCross(t *testing.T) {
+	rep := ConvictHalfAppliedCross()
+	if rep.Skipped {
+		t.Fatal("half-applied-cross fixture skipped, not checked")
+	}
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatalf("half-applied-cross fixture NOT convicted\n%s", rep.DumpHistory())
+	}
+	t.Logf("convicted: %v", fails)
+}

@@ -336,9 +336,10 @@ func (c StructStressConfig) withDefaults() StructStressConfig {
 // and each store episode's per-partition TVar-level histories.
 type StructStressSummary struct {
 	Reports []*Report
-	// MapHistories, StoreHistories and PartitionHistories count the
-	// checked histories by level.
-	MapHistories, StoreHistories, PartitionHistories int
+	// MapHistories, StoreHistories, PartitionHistories and
+	// StitchedHistories count the checked histories by level (stitched =
+	// keyspace-level with cross-partition transactions; stitch.go).
+	MapHistories, StoreHistories, PartitionHistories, StitchedHistories int
 	// Episodes, Checked, Skipped, Inconclusive mirror StressSummary.
 	Episodes, Checked, Skipped, Inconclusive int
 	// Failures holds one formatted entry per violated history.
@@ -347,6 +348,11 @@ type StructStressSummary struct {
 	// the checkers flagged the aliased TMap. A sweep with this false is
 	// itself broken.
 	AliasedConvicted bool
+	// HalfCrossConvicted reports the stitching checker's self-test: true
+	// when the checkers flagged the planted half-applied-cross store
+	// (store.BreakCrossForTest). A sweep with this false cannot see
+	// cross-partition atomicity bugs.
+	HalfCrossConvicted bool
 }
 
 // StressStructures runs the seeded structure-conformance sweep: per
@@ -377,10 +383,16 @@ func StressStructures(cfg StructStressConfig) (*StructStressSummary, error) {
 				sum.PartitionHistories++
 				sum.fold(name, ep, pexec)
 			}
+
+			sexec := RunCrossEpisode(kind, CrossEpisode{StructEpisode: ep})
+			sum.StitchedHistories++
+			sum.fold(name, ep, sexec)
 		}
 	}
 	rep := ConvictAliasedTMap()
 	sum.AliasedConvicted = len(rep.Failures()) > 0
+	rep = ConvictHalfAppliedCross()
+	sum.HalfCrossConvicted = len(rep.Failures()) > 0
 	return sum, nil
 }
 

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Log is an open write-ahead log: one writer goroutine owns the current
@@ -11,7 +12,11 @@ import (
 // group commit. Acknowledgement order is the partially-constrained part:
 // a record is acked only once every lower sequence of its own partition
 // is durable, and records of different partitions never wait for each
-// other.
+// other — except where a cross-partition transaction ties them: a cross
+// record is acked only when its decision record is durable and every
+// participant sits at the head of its own partition's release queue, so
+// recovery's all-or-nothing rule (scan.go) can never swallow an
+// acknowledged commit.
 type Log struct {
 	backend Backend
 	opts    Options
@@ -24,10 +29,20 @@ type Log struct {
 	failure error         // non-nil once poisoned; wrapped into FailedError
 
 	// acks is the per-partition release state: next[p] is the lowest
-	// sequence of p not yet durable, parked[p] holds durable records
-	// (and their waiters) stuck behind a lower in-flight sequence.
-	next   []uint64
-	parked []map[uint64]chan error
+	// sequence of p not yet acknowledged, ready[p] holds durable records
+	// (with their waiters) not yet releasable — stuck behind a lower
+	// in-flight sequence or behind their cross transaction's stability.
+	next  []uint64
+	ready []map[uint64]*appendReq
+
+	// Cross-transaction release state: decided marks decision records
+	// durable, members names each open cross's participants, nextCross
+	// allocates ids (monotone over the log's whole life — seeded past
+	// everything the scan saw, so a stale decision can never adopt a new
+	// generation's payload).
+	decided   map[uint64]bool
+	members   map[uint64][]CrossPart
+	nextCross uint64
 
 	// writer-only state (no lock needed).
 	seg     Segment
@@ -43,11 +58,13 @@ type Log struct {
 }
 
 type appendReq struct {
-	part    int
-	seq     uint64
-	scratch []byte     // payload build space, reused across pool cycles
-	frame   []byte     // complete record: header + payload
-	done    chan error // nil for async appends
+	part     int
+	seq      uint64
+	cross    uint64     // non-zero: payload record of that cross transaction
+	decision bool       // true: this is cross's decision record (part/seq unused)
+	scratch  []byte     // payload build space, reused across pool cycles
+	frame    []byte     // complete record: header + payload
+	done     chan error // nil for async appends
 }
 
 // Start opens the log for appending on top of a completed Scan: it
@@ -66,17 +83,20 @@ func Start(backend Backend, opts Options, scan *ScanResult) (*Log, error) {
 			scan.Partitions, opts.Partitions)
 	}
 	l := &Log{
-		backend: backend,
-		opts:    opts,
-		sealed:  make(chan struct{}),
-		next:    make([]uint64, opts.Partitions),
-		parked:  make([]map[uint64]chan error, opts.Partitions),
-		segIdx:  scan.nextSegIdx,
+		backend:   backend,
+		opts:      opts,
+		sealed:    make(chan struct{}),
+		next:      make([]uint64, opts.Partitions),
+		ready:     make([]map[uint64]*appendReq, opts.Partitions),
+		decided:   make(map[uint64]bool),
+		members:   make(map[uint64][]CrossPart),
+		nextCross: scan.maxCrossID,
+		segIdx:    scan.nextSegIdx,
 	}
 	l.cond = sync.NewCond(&l.mu)
 	for p := 0; p < opts.Partitions; p++ {
 		l.next[p] = 1
-		l.parked[p] = make(map[uint64]chan error)
+		l.ready[p] = make(map[uint64]*appendReq)
 		if p < len(scan.Horizon) {
 			l.next[p] = scan.Horizon[p] + 1
 		}
@@ -136,10 +156,7 @@ func (l *Log) Append(part int, seq uint64, nops int, ops []byte) error {
 	if part < 0 || part >= l.opts.Partitions {
 		return fmt.Errorf("wal: Append: partition %d out of range", part)
 	}
-	req, _ := l.reqPool.Get().(*appendReq)
-	if req == nil {
-		req = &appendReq{done: make(chan error, 1)}
-	}
+	req := l.getReq()
 	req.part, req.seq = part, seq
 	req.scratch = appendTxnPayload(req.scratch[:0], part, seq, nops, ops)
 	req.frame = appendFrame(req.frame[:0], req.scratch)
@@ -169,6 +186,120 @@ func (l *Log) Append(part int, seq uint64, nops int, ops []byte) error {
 	req.done = done
 	l.reqPool.Put(req)
 	return err
+}
+
+// AppendCross hands one cross-partition transaction to the log: every
+// participant's payload record plus the decision record that commits
+// them, enqueued as one unit. Participants must name distinct
+// partitions. The returned wait function blocks until the whole cross
+// is acknowledged — decision durable and every participant covered
+// contiguously in its own partition — or reports the storage fault;
+// under AckAsync it returns immediately. Splitting enqueue from wait
+// lets the store release its partition locks before sleeping on the
+// fsync.
+func (l *Log) AppendCross(parts []CrossPart) (wait func() error, err error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("wal: AppendCross: no participants")
+	}
+	seen := make(map[int]bool, len(parts))
+	for _, m := range parts {
+		if m.Part < 0 || m.Part >= l.opts.Partitions {
+			return nil, fmt.Errorf("wal: AppendCross: partition %d out of range", m.Part)
+		}
+		if seen[m.Part] {
+			return nil, fmt.Errorf("wal: AppendCross: duplicate participant partition %d", m.Part)
+		}
+		seen[m.Part] = true
+	}
+
+	async := l.opts.Ack == AckAsync
+	reqs := make([]*appendReq, 0, len(parts)+1)
+	dones := make([]chan error, 0, len(parts)+1)
+
+	l.mu.Lock()
+	if l.closed || l.failure != nil {
+		ferr := l.failure
+		l.mu.Unlock()
+		if ferr != nil {
+			return nil, &FailedError{Cause: ferr}
+		}
+		return nil, ErrClosed
+	}
+	l.nextCross++
+	id := l.nextCross
+	l.mu.Unlock()
+
+	// Build frames outside the lock; the id is already reserved.
+	for _, m := range parts {
+		req := l.getReq()
+		req.part, req.seq, req.cross = m.Part, m.Seq, id
+		req.scratch = appendCrossPayload(req.scratch[:0], id, m.Part, m.Seq, m.Nops, m.Ops)
+		req.frame = appendFrame(req.frame[:0], req.scratch)
+		reqs = append(reqs, req)
+	}
+	dec := l.getReq()
+	dec.cross, dec.decision = id, true
+	dec.scratch = append(dec.scratch[:0], decisionPayload(id, parts)...)
+	dec.frame = appendFrame(dec.frame[:0], dec.scratch)
+	reqs = append(reqs, dec)
+
+	members := make([]CrossPart, len(parts))
+	for i, m := range parts {
+		members[i] = CrossPart{Part: m.Part, Seq: m.Seq}
+	}
+
+	l.mu.Lock()
+	if l.closed || l.failure != nil {
+		ferr := l.failure
+		l.mu.Unlock()
+		for _, req := range reqs {
+			l.reqPool.Put(req)
+		}
+		if ferr != nil {
+			return nil, &FailedError{Cause: ferr}
+		}
+		return nil, ErrClosed
+	}
+	l.members[id] = members
+	for _, req := range reqs {
+		done := req.done
+		if async {
+			req.done = nil
+		}
+		dones = append(dones, done)
+		l.queue = append(l.queue, req)
+	}
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.bumpStat(func(s *Stats) {
+		s.Appends += uint64(len(parts))
+		s.Crosses++
+	})
+
+	if async {
+		return func() error { return nil }, nil
+	}
+	return func() error {
+		var first error
+		for i, done := range dones {
+			err := <-done
+			if err != nil && first == nil {
+				first = err
+			}
+			reqs[i].done = done
+			l.reqPool.Put(reqs[i])
+		}
+		return first
+	}, nil
+}
+
+func (l *Log) getReq() *appendReq {
+	req, _ := l.reqPool.Get().(*appendReq)
+	if req == nil {
+		req = &appendReq{done: make(chan error, 1)}
+	}
+	req.cross, req.decision = 0, false
+	return req
 }
 
 // Close flushes everything queued, writes the seal record, syncs and
@@ -206,7 +337,8 @@ func (l *Log) bumpStat(fn func(*Stats)) {
 // writer is the group-commit loop: take whatever the queue holds, write
 // every frame, rotate if the segment overflowed, fsync once, then
 // release acknowledgements in per-partition sequence order. AckSync
-// narrows the batch to one record per fsync.
+// narrows the batch to one record per fsync; a positive BatchWindow
+// holds the fsync back so more committers join the batch.
 func (l *Log) writer() {
 	defer close(l.sealed)
 	for {
@@ -223,6 +355,19 @@ func (l *Log) writer() {
 			l.mu.Unlock()
 			l.sealAndExit()
 			return
+		}
+		if l.opts.BatchWindow > 0 && l.opts.Ack != AckSync && !l.closed {
+			// The latency-vs-batch-size knob: sleep out the window before
+			// collecting, so at most one fsync happens per window under
+			// load. Committers already queued wait at most the window.
+			l.mu.Unlock()
+			time.Sleep(l.opts.BatchWindow)
+			l.mu.Lock()
+			if l.failure != nil {
+				l.failQueueLocked()
+				l.mu.Unlock()
+				return
+			}
 		}
 		var batch []*appendReq
 		if l.opts.Ack == AckSync {
@@ -277,31 +422,83 @@ func (l *Log) flush(batch []*appendReq) error {
 
 // release marks the batch durable and acks every waiter whose partition
 // prefix is now complete — including waiters parked by earlier batches.
+// Cross records are the coupling point: they release only when their
+// decision record is durable AND every participant is simultaneously at
+// the head of its own partition's queue, mirroring recovery's
+// all-or-nothing fixpoint so an acked commit can never sit past a
+// recovery-time void.
 func (l *Log) release(batch []*appendReq) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, req := range batch {
-		p := req.part
-		if req.seq == l.next[p] {
+		if req.decision {
+			l.decided[req.cross] = true
 			l.ackLocked(req.done)
-			l.next[p]++
-			for {
-				done, ok := l.parked[p][l.next[p]]
-				if !ok {
-					break
-				}
-				delete(l.parked[p], l.next[p])
-				l.ackLocked(done)
-				l.next[p]++
-			}
-		} else if req.seq > l.next[p] {
-			l.parked[p][req.seq] = req.done
-		} else {
+			continue
+		}
+		p := req.part
+		if req.seq < l.next[p] {
 			// A sequence below next is a store-layer bug (duplicate
 			// stamp); ack it rather than wedge the caller.
 			l.ackLocked(req.done)
+			continue
+		}
+		l.ready[p][req.seq] = req
+	}
+	l.advanceLocked()
+}
+
+// advanceLocked runs the release fixpoint over every partition.
+func (l *Log) advanceLocked() {
+	for progress := true; progress; {
+		progress = false
+		for p := range l.ready {
+			for {
+				req, ok := l.ready[p][l.next[p]]
+				if !ok {
+					break
+				}
+				if req.cross == 0 {
+					delete(l.ready[p], l.next[p])
+					l.ackLocked(req.done)
+					l.next[p]++
+					progress = true
+					continue
+				}
+				if !l.releaseCrossLocked(req.cross) {
+					break
+				}
+				progress = true
+			}
 		}
 	}
+}
+
+// releaseCrossLocked acks a whole cross transaction if it is stable:
+// decision durable, every participant durable and at the head of its
+// partition's release queue. All participants advance together.
+func (l *Log) releaseCrossLocked(id uint64) bool {
+	if !l.decided[id] {
+		return false
+	}
+	members := l.members[id]
+	for _, m := range members {
+		if l.next[m.Part] != m.Seq {
+			return false
+		}
+		if _, ok := l.ready[m.Part][m.Seq]; !ok {
+			return false
+		}
+	}
+	for _, m := range members {
+		req := l.ready[m.Part][m.Seq]
+		delete(l.ready[m.Part], m.Seq)
+		l.ackLocked(req.done)
+		l.next[m.Part]++
+	}
+	delete(l.members, id)
+	delete(l.decided, id)
+	return true
 }
 
 func (l *Log) ackLocked(done chan error) {
@@ -333,12 +530,12 @@ func (l *Log) failQueueLocked() {
 		}
 	}
 	l.queue = nil
-	for p := range l.parked {
-		for seq, done := range l.parked[p] {
-			if done != nil {
-				done <- &FailedError{Cause: l.failure}
+	for p := range l.ready {
+		for seq, req := range l.ready[p] {
+			if req.done != nil {
+				req.done <- &FailedError{Cause: l.failure}
 			}
-			delete(l.parked[p], seq)
+			delete(l.ready[p], seq)
 		}
 	}
 }

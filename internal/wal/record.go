@@ -21,7 +21,15 @@ import (
 //	       point. Only meaningful as the last record of the log;
 //	meta — format version uvarint, partitions uvarint: opens every
 //	       segment, making each self-describing and pinning the
-//	       partition count routing depends on.
+//	       partition count routing depends on;
+//	cross — cross uvarint (the cross-transaction id), then a txn body:
+//	       one participant partition's share of a cross-partition
+//	       commit. Replayable only when the id's decision record is
+//	       durable and every participant survives — see scan.go;
+//	decision — cross uvarint, nparts uvarint, then per participant
+//	       part uvarint + seq uvarint: the atomic commit point of a
+//	       cross-partition transaction. Its durability decides the
+//	       whole cross all-or-nothing at recovery.
 //
 // Checksums cover the payload only; the length field is validated by
 // the extent check (a record must fit inside its segment). The split of
@@ -39,6 +47,8 @@ const (
 	kindCut
 	kindSeal
 	kindMeta
+	kindCross
+	kindDecision
 )
 
 // headerSize is the fixed record header: uint32 length + uint32 CRC.
@@ -57,11 +67,25 @@ type Op struct {
 }
 
 // Record is one decoded txn record: partition part committed the ops as
-// its seq'th logged transaction.
+// its seq'th logged transaction. CrossID is non-zero for a cross
+// record — one participant's share of the cross-partition transaction
+// with that id, replayable only under the decision rule in scan.go.
 type Record struct {
+	Part    int
+	Seq     uint64
+	CrossID uint64
+	Ops     []Op
+}
+
+// CrossPart names one participant of a cross-partition transaction:
+// partition Part's share committed as its Seq'th logged transaction,
+// carrying Nops encoded ops. The same struct is the append-side input
+// (Ops filled) and the decision record's participant list (Ops nil).
+type CrossPart struct {
 	Part int
 	Seq  uint64
-	Ops  []Op
+	Nops int
+	Ops  []byte
 }
 
 // appendUvarint appends x in unsigned varint form.
@@ -102,6 +126,30 @@ func AppendOp(dst []byte, del bool, key, val []byte) []byte {
 	if !del {
 		dst = appendUvarint(dst, uint64(len(val)))
 		dst = append(dst, val...)
+	}
+	return dst
+}
+
+// appendCrossPayload builds a cross record payload: the cross id, then
+// the same body as a txn record.
+func appendCrossPayload(dst []byte, cross uint64, part int, seq uint64, nops int, ops []byte) []byte {
+	dst = append(dst, kindCross)
+	dst = appendUvarint(dst, cross)
+	dst = appendUvarint(dst, uint64(part))
+	dst = appendUvarint(dst, seq)
+	dst = appendUvarint(dst, uint64(nops))
+	return append(dst, ops...)
+}
+
+// decisionPayload builds a decision record: the commit point of cross
+// transaction cross, naming every participant's (part, seq).
+func decisionPayload(cross uint64, members []CrossPart) []byte {
+	dst := []byte{kindDecision}
+	dst = appendUvarint(dst, cross)
+	dst = appendUvarint(dst, uint64(len(members)))
+	for _, m := range members {
+		dst = appendUvarint(dst, uint64(m.Part))
+		dst = appendUvarint(dst, m.Seq)
 	}
 	return dst
 }
@@ -170,6 +218,51 @@ func decodeTxn(b []byte) (Record, bool) {
 		return r, false // trailing garbage inside a checksummed payload
 	}
 	return r, true
+}
+
+// decodeCross parses a cross payload (kind byte already consumed): the
+// cross id, then a txn body.
+func decodeCross(b []byte) (Record, bool) {
+	cross, b, ok := uvarint(b)
+	if !ok || cross == 0 {
+		return Record{}, false
+	}
+	r, ok := decodeTxn(b)
+	if !ok {
+		return Record{}, false
+	}
+	r.CrossID = cross
+	return r, true
+}
+
+// decodeDecision parses a decision payload (kind byte already
+// consumed).
+func decodeDecision(b []byte) (cross uint64, members []CrossPart, ok bool) {
+	cross, b, ok = uvarint(b)
+	if !ok || cross == 0 {
+		return 0, nil, false
+	}
+	n, b, ok := uvarint(b)
+	if !ok || n == 0 || n > uint64(len(b)) { // each member is ≥2 bytes
+		return 0, nil, false
+	}
+	members = make([]CrossPart, 0, n)
+	for i := uint64(0); i < n; i++ {
+		part, rest, ok := uvarint(b)
+		if !ok {
+			return 0, nil, false
+		}
+		seq, rest, ok := uvarint(rest)
+		if !ok || seq == 0 {
+			return 0, nil, false
+		}
+		members = append(members, CrossPart{Part: int(part), Seq: seq})
+		b = rest
+	}
+	if len(b) != 0 {
+		return 0, nil, false
+	}
+	return cross, members, true
 }
 
 func decodeCut(b []byte) (part int, from uint64, ok bool) {

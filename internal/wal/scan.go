@@ -32,10 +32,22 @@ type ScanResult struct {
 	Clean bool
 	// Segments is how many segments the scan read.
 	Segments int
+	// CrossReplayed counts cross-partition transactions whose decision
+	// record and every participant survived — replayed whole.
+	// CrossVoided counts cross transactions dropped whole: the decision
+	// record never became durable, or a participant fell past its
+	// partition's horizon, so replaying any share would expose a
+	// half-applied cross transaction.
+	CrossReplayed uint64
+	CrossVoided   uint64
 
 	// nextSegIdx is the index Start uses for the generation's first new
 	// segment.
 	nextSegIdx uint64
+	// maxCrossID seeds the next generation's cross id allocator: ids
+	// must never repeat within one log, or a stale decision record could
+	// commit a later generation's half-written cross transaction.
+	maxCrossID uint64
 }
 
 // TornTail records one truncation the scan performed.
@@ -77,6 +89,16 @@ func (r *ScanResult) DroppedRecords() uint64 {
 //     records past it were never contiguously acked, so dropping them
 //     keeps exactly the acked-⇒-survives contract. Start then writes a
 //     cut so the next generation can reuse the dropped numbers.
+//   - Cross-partition transactions replay all-or-nothing: a cross
+//     record counts toward its partition's prefix only when its
+//     decision record is durable AND every participant named by that
+//     decision survives inside its own partition's prefix. Voiding one
+//     participant voids the whole cross, which can open a gap in
+//     another partition and void further crosses — the horizon is the
+//     fixpoint of that rule. The writer's release rule (log.go) is the
+//     mirror image: no record at or past a cross payload is acked until
+//     the whole cross is stable, so the fixpoint only ever swallows
+//     commits whose callers were still waiting.
 func Scan(backend Backend) (*ScanResult, error) {
 	names, err := backend.List()
 	if err != nil {
@@ -90,6 +112,7 @@ func Scan(backend Backend) (*ScanResult, error) {
 	res.nextSegIdx = nextSegIdx(names)
 
 	byPart := map[int]map[uint64]Record{} // part -> seq -> live record
+	decisions := map[uint64][]CrossPart{} // cross id -> participants
 	sealLast := false
 
 	for segNo, name := range names {
@@ -150,11 +173,20 @@ func Scan(backend Backend) (*ScanResult, error) {
 					return nil, &CorruptError{Segment: name, Offset: off,
 						Reason: fmt.Sprintf("partition count changed mid-log: %d then %d", res.Partitions, parts)}
 				}
-			case kindTxn:
+			case kindTxn, kindCross:
 				if first {
 					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
 				}
-				rec, ok := decodeTxn(body)
+				var rec Record
+				var ok bool
+				if kind == kindTxn {
+					rec, ok = decodeTxn(body)
+				} else {
+					rec, ok = decodeCross(body)
+					if rec.CrossID > res.maxCrossID {
+						res.maxCrossID = rec.CrossID
+					}
+				}
 				if !ok {
 					return nil, &CorruptError{Segment: name, Offset: off, Reason: "malformed txn record"}
 				}
@@ -173,6 +205,29 @@ func Scan(backend Backend) (*ScanResult, error) {
 						Reason: fmt.Sprintf("duplicate record: partition %d seq %d", rec.Part, rec.Seq)}
 				}
 				m[rec.Seq] = rec
+			case kindDecision:
+				if first {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
+				}
+				cross, members, ok := decodeDecision(body)
+				if !ok {
+					return nil, &CorruptError{Segment: name, Offset: off, Reason: "malformed decision record"}
+				}
+				if _, dup := decisions[cross]; dup {
+					// Cross ids are unique for the log's whole life; a
+					// second decision means a duplicated segment.
+					return nil, &CorruptError{Segment: name, Offset: off,
+						Reason: fmt.Sprintf("duplicate decision record: cross %d", cross)}
+				}
+				for _, mem := range members {
+					if mem.Part < 0 || mem.Part >= res.Partitions {
+						return nil, &CorruptError{Segment: name, Offset: off, Reason: "decision record out of range"}
+					}
+				}
+				decisions[cross] = members
+				if cross > res.maxCrossID {
+					res.maxCrossID = cross
+				}
 			case kindCut:
 				if first {
 					return nil, &CorruptError{Segment: name, Offset: off, Reason: "segment does not start with meta"}
@@ -208,24 +263,85 @@ func Scan(backend Backend) (*ScanResult, error) {
 	res.Clean = sealLast && len(res.Torn) == 0
 
 	if res.Partitions > 0 {
-		res.Horizon = make([]uint64, res.Partitions)
-		res.DroppedByPart = make([]uint64, res.Partitions)
+		res.resolve(byPart, decisions)
+	}
+	return res, nil
+}
+
+// resolve turns the live record maps into the replay plan: per-partition
+// contiguous prefixes under the cross-transaction all-or-nothing rule.
+// voided grows monotonically (a cross, once voided, never un-voids), so
+// the loop reaches a fixpoint in at most one pass per voided cross.
+func (res *ScanResult) resolve(byPart map[int]map[uint64]Record, decisions map[uint64][]CrossPart) {
+	voided := map[uint64]bool{}
+	horizons := func() []uint64 {
+		h := make([]uint64, res.Partitions)
 		for p := 0; p < res.Partitions; p++ {
-			m := byPart[p]
 			var seq uint64
 			for seq = 1; ; seq++ {
-				rec, ok := m[seq]
+				rec, ok := byPart[p][seq]
 				if !ok {
 					break
 				}
-				res.Records = append(res.Records, rec)
-				delete(m, seq)
+				if rec.CrossID != 0 {
+					if _, decided := decisions[rec.CrossID]; !decided || voided[rec.CrossID] {
+						break
+					}
+				}
 			}
-			res.Horizon[p] = seq - 1
-			res.DroppedByPart[p] = uint64(len(m))
+			h[p] = seq - 1
+		}
+		return h
+	}
+	var h []uint64
+	for {
+		h = horizons()
+		changed := false
+		for id, members := range decisions {
+			if voided[id] {
+				continue
+			}
+			for _, m := range members {
+				rec, ok := byPart[m.Part][m.Seq]
+				// A participant is live only if the record at its slot
+				// really belongs to this cross (a cut may have freed the
+				// sequence for a later generation) and sits inside the
+				// current prefix.
+				if !ok || rec.CrossID != id || m.Seq > h[m.Part] {
+					voided[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
 		}
 	}
-	return res, nil
+
+	replayedCross := map[uint64]bool{}
+	voidedCross := map[uint64]bool{}
+	res.Horizon = h
+	res.DroppedByPart = make([]uint64, res.Partitions)
+	for p := 0; p < res.Partitions; p++ {
+		m := byPart[p]
+		for seq := uint64(1); seq <= h[p]; seq++ {
+			rec := m[seq]
+			res.Records = append(res.Records, rec)
+			if rec.CrossID != 0 {
+				replayedCross[rec.CrossID] = true
+			}
+			delete(m, seq)
+		}
+		res.DroppedByPart[p] = uint64(len(m))
+		for _, rec := range m {
+			if rec.CrossID != 0 {
+				voidedCross[rec.CrossID] = true
+			}
+		}
+	}
+	res.CrossReplayed = uint64(len(replayedCross))
+	res.CrossVoided = uint64(len(voidedCross))
 }
 
 // nextSegIdx picks the first unused segment index: one past the highest

@@ -39,6 +39,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // AckMode selects when Append acknowledges durability.
@@ -93,6 +94,12 @@ type Options struct {
 	// reopened log refuses a store with different routing. Required on
 	// first open; later opens must match the logged value.
 	Partitions int
+	// BatchWindow, when positive, holds each group-commit fsync back by
+	// this long so more concurrent committers join the batch: fsync at
+	// most once per window under load, at the price of up to one window
+	// of added commit latency. Ignored under AckSync (whose whole point
+	// is one fsync per record).
+	BatchWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +151,10 @@ type Stats struct {
 	// created over the log's life (including recovered ones).
 	Bytes    uint64 `json:"bytes"`
 	Segments uint64 `json:"segments"`
+	// Crosses counts cross-partition transactions appended (each one
+	// carries one payload record per participant plus a decision
+	// record).
+	Crosses uint64 `json:"crosses"`
 	// Failed is 1 once the log is poisoned by a storage fault.
 	Failed uint64 `json:"failed"`
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"pcltm/internal/wal"
 	"pcltm/stm"
@@ -27,6 +28,10 @@ type DurableStoreConfig struct {
 	Dir string
 	// SegmentBytes caps segment size (0 = the log's default).
 	SegmentBytes int64
+	// Window is the group-commit batch window: the writer waits at most
+	// this long to widen a batch before fsyncing (0 = fsync as soon as
+	// the queue drains). Meaningful under AckGroup/AckAsync only.
+	Window time.Duration
 }
 
 // RunDurableStore executes the structure workload against a durable
@@ -50,6 +55,7 @@ func RunDurableStore(kind stm.EngineKind, cfg DurableStoreConfig) (StoreResult, 
 		Backend:      backend,
 		Ack:          cfg.Ack,
 		SegmentBytes: cfg.SegmentBytes,
+		BatchWindow:  cfg.Window,
 		Codec:        store.Int64Codec(),
 	})
 	if err != nil {
@@ -58,7 +64,7 @@ func RunDurableStore(kind stm.EngineKind, cfg DurableStoreConfig) (StoreResult, 
 	for k := int64(0); k < int64(sc.Keys); k++ {
 		s.Put(k, 0)
 	}
-	res := runStructLoad(kind, sc, storeDriver{s: s})
+	res := runStructLoad(kind, sc, storeDriver{s: s, sweep: sc.CrossSweep})
 	if ws, ok := s.WALStats(); ok {
 		res.Wal = &ws
 	}

@@ -74,6 +74,15 @@ type StoreConfig struct {
 	// (>1, default 1.2).
 	Skew  Skew
 	ZipfS float64
+	// CrossFrac is the chance an op is a two-key cross-partition
+	// transfer, in percent (default 0: the pre-E11 single-key mix).
+	// Transfers move one unit between keys, so the sum invariant is
+	// unchanged: the keyspace total still equals the increment count.
+	CrossFrac int
+	// CrossSweep routes transfers through the whole-store sweep instead
+	// of the scoped footprint commit — the E11 baseline path. Ignored by
+	// the map driver, which runs both keys in one engine transaction.
+	CrossSweep bool
 	// Seed fixes key choices (default 1).
 	Seed int64
 }
@@ -130,8 +139,11 @@ type StoreResult struct {
 	// committed transaction over the timed section.
 	AllocsPerOp, BytesPerOp float64
 	// Writes is the number of increment ops the run performed; the
-	// keyspace total must equal it (sum invariant).
+	// keyspace total must equal it (sum invariant — transfers conserve
+	// the total, so they don't count).
 	Writes int64
+	// CrossOps is the number of two-key transfers the run performed.
+	CrossOps int64
 	// Sum is the keyspace total after the run.
 	Sum int64
 	// PerPartition is each partition's own counters (store driver; nil
@@ -151,6 +163,10 @@ type StoreResult struct {
 type structDriver interface {
 	read(k int64)
 	incr(k int64)
+	// cross moves one unit from a to b atomically — on the store driver
+	// a genuine cross-partition transaction, on the map driver a two-key
+	// transaction on the single engine.
+	cross(a, b int64)
 	sum(keys int) int64
 	stats() (total stm.Stats, per []stm.Stats)
 }
@@ -175,6 +191,16 @@ func (d tmapDriver) incr(k int64) {
 	})
 }
 
+func (d tmapDriver) cross(a, b int64) {
+	_ = d.eng.Atomically(func(tx *stm.Tx) error {
+		va, _ := d.m.Get(tx, a)
+		vb, _ := d.m.Get(tx, b)
+		d.m.Put(tx, a, va-1)
+		d.m.Put(tx, b, vb+1)
+		return nil
+	})
+}
+
 func (d tmapDriver) sum(keys int) int64 {
 	var total int64
 	_ = d.eng.Atomically(func(tx *stm.Tx) error {
@@ -191,12 +217,30 @@ func (d tmapDriver) sum(keys int) int64 {
 
 func (d tmapDriver) stats() (stm.Stats, []stm.Stats) { return d.eng.Stats(), nil }
 
-type storeDriver struct{ s *store.Store[int64, int64] }
+type storeDriver struct {
+	s     *store.Store[int64, int64]
+	sweep bool // route cross ops through the whole-store sweep
+}
 
 func (d storeDriver) read(k int64) { _, _ = d.s.Get(k) }
 
 func (d storeDriver) incr(k int64) {
 	d.s.Update(k, func(v int64, ok bool) int64 { return v + 1 })
+}
+
+func (d storeDriver) cross(a, b int64) {
+	fn := func(ct *store.CrossTx[int64, int64]) error {
+		va, _ := ct.Get(a)
+		vb, _ := ct.Get(b)
+		ct.Put(a, va-1)
+		ct.Put(b, vb+1)
+		return nil
+	}
+	if d.sweep {
+		_ = d.s.CrossSweep(fn)
+	} else {
+		_ = d.s.Cross(fn)
+	}
 }
 
 func (d storeDriver) sum(keys int) int64 {
@@ -246,7 +290,7 @@ func RunStore(kind stm.EngineKind, cfg StoreConfig) StoreResult {
 	for k := int64(0); k < int64(cfg.Keys); k++ {
 		s.Put(k, 0)
 	}
-	return runStructLoad(kind, cfg, storeDriver{s: s})
+	return runStructLoad(kind, cfg, storeDriver{s: s, sweep: cfg.CrossSweep})
 }
 
 // runStructLoad is the shared timed section: seeded keyed traffic, sum
@@ -255,6 +299,7 @@ func RunStore(kind stm.EngineKind, cfg StoreConfig) StoreResult {
 func runStructLoad(kind stm.EngineKind, cfg StoreConfig, d structDriver) StoreResult {
 	pre, _ := d.stats()
 	writeCounts := make([]int64, cfg.Workers)
+	crossCounts := make([]int64, cfg.Workers)
 
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -268,7 +313,14 @@ func runStructLoad(kind stm.EngineKind, cfg StoreConfig, d structDriver) StoreRe
 			pick := cfg.keyPicker(worker)
 			for op := 0; op < cfg.OpsPerWorker; op++ {
 				k := pick()
-				if r.Intn(100) < cfg.ReadFrac {
+				if cfg.CrossFrac > 0 && r.Intn(100) < cfg.CrossFrac {
+					b := pick()
+					if b == k { // a transfer needs two keys
+						b = (k + 1) % int64(cfg.Keys)
+					}
+					d.cross(k, b)
+					crossCounts[worker]++
+				} else if r.Intn(100) < cfg.ReadFrac {
 					d.read(k)
 				} else {
 					d.incr(k)
@@ -293,6 +345,9 @@ func runStructLoad(kind stm.EngineKind, cfg StoreConfig, d structDriver) StoreRe
 	}
 	for _, n := range writeCounts {
 		res.Writes += n
+	}
+	for _, n := range crossCounts {
+		res.CrossOps += n
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(res.Commits) / elapsed.Seconds()

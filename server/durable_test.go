@@ -156,3 +156,53 @@ func TestHistoryRotation(t *testing.T) {
 		t.Fatalf("stats drop count %d != meta drop count %d", st.HistoryDropped, meta.HistoryDropped)
 	}
 }
+
+// TestDurableServerCrossRoundTrip: multi-partition /tx batches on a
+// durable server are logged through the cross decision-record protocol
+// and recover whole — every acknowledged transfer's effect on both
+// partitions survives the restart.
+func TestDurableServerCrossRoundTrip(t *testing.T) {
+	b := wal.NewMemBackend()
+	s, err := New(Config{Partitions: 4, WAL: b, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	a := keyInPartition(t, s, 0)
+	c := keyInPartition(t, s, 2)
+	if resp, _ := postTx(t, ts.URL, []Command{
+		{Op: "put", Key: a, Value: 50},
+		{Op: "put", Key: c, Value: 50},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed status %d", resp.StatusCode)
+	}
+	for i := 0; i < 10; i++ {
+		if resp, _ := postTx(t, ts.URL, []Command{
+			{Op: "incr", Key: a, Value: -2},
+			{Op: "incr", Key: c, Value: 2},
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("transfer %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := s.StatsSnapshot().CrossTxs; got < 11 {
+		t.Fatalf("CrossTxs = %d, want ≥ 11", got)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := New(Config{Partitions: 4, WAL: b, WALAck: wal.AckGroup})
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if _, kv := getKV(t, ts2.URL, a); kv.Value != 30 {
+		t.Fatalf("recovered a = %+v, want 30", kv)
+	}
+	if _, kv := getKV(t, ts2.URL, c); kv.Value != 70 {
+		t.Fatalf("recovered c = %+v, want 70", kv)
+	}
+}

@@ -4,7 +4,10 @@
 // command/query split:
 //
 //   - POST /tx   — commands: a batch of read-modify-write operations
-//     (get/put/incr/delete), routed by key to per-partition appliers;
+//     (get/put/incr/delete), routed by key to per-partition appliers; a
+//     batch whose keys span partitions commits atomically through the
+//     store's scoped cross-partition path (only the touched partitions
+//     lock; on a durable server the batch recovers all-or-nothing);
 //   - GET /kv/{key} — queries: one single-partition read transaction,
 //     no queue, no batching;
 //   - GET /healthz, GET /stats — liveness and introspection;
@@ -97,6 +100,10 @@ type Config struct {
 	WALAck wal.AckMode
 	// WALSegmentBytes caps log segment size (0 = wal default).
 	WALSegmentBytes int64
+	// WALWindow is the group-commit batch window: the log writer waits
+	// at most this long to widen a batch before fsyncing (0 = fsync as
+	// soon as the queue drains).
+	WALWindow time.Duration
 }
 
 // Command is one operation of a POST /tx batch.
@@ -143,6 +150,9 @@ type Stats struct {
 	// carried; Cmds/Batches is the realized amortization factor.
 	Batches uint64 `json:"batches"`
 	Cmds    uint64 `json:"cmds"`
+	// CrossTxs counts /tx requests whose commands spanned partitions and
+	// therefore committed through the scoped cross-partition path.
+	CrossTxs uint64 `json:"cross_txs,omitempty"`
 	// Rejected counts 429s from the admission bucket.
 	Rejected uint64 `json:"rejected"`
 	// HistoryDropped counts recorded attempts rotated out of the bounded
@@ -202,6 +212,7 @@ type Server struct {
 	wg      sync.WaitGroup
 	batches atomic.Uint64
 	cmds    atomic.Uint64
+	crosses atomic.Uint64
 	reject  atomic.Uint64
 }
 
@@ -235,6 +246,7 @@ func New(cfg Config) (*Server, error) {
 			Backend:      cfg.WAL,
 			Ack:          cfg.WALAck,
 			SegmentBytes: cfg.WALSegmentBytes,
+			BatchWindow:  cfg.WALWindow,
 			Codec:        store.Int64Codec(),
 		})
 		if err != nil {
@@ -542,6 +554,19 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 		g.idx = append(g.idx, i)
 	}
 
+	// A batch that spans partitions is one transaction to the client, so
+	// it commits through the scoped cross-partition path: only the
+	// partitions the commands touch are locked, traffic on the rest is
+	// unaffected, and on a durable server the decision record makes the
+	// whole batch recover all-or-nothing.
+	if len(groups) > 1 {
+		for _, g := range groups {
+			g.res = make([]CmdResult, len(g.cmds))
+		}
+		s.handleCrossTx(w, groups, results)
+		return
+	}
+
 	// Enqueue each group onto its partition's queue. The stop flag is
 	// checked inside the same transaction, so an enqueue can never
 	// commit after the applier's final drain (both orders of the two
@@ -574,6 +599,61 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
+		for j, i := range g.idx {
+			results[i] = g.res[j]
+		}
+	}
+	writeJSON(w, TxResponse{Results: results})
+}
+
+// handleCrossTx applies a multi-partition command batch atomically via
+// store.Cross. The body re-executes (discovery run, then the locked
+// run, possibly again if the footprint grows), so the response slots
+// are rewritten from scratch every run — only the committed run's
+// values survive.
+func (s *Server) handleCrossTx(w http.ResponseWriter, groups map[int]*pending, results []CmdResult) {
+	err := s.store.Cross(func(ct *store.CrossTx[int64, int64]) error {
+		for _, g := range groups {
+			for i, c := range g.cmds {
+				switch c.Op {
+				case "get":
+					v, ok := ct.Get(c.Key)
+					g.res[i] = CmdResult{Value: v, Found: ok}
+				case "put":
+					ct.Put(c.Key, c.Value)
+					g.res[i] = CmdResult{Value: c.Value, Found: true}
+				case "incr":
+					delta := c.Value
+					if delta == 0 {
+						delta = 1
+					}
+					v, _ := ct.Get(c.Key)
+					v += delta
+					ct.Put(c.Key, v)
+					g.res[i] = CmdResult{Value: v, Found: true}
+				case "delete":
+					v, ok := ct.Get(c.Key)
+					if ok {
+						ct.Delete(c.Key)
+					}
+					g.res[i] = CmdResult{Value: v, Found: ok}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		var de *store.DurabilityError
+		if errors.As(err, &de) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.crosses.Add(1)
+	for _, g := range groups {
+		s.cmds.Add(uint64(len(g.cmds)))
 		for j, i := range g.idx {
 			results[i] = g.res[j]
 		}
@@ -627,6 +707,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Partitions: s.store.Partitions(),
 		Batches:    s.batches.Load(),
 		Cmds:       s.cmds.Load(),
+		CrossTxs:   s.crosses.Load(),
 		Rejected:   s.reject.Load(),
 		Store:      s.store.Stats(),
 	}

@@ -272,3 +272,80 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("healthz status %d", resp2.StatusCode)
 	}
 }
+
+// keyInPartition returns a key the store routes to partition p.
+func keyInPartition(t *testing.T, s *Server, p int) int64 {
+	t.Helper()
+	for k := int64(0); k < 1_000_000; k++ {
+		if s.Store().PartitionOf(k) == p {
+			return k
+		}
+	}
+	t.Fatalf("no key found for partition %d", p)
+	return 0
+}
+
+// TestCrossTxAtomicMultiPartition: a /tx batch whose keys span
+// partitions commits through the scoped cross path — the results are
+// mutually consistent, the cross counter ticks, and concurrent
+// transfers between two partitions conserve their total.
+func TestCrossTxAtomicMultiPartition(t *testing.T) {
+	s, ts := startServer(t, Config{Partitions: 4})
+	a := keyInPartition(t, s, 0)
+	b := keyInPartition(t, s, 1)
+
+	resp, out := postTx(t, ts.URL, []Command{
+		{Op: "put", Key: a, Value: 100},
+		{Op: "put", Key: b, Value: 100},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 2 || !out.Results[0].Found || !out.Results[1].Found {
+		t.Fatalf("seed results = %+v", out.Results)
+	}
+	if got := s.StatsSnapshot().CrossTxs; got == 0 {
+		t.Fatal("multi-partition batch did not take the cross path")
+	}
+
+	// Concurrent transfers a→b and b→a; the pair's total is invariant
+	// only if each batch applies atomically.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from, to := a, b
+			if w%2 == 1 {
+				from, to = b, a
+			}
+			for i := 0; i < 25; i++ {
+				resp, _ := postTx(t, ts.URL, []Command{
+					{Op: "incr", Key: from, Value: -1},
+					{Op: "incr", Key: to, Value: 1},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("transfer status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	_, va := getKV(t, ts.URL, a)
+	_, vb := getKV(t, ts.URL, b)
+	if va.Value+vb.Value != 200 {
+		t.Fatalf("transfers not atomic: %d + %d != 200", va.Value, vb.Value)
+	}
+	// A single-partition batch still takes the applier path: the read
+	// below sees both keys through /kv, and CrossTxs counts only the
+	// spanning batches.
+	crosses := s.StatsSnapshot().CrossTxs
+	if resp, _ := postTx(t, ts.URL, []Command{{Op: "incr", Key: a}, {Op: "incr", Key: a}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-partition batch status %d", resp.StatusCode)
+	}
+	if got := s.StatsSnapshot().CrossTxs; got != crosses {
+		t.Fatalf("single-partition batch took the cross path: %d -> %d", crosses, got)
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"sync"
 
+	"pcltm/internal/wal"
 	"pcltm/stm"
 )
 
@@ -28,13 +29,23 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// crossMaxGrows caps footprint re-discovery rounds before Cross
+// degenerates to the full sweep: the footprint set only ever grows, so
+// the loop terminates anyway, but an fn whose key set keeps shifting
+// with the data should stop burning re-runs and take the conservative
+// path.
+const crossMaxGrows = 3
+
 // CrossTx is the handle Cross passes to its body: reads go to the
 // owning partition's engine, writes buffer until the body succeeds, and
-// the buffered writes then apply under the full exclusive sweep. The
-// body sees its own writes (read-your-writes through the buffer).
+// the buffered writes then apply under the touched partitions'
+// exclusive locks. The body sees its own writes (read-your-writes
+// through the buffer). Every partition the body reads or writes joins
+// the transaction's footprint — the set of locks the commit takes.
 type CrossTx[K comparable, V any] struct {
-	s   *Store[K, V]
-	buf map[K]crossWrite[V]
+	s       *Store[K, V]
+	buf     map[K]crossWrite[V]
+	touched []bool // partitions read or written by the body
 }
 
 // crossWrite is one buffered intent: a pending value or a deletion.
@@ -53,7 +64,9 @@ func (ct *CrossTx[K, V]) Get(k K) (V, bool) {
 		}
 		return w.v, true
 	}
-	part := ct.s.parts[ct.s.PartitionOf(k)]
+	pi := ct.s.PartitionOf(k)
+	ct.touched[pi] = true
+	part := ct.s.parts[pi]
 	var v V
 	var ok bool
 	_ = part.engine.Atomically(func(tx *stm.Tx) error {
@@ -65,6 +78,7 @@ func (ct *CrossTx[K, V]) Get(k K) (V, bool) {
 
 // Put buffers a write of v under k.
 func (ct *CrossTx[K, V]) Put(k K, v V) {
+	ct.touched[ct.s.PartitionOf(k)] = true
 	ct.buf[k] = crossWrite[V]{v: v}
 }
 
@@ -76,57 +90,134 @@ func (ct *CrossTx[K, V]) Delete(k K) bool {
 	return ok
 }
 
-// Cross runs fn as one atomic cross-partition transaction — the store's
-// escalation path, shaped like a degenerate single-node two-phase
-// commit:
+// Cross runs fn as one atomic cross-partition transaction, locking only
+// the partitions the transaction actually touches — the scoped
+// 2PC-shaped commit path:
 //
-//  1. Lock phase: every partition's escalation lock is taken exclusive
-//     in partition-id order (the total order that makes concurrent
-//     Cross calls deadlock-free), draining all in-flight
-//     single-partition transactions and blocking new ones.
-//  2. Read/compute phase: fn reads committed state through per-
-//     partition read transactions and buffers its writes.
-//  3. Apply phase ("commit"): on success the buffer is flushed, one
-//     write transaction per touched partition. Nothing else runs, so
-//     the multi-transaction flush is externally atomic. On error the
+//  1. Discovery: fn runs with no locks held, reads served by
+//     per-partition read transactions and writes buffered; every
+//     partition it touches joins the footprint.
+//  2. Lock phase: the footprint's escalation locks are taken exclusive
+//     in partition-id order — the same total order Len and the sweep
+//     use, so concurrent Cross calls (and Len) stay deadlock-free.
+//     Untouched partitions are never locked: single-partition traffic
+//     there proceeds completely undisturbed.
+//  3. Validation by re-execution: fn runs again under the locks. Locked
+//     partitions cannot change, so if the re-run's footprint stays
+//     inside the locked set, its reads are a consistent snapshot and
+//     its buffer is the transaction's write set. If the footprint grew
+//     (the data moved between discovery and locking), the locks are
+//     released, the footprint union is re-locked, and fn re-runs; after
+//     crossMaxGrows rounds the footprint escalates to every partition,
+//     which cannot grow further. fn must therefore tolerate
+//     re-execution, exactly like an stm.Atomically body.
+//  4. Apply ("commit"): the buffer is flushed, one write transaction
+//     per touched partition, all under the locks — externally atomic
+//     because every participant is exclusively held. On error the
 //     buffer is discarded and no partition changed — all-or-nothing.
 //
-// The cost is global: a Cross call serializes against every
-// single-partition transaction in the store. That asymmetry is the
-// design — the common case (single-partition) pays one shared-mode
-// lock, and only genuine cross-partition atomicity pays the sweep. A
-// distributed deployment would replace step 1/3 with prepare/commit
-// votes per partition; the seam is deliberately the same shape.
+// On a durable store a multi-partition commit is logged through the
+// log's cross path: every participant's record plus one decision record
+// (internal/wal), appended under the locks and acknowledged after they
+// are released, so recovery replays the cross all-or-nothing and the
+// fsync latency is never paid while holding partition locks. A
+// single-partition footprint commits exactly like a plain transaction.
 func (s *Store[K, V]) Cross(fn func(ct *CrossTx[K, V]) error) error {
-	for _, p := range s.parts {
-		p.mu.Lock()
-	}
-	defer func() {
-		for i := len(s.parts) - 1; i >= 0; i-- {
-			s.parts[i].mu.Unlock()
-		}
-	}()
+	return s.cross(fn, false)
+}
 
-	ct := &CrossTx[K, V]{s: s, buf: make(map[K]crossWrite[V])}
-	if err := fn(ct); err != nil {
-		return err
+// CrossSweep is the pre-scoped escalation path: every partition's lock
+// is taken exclusive, fn runs once under the full sweep, and the buffer
+// applies. It is kept as the measurable baseline the scoped path is
+// judged against (EXPERIMENTS.md E11) and as the explicit
+// maximal-footprint fallback; new code wants Cross.
+func (s *Store[K, V]) CrossSweep(fn func(ct *CrossTx[K, V]) error) error {
+	return s.cross(fn, true)
+}
+
+func (s *Store[K, V]) cross(fn func(ct *CrossTx[K, V]) error, sweep bool) error {
+	n := len(s.parts)
+	locked := make([]bool, n)
+	lock := func(need []bool) {
+		for i, want := range need {
+			if want {
+				s.parts[i].mu.Lock()
+				locked[i] = true
+			}
+		}
+	}
+	unlock := func() {
+		for i := n - 1; i >= 0; i-- {
+			if locked[i] {
+				s.parts[i].mu.Unlock()
+				locked[i] = false
+			}
+		}
+	}
+	if sweep {
+		all := make([]bool, n)
+		for i := range all {
+			all[i] = true
+		}
+		lock(all)
+	}
+	defer unlock()
+
+	var ct *CrossTx[K, V]
+	for round := 0; ; round++ {
+		ct = &CrossTx[K, V]{s: s, buf: make(map[K]crossWrite[V]), touched: make([]bool, n)}
+		if err := fn(ct); err != nil {
+			return err
+		}
+		need := ct.touched
+		for k := range ct.buf {
+			need[s.PartitionOf(k)] = true
+		}
+		covered := round > 0 || sweep // a no-lock discovery run never commits
+		grew := false
+		for i, want := range need {
+			if want && !locked[i] {
+				covered, grew = false, true
+			}
+		}
+		if covered || !grew {
+			// Covered, or an empty footprint (nothing read or written):
+			// either way the locks held cover every partition the commit
+			// touches.
+			break
+		}
+		if round >= crossMaxGrows {
+			for i := range need {
+				need[i] = true
+			}
+		}
+		for i, held := range locked {
+			need[i] = need[i] || held
+		}
+		unlock()
+		lock(need)
 	}
 
 	// Apply: group buffered intents by partition, flush each group as
-	// one transaction on the owning engine. On a durable store each
-	// group is logged as its partition's record, stamped inside its
-	// apply transaction; the appends happen under the sweep, so the
-	// per-partition records of one Cross are contiguous in every
-	// partition's sequence. Crash-durability of a Cross is still
-	// per-partition — see the durability notes in durable.go.
+	// one transaction on the owning engine, all under the footprint's
+	// exclusive locks. On a durable store each group is captured as its
+	// partition's record, stamped inside its apply transaction; a
+	// multi-partition footprint links the records through the wal cross
+	// path (decision record) so a crash cannot recover half of it.
 	byPart := make(map[int][]K)
 	for k := range ct.buf {
 		part := s.PartitionOf(k)
 		byPart[part] = append(byPart[part], k)
 	}
 	d := s.durable
-	var derr error
+	var members []wal.CrossPart
+	var bufs []*walBuf
 	for part, keys := range byPart {
+		if part == s.dropCrossPart {
+			// Planted half-applied-cross bug (BreakCrossForTest): this
+			// participant's share silently vanishes.
+			continue
+		}
 		sp := s.parts[part]
 		var buf *walBuf
 		if d != nil {
@@ -158,12 +249,51 @@ func (s *Store[K, V]) Cross(fn func(ct *CrossTx[K, V]) error) error {
 		})
 		if buf != nil {
 			if buf.nops > 0 {
-				if aerr := d.log.Append(part, buf.seq, buf.nops, buf.ops); aerr != nil && derr == nil {
-					derr = &DurabilityError{Part: part, Seq: buf.seq, Err: aerr}
-				}
+				members = append(members, wal.CrossPart{Part: part, Seq: buf.seq, Nops: buf.nops, Ops: buf.ops})
+				bufs = append(bufs, buf)
+			} else {
+				d.bufs.Put(buf)
 			}
-			d.bufs.Put(buf)
 		}
 	}
+	if len(members) == 0 {
+		return nil
+	}
+
+	// Durability: records are enqueued before the locks release, and the
+	// acknowledgement is awaited after — commits that observe the
+	// released state stamp later sequences and park behind these in the
+	// log's release order, so fsync latency is never paid while holding
+	// partition locks exclusive.
+	var derr error
+	if len(members) == 1 {
+		// A single-partition footprint needs no decision record: it is
+		// indistinguishable from a plain partition commit.
+		m := members[0]
+		unlock()
+		if aerr := d.log.Append(m.Part, m.Seq, m.Nops, m.Ops); aerr != nil {
+			derr = &DurabilityError{Part: m.Part, Seq: m.Seq, Err: aerr}
+		}
+	} else {
+		wait, aerr := d.log.AppendCross(members)
+		if aerr == nil {
+			unlock()
+			aerr = wait()
+		}
+		if aerr != nil {
+			derr = &DurabilityError{Part: members[0].Part, Seq: members[0].Seq, Err: aerr}
+		}
+	}
+	for _, buf := range bufs {
+		d.bufs.Put(buf)
+	}
 	return derr
+}
+
+// BreakCrossForTest plants the classic half-applied-cross bug: every
+// later Cross silently drops the share routed to partition part. The
+// conformance layer's stitching checker must convict a store broken
+// this way — its self-test (internal/conformance). Pass -1 to heal.
+func (s *Store[K, V]) BreakCrossForTest(part int) {
+	s.dropCrossPart = part
 }

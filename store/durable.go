@@ -17,14 +17,18 @@
 // contract exact: acknowledged ⇒ survives recovery, and whatever
 // recovery replays is a state the store really passed through.
 //
-// Cross transactions are logged as one record per touched partition,
-// stamped inside each partition's apply transaction while the full
-// exclusive sweep is held. Durability of a Cross is therefore
-// per-partition: a crash between the records can recover some
-// partitions' halves without others. The in-memory atomicity guarantee
-// is unchanged; deployments that need crash-atomic cross-partition
-// writes need a prepare record, which is exactly the seam where
-// distributed two-phase commit would attach (see Cross).
+// Cross transactions are logged as one payload record per touched
+// partition — stamped inside each partition's apply transaction while
+// the footprint's exclusive locks are held — linked by a single
+// decision record naming the cross id and every (partition, sequence)
+// participant. Recovery replays a cross all-or-nothing: its records
+// count toward their partitions' replayable prefixes only when the
+// decision is durable and every participant survived, and the writer
+// mirrors the rule by acknowledging a cross only once its decision is
+// durable (internal/wal). A crash can therefore never recover some
+// partitions' halves without the others — the decision record is the
+// single-node shape of a two-phase-commit outcome, and the seam where
+// a distributed coordinator would attach (see Cross).
 package store
 
 import (
@@ -32,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"pcltm/internal/wal"
 	"pcltm/stm"
@@ -93,6 +98,10 @@ type DurableConfig[K comparable, V any] struct {
 	Ack wal.AckMode
 	// SegmentBytes caps segment size before rotation (0 = wal default).
 	SegmentBytes int64
+	// BatchWindow bounds how long the writer waits to widen a group
+	// before fsyncing (0 = fsync as soon as the queue drains; see
+	// wal.Options.BatchWindow).
+	BatchWindow time.Duration
 	// Codec translates K and V to log images.
 	Codec Codec[K, V]
 	// ReplayProc is the process id replay transactions run under when a
@@ -179,6 +188,7 @@ func OpenDurable[K comparable, V any](cfg DurableConfig[K, V]) (*Store[K, V], *w
 	log, err := wal.Start(cfg.Backend, wal.Options{
 		Ack:          cfg.Ack,
 		SegmentBytes: cfg.SegmentBytes,
+		BatchWindow:  cfg.BatchWindow,
 		Partitions:   s.Partitions(),
 	}, scan)
 	if err != nil {

@@ -66,6 +66,11 @@ type Store[K comparable, V any] struct {
 	hash    func(K) uint64
 	shift   uint                // 64 - log2(len(parts)), for fibIndex-style routing
 	durable *durableState[K, V] // nil unless built by OpenDurable
+
+	// dropCrossPart, when >= 0, plants the half-applied-cross bug for
+	// the conformance stitching checker's self-test; see
+	// BreakCrossForTest.
+	dropCrossPart int
 }
 
 // New builds a store whose key hash is derived from K's layout (the
@@ -98,9 +103,10 @@ func NewFunc[K comparable, V any](cfg Config, hash func(K) uint64) *Store[K, V] 
 		log++
 	}
 	s := &Store[K, V]{
-		parts: make([]*partition[K, V], pow),
-		hash:  hash,
-		shift: 64 - log,
+		parts:         make([]*partition[K, V], pow),
+		hash:          hash,
+		shift:         64 - log,
+		dropCrossPart: -1,
 	}
 	for i := range s.parts {
 		var opts []stm.Option

@@ -219,6 +219,7 @@ func TestStoreCrossAtomic(t *testing.T) {
 			}
 			var sum int64
 			_ = s.Cross(func(ct *CrossTx[int, int64]) error {
+				sum = 0 // Cross bodies re-execute (discovery + locked run)
 				for k := 0; k < keys; k++ {
 					v, _ := ct.Get(k)
 					sum += v

@@ -9,12 +9,26 @@ import (
 
 // DefaultBuckets is the bucket-table size a TMap gets when the
 // constructor is passed 0. 64 buckets keep a few hundred keys at short
-// chain lengths while costing one TVar pair per bucket up front.
+// chain lengths while costing one TVar pair per bucket up front; the
+// table doubles itself past the load-factor threshold, so the
+// constructor size is a starting point, not a ceiling.
 const DefaultBuckets = 64
 
-// maxBuckets caps the table where the up-front TVar allocation would
-// start to matter (2^16 buckets ≈ a few MiB of chain heads).
-const maxBuckets = 1 << 16
+// maxBuckets caps table growth where the TVar overhead of the chain
+// heads would start to matter (2^20 buckets ≈ tens of MiB of heads).
+const maxBuckets = 1 << 20
+
+// growChainLen is the chain length past which an insert doubles the
+// bucket table. The trigger is per-bucket deliberately: the inserting
+// transaction already owns its bucket's counter, so the check costs no
+// extra footprint — a global entry counter would put every insert in
+// the map in conflict with every other, serializing exactly the
+// disjoint-key traffic the sharded table exists to parallelize. With
+// the Fibonacci spread keeping chains near the mean, a chain crossing
+// growChainLen signals the whole table is past a mean load factor of
+// roughly half this, so doubling on the local signal tracks the global
+// load-factor policy.
+const growChainLen = 12
 
 // entry is one key's cell in a bucket chain. The key is immutable node
 // data; the value and the chain link are transactional, so an overwrite
@@ -26,13 +40,33 @@ type entry[K comparable, V any] struct {
 	next *stm.TVar[*entry[K, V]]
 }
 
-// TMap is a sharded transactional hash map: a fixed power-of-two table
-// of bucket chains, one chain-head TVar per bucket, keys spread by
+// table is one generation of the bucket table: a fixed power-of-two
+// array of chain heads and per-bucket entry counters. A generation is
+// immutable once published — growth builds the next generation and
+// swaps the map's table TVar — so a transaction that read the table
+// pointer works against internally consistent arrays, and the swap
+// itself conflicts with every concurrent operation exactly the way a
+// structural rehash must.
+type table[K comparable, V any] struct {
+	buckets []*stm.TVar[*entry[K, V]]
+	counts  []*stm.TVar[int64]
+	shift   uint
+}
+
+// TMap is a sharded transactional hash map: a power-of-two table of
+// bucket chains, one chain-head TVar per bucket, keys spread by
 // Fibonacci multiply-shift of the key hash. Transactions on keys in
 // different buckets read and write disjoint TVar sets, so they commit
 // in parallel with no false conflicts on any engine; the residual false
 // conflict — two distinct keys hashing to one bucket — shrinks with the
 // bucket count, exactly like orec aliasing in the 2PL engine.
+//
+// The bucket table grows: an insert that pushes its bucket's chain
+// past growChainLen rehashes into a table of twice the size, inside
+// the inserting transaction (cost amortized O(1) per insert by
+// doubling). The table is held in a TVar, so growth is transactional:
+// concurrent readers either serialize before the swap (and see the old
+// generation whole) or after it (and see the new one) — never a mix.
 //
 // All operations take the caller's transaction and compose with any
 // other transactional work. TMap holds no engine: run its operations
@@ -42,20 +76,26 @@ type entry[K comparable, V any] struct {
 // A TMap is safe for concurrent use by transactions of one engine;
 // like TVars, its internals must not be shared between engines.
 type TMap[K comparable, V any] struct {
-	buckets []*stm.TVar[*entry[K, V]]
-	counts  []*stm.TVar[int64]
-	hash    func(K) uint64
-	shift   uint
+	// tab holds the current table generation — nil meaning gen0, so the
+	// TVar's initial value is the conformance discipline's zero and
+	// only growth ever writes it (a recorded write every later read is
+	// justified by).
+	tab  *stm.TVar[*table[K, V]]
+	gen0 *table[K, V]
+	hash func(K) uint64
 	// brokenChain is the planted-bug switch of NewAliasedTMapForTest:
 	// Put replaces the chain head instead of walking it — the
 	// cross-bucket-aliasing bug the conformance harness must convict.
+	// It also pins the table (the fixture's single bucket must stay
+	// single).
 	brokenChain bool
 }
 
-// NewTMap builds a map with the given bucket count (0 = DefaultBuckets,
-// otherwise rounded up to a power of two and clamped). The key type's
-// hash function is derived from its layout (see hasherFor); key types
-// without a canonical byte image panic with advice to use NewTMapFunc.
+// NewTMap builds a map with the given initial bucket count (0 =
+// DefaultBuckets, otherwise rounded up to a power of two and clamped).
+// The key type's hash function is derived from its layout (see
+// hasherFor); key types without a canonical byte image panic with
+// advice to use NewTMapFunc.
 func NewTMap[K comparable, V any](buckets int) *TMap[K, V] {
 	hash := hasherFor[K]()
 	if hash == nil {
@@ -84,38 +124,67 @@ func NewTMapFunc[K comparable, V any](buckets int, hash func(K) uint64) *TMap[K,
 		n <<= 1
 		log++
 	}
-	m := &TMap[K, V]{
-		buckets: make([]*stm.TVar[*entry[K, V]], n),
-		counts:  make([]*stm.TVar[int64], n),
-		hash:    hash,
-		shift:   64 - log,
+	return &TMap[K, V]{
+		tab:  stm.NewTVar[*table[K, V]](nil),
+		gen0: newTable[K, V](n, 64-log),
+		hash: hash,
 	}
-	for i := range m.buckets {
-		m.buckets[i] = stm.NewTVar[*entry[K, V]](nil)
-		m.counts[i] = stm.NewTVar[int64](0)
-	}
-	return m
 }
 
-// Buckets returns the bucket-table size (a power of two).
-func (m *TMap[K, V]) Buckets() int { return len(m.buckets) }
+// newTable allocates one table generation with empty chains.
+func newTable[K comparable, V any](n int, shift uint) *table[K, V] {
+	t := &table[K, V]{
+		buckets: make([]*stm.TVar[*entry[K, V]], n),
+		counts:  make([]*stm.TVar[int64], n),
+		shift:   shift,
+	}
+	for i := range t.buckets {
+		t.buckets[i] = stm.NewTVar[*entry[K, V]](nil)
+		t.counts[i] = stm.NewTVar[int64](0)
+	}
+	return t
+}
 
-// bucketOf returns the chain-head index covering k.
-func (m *TMap[K, V]) bucketOf(k K) int {
-	return int(fibIndex(m.hash(k), m.shift))
+// tableOf resolves the current generation inside tx: the table TVar,
+// whose nil initial value stands for generation 0.
+func (m *TMap[K, V]) tableOf(tx *stm.Tx) *table[K, V] {
+	if t := stm.Get(tx, m.tab); t != nil {
+		return t
+	}
+	return m.gen0
+}
+
+// tablePeek resolves the current generation outside any transaction —
+// for the monitoring reads (Buckets, BucketOf, LenQuiesced).
+func (m *TMap[K, V]) tablePeek() *table[K, V] {
+	if t := m.tab.Peek(); t != nil {
+		return t
+	}
+	return m.gen0
+}
+
+// Buckets returns the current bucket-table size (a power of two). It
+// peeks the table pointer outside any transaction, so under concurrent
+// growth it is a monitoring read, like LenQuiesced.
+func (m *TMap[K, V]) Buckets() int { return len(m.tablePeek().buckets) }
+
+// bucketOf returns the chain-head index covering k in generation t.
+func (t *table[K, V]) bucketOf(hash func(K) uint64, k K) int {
+	return int(fibIndex(hash(k), t.shift))
 }
 
 // BucketOf exposes the bucket index covering k — for sharding
 // diagnostics and the store's routing-independence tests; two
 // transactions conflict falsely in the map exactly when their keys
-// share a BucketOf value.
-func (m *TMap[K, V]) BucketOf(k K) int { return m.bucketOf(k) }
+// share a BucketOf value. Like Buckets, it peeks the current
+// generation.
+func (m *TMap[K, V]) BucketOf(k K) int { return m.tablePeek().bucketOf(m.hash, k) }
 
-// locate walks k's bucket chain inside tx, returning the TVar holding
-// the link to k's entry (the bucket head or a predecessor's next) and
-// the entry itself, nil if absent.
-func (m *TMap[K, V]) locate(tx *stm.Tx, k K) (*stm.TVar[*entry[K, V]], *entry[K, V]) {
-	prev := m.buckets[m.bucketOf(k)]
+// locate walks k's bucket chain in generation t inside tx, returning
+// the TVar holding the link to k's entry (the bucket head or a
+// predecessor's next) and the entry itself, nil if absent.
+func (m *TMap[K, V]) locate(tx *stm.Tx, t *table[K, V], k K) (*stm.TVar[*entry[K, V]], *entry[K, V]) {
+	prev := t.buckets[t.bucketOf(m.hash, k)]
 	cur := stm.Get(tx, prev)
 	for cur != nil && cur.key != k {
 		prev = cur.next
@@ -125,10 +194,10 @@ func (m *TMap[K, V]) locate(tx *stm.Tx, k K) (*stm.TVar[*entry[K, V]], *entry[K,
 }
 
 // Get reads k's value inside tx; ok reports presence. The read set is
-// the bucket chain walked plus the entry's value — disjoint from every
-// other bucket.
+// the table pointer plus the bucket chain walked plus the entry's value
+// — disjoint from every other bucket.
 func (m *TMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
-	_, cur := m.locate(tx, k)
+	_, cur := m.locate(tx, m.tableOf(tx), k)
 	if cur == nil {
 		var zero V
 		return zero, false
@@ -138,27 +207,29 @@ func (m *TMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
 
 // Contains reports whether k is present, without reading the value.
 func (m *TMap[K, V]) Contains(tx *stm.Tx, k K) bool {
-	_, cur := m.locate(tx, k)
+	_, cur := m.locate(tx, m.tableOf(tx), k)
 	return cur != nil
 }
 
 // Put stores v under k inside tx. Overwriting an existing key writes
 // only that entry's value TVar; inserting links a fresh entry at the
-// chain head. Freshly created TVars are written through stm.Set inside
-// tx (not seeded via NewTVar), so the whole insert is visible to an
-// attached recorder — see the package's conformance discipline.
+// chain head and, past the load-factor threshold, doubles the table.
+// Freshly created TVars are written through stm.Set inside tx (not
+// seeded via NewTVar), so the whole insert is visible to an attached
+// recorder — see the package's conformance discipline.
 func (m *TMap[K, V]) Put(tx *stm.Tx, k K, v V) {
 	if m.brokenChain {
 		m.putBroken(tx, k, v)
 		return
 	}
-	_, cur := m.locate(tx, k)
+	t := m.tableOf(tx)
+	_, cur := m.locate(tx, t, k)
 	if cur != nil {
 		stm.Set(tx, cur.val, v)
 		return
 	}
-	b := m.bucketOf(k)
-	head := m.buckets[b]
+	b := t.bucketOf(m.hash, k)
+	head := t.buckets[b]
 	e := &entry[K, V]{
 		key:  k,
 		val:  stm.NewTVar[V](*new(V)),
@@ -167,19 +238,54 @@ func (m *TMap[K, V]) Put(tx *stm.Tx, k K, v V) {
 	stm.Set(tx, e.val, v)
 	stm.Set(tx, e.next, stm.Get(tx, head))
 	stm.Set(tx, head, e)
-	stm.Update(tx, m.counts[b], func(n int64) int64 { return n + 1 })
+	c := stm.Get(tx, t.counts[b]) + 1
+	stm.Set(tx, t.counts[b], c)
+	if c > growChainLen && len(t.buckets) < maxBuckets {
+		m.grow(tx, t)
+	}
+}
+
+// grow rehashes generation old into a table of twice the size and
+// swaps the map's table TVar, all inside tx. Entries move whole — the
+// same entry structs, value TVars untouched, only the chain links
+// rewritten — so an overwrite racing the growth conflicts on exactly
+// the TVars it would have anyway. The transaction's footprint is the
+// entire old table, which is what makes the swap safe: any concurrent
+// operation that saw the old generation overlaps it and serializes.
+func (m *TMap[K, V]) grow(tx *stm.Tx, old *table[K, V]) {
+	n := len(old.buckets) * 2
+	nt := newTable[K, V](n, old.shift-1)
+	moved := make([]int64, n)
+	for _, head := range old.buckets {
+		cur := stm.Get(tx, head)
+		for cur != nil {
+			next := stm.Get(tx, cur.next)
+			b := nt.bucketOf(m.hash, cur.key)
+			stm.Set(tx, cur.next, stm.Get(tx, nt.buckets[b]))
+			stm.Set(tx, nt.buckets[b], cur)
+			moved[b]++
+			cur = next
+		}
+	}
+	for b, c := range moved {
+		if c != 0 {
+			stm.Set(tx, nt.counts[b], c)
+		}
+	}
+	stm.Set(tx, m.tab, nt)
 }
 
 // Delete removes k inside tx, reporting whether the map changed. A miss
 // leaves the transaction read-only for this op.
 func (m *TMap[K, V]) Delete(tx *stm.Tx, k K) bool {
-	prev, cur := m.locate(tx, k)
+	t := m.tableOf(tx)
+	prev, cur := m.locate(tx, t, k)
 	if cur == nil {
 		return false
 	}
 	stm.Set(tx, prev, stm.Get(tx, cur.next))
-	b := m.bucketOf(k)
-	stm.Update(tx, m.counts[b], func(n int64) int64 { return n - 1 })
+	b := t.bucketOf(m.hash, k)
+	stm.Update(tx, t.counts[b], func(n int64) int64 { return n - 1 })
 	return true
 }
 
@@ -188,22 +294,23 @@ func (m *TMap[K, V]) Delete(tx *stm.Tx, k K) bool {
 // concurrent inserts and deletes — an inherently global question.
 func (m *TMap[K, V]) Len(tx *stm.Tx) int {
 	var n int64
-	for _, c := range m.counts {
+	for _, c := range m.tableOf(tx).counts {
 		n += stm.Get(tx, c)
 	}
 	return int(n)
 }
 
 // LenQuiesced returns the entry count without a transaction, by
-// peeking every bucket counter. Each peek is individually consistent,
-// so the sum is exact only when the caller excludes all concurrent
-// transactions on the map's engine for the duration — the contract
-// store.Len provides by holding every partition's escalation lock
-// exclusive. Without that exclusion the sum is a monitoring
-// approximation, like summing sharded counters anywhere.
+// peeking every bucket counter of the current generation. Each peek is
+// individually consistent, so the sum is exact only when the caller
+// excludes all concurrent transactions on the map's engine for the
+// duration — the contract store.Len provides by holding every
+// partition's escalation lock exclusive. Without that exclusion the
+// sum is a monitoring approximation, like summing sharded counters
+// anywhere.
 func (m *TMap[K, V]) LenQuiesced() int {
 	var n int64
-	for _, c := range m.counts {
+	for _, c := range m.tablePeek().counts {
 		n += c.Peek()
 	}
 	return int(n)
@@ -213,7 +320,7 @@ func (m *TMap[K, V]) LenQuiesced() int {
 // returns false. The read set is the whole table; use it for snapshots
 // and administration, not hot paths.
 func (m *TMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
-	for _, head := range m.buckets {
+	for _, head := range m.tableOf(tx).buckets {
 		for cur := stm.Get(tx, head); cur != nil; cur = stm.Get(tx, cur.next) {
 			if !fn(cur.key, stm.Get(tx, cur.val)) {
 				return
@@ -224,10 +331,12 @@ func (m *TMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
 
 // putBroken is the planted chain-handling bug: it replaces the bucket
 // head outright, dropping whatever chain hung off it, so a key that
-// aliases into the bucket silently deletes its neighbors.
+// aliases into the bucket silently deletes its neighbors. It never
+// grows the table — the fixture's single bucket is the point.
 func (m *TMap[K, V]) putBroken(tx *stm.Tx, k K, v V) {
-	b := m.bucketOf(k)
-	head := m.buckets[b]
+	t := m.tableOf(tx)
+	b := t.bucketOf(m.hash, k)
+	head := t.buckets[b]
 	e := &entry[K, V]{
 		key:  k,
 		val:  stm.NewTVar[V](*new(V)),
@@ -235,7 +344,7 @@ func (m *TMap[K, V]) putBroken(tx *stm.Tx, k K, v V) {
 	}
 	stm.Set(tx, e.val, v)
 	stm.Set(tx, head, e)
-	stm.Update(tx, m.counts[b], func(n int64) int64 { return n + 1 })
+	stm.Update(tx, t.counts[b], func(n int64) int64 { return n + 1 })
 }
 
 // NewAliasedTMapForTest builds the conformance harness's planted-bug

@@ -373,3 +373,133 @@ func TestAliasedTMapFixtureLosesKeys(t *testing.T) {
 		return nil
 	})
 }
+
+// TestTMapGrows checks the bucket table doubles past the load-factor
+// threshold and that nothing is lost or misrouted across generations:
+// every key inserted before, during and after growth stays readable,
+// and lookups keep agreeing with a model map.
+func TestTMapGrows(t *testing.T) {
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			m := NewTMap[int64, int64](1) // smallest start: growth must engage fast
+			if got := m.Buckets(); got != 1 {
+				t.Fatalf("initial buckets = %d, want 1", got)
+			}
+			const keys = 4096
+			for k := int64(0); k < keys; k++ {
+				if err := e.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, k*3)
+					return nil
+				}); err != nil {
+					t.Fatalf("put %d: %v", k, err)
+				}
+			}
+			grown := m.Buckets()
+			if grown < keys/(2*growChainLen) {
+				t.Fatalf("table did not grow: %d buckets for %d keys", grown, keys)
+			}
+			// Mean chain length stays at or under the trigger.
+			if lf := keys / grown; lf > growChainLen {
+				t.Fatalf("load factor %d exceeds growth threshold %d (buckets %d)", lf, growChainLen, grown)
+			}
+			if err := e.Atomically(func(tx *stm.Tx) error {
+				if n := m.Len(tx); n != keys {
+					return fmt.Errorf("Len = %d, want %d", n, keys)
+				}
+				for k := int64(0); k < keys; k++ {
+					v, ok := m.Get(tx, k)
+					if !ok || v != k*3 {
+						return fmt.Errorf("key %d = %d,%v after growth", k, v, ok)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Deletes still route correctly in the grown generation.
+			for k := int64(0); k < keys; k += 2 {
+				if err := e.Atomically(func(tx *stm.Tx) error {
+					if !m.Delete(tx, k) {
+						return fmt.Errorf("delete %d missed", k)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := m.LenQuiesced(); n != keys/2 {
+				t.Fatalf("LenQuiesced = %d after deletes, want %d", n, keys/2)
+			}
+		})
+	}
+}
+
+// TestTMapGrowsUnderConcurrentReaders races growth against readers and
+// disjoint-key writers: reader transactions either serialize before a
+// table swap (old generation, whole) or after it (new generation,
+// whole), so every committed read must still see exactly the model's
+// value. Run with -race in CI.
+func TestTMapGrowsUnderConcurrentReaders(t *testing.T) {
+	for _, e := range engines(t) {
+		t.Run(e.Kind().String(), func(t *testing.T) {
+			m := NewTMap[int64, int64](1)
+			const seeded = 64
+			for k := int64(0); k < seeded; k++ {
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, k+1000)
+					return nil
+				})
+			}
+			start := m.Buckets()
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) { // readers over the seeded range
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := int64(r.Intn(seeded))
+						var v int64
+						var ok bool
+						_ = e.AtomicallyAs(w, func(tx *stm.Tx) error {
+							v, ok = m.Get(tx, k)
+							return nil
+						})
+						if !ok || v != k+1000 {
+							t.Errorf("reader saw key %d = %d,%v across growth", k, v, ok)
+							return
+						}
+					}
+				}(w)
+			}
+			// Writer drives growth by inserting fresh keys.
+			for k := int64(seeded); k < seeded+2048; k++ {
+				if err := e.AtomicallyAs(5, func(tx *stm.Tx) error {
+					m.Put(tx, k, k+1000)
+					return nil
+				}); err != nil {
+					t.Fatalf("grow put %d: %v", k, err)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if got := m.Buckets(); got <= start {
+				t.Fatalf("no growth under load: %d -> %d buckets", start, got)
+			}
+			for k := int64(0); k < seeded+2048; k++ {
+				_ = e.Atomically(func(tx *stm.Tx) error {
+					if v, ok := m.Get(tx, k); !ok || v != k+1000 {
+						t.Errorf("key %d = %d,%v after concurrent growth", k, v, ok)
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
